@@ -1,0 +1,126 @@
+// Ablations on the design choices DESIGN.md calls out.
+//
+// (1) Covering optimization on/off for the traditional protocol — the
+//     paper's "surprising observation" is that covering can *hurt* under
+//     mobility; with covering off the traditional protocol floods every
+//     (un)subscription but never pays quench/retract cascades.
+// (2) Path-length sweep for the reconfiguration protocol on a chain —
+//     its per-movement message count must be exactly 4 legs x path length,
+//     demonstrating the hop-by-hop cost model of Sec. 4.4.
+// (3) Processing-cost sensitivity — how the covering protocol's saturation
+//     regime depends on the broker's (un)subscription processing cost, while
+//     the reconfiguration protocol is insensitive.
+#include "bench_util.h"
+
+using namespace tmps;
+using namespace tmps::bench;
+
+int main() {
+  print_header("Ablations — protocol variants",
+               "design-choice ablations (not a paper figure)");
+
+  // --- (1) covering on/off under the traditional protocol -------------------
+  std::printf("[1] traditional protocol, covering optimization on/off "
+              "(covered workload)\n");
+  std::printf("%10s | %12s %12s | %10s %11s\n", "covering", "lat mean(ms)",
+              "lat max(ms)", "msgs/move", "movements");
+  for (bool covering : {true, false}) {
+    ScenarioConfig cfg =
+        paper_config(MobilityProtocol::Traditional, WorkloadKind::Covered);
+    cfg.broker.subscription_covering = covering;
+    cfg.broker.advertisement_covering = covering;
+    const RunResult r = run_scenario(cfg);
+    std::printf("%10s | %12.1f %12.1f | %10.1f %11llu\n",
+                covering ? "on" : "off", r.latency_ms, r.latency_max_ms,
+                r.msgs_per_movement,
+                static_cast<unsigned long long>(r.movements));
+  }
+
+  // --- (2) reconfiguration cost is linear in path length --------------------
+  std::printf("\n[2] reconfiguration protocol message cost vs path length "
+              "(chain overlay, single mover)\n");
+  std::printf("%6s %10s | %10s %12s\n", "hops", "brokers", "msgs/move",
+              "lat mean(ms)");
+  for (std::uint32_t n : {4u, 6u, 8u, 12u, 16u}) {
+    ScenarioConfig cfg =
+        paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered);
+    cfg.overlay = Overlay::chain(n);
+    cfg.move_pairs = {{1, n}};
+    cfg.total_clients = 10;
+    cfg.moving_clients = 1;
+    cfg.publisher_brokers = {n / 2};
+    const RunResult r = run_scenario(cfg);
+    std::printf("%6u %10u | %10.1f %12.1f\n", n - 1, n, r.msgs_per_movement,
+                r.latency_ms);
+  }
+  std::printf("(expected: msgs/move = 4 legs x hops)\n");
+
+  // --- (4 — printed after (3)) movement throughput vs offered rate ----------
+  // The paper's third metric: "movement throughput measures the number of
+  // movement transactions the system can process in a given time". Shrinking
+  // the pause between moves raises the offered movement rate until the
+  // protocol saturates.
+  const auto throughput_section = [] {
+    std::printf("\n[4] movement throughput vs pause between moves "
+                "(covered workload, 400 clients)\n");
+    std::printf("%10s %9s | %14s %12s\n", "pause(s)", "protocol",
+                "moves/s (done)", "lat mean(ms)");
+    for (double pause : {10.0, 5.0, 2.0, 1.0}) {
+      for (auto proto : {MobilityProtocol::Reconfiguration,
+                         MobilityProtocol::Traditional}) {
+        ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
+        cfg.pause_between_moves = pause;
+        const double window = cfg.duration - cfg.warmup;
+        const RunResult r = run_scenario(cfg);
+        std::printf("%10.1f %9s | %14.1f %12.1f\n", pause, label(proto),
+                    static_cast<double>(r.movements) / window, r.latency_ms);
+      }
+    }
+  };
+
+  // --- (3) broker (un)subscription processing-cost sensitivity --------------
+  std::printf("\n[3] sensitivity to (un)subscription processing cost "
+              "(covered workload)\n");
+  std::printf("%12s %9s | %12s %12s\n", "sub_proc(ms)", "protocol",
+              "lat mean(ms)", "lat max(ms)");
+  for (double scale : {0.5, 1.0, 2.0}) {
+    for (auto proto :
+         {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+      ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
+      cfg.net.sub_proc *= scale;
+      const RunResult r = run_scenario(cfg);
+      std::printf("%12.1f %9s | %12.1f %12.1f\n", cfg.net.sub_proc * 1e3,
+                  label(proto), r.latency_ms, r.latency_max_ms);
+    }
+  }
+
+  throughput_section();
+
+  // --- (5) background pub/sub churn by stationary clients -------------------
+  // The paper's conclusion: "background pub/sub activity, such as
+  // unsubscriptions by non-mobile clients, hardly affect the performance of
+  // the reconfiguration protocol, whereas the traditional mobility
+  // protocol's performance varies greatly."
+  std::printf("\n[5] background (un)subscription churn by stationary clients "
+              "(covered workload, 100 of 400 clients moving)\n");
+  std::printf("%10s %9s | %12s %12s\n", "churn", "protocol", "lat mean(ms)",
+              "lat max(ms)");
+  for (double churn : {0.0, 10.0, 5.0}) {
+    char churn_label[16];
+    if (churn == 0) {
+      std::snprintf(churn_label, sizeof(churn_label), "off");
+    } else {
+      std::snprintf(churn_label, sizeof(churn_label), "every %.0fs", churn);
+    }
+    for (auto proto :
+         {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+      ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
+      cfg.moving_clients = 100;
+      cfg.background_churn_interval = churn;
+      const RunResult r = run_scenario(cfg);
+      std::printf("%10s %9s | %12.1f %12.1f\n", churn_label, label(proto),
+                  r.latency_ms, r.latency_max_ms);
+    }
+  }
+  return 0;
+}

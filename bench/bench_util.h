@@ -1,0 +1,86 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every binary regenerates one table/figure of the paper's evaluation
+// (Sec. 5) and prints the series the paper plots. Default runs use a
+// shortened steady-state window so the full suite finishes in minutes; set
+// TMPS_FULL=1 to run the paper's 1000-second experiments.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/scenario.h"
+
+namespace tmps::bench {
+
+inline bool full_run() {
+  const char* v = std::getenv("TMPS_FULL");
+  return v && *v && std::string(v) != "0";
+}
+
+/// The paper's default experiment setup (Sec. 5): 14-broker overlay of
+/// Fig. 6, 400 clients moving between brokers 1<->13 and 2<->14 with a 10 s
+/// pause, publishers at the leaf-corner brokers.
+inline ScenarioConfig paper_config(MobilityProtocol proto, WorkloadKind wl) {
+  ScenarioConfig cfg;
+  cfg.mobility.protocol = proto;
+  // Covering is the traditional protocol's optimization (and its measured
+  // liability). Under reconfiguration mobility quenching is unsound — a
+  // quenched subscription loses its delivery path when its coverer moves —
+  // so reconfiguration deployments run with covering disabled.
+  cfg.broker.subscription_covering = proto == MobilityProtocol::Traditional;
+  cfg.broker.advertisement_covering = proto == MobilityProtocol::Traditional;
+  cfg.workload = wl;
+  cfg.total_clients = 400;
+  cfg.pause_between_moves = 10.0;
+  cfg.publish_interval = 1.0;
+  cfg.duration = full_run() ? 1000.0 : 150.0;
+  cfg.warmup = full_run() ? 100.0 : 40.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+inline const char* label(MobilityProtocol p) {
+  return p == MobilityProtocol::Reconfiguration ? "reconfig" : "covering";
+}
+
+struct RunResult {
+  double latency_ms = 0;
+  double latency_max_ms = 0;
+  double latency_stddev_ms = 0;
+  double msgs_per_movement = 0;
+  std::uint64_t movements = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t mover_losses = 0;
+  std::uint64_t mover_expected = 0;
+};
+
+inline RunResult run_scenario(const ScenarioConfig& cfg) {
+  Scenario s(cfg);
+  s.run();
+  const Summary lat = s.latency();
+  RunResult r;
+  r.latency_ms = lat.mean() * 1e3;
+  r.latency_max_ms = lat.max() * 1e3;
+  r.latency_stddev_ms = lat.stddev() * 1e3;
+  r.msgs_per_movement = s.messages_per_movement();
+  r.movements = s.movements();
+  r.total_messages = s.stats().total_messages();
+  r.duplicates = s.audit().duplicates;
+  r.mover_losses = s.audit().mover_losses;
+  r.mover_expected = s.audit().mover_expected;
+  return r;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("mode: %s\n", full_run() ? "full (paper-scale, TMPS_FULL=1)"
+                                        : "quick (set TMPS_FULL=1 for 1000s runs)");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace tmps::bench

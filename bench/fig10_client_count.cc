@@ -1,0 +1,30 @@
+// Fig. 10 — scalability in the number of moving clients (400..1000).
+//
+// Expected shape (paper): the reconfiguration protocol's latency and message
+// overhead stay flat as clients increase; the covering protocol's latency
+// degrades sharply with more clients while the reconfiguration protocol
+// completes proportionally more movements.
+#include "bench_util.h"
+
+using namespace tmps;
+using namespace tmps::bench;
+
+int main() {
+  print_header("Fig. 10 — number of moving clients",
+               "Fig. 10(a) movement latency, Fig. 10(b) message load");
+
+  std::printf("%8s %9s | %12s %12s | %10s %11s\n", "clients", "protocol",
+              "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
+  for (std::uint32_t n = 400; n <= 1000; n += 200) {
+    for (auto proto :
+         {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+      ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
+      cfg.total_clients = n;
+      const RunResult r = run_scenario(cfg);
+      std::printf("%8u %9s | %12.1f %12.1f | %10.1f %11llu\n", n, label(proto),
+                  r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
+                  static_cast<unsigned long long>(r.movements));
+    }
+  }
+  return 0;
+}

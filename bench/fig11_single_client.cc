@@ -1,0 +1,32 @@
+// Fig. 11 — moving a single client: the covering root.
+//
+// 400 clients with the covered workload; only the client holding the
+// covering-root subscription of family 0 moves.
+//
+// Expected shape (paper): even with a single mover the covering protocol has
+// much worse movement latency and message load — every root movement
+// re-propagates (at the source) and retracts (at the target) all the
+// subscriptions it covers, while the reconfiguration protocol stays at
+// path-length cost.
+#include "bench_util.h"
+
+using namespace tmps;
+using namespace tmps::bench;
+
+int main() {
+  print_header("Fig. 11 — single moving client (covering root)",
+               "Fig. 11(a) movement latency, Fig. 11(b) message load");
+
+  std::printf("%9s | %12s %12s | %10s %11s\n", "protocol", "lat mean(ms)",
+              "lat max(ms)", "msgs/move", "movements");
+  for (auto proto :
+       {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+    ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
+    cfg.moving_clients = 1;  // client 0 holds subscription 1 of family 0
+    const RunResult r = run_scenario(cfg);
+    std::printf("%9s | %12.1f %12.1f | %10.1f %11llu\n", label(proto),
+                r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
+                static_cast<unsigned long long>(r.movements));
+  }
+  return 0;
+}

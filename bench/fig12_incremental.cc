@@ -1,0 +1,92 @@
+// Fig. 12 — incremental movement.
+//
+// 400 clients (40 families: 10 covered, 10 tree, 10 chained, 10 distinct);
+// the number of movers grows in increments of ten chosen exactly as the
+// paper describes: covering roots from the covered workload, covering roots
+// from the tree workload, covering subscriptions from the chained workload,
+// covered leaves drawn from the previous three, and finally distinct
+// subscriptions.
+//
+// Expected shape (paper): the reconfiguration protocol's latency is flat.
+// The covering protocol's average latency climbs while covering-heavy
+// subscriptions are added (first three increments, with the tree increment
+// steeper than the chained one) and *drops* when leaf/distinct movers —
+// whose propagation is quenched or burst-free — are added.
+#include <random>
+
+#include "bench_util.h"
+
+using namespace tmps;
+using namespace tmps::bench;
+
+namespace {
+
+WorkloadKind family_kind(std::uint32_t family) {
+  if (family < 10) return WorkloadKind::Covered;
+  if (family < 20) return WorkloadKind::Tree;
+  if (family < 30) return WorkloadKind::Chained;
+  return WorkloadKind::Distinct;
+}
+
+Filter mixed_filter(std::uint32_t k) {
+  const std::uint32_t family = k / 10;
+  const int member = static_cast<int>(k % 10) + 1;
+  return workload_filter(family_kind(family), member,
+                         static_cast<std::int64_t>(family));
+}
+
+/// The k-indices that move for a given mover count (10..60), following the
+/// paper's increment order.
+std::vector<std::uint32_t> movers_for(std::uint32_t count) {
+  std::vector<std::uint32_t> movers;
+  // Increment 1-3: the roots (member 1 => k%10==0) of the covered, tree and
+  // chained families in turn.
+  for (std::uint32_t family = 0; family < 30 && movers.size() < count;
+       ++family) {
+    movers.push_back(family * 10);
+  }
+  // Increment 4: ten covered (leaf) subscriptions chosen randomly from the
+  // previous three workloads.
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint32_t> fam(0, 29);
+  std::uniform_int_distribution<std::uint32_t> mem(1, 9);
+  while (movers.size() < std::min<std::uint32_t>(count, 40)) {
+    const std::uint32_t k = fam(rng) * 10 + mem(rng);
+    if (std::find(movers.begin(), movers.end(), k) == movers.end()) {
+      movers.push_back(k);
+    }
+  }
+  // Increment 5-6: subscriptions from the distinct families.
+  for (std::uint32_t k = 300; k < 400 && movers.size() < count; ++k) {
+    movers.push_back(k);
+  }
+  movers.resize(std::min<std::size_t>(movers.size(), count));
+  return movers;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 12 — incremental movement",
+               "Fig. 12(a) movement latency, Fig. 12(b) message load");
+
+  std::printf("%7s %9s | %12s %12s | %10s %11s\n", "movers", "protocol",
+              "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
+  for (std::uint32_t count = 10; count <= 60; count += 10) {
+    const auto movers = movers_for(count);
+    for (auto proto :
+         {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+      ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
+      cfg.filter_override = mixed_filter;
+      cfg.mover_override = [movers](std::uint32_t k) {
+        return std::find(movers.begin(), movers.end(), k) != movers.end();
+      };
+      const RunResult r = run_scenario(cfg);
+      std::printf("%7u %9s | %12.1f %12.1f | %10.1f %11llu\n", count,
+                  label(proto), r.latency_ms, r.latency_max_ms,
+                  r.msgs_per_movement,
+                  static_cast<unsigned long long>(r.movements));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 14 — wide-area (PlanetLab) deployment.
+//
+// The WAN profile substitutes for PlanetLab: heterogeneous per-link delays
+// (log-normal), heavy per-message jitter and slower (shared) nodes. 14
+// brokers, 100 moving clients.
+//
+// Expected shape (paper): the same trends as the local testbed — the
+// reconfiguration protocol moves faster and with less message overhead —
+// but all latencies are longer and vary more than on the LAN.
+#include <array>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace tmps;
+using namespace tmps::bench;
+
+namespace {
+
+ScenarioConfig wan_config(MobilityProtocol proto, WorkloadKind wl) {
+  ScenarioConfig cfg = paper_config(proto, wl);
+  cfg.net = NetworkProfile::planetlab();
+  cfg.total_clients = 100;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 14 — wide-area PlanetLab deployment",
+               "Fig. 14(a,b) latency over time, Fig. 14(c) latency per "
+               "workload, Fig. 14(d) message load");
+
+  // (a) + (b): latency over time, covered workload.
+  for (auto proto :
+       {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+    ScenarioConfig cfg = wan_config(proto, WorkloadKind::Covered);
+    cfg.warmup = 0;
+    Scenario s(cfg);
+    s.run();
+    const double bucket = cfg.duration / 8.0;
+    std::map<int, Summary> buckets;
+    for (const auto& m : s.movement_records()) {
+      if (m.committed) {
+        buckets[static_cast<int>(m.start / bucket)].add(m.duration());
+      }
+    }
+    std::printf("\n[%s protocol, latency over time]\n", label(proto));
+    std::printf("%12s  %10s %10s\n", "time(s)", "mean(s)", "max(s)");
+    for (const auto& [b, sum] : buckets) {
+      std::printf("%5.0f-%-6.0f  %10.2f %10.2f\n", b * bucket,
+                  (b + 1) * bucket, sum.mean(), sum.max());
+    }
+  }
+
+  // (c) + (d): workload sweep under WAN conditions.
+  std::printf("\n[workload sweep]\n");
+  std::printf("%9s %7s %9s | %11s %11s | %10s %11s\n", "workload", "cover°",
+              "protocol", "lat mean(s)", "lat max(s)", "msgs/move",
+              "movements");
+  for (auto wl :
+       {WorkloadKind::Chained, WorkloadKind::Tree, WorkloadKind::Covered}) {
+    for (auto proto :
+         {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
+      const RunResult r = run_scenario(wan_config(proto, wl));
+      std::printf("%9s %7d %9s | %11.2f %11.2f | %10.1f %11llu\n",
+                  to_string(wl), covering_degree(wl), label(proto),
+                  r.latency_ms / 1e3, r.latency_max_ms / 1e3,
+                  r.msgs_per_movement,
+                  static_cast<unsigned long long>(r.movements));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure — the full reproduction pipeline.
+#   scripts/run_all.sh [--full]    (--full runs the paper-scale 1000 s experiments)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--full" ]]; then
+  export TMPS_FULL=1
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  if [[ -f "$b" && -x "$b" ]]; then
+    name="$(basename "$b")"
+    echo "=== $name ==="
+    "$b" | tee "results/$name.txt"
+  fi
+done
+echo "done; per-figure outputs in results/"

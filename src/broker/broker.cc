@@ -1,0 +1,287 @@
+#include "broker/broker.h"
+
+#include <cassert>
+
+#include "routing/covering.h"
+
+namespace tmps {
+
+Broker::Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg)
+    : id_(id), overlay_(overlay), cfg_(cfg) {
+  assert(overlay_ && overlay_->contains(id_));
+}
+
+MessageId Broker::next_message_id() {
+  return (static_cast<MessageId>(id_) << 40) | ++msg_seq_;
+}
+
+void Broker::send(BrokerId to, Payload payload, TxnId cause, Outputs& out) {
+  Message m;
+  m.id = next_message_id();
+  m.cause = cause;
+  m.payload = std::move(payload);
+  out.emplace_back(to, std::move(m));
+}
+
+// --- client entry points ----------------------------------------------------
+
+Broker::Outputs Broker::client_subscribe(ClientId client,
+                                         const Subscription& sub,
+                                         TxnId cause) {
+  Outputs out;
+  do_subscribe(Hop::of_client(client), sub, cause, out);
+  return out;
+}
+
+Broker::Outputs Broker::client_unsubscribe(ClientId client,
+                                           const SubscriptionId& id,
+                                           TxnId cause) {
+  Outputs out;
+  do_unsubscribe(Hop::of_client(client), id, cause, out);
+  return out;
+}
+
+Broker::Outputs Broker::client_advertise(ClientId client,
+                                         const Advertisement& adv,
+                                         TxnId cause) {
+  Outputs out;
+  do_advertise(Hop::of_client(client), adv, cause, out);
+  return out;
+}
+
+Broker::Outputs Broker::client_unadvertise(ClientId client,
+                                           const AdvertisementId& id,
+                                           TxnId cause) {
+  Outputs out;
+  do_unadvertise(Hop::of_client(client), id, cause, out);
+  return out;
+}
+
+Broker::Outputs Broker::client_publish(ClientId client, const Publication& pub,
+                                       TxnId cause) {
+  Outputs out;
+  do_publish(Hop::of_client(client), pub, cause, out);
+  return out;
+}
+
+// --- injected operations (mobility layer) ------------------------------------
+
+void Broker::inject_subscribe(Hop from, const Subscription& sub, TxnId cause,
+                              std::vector<Output>& out) {
+  do_subscribe(from, sub, cause, out);
+}
+void Broker::inject_unsubscribe(Hop from, const SubscriptionId& id,
+                                TxnId cause, std::vector<Output>& out) {
+  do_unsubscribe(from, id, cause, out);
+}
+void Broker::inject_advertise(Hop from, const Advertisement& adv, TxnId cause,
+                              std::vector<Output>& out) {
+  do_advertise(from, adv, cause, out);
+}
+void Broker::inject_unadvertise(Hop from, const AdvertisementId& id,
+                                TxnId cause, std::vector<Output>& out) {
+  do_unadvertise(from, id, cause, out);
+}
+void Broker::inject_publish(Hop from, const Publication& pub, TxnId cause,
+                            std::vector<Output>& out) {
+  do_publish(from, pub, cause, out);
+}
+
+// --- network input -----------------------------------------------------------
+
+Broker::Outputs Broker::on_message(BrokerId from, const Message& msg) {
+  Outputs out;
+  const Hop from_hop = Hop::of_broker(from);
+  if (const auto* p = std::get_if<AdvertiseMsg>(&msg.payload)) {
+    do_advertise(from_hop, p->adv, msg.cause, out);
+  } else if (const auto* p = std::get_if<UnadvertiseMsg>(&msg.payload)) {
+    do_unadvertise(from_hop, p->adv_id, msg.cause, out);
+  } else if (const auto* p = std::get_if<SubscribeMsg>(&msg.payload)) {
+    do_subscribe(from_hop, p->sub, msg.cause, out);
+  } else if (const auto* p = std::get_if<UnsubscribeMsg>(&msg.payload)) {
+    do_unsubscribe(from_hop, p->sub_id, msg.cause, out);
+  } else if (const auto* p = std::get_if<PublishMsg>(&msg.payload)) {
+    do_publish(from_hop, p->pub, msg.cause, out);
+  } else if (control_) {
+    control_->on_control(from, msg, out);
+  } else if (msg.unicast_dest && *msg.unicast_dest != id_) {
+    // No mobility layer attached: act as a plain relay for unicasts.
+    forward_unicast(msg, out);
+  }
+  return out;
+}
+
+void Broker::send_unicast(BrokerId dest, Payload payload, TxnId cause,
+                          std::vector<Output>& out) {
+  Message m;
+  m.id = next_message_id();
+  m.cause = cause;
+  m.unicast_dest = dest;
+  m.payload = std::move(payload);
+  if (dest == id_) {
+    // Local delivery: hand straight to the control handler.
+    assert(control_);
+    control_->on_control(id_, m, out);
+    return;
+  }
+  out.emplace_back(overlay_->next_hop(id_, dest), std::move(m));
+}
+
+void Broker::forward_unicast(const Message& msg, std::vector<Output>& out) {
+  assert(msg.unicast_dest && *msg.unicast_dest != id_);
+  out.emplace_back(overlay_->next_hop(id_, *msg.unicast_dest), msg);
+}
+
+void Broker::deliver_local(ClientId client, const Publication& pub) {
+  if (control_ && control_->intercept_notification(client, pub)) return;
+  if (notify_) notify_(client, pub);
+}
+
+// --- routing handlers ----------------------------------------------------------
+
+void Broker::forward_sub_on_link(SubEntry& entry, Hop link, TxnId cause,
+                                 Outputs& out) {
+  entry.forwarded_to.insert(link);
+  send(link.broker, SubscribeMsg{entry.sub}, cause, out);
+  if (cfg_.subscription_covering) {
+    for (SubEntry* t : strictly_covered_subs_on_link(tables_, entry.sub.id,
+                                                     entry.sub.filter, link)) {
+      t->forwarded_to.erase(link);
+      send(link.broker, UnsubscribeMsg{t->sub.id}, cause, out);
+    }
+  }
+}
+
+void Broker::forward_adv_on_link(AdvEntry& entry, Hop link, TxnId cause,
+                                 Outputs& out) {
+  entry.forwarded_to.insert(link);
+  send(link.broker, AdvertiseMsg{entry.adv}, cause, out);
+  if (cfg_.advertisement_covering) {
+    for (AdvEntry* t : strictly_covered_advs_on_link(tables_, entry.adv.id,
+                                                     entry.adv.filter, link)) {
+      t->forwarded_to.erase(link);
+      send(link.broker, UnadvertiseMsg{t->adv.id}, cause, out);
+    }
+  }
+}
+
+void Broker::do_subscribe(Hop from, const Subscription& sub, TxnId cause,
+                          Outputs& out) {
+  SubEntry& entry = tables_.upsert_sub(sub, from);
+
+  // Forward towards every intersecting advertisement's last hop.
+  for (const AdvEntry* a : tables_.intersecting_advs(sub.filter)) {
+    const Hop link = a->lasthop;
+    if (!link.is_broker() || link == from) continue;
+    if (entry.forwarded_to.contains(link)) continue;
+    if (cfg_.subscription_covering &&
+        sub_covered_on_link(tables_, sub.id, sub.filter, link)) {
+      continue;  // quenched by a covering subscription on this link
+    }
+    forward_sub_on_link(entry, link, cause, out);
+  }
+}
+
+void Broker::do_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
+                            Outputs& out) {
+  SubEntry* entry = tables_.find_sub(id);
+  // Stale or duplicate unsubscriptions (possible under covering churn) are
+  // dropped: the entry is gone or now owned by a different direction.
+  if (!entry || entry->lasthop != from) return;
+
+  const auto links = entry->forwarded_to;
+  entry->forwarded_to.clear();  // stop counting as a coverer
+
+  for (const Hop& link : links) {
+    if (cfg_.subscription_covering) {
+      // Un-quench: subscriptions this one covered must take over *before*
+      // the unsubscription propagates, so publications keep flowing. The
+      // candidate set is computed up front; re-check coverage as the burst
+      // unfolds so nested candidates forward only their maximal antichain.
+      for (SubEntry* t : unquenched_subs_on_link(tables_, *entry, link)) {
+        if (sub_covered_on_link(tables_, t->sub.id, t->sub.filter, link)) {
+          continue;
+        }
+        forward_sub_on_link(*t, link, cause, out);
+      }
+    }
+    send(link.broker, UnsubscribeMsg{id}, cause, out);
+  }
+  tables_.erase_sub(id);
+}
+
+void Broker::do_advertise(Hop from, const Advertisement& adv, TxnId cause,
+                          Outputs& out) {
+  AdvEntry& entry = tables_.upsert_adv(adv, from);
+
+  // Advertisements flood to all neighbours except the one they came from.
+  for (const BrokerId n : overlay_->neighbors(id_)) {
+    const Hop link = Hop::of_broker(n);
+    if (link == from) continue;
+    if (entry.forwarded_to.contains(link)) continue;
+    if (cfg_.advertisement_covering &&
+        adv_covered_on_link(tables_, adv.id, adv.filter, link)) {
+      continue;
+    }
+    forward_adv_on_link(entry, link, cause, out);
+  }
+
+  // Subscriptions that intersect the new advertisement must now be forwarded
+  // towards it (over the link it arrived on).
+  if (from.is_broker()) {
+    for (auto& [sid, s] : tables_.prt()) {
+      if (s.shadow_only) continue;
+      if (s.lasthop == from || s.forwarded_to.contains(from)) continue;
+      if (!s.sub.filter.intersects_advertisement(adv.filter)) continue;
+      if (cfg_.subscription_covering &&
+          sub_covered_on_link(tables_, sid, s.sub.filter, from)) {
+        continue;
+      }
+      forward_sub_on_link(s, from, cause, out);
+    }
+  }
+}
+
+void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
+                            Outputs& out) {
+  AdvEntry* entry = tables_.find_adv(id);
+  if (!entry || entry->lasthop != from) return;
+
+  const auto links = entry->forwarded_to;
+  entry->forwarded_to.clear();
+
+  for (const Hop& link : links) {
+    if (cfg_.advertisement_covering) {
+      for (AdvEntry* t : unquenched_advs_on_link(tables_, *entry, link)) {
+        if (adv_covered_on_link(tables_, t->adv.id, t->adv.filter, link)) {
+          continue;
+        }
+        forward_adv_on_link(*t, link, cause, out);
+      }
+    }
+    send(link.broker, UnadvertiseMsg{id}, cause, out);
+  }
+  // Subscription forwarding state that pointed towards this advertisement is
+  // left in place: the paper's routing consistency explicitly allows stale
+  // entries, and removing them here would require per-advertisement
+  // refcounts on every mark.
+  tables_.erase_adv(id);
+}
+
+void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
+                        Outputs& out) {
+  for (const Hop& hop : tables_.hops_for_publication(pub)) {
+    if (hop == from) continue;
+    if (hop.is_broker()) {
+      send(hop.broker, PublishMsg{pub}, cause, out);
+    } else if (hop.is_client()) {
+      deliver_local(hop.client, pub);
+    }
+  }
+}
+
+std::string Broker::debug_string() const {
+  return "B" + std::to_string(id_) + " " + tables_.debug_string();
+}
+
+}  // namespace tmps

@@ -1,0 +1,152 @@
+// A content-based pub/sub broker as a deterministic reactor.
+//
+// The broker owns the routing tables and implements advertisement-based
+// content routing with optional covering. It is transport-agnostic: every
+// entry point returns the list of (neighbour, message) pairs to transmit, so
+// the same broker runs under the discrete-event simulator (benchmarks) and
+// the thread transport (live integration tests) unchanged.
+//
+// Movement-protocol (control) messages are delegated to an injectable
+// ControlHandler — the mobility engine from src/core — which uses the
+// broker's tables/overlay through the accessors below. Clients live in the
+// broker's mobile container (see the paper's system model, Sec. 4.1), so
+// client↔broker interaction is local method calls, not network messages.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/messages.h"
+#include "routing/overlay.h"
+#include "routing/routing_tables.h"
+
+namespace tmps {
+
+struct BrokerConfig {
+  /// Enable the subscription-covering optimization (per-link quench/retract).
+  bool subscription_covering = true;
+  /// Enable the advertisement-covering optimization.
+  bool advertisement_covering = true;
+};
+
+class Broker;
+
+/// Hook for the mobility layer (src/core). The broker routes every control
+/// payload here; the handler may call back into the broker to emit routing
+/// operations or unicasts.
+class ControlHandler {
+ public:
+  virtual ~ControlHandler() = default;
+
+  /// A control message arrived from neighbouring broker `from`. The handler
+  /// appends any messages to transmit to `out`.
+  virtual void on_control(BrokerId from, const Message& msg,
+                          std::vector<std::pair<BrokerId, Message>>& out) = 0;
+
+  /// A publication is about to be delivered to local client `client`.
+  /// Return true to consume it (e.g. buffer for a paused/moving client).
+  virtual bool intercept_notification(ClientId client,
+                                      const Publication& pub) = 0;
+};
+
+class Broker {
+ public:
+  /// (neighbour broker, message to send to it)
+  using Output = std::pair<BrokerId, Message>;
+  using Outputs = std::vector<Output>;
+  /// Final delivery of a publication to a local client.
+  using NotifySink = std::function<void(ClientId, const Publication&)>;
+
+  Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg = {});
+
+  BrokerId id() const { return id_; }
+  const Overlay& overlay() const { return *overlay_; }
+  const BrokerConfig& config() const { return cfg_; }
+  RoutingTables& tables() { return tables_; }
+  const RoutingTables& tables() const { return tables_; }
+
+  void set_control_handler(ControlHandler* handler) { control_ = handler; }
+  void set_notify_sink(NotifySink sink) { notify_ = std::move(sink); }
+
+  // --- operations by locally attached clients -----------------------------
+
+  Outputs client_subscribe(ClientId client, const Subscription& sub,
+                           TxnId cause = kNoTxn);
+  Outputs client_unsubscribe(ClientId client, const SubscriptionId& id,
+                             TxnId cause = kNoTxn);
+  Outputs client_advertise(ClientId client, const Advertisement& adv,
+                           TxnId cause = kNoTxn);
+  Outputs client_unadvertise(ClientId client, const AdvertisementId& id,
+                             TxnId cause = kNoTxn);
+  Outputs client_publish(ClientId client, const Publication& pub,
+                         TxnId cause = kNoTxn);
+
+  // --- network input -------------------------------------------------------
+
+  /// Processes a message arriving from neighbouring broker `from`.
+  Outputs on_message(BrokerId from, const Message& msg);
+
+  // --- services for the mobility layer -------------------------------------
+
+  /// Wraps a control payload for point-to-point delivery to `dest` and
+  /// appends the first-hop transmission to `out`. If `dest` is this broker
+  /// the payload is dispatched to the control handler directly.
+  void send_unicast(BrokerId dest, Payload payload, TxnId cause,
+                    std::vector<Output>& out);
+
+  /// Emits `msg` towards its unicast destination (next hop on the path).
+  void forward_unicast(const Message& msg, std::vector<Output>& out);
+
+  /// Routing operations injected by the mobility layer on behalf of a hop
+  /// (used by the traditional protocol to (un)issue subs/advs, and by tests).
+  void inject_subscribe(Hop from, const Subscription& sub, TxnId cause,
+                        std::vector<Output>& out);
+  void inject_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
+                          std::vector<Output>& out);
+  void inject_advertise(Hop from, const Advertisement& adv, TxnId cause,
+                        std::vector<Output>& out);
+  void inject_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
+                          std::vector<Output>& out);
+  void inject_publish(Hop from, const Publication& pub, TxnId cause,
+                      std::vector<Output>& out);
+
+  /// Delivers a publication to a local client, honouring the control
+  /// handler's interception (buffering for moving clients).
+  void deliver_local(ClientId client, const Publication& pub);
+
+  MessageId next_message_id();
+
+  std::string debug_string() const;
+
+ private:
+  void do_subscribe(Hop from, const Subscription& sub, TxnId cause,
+                    Outputs& out);
+  void do_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
+                      Outputs& out);
+  void do_advertise(Hop from, const Advertisement& adv, TxnId cause,
+                    Outputs& out);
+  void do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
+                      Outputs& out);
+  void do_publish(Hop from, const Publication& pub, TxnId cause, Outputs& out);
+
+  /// Forwards `sub` over `link` (marking it), retracting strictly-covered
+  /// subscriptions when covering is enabled.
+  void forward_sub_on_link(SubEntry& entry, Hop link, TxnId cause,
+                           Outputs& out);
+  void forward_adv_on_link(AdvEntry& entry, Hop link, TxnId cause,
+                           Outputs& out);
+
+  void send(BrokerId to, Payload payload, TxnId cause, Outputs& out);
+
+  BrokerId id_;
+  const Overlay* overlay_;
+  BrokerConfig cfg_;
+  RoutingTables tables_;
+  ControlHandler* control_ = nullptr;
+  NotifySink notify_;
+  std::uint64_t msg_seq_ = 0;
+};
+
+}  // namespace tmps

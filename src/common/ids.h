@@ -1,0 +1,63 @@
+// Strongly-typed identifiers used across the system.
+//
+// Brokers are numbered within an overlay; clients are globally unique;
+// subscriptions, advertisements and publications are identified by their
+// issuing client plus a per-client sequence number, so ids remain stable
+// while a client moves between brokers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tmps {
+
+/// Identifies a broker within an overlay. Brokers are numbered 1..N to match
+/// the paper's figures (Fig. 6 uses brokers 1..14).
+using BrokerId = std::uint32_t;
+
+/// Sentinel for "no broker" (e.g. the last hop of a locally attached client).
+inline constexpr BrokerId kNoBroker = 0;
+
+/// Globally unique client identifier.
+using ClientId = std::uint64_t;
+
+inline constexpr ClientId kNoClient = 0;
+
+/// Identifier of a subscription, advertisement or publication: the issuing
+/// client plus a per-client sequence number. Stable across client movement.
+struct EntityId {
+  ClientId client = kNoClient;
+  std::uint32_t seq = 0;
+
+  friend bool operator==(const EntityId&, const EntityId&) = default;
+  friend auto operator<=>(const EntityId&, const EntityId&) = default;
+};
+
+using SubscriptionId = EntityId;
+using AdvertisementId = EntityId;
+using PublicationId = EntityId;
+
+/// Unique id of a message in flight (for tracing and dedup).
+using MessageId = std::uint64_t;
+
+/// Movement-transaction identifier.
+using TxnId = std::uint64_t;
+
+inline constexpr TxnId kNoTxn = 0;
+
+inline std::string to_string(const EntityId& id) {
+  return std::to_string(id.client) + ":" + std::to_string(id.seq);
+}
+
+}  // namespace tmps
+
+template <>
+struct std::hash<tmps::EntityId> {
+  std::size_t operator()(const tmps::EntityId& id) const noexcept {
+    // Sequence numbers are small; fold them into the high bits of the client
+    // hash to keep distinct (client, seq) pairs from colliding.
+    return std::hash<std::uint64_t>{}(id.client * 0x9E3779B97F4A7C15ull +
+                                      id.seq);
+  }
+};

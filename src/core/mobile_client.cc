@@ -1,0 +1,89 @@
+#include "core/mobile_client.h"
+
+namespace tmps {
+
+MobileClient MobileClient::connect(ClientId id, BrokerId home,
+                                   const EngineDirectory& directory) {
+  MobilityEngine* eng = directory.at_broker(home);
+  if (eng) eng->connect_client(id);
+  return MobileClient(id, directory);
+}
+
+BrokerId MobileClient::location() const {
+  MobilityEngine* eng = host();
+  return eng ? eng->broker_id() : kNoBroker;
+}
+
+ClientState MobileClient::state() const {
+  MobilityEngine* eng = host();
+  if (!eng) return ClientState::Init;
+  const ClientStub* stub = eng->find_client(id_);
+  return stub ? stub->state() : ClientState::Init;
+}
+
+SubscriptionId MobileClient::subscribe(const Filter& f) {
+  MobilityEngine* eng = host();
+  if (!eng) return {};
+  Broker::Outputs out;
+  const SubscriptionId id = eng->subscribe(id_, f, out);
+  eng->emit(std::move(out));
+  return id;
+}
+
+AdvertisementId MobileClient::advertise(const Filter& f) {
+  MobilityEngine* eng = host();
+  if (!eng) return {};
+  Broker::Outputs out;
+  const AdvertisementId id = eng->advertise(id_, f, out);
+  eng->emit(std::move(out));
+  return id;
+}
+
+void MobileClient::unsubscribe(const SubscriptionId& id) {
+  MobilityEngine* eng = host();
+  if (!eng) return;
+  Broker::Outputs out;
+  eng->unsubscribe(id_, id, out);
+  eng->emit(std::move(out));
+}
+
+void MobileClient::unadvertise(const AdvertisementId& id) {
+  MobilityEngine* eng = host();
+  if (!eng) return;
+  Broker::Outputs out;
+  eng->unadvertise(id_, id, out);
+  eng->emit(std::move(out));
+}
+
+void MobileClient::publish(Publication pub) {
+  MobilityEngine* eng = host();
+  if (!eng) return;
+  Broker::Outputs out;
+  eng->publish(id_, std::move(pub), out);
+  eng->emit(std::move(out));
+}
+
+TxnId MobileClient::move_to(BrokerId target) {
+  MobilityEngine* eng = host();
+  if (!eng) return kNoTxn;
+  Broker::Outputs out;
+  const TxnId txn = eng->initiate_move(id_, target, out);
+  eng->emit(std::move(out));
+  return txn;
+}
+
+void MobileClient::pause() {
+  MobilityEngine* eng = host();
+  if (!eng) return;
+  ClientStub* stub = eng->find_client(id_);
+  if (stub && stub->state() == ClientState::Started) stub->pause();
+}
+
+void MobileClient::resume() {
+  MobilityEngine* eng = host();
+  if (!eng) return;
+  ClientStub* stub = eng->find_client(id_);
+  if (stub && stub->state() == ClientState::PauseOper) stub->resume();
+}
+
+}  // namespace tmps

@@ -1,0 +1,77 @@
+// A convenience handle over a mobile pub/sub client: tracks the client as it
+// moves between brokers and forwards API calls to whichever mobility engine
+// currently hosts it. This is the public-facing "client library" view; the
+// lower-level MobilityEngine API remains available for host integrations.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/mobility_engine.h"
+
+namespace tmps {
+
+/// Directory of the mobility engines in one deployment; resolves which one
+/// currently hosts a client.
+class EngineDirectory {
+ public:
+  void add(MobilityEngine& engine) { engines_.push_back(&engine); }
+
+  MobilityEngine* find_host(ClientId id) const {
+    for (auto* e : engines_) {
+      if (e->find_client(id)) return e;
+    }
+    return nullptr;
+  }
+
+  MobilityEngine* at_broker(BrokerId b) const {
+    for (auto* e : engines_) {
+      if (e->broker_id() == b) return e;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<MobilityEngine*> engines_;
+};
+
+class MobileClient {
+ public:
+  MobileClient(ClientId id, const EngineDirectory& directory)
+      : id_(id), directory_(&directory) {}
+
+  /// Creates and starts the client at `home`.
+  static MobileClient connect(ClientId id, BrokerId home,
+                              const EngineDirectory& directory);
+
+  ClientId id() const { return id_; }
+
+  /// Broker currently hosting the client, or kNoBroker if it is unknown
+  /// (e.g. mid-hand-off from an external perspective).
+  BrokerId location() const;
+  ClientState state() const;
+  bool connected() const { return directory_->find_host(id_) != nullptr; }
+
+  /// Pub/sub operations, executed at the current host.
+  SubscriptionId subscribe(const Filter& f);
+  AdvertisementId advertise(const Filter& f);
+  void unsubscribe(const SubscriptionId& id);
+  void unadvertise(const AdvertisementId& id);
+  void publish(Publication pub);
+
+  /// Starts a movement transaction towards `target`. Returns kNoTxn if the
+  /// client cannot move right now.
+  TxnId move_to(BrokerId target);
+
+  /// Application-level pause/resume (Fig. 4 pause_oper state).
+  void pause();
+  void resume();
+
+ private:
+  MobilityEngine* host() const { return directory_->find_host(id_); }
+
+  ClientId id_;
+  const EngineDirectory* directory_;
+};
+
+}  // namespace tmps

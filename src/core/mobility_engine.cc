@@ -1,0 +1,836 @@
+#include "core/mobility_engine.h"
+
+#include <cassert>
+
+namespace tmps {
+
+const char* to_string(MobilityProtocol p) {
+  switch (p) {
+    case MobilityProtocol::Reconfiguration: return "reconfig";
+    case MobilityProtocol::Traditional: return "covering";
+  }
+  return "?";
+}
+
+const char* to_string(SourceCoordState s) {
+  switch (s) {
+    case SourceCoordState::Init: return "init";
+    case SourceCoordState::Wait: return "wait";
+    case SourceCoordState::Prepare: return "prepare";
+    case SourceCoordState::Abort: return "abort";
+    case SourceCoordState::Commit: return "commit";
+  }
+  return "?";
+}
+
+const char* to_string(TargetCoordState s) {
+  switch (s) {
+    case TargetCoordState::Init: return "init";
+    case TargetCoordState::Prepare: return "prepare";
+    case TargetCoordState::Abort: return "abort";
+    case TargetCoordState::Commit: return "commit";
+  }
+  return "?";
+}
+
+MobilityEngine::MobilityEngine(Broker& broker, RuntimeEnv& env,
+                               MobilityConfig cfg)
+    : broker_(&broker), env_(&env), cfg_(cfg) {
+  broker_->set_control_handler(this);
+}
+
+BrokerId MobilityEngine::broker_id() const { return broker_->id(); }
+
+TxnId MobilityEngine::next_txn_id() {
+  return (static_cast<TxnId>(broker_->id()) << 40) | ++txn_seq_;
+}
+
+Hop MobilityEngine::toward(BrokerId other) const {
+  return Hop::of_broker(broker_->overlay().next_hop(broker_->id(), other));
+}
+
+// --- client hosting ----------------------------------------------------------
+
+ClientStub& MobilityEngine::connect_client(ClientId id) {
+  auto stub = std::make_unique<ClientStub>(id);
+  stub->set_delivery_fn([this, id](const Publication& pub) {
+    if (delivery_) delivery_(id, pub, env_->now());
+  });
+  stub->create();
+  stub->start();
+  auto [it, inserted] = clients_.insert_or_assign(id, std::move(stub));
+  (void)inserted;
+  return *it->second;
+}
+
+ClientStub* MobilityEngine::find_client(ClientId id) {
+  auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+const ClientStub* MobilityEngine::find_client(ClientId id) const {
+  auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+SubscriptionId MobilityEngine::subscribe(ClientId client, const Filter& f,
+                                         Outputs& out) {
+  ClientStub* stub = find_client(client);
+  if (!stub) return {};
+  Subscription s{stub->allocate_id(), f};
+  stub->remember_subscription(s);
+  for (auto& o : broker_->client_subscribe(client, s)) {
+    out.push_back(std::move(o));
+  }
+  return s.id;
+}
+
+AdvertisementId MobilityEngine::advertise(ClientId client, const Filter& f,
+                                          Outputs& out) {
+  ClientStub* stub = find_client(client);
+  if (!stub) return {};
+  Advertisement a{stub->allocate_id(), f};
+  stub->remember_advertisement(a);
+  for (auto& o : broker_->client_advertise(client, a)) {
+    out.push_back(std::move(o));
+  }
+  return a.id;
+}
+
+void MobilityEngine::unsubscribe(ClientId client, const SubscriptionId& id,
+                                 Outputs& out) {
+  ClientStub* stub = find_client(client);
+  if (!stub || !stub->forget_subscription(id)) return;
+  for (auto& o : broker_->client_unsubscribe(client, id)) {
+    out.push_back(std::move(o));
+  }
+}
+
+void MobilityEngine::unadvertise(ClientId client, const AdvertisementId& id,
+                                 Outputs& out) {
+  ClientStub* stub = find_client(client);
+  if (!stub || !stub->forget_advertisement(id)) return;
+  for (auto& o : broker_->client_unadvertise(client, id)) {
+    out.push_back(std::move(o));
+  }
+}
+
+void MobilityEngine::publish(ClientId client, Publication pub, Outputs& out) {
+  ClientStub* stub = find_client(client);
+  if (!stub) return;
+  if (pub.id().client == kNoClient) pub.set_id(stub->allocate_id());
+  if (!stub->can_publish()) {
+    // The stub layer queues application commands while the client moves.
+    stub->queue_command(std::move(pub));
+    return;
+  }
+  for (auto& o : broker_->client_publish(client, pub)) {
+    out.push_back(std::move(o));
+  }
+}
+
+void MobilityEngine::drain_commands(ClientStub& stub, Outputs& out) {
+  for (auto& pub : stub.take_commands()) {
+    for (auto& o : broker_->client_publish(stub.id(), pub)) {
+      out.push_back(std::move(o));
+    }
+  }
+}
+
+// --- movement initiation (source side) ----------------------------------------
+
+TxnId MobilityEngine::initiate_move(ClientId client, BrokerId target,
+                                    Outputs& out) {
+  ClientStub* stub = find_client(client);
+  if (!stub || target == broker_->id() ||
+      !broker_->overlay().contains(target)) {
+    return kNoTxn;
+  }
+  if (stub->state() != ClientState::Started &&
+      stub->state() != ClientState::PauseOper) {
+    return kNoTxn;  // already moving or not yet running
+  }
+
+  const TxnId txn = next_txn_id();
+  stub->begin_move();
+
+  SourceMove sm;
+  sm.txn = txn;
+  sm.client = client;
+  sm.target = target;
+  sm.start = env_->now();
+  sm.state = SourceCoordState::Wait;
+  sm.protocol = cfg_.protocol;
+
+  if (cfg_.protocol == MobilityProtocol::Reconfiguration) {
+    MoveNegotiateMsg m;
+    m.txn = txn;
+    m.client = client;
+    m.source = broker_->id();
+    m.target = target;
+    m.subs = stub->subscriptions();
+    m.advs = stub->advertisements();
+    m.next_seq = stub->next_seq();
+    broker_->send_unicast(target, std::move(m), txn, out);
+  } else {
+    // Traditional protocol (Sec. 4.4): the client "disconnects from its
+    // source broker after unadvertising and unsubscribing its history, and
+    // these messages propagate through the network" — with covering enabled
+    // this un-quenches everything the removed subscriptions covered. Only
+    // then does the target re-issue the profile.
+    TradMoveRequestMsg m;
+    m.txn = txn;
+    m.client = client;
+    m.source = broker_->id();
+    m.target = target;
+    m.subs = stub->subscriptions();
+    m.advs = stub->advertisements();
+    m.next_seq = stub->next_seq();
+
+    const Hop ch = client_hop(client);
+    for (const auto& s : stub->subscriptions()) {
+      broker_->inject_unsubscribe(ch, s.id, txn, out);
+    }
+    for (const auto& a : stub->advertisements()) {
+      broker_->inject_unadvertise(ch, a.id, txn, out);
+    }
+    broker_->send_unicast(target, std::move(m), txn, out);
+  }
+  if (cfg_.negotiate_timeout > 0) arm_source_timer(sm, cfg_.negotiate_timeout);
+  source_moves_.emplace(txn, std::move(sm));
+  return txn;
+}
+
+// --- ControlHandler ------------------------------------------------------------
+
+void MobilityEngine::on_control(BrokerId from, const Message& msg,
+                                std::vector<std::pair<BrokerId, Message>>& out) {
+  const BrokerId self = broker_->id();
+
+  // Hop-processed movement messages: every broker on the path participates.
+  if (std::holds_alternative<MoveApproveMsg>(msg.payload)) {
+    on_approve_hop(from, msg, out);
+    return;
+  }
+  if (std::holds_alternative<MoveStateMsg>(msg.payload)) {
+    on_state_hop(from, msg, out);
+    return;
+  }
+  if (std::holds_alternative<MoveAbortMsg>(msg.payload)) {
+    on_abort_hop(from, msg, out);
+    return;
+  }
+
+  // Pure unicasts: relay until the destination.
+  if (msg.unicast_dest && *msg.unicast_dest != self) {
+    broker_->forward_unicast(msg, out);
+    return;
+  }
+
+  if (const auto* p = std::get_if<MoveNegotiateMsg>(&msg.payload)) {
+    on_negotiate(*p, msg.cause, out);
+  } else if (const auto* p = std::get_if<MoveRejectMsg>(&msg.payload)) {
+    on_reject(*p, out);
+  } else if (const auto* p = std::get_if<MoveAckMsg>(&msg.payload)) {
+    on_ack(*p, out);
+  } else if (const auto* p = std::get_if<TradMoveRequestMsg>(&msg.payload)) {
+    on_trad_request(*p, out);
+  } else if (const auto* p = std::get_if<TradReadyMsg>(&msg.payload)) {
+    on_trad_ready(*p, out);
+  } else if (const auto* p = std::get_if<TradRejectMsg>(&msg.payload)) {
+    on_trad_reject(*p, out);
+  } else if (const auto* p = std::get_if<BufferedStateMsg>(&msg.payload)) {
+    on_buffered_state(*p, out);
+  }
+}
+
+bool MobilityEngine::intercept_notification(ClientId client,
+                                            const Publication& pub) {
+  ClientStub* stub = find_client(client);
+  if (!stub) return true;  // stale routing straggler; swallow
+  stub->on_notification(pub);
+  return true;
+}
+
+// --- reconfiguration protocol ---------------------------------------------------
+
+void MobilityEngine::on_negotiate(const MoveNegotiateMsg& m, TxnId cause,
+                                  Outputs& out) {
+  // Admission control: the target may refuse the client (overload,
+  // authorization, ...), in which case the client stays at the source.
+  if (!cfg_.accept_clients || clients_.size() >= cfg_.max_hosted_clients ||
+      find_client(m.client) != nullptr) {
+    TargetMove tm;
+    tm.txn = m.txn;
+    tm.client = m.client;
+    tm.source = m.source;
+    tm.state = TargetCoordState::Abort;  // Fig. 4: init -> abort on reject
+    target_moves_.emplace(m.txn, std::move(tm));
+    MoveRejectMsg r;
+    r.txn = m.txn;
+    r.client = m.client;
+    r.reason = "admission refused";
+    broker_->send_unicast(m.source, std::move(r), cause, out);
+    return;
+  }
+
+  // Create the (inactive) client copy at the target.
+  auto stub = std::make_unique<ClientStub>(m.client);
+  stub->set_delivery_fn([this, id = m.client](const Publication& pub) {
+    if (delivery_) delivery_(id, pub, env_->now());
+  });
+  stub->create();
+  for (const auto& s : m.subs) stub->remember_subscription(s);
+  for (const auto& a : m.advs) stub->remember_advertisement(a);
+  stub->set_next_seq(m.next_seq);
+  clients_[m.client] = std::move(stub);
+
+  TargetMove tm;
+  tm.txn = m.txn;
+  tm.client = m.client;
+  tm.source = m.source;
+  tm.state = TargetCoordState::Prepare;
+  for (const auto& s : m.subs) tm.sub_ids.push_back(s.id);
+  for (const auto& a : m.advs) tm.adv_ids.push_back(a.id);
+
+  // Approve: install the shadow configuration here, then send it hop-by-hop
+  // towards the source (message (2) of Fig. 3).
+  MoveApproveMsg ap;
+  ap.txn = m.txn;
+  ap.client = m.client;
+  ap.source = m.source;
+  ap.target = broker_->id();
+  ap.subs = m.subs;
+  ap.advs = m.advs;
+  install_shadows(ap);
+
+  Message wire;
+  wire.id = broker_->next_message_id();
+  wire.cause = cause;
+  wire.unicast_dest = m.source;
+  wire.payload = std::move(ap);
+  out.emplace_back(broker_->overlay().next_hop(broker_->id(), m.source),
+                   std::move(wire));
+
+  if (cfg_.prepare_timeout > 0) arm_target_timer(tm, cfg_.prepare_timeout);
+  target_moves_.emplace(m.txn, std::move(tm));
+}
+
+void MobilityEngine::install_shadows(const MoveApproveMsg& m) {
+  const BrokerId self = broker_->id();
+  const Hop new_hop = (self == m.target)
+                          ? Hop::of_client(m.client)
+                          : toward(m.target);
+  for (const auto& s : m.subs) {
+    broker_->tables().install_sub_shadow(s, new_hop, m.txn);
+  }
+  for (const auto& a : m.advs) {
+    broker_->tables().install_adv_shadow(a, new_hop, m.txn);
+  }
+}
+
+void MobilityEngine::on_approve_hop(BrokerId from, const Message& msg,
+                                    Outputs& out) {
+  (void)from;
+  const auto& m = std::get<MoveApproveMsg>(msg.payload);
+  const BrokerId self = broker_->id();
+
+  if (self != m.source) {
+    install_shadows(m);
+    broker_->forward_unicast(msg, out);
+    return;
+  }
+
+  // Source coordinator.
+  auto it = source_moves_.find(m.txn);
+  if (it == source_moves_.end() ||
+      it->second.state != SourceCoordState::Wait) {
+    // The transaction was aborted here (e.g. negotiate timeout). Unwind the
+    // shadow configuration the approve installed along the path.
+    MoveAbortMsg ab;
+    ab.txn = m.txn;
+    ab.client = m.client;
+    ab.source = m.source;
+    ab.target = m.target;
+    for (const auto& s : m.subs) ab.sub_ids.push_back(s.id);
+    for (const auto& a : m.advs) ab.adv_ids.push_back(a.id);
+    broker_->send_unicast(m.target, std::move(ab), msg.cause, out);
+    return;
+  }
+  SourceMove& sm = it->second;
+  ++sm.timer_gen;  // cancel the negotiate timeout
+
+  install_shadows(m);
+
+  ClientStub* stub = find_client(m.client);
+  assert(stub);
+  stub->prepare_stop();
+
+  MoveStateMsg st;
+  st.txn = m.txn;
+  st.client = m.client;
+  st.source = m.source;
+  st.target = m.target;
+  st.queued_notifications = stub->take_buffer();
+  st.queued_commands = stub->take_commands();
+  for (const auto& s : m.subs) st.sub_ids.push_back(s.id);
+  for (const auto& a : m.advs) st.adv_ids.push_back(a.id);
+
+  // Commit at the source immediately: from this instant publications route
+  // towards the target, and anything that arrived earlier is in the buffer
+  // we just took.
+  commit_shadows_here(st, out);
+
+  sm.state = SourceCoordState::Prepare;
+  sm.pending_state = st;  // kept for idempotent retry on prepare timeout
+
+  Message wire;
+  wire.id = broker_->next_message_id();
+  wire.cause = msg.cause;
+  wire.unicast_dest = m.target;
+  wire.payload = std::move(st);
+  out.emplace_back(broker_->overlay().next_hop(self, m.target),
+                   std::move(wire));
+  if (cfg_.prepare_timeout > 0) arm_source_timer(sm, cfg_.prepare_timeout);
+}
+
+void MobilityEngine::commit_shadows_here(const MoveStateMsg& m, Outputs& out) {
+  const BrokerId self = broker_->id();
+  RoutingTables& rt = broker_->tables();
+  const bool at_source = (self == m.source);
+
+  for (const auto& id : m.sub_ids) {
+    SubEntry* e = rt.find_sub(id);
+    if (!e || e->shadow_txn != m.txn) continue;
+    rt.commit_shadow(id, m.txn);
+    // Post-move the subscription arrives from the target side, so it is no
+    // longer "forwarded" in that direction — and it now flows towards the
+    // source side instead.
+    e->forwarded_to.erase(e->lasthop);
+    if (!at_source) e->forwarded_to.insert(toward(m.source));
+  }
+  for (const auto& id : m.adv_ids) {
+    AdvEntry* e = rt.find_adv(id);
+    if (!e || e->shadow_txn != m.txn) continue;
+    rt.commit_adv_shadow(id, m.txn);
+    e->forwarded_to.erase(e->lasthop);
+    if (!at_source) e->forwarded_to.insert(toward(m.source));
+    // Sec. 4.4's three PRT cases: other clients' subscriptions must now be
+    // routed towards the advertisement's new position.
+    fix_prt_for_moved_adv(e->adv, m.target, m.txn, out);
+  }
+}
+
+void MobilityEngine::fix_prt_for_moved_adv(const Advertisement& adv,
+                                           BrokerId target, TxnId cause,
+                                           Outputs& out) {
+  const BrokerId self = broker_->id();
+  RoutingTables& rt = broker_->tables();
+  const Hop suc = (self == target) ? Hop::of_client(adv.id.client)
+                                   : toward(target);
+  const ClientId mover = adv.id.client;
+
+  // Collect first: case 2 erases entries while we iterate.
+  std::vector<SubscriptionId> intersecting;
+  for (const auto& [sid, s] : rt.prt()) {
+    if (s.shadow_only) continue;
+    if (sid.client == mover) continue;  // the mover's own subscriptions have
+                                        // their own shadow reconfiguration
+    if (s.sub.filter.intersects_advertisement(adv.filter)) {
+      intersecting.push_back(sid);
+    }
+  }
+
+  for (const auto& sid : intersecting) {
+    SubEntry* s = rt.find_sub(sid);
+    if (!s) continue;
+    if (s->lasthop == suc) {
+      // Case 2: the subscription came from the target direction; it is
+      // satisfied closer to the new publisher position. Drop it here unless
+      // some other advertisement still needs it.
+      bool needed = false;
+      for (const auto& [aid, a] : rt.srt()) {
+        if (aid != adv.id &&
+            s->sub.filter.intersects_advertisement(a.adv.filter)) {
+          needed = true;
+          break;
+        }
+      }
+      if (!needed) rt.erase_sub(sid);
+      continue;
+    }
+    // Cases 1 and 3: the subscription must reach the advertisement's new
+    // last hop if it has not been forwarded there already.
+    if (suc.is_broker() && !s->forwarded_to.contains(suc)) {
+      s->forwarded_to.insert(suc);
+      Message wire;
+      wire.id = broker_->next_message_id();
+      wire.cause = cause;
+      wire.payload = SubscribeMsg{s->sub};
+      out.emplace_back(suc.broker, std::move(wire));
+    }
+  }
+}
+
+void MobilityEngine::on_state_hop(BrokerId from, const Message& msg,
+                                  Outputs& out) {
+  (void)from;
+  const auto& m = std::get<MoveStateMsg>(msg.payload);
+  const BrokerId self = broker_->id();
+
+  commit_shadows_here(m, out);
+
+  if (self != m.target) {
+    broker_->forward_unicast(msg, out);
+    return;
+  }
+
+  // Target coordinator: hand-off complete; activate the client copy.
+  auto it = target_moves_.find(m.txn);
+  if (it == target_moves_.end()) return;  // duplicate state (retry); ignore
+  TargetMove& tm = it->second;
+  if (tm.state == TargetCoordState::Prepare) {
+    ++tm.timer_gen;
+    ClientStub* stub = find_client(m.client);
+    assert(stub);
+    stub->merge_notifications(m.queued_notifications);
+    stub->start();
+    for (const auto& cmd : m.queued_commands) stub->queue_command(cmd);
+    drain_commands(*stub, out);
+    tm.state = TargetCoordState::Commit;
+  }
+  MoveAckMsg ack;
+  ack.txn = m.txn;
+  ack.client = m.client;
+  broker_->send_unicast(m.source, std::move(ack), msg.cause, out);
+}
+
+void MobilityEngine::on_ack(const MoveAckMsg& m, Outputs& out) {
+  auto it = source_moves_.find(m.txn);
+  if (it == source_moves_.end() ||
+      it->second.state != SourceCoordState::Prepare) {
+    return;  // duplicate ack
+  }
+  SourceMove& sm = it->second;
+  ClientStub* stub = find_client(m.client);
+  if (stub) {
+    stub->clean();
+    clients_.erase(m.client);
+  }
+  finish_source_move(sm, /*committed=*/true, out);
+}
+
+void MobilityEngine::on_reject(const MoveRejectMsg& m, Outputs& out) {
+  auto it = source_moves_.find(m.txn);
+  if (it == source_moves_.end() || it->second.state != SourceCoordState::Wait) {
+    return;
+  }
+  SourceMove& sm = it->second;
+  ClientStub* stub = find_client(m.client);
+  if (stub) {
+    stub->resume_from_reject();
+    drain_commands(*stub, out);
+  }
+  finish_source_move(sm, /*committed=*/false, out);
+}
+
+void MobilityEngine::on_abort_hop(BrokerId from, const Message& msg,
+                                  Outputs& out) {
+  (void)from;
+  const auto& m = std::get<MoveAbortMsg>(msg.payload);
+  const BrokerId self = broker_->id();
+
+  abort_shadows_here(m);
+
+  if (msg.unicast_dest && *msg.unicast_dest != self) {
+    broker_->forward_unicast(msg, out);
+    return;
+  }
+
+  if (self == m.target) {
+    auto it = target_moves_.find(m.txn);
+    if (it != target_moves_.end() &&
+        it->second.state == TargetCoordState::Prepare) {
+      ++it->second.timer_gen;
+      it->second.state = TargetCoordState::Abort;
+      ClientStub* stub = find_client(m.client);
+      if (stub && stub->state() == ClientState::Created) {
+        stub->clean();
+        clients_.erase(m.client);
+      }
+    }
+  } else if (self == m.source) {
+    auto it = source_moves_.find(m.txn);
+    if (it != source_moves_.end() &&
+        (it->second.state == SourceCoordState::Wait ||
+         it->second.state == SourceCoordState::Prepare)) {
+      ClientStub* stub = find_client(m.client);
+      if (stub) {
+        stub->resume_from_abort();
+        drain_commands(*stub, out);
+      }
+      finish_source_move(it->second, /*committed=*/false, out);
+    }
+  }
+}
+
+void MobilityEngine::abort_shadows_here(const MoveAbortMsg& m) {
+  RoutingTables& rt = broker_->tables();
+  for (const auto& id : m.sub_ids) rt.abort_shadow(id, m.txn);
+  for (const auto& id : m.adv_ids) rt.abort_adv_shadow(id, m.txn);
+}
+
+void MobilityEngine::finish_source_move(SourceMove& sm, bool committed,
+                                        Outputs& out) {
+  (void)out;
+  ++sm.timer_gen;
+  sm.state = committed ? SourceCoordState::Commit : SourceCoordState::Abort;
+
+  MovementRecord rec;
+  rec.txn = sm.txn;
+  rec.client = sm.client;
+  rec.source = broker_->id();
+  rec.target = sm.target;
+  rec.start = sm.start;
+  rec.end = env_->now();
+  rec.committed = committed;
+  env_->movement_finished(rec);
+  if (move_cb_) move_cb_(rec);
+}
+
+// --- timeouts (non-blocking variant; requires the bounded-delay network
+// assumption the paper states for 3PC) ------------------------------------------
+
+void MobilityEngine::arm_source_timer(SourceMove& sm, double delay) {
+  const std::uint64_t gen = ++sm.timer_gen;
+  const TxnId txn = sm.txn;
+  const SourceCoordState expected = sm.state;
+  env_->schedule(delay, [this, txn, gen, expected] {
+    auto it = source_moves_.find(txn);
+    if (it == source_moves_.end() || it->second.timer_gen != gen) return;
+    if (it->second.state != expected) return;
+    source_timeout(txn, expected);
+  });
+}
+
+void MobilityEngine::source_timeout(TxnId txn, SourceCoordState expected) {
+  auto it = source_moves_.find(txn);
+  if (it == source_moves_.end()) return;
+  SourceMove& sm = it->second;
+  Outputs out;
+  if (expected == SourceCoordState::Wait) {
+    // Negotiate/approve lost or slow: abort; if an approve arrives later the
+    // source answers it with an abort that unwinds the shadow state.
+    ClientStub* stub = find_client(sm.client);
+    if (stub) {
+      stub->resume_from_abort();
+      drain_commands(*stub, out);
+    }
+    finish_source_move(sm, /*committed=*/false, out);
+  } else if (expected == SourceCoordState::Prepare && sm.pending_state) {
+    // Ack lost or slow: retransmit the (idempotent) state message.
+    Message wire;
+    wire.id = broker_->next_message_id();
+    wire.cause = sm.txn;
+    wire.unicast_dest = sm.target;
+    wire.payload = *sm.pending_state;
+    out.emplace_back(broker_->overlay().next_hop(broker_->id(), sm.target),
+                     std::move(wire));
+    arm_source_timer(sm, cfg_.prepare_timeout);
+  }
+  if (transmit_ && !out.empty()) transmit_(std::move(out));
+}
+
+void MobilityEngine::arm_target_timer(TargetMove& tm, double delay) {
+  const std::uint64_t gen = ++tm.timer_gen;
+  const TxnId txn = tm.txn;
+  env_->schedule(delay, [this, txn, gen] {
+    auto it = target_moves_.find(txn);
+    if (it == target_moves_.end() || it->second.timer_gen != gen) return;
+    if (it->second.state != TargetCoordState::Prepare) return;
+    target_timeout(txn);
+  });
+}
+
+void MobilityEngine::target_timeout(TxnId txn) {
+  auto it = target_moves_.find(txn);
+  if (it == target_moves_.end()) return;
+  TargetMove& tm = it->second;
+  Outputs out;
+
+  // Conservative resolution: abort towards the source, unwinding shadow
+  // state along the path. The client is never lost: its primary copy is
+  // still at the source.
+  tm.state = TargetCoordState::Abort;
+  ClientStub* stub = find_client(tm.client);
+  if (stub && stub->state() == ClientState::Created) {
+    stub->clean();
+    clients_.erase(tm.client);
+  }
+  MoveAbortMsg ab;
+  ab.txn = tm.txn;
+  ab.client = tm.client;
+  ab.source = tm.source;
+  ab.target = broker_->id();
+  ab.sub_ids = tm.sub_ids;
+  ab.adv_ids = tm.adv_ids;
+  abort_shadows_here(ab);
+  Message wire;
+  wire.id = broker_->next_message_id();
+  wire.cause = tm.txn;
+  wire.unicast_dest = tm.source;
+  wire.payload = std::move(ab);
+  out.emplace_back(broker_->overlay().next_hop(broker_->id(), tm.source),
+                   std::move(wire));
+  if (transmit_) transmit_(std::move(out));
+}
+
+// --- traditional (covering-based) protocol ---------------------------------------
+
+void MobilityEngine::on_trad_request(const TradMoveRequestMsg& m,
+                                     Outputs& out) {
+  if (!cfg_.accept_clients || clients_.size() >= cfg_.max_hosted_clients ||
+      find_client(m.client) != nullptr) {
+    TargetMove tm;
+    tm.txn = m.txn;
+    tm.client = m.client;
+    tm.source = m.source;
+    tm.state = TargetCoordState::Abort;
+    target_moves_.emplace(m.txn, std::move(tm));
+    TradRejectMsg r;
+    r.txn = m.txn;
+    r.client = m.client;
+    r.reason = "admission refused";
+    broker_->send_unicast(m.source, std::move(r), m.txn, out);
+    return;
+  }
+
+  auto stub = std::make_unique<ClientStub>(m.client);
+  stub->set_delivery_fn([this, id = m.client](const Publication& pub) {
+    if (delivery_) delivery_(id, pub, env_->now());
+  });
+  stub->create();
+  stub->set_next_seq(m.next_seq);
+  ClientStub& ref = *stub;
+  clients_[m.client] = std::move(stub);
+
+  TargetMove tm;
+  tm.txn = m.txn;
+  tm.client = m.client;
+  tm.source = m.source;
+  tm.state = TargetCoordState::Prepare;
+  target_moves_.emplace(m.txn, std::move(tm));
+
+  // Re-issue the client's profile as ordinary pub/sub operations with fresh
+  // incarnations — the end-to-end propagation (and, with covering enabled,
+  // its quench/retract cascades) is the cost the paper measures.
+  const Hop ch = Hop::of_client(m.client);
+  for (const auto& a : m.advs) {
+    Advertisement na{ref.allocate_id(), a.filter};
+    ref.remember_advertisement(na);
+    broker_->inject_advertise(ch, na, m.txn, out);
+  }
+  for (const auto& s : m.subs) {
+    Subscription ns{ref.allocate_id(), s.filter};
+    ref.remember_subscription(ns);
+    broker_->inject_subscribe(ch, ns, m.txn, out);
+  }
+
+  TradReadyMsg rdy;
+  rdy.txn = m.txn;
+  rdy.client = m.client;
+  broker_->send_unicast(m.source, std::move(rdy), m.txn, out);
+}
+
+void MobilityEngine::on_trad_ready(const TradReadyMsg& m, Outputs& out) {
+  auto it = source_moves_.find(m.txn);
+  if (it == source_moves_.end() || it->second.state != SourceCoordState::Wait) {
+    return;
+  }
+  SourceMove& sm = it->second;
+  ClientStub* stub = find_client(m.client);
+  assert(stub);
+
+  stub->prepare_stop();
+
+  // The old incarnations were already retracted when the movement started;
+  // ship the buffered notifications and dismantle the source copy.
+  BufferedStateMsg bs;
+  bs.txn = m.txn;
+  bs.client = m.client;
+  bs.queued_notifications = stub->take_buffer();
+  bs.queued_commands = stub->take_commands();
+  broker_->send_unicast(sm.target, std::move(bs), m.txn, out);
+
+  stub->clean();
+  clients_.erase(m.client);
+  sm.state = SourceCoordState::Prepare;
+
+  // The movement completes when every message it caused — including the
+  // covering cascade — has been processed network-wide.
+  const TxnId txn = m.txn;
+  env_->on_cause_drained(txn, [this, txn] {
+    auto sit = source_moves_.find(txn);
+    if (sit == source_moves_.end() ||
+        sit->second.state != SourceCoordState::Prepare) {
+      return;
+    }
+    Outputs none;
+    finish_source_move(sit->second, /*committed=*/true, none);
+  });
+}
+
+void MobilityEngine::on_trad_reject(const TradRejectMsg& m, Outputs& out) {
+  auto it = source_moves_.find(m.txn);
+  if (it == source_moves_.end() || it->second.state != SourceCoordState::Wait) {
+    return;
+  }
+  ClientStub* stub = find_client(m.client);
+  if (stub) {
+    // The source already retracted the client's profile when the movement
+    // started; the end-to-end protocol must re-issue everything to undo.
+    const Hop ch = client_hop(m.client);
+    for (const auto& a : stub->advertisements()) {
+      broker_->inject_advertise(ch, a, m.txn, out);
+    }
+    for (const auto& s : stub->subscriptions()) {
+      broker_->inject_subscribe(ch, s, m.txn, out);
+    }
+    stub->resume_from_reject();
+    drain_commands(*stub, out);
+  }
+  finish_source_move(it->second, /*committed=*/false, out);
+}
+
+void MobilityEngine::on_buffered_state(const BufferedStateMsg& m,
+                                       Outputs& out) {
+  auto it = target_moves_.find(m.txn);
+  if (it == target_moves_.end() ||
+      it->second.state != TargetCoordState::Prepare) {
+    return;
+  }
+  TargetMove& tm = it->second;
+  ClientStub* stub = find_client(m.client);
+  if (!stub) return;
+  stub->merge_notifications(m.queued_notifications);
+  stub->start();
+  for (const auto& cmd : m.queued_commands) stub->queue_command(cmd);
+  drain_commands(*stub, out);
+  tm.state = TargetCoordState::Commit;
+}
+
+// --- introspection ---------------------------------------------------------------
+
+std::optional<SourceCoordState> MobilityEngine::source_state(TxnId txn) const {
+  auto it = source_moves_.find(txn);
+  if (it == source_moves_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+std::optional<TargetCoordState> MobilityEngine::target_state(TxnId txn) const {
+  auto it = target_moves_.find(txn);
+  if (it == target_moves_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+}  // namespace tmps

@@ -1,0 +1,205 @@
+// The mobile container attached to each broker (Sec. 4.1): hosts client
+// stubs and runs the movement protocols.
+//
+// Two protocols are implemented:
+//
+//  * Reconfiguration (the paper's contribution, Sec. 4.2-4.4): a 3PC-style
+//    conversation between source and target coordinators — negotiate /
+//    approve / reject / state / ack (Fig. 3) — in which the `approve`
+//    message installs the post-move (shadow) routing configuration hop-by-
+//    hop from target to source and the `state` message commits it hop-by-hop
+//    from source to target. Movement cost is proportional to the path
+//    length, independent of covering structure.
+//
+//  * Traditional (the covering-based baseline, Sec. 2/4.4): the target
+//    re-issues the client's subscriptions/advertisements as ordinary pub/sub
+//    operations (fresh incarnations) and the source then unsubscribes/
+//    unadvertises the old ones — both of which trigger end-to-end
+//    propagation and, with covering enabled, quench/retract/un-quench
+//    cascades.
+//
+// The engine is the broker's ControlHandler: it processes movement messages
+// (including their hop-by-hop legs) and intercepts notifications destined
+// for hosted clients so paused/moving clients buffer instead of receiving.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "broker/broker.h"
+#include "core/client_stub.h"
+#include "sim/runtime_env.h"
+
+namespace tmps {
+
+enum class MobilityProtocol { Reconfiguration, Traditional };
+
+const char* to_string(MobilityProtocol p);
+
+/// Source-coordinator states (Fig. 4). Abort/Commit are terminal.
+enum class SourceCoordState { Init, Wait, Prepare, Abort, Commit };
+/// Target-coordinator states (Fig. 4).
+enum class TargetCoordState { Init, Prepare, Abort, Commit };
+
+const char* to_string(SourceCoordState s);
+const char* to_string(TargetCoordState s);
+
+struct MobilityConfig {
+  MobilityProtocol protocol = MobilityProtocol::Reconfiguration;
+  /// Target-side admission: refuse incoming clients (tests the reject path).
+  bool accept_clients = true;
+  /// Refuse incoming clients beyond this many hosted ones.
+  std::size_t max_hosted_clients = static_cast<std::size_t>(-1);
+  /// Source coordinator timeout awaiting approve/reject (wait state); 0
+  /// disables (blocking variant, for unbounded-delay networks).
+  double negotiate_timeout = 0;
+  /// Coordinator timeout in prepare states; 0 disables (blocking variant).
+  double prepare_timeout = 0;
+};
+
+class MobilityEngine final : public ControlHandler {
+ public:
+  using Outputs = Broker::Outputs;
+  /// Application-level delivery observer: (client, publication, time).
+  using DeliverySink =
+      std::function<void(ClientId, const Publication&, SimTime)>;
+  /// Movement-completion observer (fires at the broker where the movement
+  /// resolves: source on commit/reject, target on traditional completion).
+  using MoveCallback = std::function<void(const MovementRecord&)>;
+
+  MobilityEngine(Broker& broker, RuntimeEnv& env, MobilityConfig cfg = {});
+
+  Broker& broker() { return *broker_; }
+  const MobilityConfig& config() const { return cfg_; }
+  /// Runtime-adjustable knobs (admission control, timeouts) for tests and
+  /// adaptive deployments.
+  MobilityConfig& mutable_config() { return cfg_; }
+  BrokerId broker_id() const;
+
+  /// How the engine emits messages outside a broker processing context
+  /// (timer callbacks). Must be set before timeouts are enabled.
+  void set_transmit(std::function<void(Outputs)> fn) {
+    transmit_ = std::move(fn);
+  }
+
+  /// Hands messages to the configured transmit hook (used by client facades
+  /// driving the engine from outside a processing context).
+  void emit(Outputs out) {
+    if (transmit_ && !out.empty()) transmit_(std::move(out));
+  }
+  void set_delivery_sink(DeliverySink sink) { delivery_ = std::move(sink); }
+  void set_move_callback(MoveCallback cb) { move_cb_ = std::move(cb); }
+
+  // --- client hosting & operations -----------------------------------------
+
+  /// Creates and starts a stationary client at this broker.
+  ClientStub& connect_client(ClientId id);
+  ClientStub* find_client(ClientId id);
+  const ClientStub* find_client(ClientId id) const;
+  std::size_t hosted_clients() const { return clients_.size(); }
+
+  /// Issues a subscription/advertisement for a hosted client. Returns the
+  /// assigned id; messages to transmit are appended to `out`.
+  SubscriptionId subscribe(ClientId client, const Filter& f, Outputs& out);
+  AdvertisementId advertise(ClientId client, const Filter& f, Outputs& out);
+  void unsubscribe(ClientId client, const SubscriptionId& id, Outputs& out);
+  void unadvertise(ClientId client, const AdvertisementId& id, Outputs& out);
+
+  /// Publishes on behalf of a client. While the client cannot publish
+  /// (paused or moving) the command is queued and replayed on resume,
+  /// as the stub layer must "queue commands from the application".
+  void publish(ClientId client, Publication pub, Outputs& out);
+
+  /// Starts a movement transaction for a hosted client towards `target`.
+  /// Returns the transaction id, or kNoTxn if the client cannot move
+  /// (unknown, already moving, or target==this broker).
+  TxnId initiate_move(ClientId client, BrokerId target, Outputs& out);
+
+  // --- ControlHandler --------------------------------------------------------
+
+  void on_control(BrokerId from, const Message& msg,
+                  std::vector<std::pair<BrokerId, Message>>& out) override;
+  bool intercept_notification(ClientId client, const Publication& pub) override;
+
+  // --- introspection (tests, global-state-graph checks) ---------------------
+
+  std::optional<SourceCoordState> source_state(TxnId txn) const;
+  std::optional<TargetCoordState> target_state(TxnId txn) const;
+  bool has_active_transactions() const {
+    return !source_moves_.empty() || !target_moves_.empty();
+  }
+
+ private:
+  struct SourceMove {
+    TxnId txn = kNoTxn;
+    ClientId client = kNoClient;
+    BrokerId target = kNoBroker;
+    SimTime start = 0;
+    SourceCoordState state = SourceCoordState::Init;
+    MobilityProtocol protocol = MobilityProtocol::Reconfiguration;
+    std::uint64_t timer_gen = 0;
+    /// Copy of the state message for idempotent retry on prepare timeout.
+    std::optional<MoveStateMsg> pending_state;
+  };
+  struct TargetMove {
+    TxnId txn = kNoTxn;
+    ClientId client = kNoClient;
+    BrokerId source = kNoBroker;
+    TargetCoordState state = TargetCoordState::Init;
+    std::vector<SubscriptionId> sub_ids;
+    std::vector<AdvertisementId> adv_ids;
+    std::uint64_t timer_gen = 0;
+  };
+
+  // Reconfiguration-protocol handlers.
+  void on_negotiate(const MoveNegotiateMsg& m, TxnId cause, Outputs& out);
+  void on_approve_hop(BrokerId from, const Message& msg, Outputs& out);
+  void on_reject(const MoveRejectMsg& m, Outputs& out);
+  void on_state_hop(BrokerId from, const Message& msg, Outputs& out);
+  void on_ack(const MoveAckMsg& m, Outputs& out);
+  void on_abort_hop(BrokerId from, const Message& msg, Outputs& out);
+
+  // Traditional-protocol handlers.
+  void on_trad_request(const TradMoveRequestMsg& m, Outputs& out);
+  void on_trad_ready(const TradReadyMsg& m, Outputs& out);
+  void on_trad_reject(const TradRejectMsg& m, Outputs& out);
+  void on_buffered_state(const BufferedStateMsg& m, Outputs& out);
+
+  // Hop-by-hop routing reconfiguration (Sec. 4.4).
+  void install_shadows(const MoveApproveMsg& m);
+  void commit_shadows_here(const MoveStateMsg& m, Outputs& out);
+  void abort_shadows_here(const MoveAbortMsg& m);
+  /// Applies the paper's three PRT cases after a moved advertisement's
+  /// configuration commits at this broker.
+  void fix_prt_for_moved_adv(const Advertisement& adv, BrokerId target,
+                             TxnId cause, Outputs& out);
+
+  void finish_source_move(SourceMove& m, bool committed, Outputs& out);
+  void source_timeout(TxnId txn, SourceCoordState expected);
+  void target_timeout(TxnId txn);
+  void arm_source_timer(SourceMove& m, double delay);
+  void arm_target_timer(TargetMove& m, double delay);
+
+  /// Replays publish commands a client queued while it could not publish.
+  void drain_commands(ClientStub& stub, Outputs& out);
+
+  TxnId next_txn_id();
+  Hop client_hop(ClientId c) const { return Hop::of_client(c); }
+  Hop toward(BrokerId other) const;
+
+  Broker* broker_;
+  RuntimeEnv* env_;
+  MobilityConfig cfg_;
+  std::function<void(Outputs)> transmit_;
+  DeliverySink delivery_;
+  MoveCallback move_cb_;
+  std::map<ClientId, std::unique_ptr<ClientStub>> clients_;
+  std::map<TxnId, SourceMove> source_moves_;
+  std::map<TxnId, TargetMove> target_moves_;
+  std::uint64_t txn_seq_ = 0;
+};
+
+}  // namespace tmps

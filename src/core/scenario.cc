@@ -1,0 +1,236 @@
+#include "core/scenario.h"
+
+#include <cassert>
+
+namespace tmps {
+
+Scenario::Scenario(ScenarioConfig cfg)
+    : cfg_(std::move(cfg)),
+      overlay_(cfg_.overlay ? *cfg_.overlay : Overlay::paper_default()),
+      rng_(cfg_.seed) {
+  assert(!cfg_.move_pairs.empty());
+}
+
+Scenario::~Scenario() = default;
+
+Filter Scenario::filter_of(std::uint32_t k) const {
+  if (cfg_.filter_override) return cfg_.filter_override(k);
+  const int member = static_cast<int>(k % 10) + 1;  // subscription number
+  const auto family = static_cast<std::int64_t>(k / 10);
+  return workload_filter_at(cfg_.workload, member, family, cfg_.seed + k / 10);
+}
+
+bool Scenario::is_mover(std::uint32_t k) const {
+  if (cfg_.mover_override) return cfg_.mover_override(k);
+  return k < cfg_.moving_clients;
+}
+
+const std::pair<BrokerId, BrokerId>& Scenario::pair_of(
+    std::uint32_t k) const {
+  // Odd-numbered subscriptions (member = k%10+1 odd) use the first pair,
+  // even-numbered the second — the Fig. 8 assignment.
+  const std::size_t idx = (k % 10) % 2;
+  return cfg_.move_pairs[idx % cfg_.move_pairs.size()];
+}
+
+BrokerId Scenario::other_end(std::uint32_t k, BrokerId at) const {
+  const auto& p = pair_of(k);
+  return at == p.first ? p.second : p.first;
+}
+
+void Scenario::build() {
+  net_ = std::make_unique<SimNetwork>(overlay_, cfg_.broker, cfg_.net);
+
+  for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
+    auto engine =
+        std::make_unique<MobilityEngine>(net_->broker(b), *net_, cfg_.mobility);
+    engine->set_transmit(
+        [this, b](Broker::Outputs out) { net_->transmit(b, std::move(out)); });
+    engine->set_delivery_sink(
+        [this](ClientId c, const Publication& pub, SimTime) {
+          ++audit_.delivered;
+          if (!seen_[c].insert(pub.id()).second) ++audit_.duplicates;
+          stats().count_delivery(c);
+        });
+    engine->set_move_callback(
+        [this](const MovementRecord& rec) { on_movement(rec); });
+    engines_[b] = engine.get();
+    engines_by_index_.push_back(std::move(engine));
+  }
+}
+
+void Scenario::publish_tick(BrokerId b, ClientId id) {
+  MobilityEngine& eng = *engines_[b];
+  std::uniform_int_distribution<std::int64_t> x(kSpaceLo, kSpaceHi);
+  const auto groups = static_cast<std::int64_t>((cfg_.total_clients + 9) / 10);
+  std::uniform_int_distribution<std::int64_t> g(0,
+                                                groups > 0 ? groups - 1 : 0);
+  Publication pub = make_publication({id, ++pub_seq_}, x(rng_), g(rng_));
+  published_.push_back(pub);
+  Broker::Outputs out;
+  eng.publish(id, std::move(pub), out);
+  net_->transmit(b, std::move(out));
+  if (net_->now() + cfg_.publish_interval < cfg_.duration) {
+    net_->events().schedule_in(cfg_.publish_interval,
+                               [this, b, id] { publish_tick(b, id); });
+  }
+}
+
+void Scenario::account_losses() {
+  // Stationary subscribers (no movement, no churn of their own unless
+  // churn is enabled — then skip the audit, re-subscription windows blur
+  // entitlement) must receive every matching publication issued after
+  // their join settled.
+  if (cfg_.background_churn_interval > 0) return;
+  for (std::uint32_t k = 0; k < cfg_.total_clients; ++k) {
+    const bool mover = is_mover(k);
+    if (mover && cfg_.movers_are_publishers) continue;  // no subscription
+    const ClientId id = subscriber_id(k);
+    const Filter f = filter_of(k);
+    const auto seen = seen_.find(id);
+    for (const auto& pub : published_) {
+      if (pub.id().seq <= settle_seq_) continue;
+      if (!f.matches(pub)) continue;
+      auto& expected =
+          mover ? audit_.mover_expected : audit_.stationary_expected;
+      auto& losses = mover ? audit_.mover_losses : audit_.stationary_losses;
+      ++expected;
+      if (seen == seen_.end() || !seen->second.contains(pub.id())) {
+        ++losses;
+      }
+    }
+  }
+}
+
+void Scenario::schedule_publishers() {
+  for (std::uint32_t p = 0; p < cfg_.publisher_brokers.size(); ++p) {
+    const BrokerId b = cfg_.publisher_brokers[p];
+    const ClientId id = publisher_id(p);
+    // Advertisements go out first so joining subscriptions have somewhere to
+    // route towards.
+    net_->events().schedule_at(0.001 + 0.001 * p, [this, b, id] {
+      MobilityEngine& eng = *engines_[b];
+      eng.connect_client(id);
+      Broker::Outputs out;
+      eng.advertise(id, full_space_advertisement(), out);
+      net_->transmit(b, std::move(out));
+    });
+    if (cfg_.publish_interval > 0) {
+      const double first =
+          cfg_.join_window + cfg_.publish_interval * (p + 1) /
+                                 (cfg_.publisher_brokers.size() + 1.0);
+      net_->events().schedule_at(first, [this, b, id] { publish_tick(b, id); });
+    }
+  }
+}
+
+void Scenario::churn_tick(BrokerId b, ClientId id, Filter f) {
+  MobilityEngine& eng = *engines_[b];
+  ClientStub* stub = eng.find_client(id);
+  if (stub) {
+    Broker::Outputs out;
+    // Retract the current incarnation, re-subscribe a fresh one: the
+    // "background pub/sub activity" of the paper's conclusions.
+    for (const auto& s : std::vector<Subscription>(stub->subscriptions())) {
+      eng.unsubscribe(id, s.id, out);
+    }
+    eng.subscribe(id, f, out);
+    net_->transmit(b, std::move(out));
+  }
+  if (net_->now() + cfg_.background_churn_interval < cfg_.duration) {
+    net_->events().schedule_in(
+        cfg_.background_churn_interval,
+        [this, b, id, f] { churn_tick(b, id, f); });
+  }
+}
+
+void Scenario::schedule_joins() {
+  std::uniform_real_distribution<double> jitter(0.0, cfg_.join_window);
+  std::uniform_real_distribution<double> churn_stagger(
+      0.0, std::max(cfg_.background_churn_interval, 1e-9));
+  for (std::uint32_t k = 0; k < cfg_.total_clients; ++k) {
+    const BrokerId home = pair_of(k).first;
+    const double at = 0.05 + jitter(rng_);
+    const ClientId id = subscriber_id(k);
+    const Filter f = filter_of(k);
+    const bool mover = is_mover(k);
+    const double churn_at =
+        cfg_.background_churn_interval > 0 && !mover
+            ? cfg_.join_window + churn_stagger(rng_)
+            : -1.0;
+    net_->events().schedule_at(at, [this, home, id, f, k, mover, churn_at] {
+      MobilityEngine& eng = *engines_[home];
+      eng.connect_client(id);
+      Broker::Outputs out;
+      if (mover && cfg_.movers_are_publishers) {
+        eng.advertise(id, f, out);
+      } else {
+        eng.subscribe(id, f, out);
+      }
+      net_->transmit(home, std::move(out));
+      if (mover) {
+        mover_index_[id] = k;
+        schedule_move(k, home, other_end(k, home),
+                      net_->now() + cfg_.pause_between_moves);
+      } else if (churn_at > 0) {
+        net_->events().schedule_at(
+            churn_at, [this, home, id, f] { churn_tick(home, id, f); });
+      }
+    });
+  }
+}
+
+void Scenario::schedule_move(std::uint32_t k, BrokerId from, BrokerId to,
+                             double when) {
+  if (when >= cfg_.duration) return;
+  const ClientId id = subscriber_id(k);
+  net_->events().schedule_at(when, [this, id, from, to] {
+    MobilityEngine& eng = *engines_[from];
+    if (!eng.find_client(id)) return;
+    Broker::Outputs out;
+    eng.initiate_move(id, to, out);
+    net_->transmit(from, std::move(out));
+  });
+}
+
+void Scenario::on_movement(const MovementRecord& rec) {
+  auto it = mover_index_.find(rec.client);
+  if (it == mover_index_.end()) return;
+  const std::uint32_t k = it->second;
+  const BrokerId at = rec.committed ? rec.target : rec.source;
+  schedule_move(k, at, other_end(k, at),
+                net_->now() + cfg_.pause_between_moves);
+}
+
+void Scenario::run() {
+  build();
+  schedule_publishers();
+  schedule_joins();
+  // Publications before this point may legitimately race join propagation;
+  // everything later is audited for stationary loss.
+  net_->events().schedule_at(cfg_.join_window + 2.0,
+                             [this] { settle_seq_ = pub_seq_; });
+  net_->run_until(cfg_.duration);
+  // Drain in-flight traffic (no new work is scheduled past `duration`) so
+  // the loss audit does not count undelivered-yet publications.
+  net_->run();
+  account_losses();
+}
+
+Summary Scenario::latency() const {
+  return net_->stats().latency_summary(cfg_.warmup, cfg_.duration);
+}
+
+double Scenario::messages_per_movement() const {
+  return net_->stats().messages_per_movement(cfg_.warmup, cfg_.duration);
+}
+
+std::uint64_t Scenario::movements() const {
+  return net_->stats().committed_movements(cfg_.warmup, cfg_.duration);
+}
+
+const std::vector<MovementRecord>& Scenario::movement_records() const {
+  return net_->stats().movements();
+}
+
+}  // namespace tmps

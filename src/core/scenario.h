@@ -1,0 +1,165 @@
+// Experiment driver: wires an overlay, simulated network, mobility engines,
+// publishers and subscriber populations into the movement scenarios of the
+// paper's evaluation (Sec. 5), and exposes the metrics its figures plot.
+//
+// Population model (matching the paper's description):
+//  * subscribers connect to the ends of "move pairs" (default: brokers 1 and
+//    2, moving to 13 and 14 respectively; Fig. 6 topology);
+//  * each group of 10 subscribers forms an independent covering family drawn
+//    from the configured Fig. 7 workload — subscription number i of a family
+//    is held by one client; odd-numbered subscriptions sit on the first move
+//    pair, even-numbered on the second (as in Fig. 8);
+//  * stationary publishers at the leaf brokers advertise the full content
+//    space and publish periodically (background pub/sub activity);
+//  * moving clients pause at each broker (default 10 s) and move back and
+//    forth between the ends of their pair.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mobility_engine.h"
+#include "pubsub/workload.h"
+#include "sim/network.h"
+
+namespace tmps {
+
+struct ScenarioConfig {
+  // Network.
+  std::optional<Overlay> overlay;  // default: Overlay::paper_default()
+  BrokerConfig broker;
+  NetworkProfile net = NetworkProfile::lan();
+  MobilityConfig mobility;
+
+  // Subscriber population.
+  WorkloadKind workload = WorkloadKind::Covered;
+  std::uint32_t total_clients = 400;
+  /// Only the first `moving_clients` clients move; the rest are stationary.
+  std::uint32_t moving_clients = static_cast<std::uint32_t>(-1);
+  std::vector<std::pair<BrokerId, BrokerId>> move_pairs = {{1, 13}, {2, 14}};
+  double pause_between_moves = 10.0;
+  double join_window = 5.0;
+
+  /// Moving clients are *publishers* (they advertise their family filter
+  /// instead of subscribing): exercises the advertisement-reconfiguration
+  /// machinery of Sec. 4.4 at scale. Stationary clients still subscribe.
+  bool movers_are_publishers = false;
+
+  /// Overrides the filter of client k (0-based); default is the family
+  /// workload assignment described above.
+  std::function<Filter(std::uint32_t)> filter_override;
+  /// Overrides which clients move: return true if client k moves. Takes
+  /// precedence over `moving_clients`.
+  std::function<bool(std::uint32_t)> mover_override;
+
+  // Publishers.
+  std::vector<BrokerId> publisher_brokers = {6, 7, 10, 11};
+  /// Seconds between publications per publisher; 0 disables publishing.
+  double publish_interval = 1.0;
+
+  /// Background pub/sub activity by *stationary* clients (the paper's
+  /// conclusion: "unsubscriptions by non-mobile clients hardly affect the
+  /// performance of the reconfiguration protocol"): every stationary client
+  /// unsubscribes and re-subscribes (fresh incarnation) at this period.
+  /// 0 disables churn.
+  double background_churn_interval = 0.0;
+
+  // Schedule.
+  double duration = 200.0;
+  /// Movements starting before this time are excluded from summaries (the
+  /// paper ignores the join/setup phase).
+  double warmup = 40.0;
+  std::uint64_t seed = 1;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Builds the system and runs the schedule until `cfg.duration`.
+  void run();
+
+  SimNetwork& net() { return *net_; }
+  Stats& stats() { return net_->stats(); }
+  MobilityEngine& engine(BrokerId b) { return *engines_[b]; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+  /// Client ids are 1000 + k for subscriber k, 1 + p for publisher p.
+  static ClientId subscriber_id(std::uint32_t k) { return 1000 + k; }
+  static ClientId publisher_id(std::uint32_t p) { return 1 + p; }
+
+  // --- result series (the quantities the paper's figures plot) -------------
+
+  /// Committed-movement latency over the steady-state window.
+  Summary latency() const;
+  /// Mean messages per committed movement in the window.
+  double messages_per_movement() const;
+  /// Committed movements in the window.
+  std::uint64_t movements() const;
+  /// All movement records (for scatter plots like Fig. 8).
+  const std::vector<MovementRecord>& movement_records() const;
+
+  // --- delivery audit --------------------------------------------------------
+
+  struct Audit {
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;  // same publication twice to one client
+    /// Matching publications never delivered to *stationary* subscribers
+    /// (computed at the end of run()). Stationary clients are entitled to
+    /// every match: any loss here is collateral damage from other clients'
+    /// movements — the transient inconsistency of the traditional protocol.
+    std::uint64_t stationary_losses = 0;
+    /// Matching (stationary client, publication) pairs checked.
+    std::uint64_t stationary_expected = 0;
+    /// Matching publications never delivered to *moving* subscribers — the
+    /// traditional protocol's hand-off window loses these; the
+    /// reconfiguration protocol guarantees zero (Sec. 3.4 consistency).
+    std::uint64_t mover_losses = 0;
+    std::uint64_t mover_expected = 0;
+  };
+  const Audit& audit() const { return audit_; }
+
+  /// The filter assigned to client k (for tests).
+  Filter filter_of(std::uint32_t k) const;
+  /// Whether client k is a mover.
+  bool is_mover(std::uint32_t k) const;
+
+ private:
+  void build();
+  void schedule_joins();
+  void schedule_publishers();
+  void publish_tick(BrokerId b, ClientId id);
+  void churn_tick(BrokerId b, ClientId id, Filter f);
+  void schedule_move(std::uint32_t k, BrokerId from, BrokerId to,
+                     double when);
+  void on_movement(const MovementRecord& rec);
+  void account_losses();
+  const std::pair<BrokerId, BrokerId>& pair_of(std::uint32_t k) const;
+  BrokerId other_end(std::uint32_t k, BrokerId at) const;
+
+  ScenarioConfig cfg_;
+  Overlay overlay_;
+  std::unique_ptr<SimNetwork> net_;
+  std::vector<std::unique_ptr<MobilityEngine>> engines_by_index_;
+  std::map<BrokerId, MobilityEngine*> engines_;
+  std::unordered_map<ClientId, std::uint32_t> mover_index_;
+  Audit audit_;
+  std::unordered_map<ClientId, std::unordered_set<PublicationId>> seen_;
+  std::mt19937_64 rng_;
+  std::uint32_t pub_seq_ = 0;
+  /// Publications issued after this sequence number are audited for loss
+  /// (earlier ones may legitimately race subscription propagation at join).
+  std::uint32_t settle_seq_ = 0;
+  std::vector<Publication> published_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,58 @@
+#include "failure/failure_injector.h"
+
+namespace tmps {
+
+std::string FailureInjector::Event::to_string() const {
+  std::string s = is_link ? "link " + std::to_string(broker) + "-" +
+                                std::to_string(peer)
+                          : "broker " + std::to_string(broker);
+  return s + " down at " + std::to_string(at) + " for " +
+         std::to_string(duration) + "s";
+}
+
+FailureInjector::FailureInjector(SimNetwork& net, FailurePlan plan)
+    : net_(&net), plan_(plan), rng_(plan.seed) {}
+
+void FailureInjector::schedule_until(SimTime horizon) {
+  const auto& overlay = net_->overlay();
+  std::exponential_distribution<double> broker_down(
+      1.0 / plan_.broker_downtime_mean);
+  std::exponential_distribution<double> link_down(
+      1.0 / plan_.link_downtime_mean);
+  std::uniform_int_distribution<BrokerId> pick_broker(1,
+                                                      overlay.broker_count());
+  std::uniform_int_distribution<std::size_t> pick_edge(
+      0, overlay.edges().size() - 1);
+
+  if (plan_.broker_crash_rate > 0) {
+    std::exponential_distribution<double> gap(plan_.broker_crash_rate);
+    for (double t = net_->now() + gap(rng_); t < horizon; t += gap(rng_)) {
+      crash_broker_at(pick_broker(rng_), t, broker_down(rng_));
+    }
+  }
+  if (plan_.link_failure_rate > 0 && !overlay.edges().empty()) {
+    std::exponential_distribution<double> gap(plan_.link_failure_rate);
+    for (double t = net_->now() + gap(rng_); t < horizon; t += gap(rng_)) {
+      const auto& [a, b] = overlay.edges()[pick_edge(rng_)];
+      fail_link_at(a, b, t, link_down(rng_));
+    }
+  }
+}
+
+void FailureInjector::crash_broker_at(BrokerId b, SimTime at,
+                                      double duration) {
+  log_.push_back(Event{at, duration, false, b, kNoBroker});
+  net_->events().schedule_at(at, [this, b, duration] {
+    net_->pause_broker(b, duration);
+  });
+}
+
+void FailureInjector::fail_link_at(BrokerId a, BrokerId b, SimTime at,
+                                   double duration) {
+  log_.push_back(Event{at, duration, true, a, b});
+  net_->events().schedule_at(at, [this, a, b, duration] {
+    net_->pause_link(a, b, duration);
+  });
+}
+
+}  // namespace tmps

@@ -1,0 +1,63 @@
+// Failure injection for the simulated network, following the paper's fault
+// model (Sec. 3.5/4.1): broker crashes and link failures are *masked* by
+// persistence and retransmission — messages are delayed, never lost — so a
+// failure appears as a pause of the affected component.
+//
+// The injector pre-schedules a randomized failure plan onto the simulation's
+// event queue; property tests then assert that the transactional guarantees
+// hold regardless.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace tmps {
+
+struct FailurePlan {
+  /// Expected broker crashes per second, network-wide (Poisson).
+  double broker_crash_rate = 0.0;
+  /// Mean broker recovery time (exponential).
+  double broker_downtime_mean = 1.0;
+  /// Expected link failures per second, network-wide (Poisson).
+  double link_failure_rate = 0.0;
+  /// Mean link repair time (exponential).
+  double link_downtime_mean = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class FailureInjector {
+ public:
+  struct Event {
+    double at = 0;
+    double duration = 0;
+    bool is_link = false;
+    BrokerId broker = kNoBroker;  // crashed broker, or one link endpoint
+    BrokerId peer = kNoBroker;    // other link endpoint (links only)
+
+    std::string to_string() const;
+  };
+
+  FailureInjector(SimNetwork& net, FailurePlan plan);
+
+  /// Draws and schedules all failures occurring before `horizon` (absolute
+  /// simulation time). Call before (or during) the run.
+  void schedule_until(SimTime horizon);
+
+  /// Pauses one specific broker at `at` for `duration` (deterministic
+  /// injection for targeted tests).
+  void crash_broker_at(BrokerId b, SimTime at, double duration);
+  void fail_link_at(BrokerId a, BrokerId b, SimTime at, double duration);
+
+  const std::vector<Event>& log() const { return log_; }
+
+ private:
+  SimNetwork* net_;
+  FailurePlan plan_;
+  std::mt19937_64 rng_;
+  std::vector<Event> log_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,512 @@
+#include "pubsub/codec.h"
+
+#include <cstring>
+
+namespace tmps {
+
+namespace {
+
+// Sanity bounds: decoding never allocates absurd amounts for hostile input.
+constexpr std::uint32_t kMaxString = 1 << 20;
+constexpr std::uint32_t kMaxList = 1 << 16;
+
+enum class PayloadTag : std::uint8_t {
+  Advertise = 1,
+  Unadvertise = 2,
+  Subscribe = 3,
+  Unsubscribe = 4,
+  Publish = 5,
+  MoveNegotiate = 6,
+  MoveApprove = 7,
+  MoveReject = 8,
+  MoveState = 9,
+  MoveAck = 10,
+  MoveAbort = 11,
+  BufferedState = 12,
+  TradMoveRequest = 13,
+  TradReady = 14,
+  TradReject = 15,
+};
+
+}  // namespace
+
+// --- Writer / Reader -----------------------------------------------------------
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+bool Reader::take(void* out, std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool Reader::u8(std::uint8_t& v) { return take(&v, 1); }
+
+bool Reader::u32(std::uint32_t& v) {
+  unsigned char b[4];
+  if (!take(b, 4)) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+bool Reader::u64(std::uint64_t& v) {
+  unsigned char b[8];
+  if (!take(b, 8)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+bool Reader::i64(std::int64_t& v) {
+  std::uint64_t u;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool Reader::f64(double& v) {
+  std::uint64_t bits;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool Reader::str(std::string& s) {
+  std::uint32_t len;
+  if (!u32(len)) return false;
+  if (len > kMaxString || data_.size() - pos_ < len) {
+    ok_ = false;
+    return false;
+  }
+  s.assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+// --- building blocks -------------------------------------------------------------
+
+void encode(Writer& w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Int:
+      w.u8(0);
+      w.i64(v.as_int());
+      break;
+    case Value::Kind::Real:
+      w.u8(1);
+      w.f64(v.as_real());
+      break;
+    case Value::Kind::String:
+      w.u8(2);
+      w.str(v.as_string());
+      break;
+  }
+}
+
+bool decode(Reader& r, Value& v) {
+  std::uint8_t kind;
+  if (!r.u8(kind)) return false;
+  switch (kind) {
+    case 0: {
+      std::int64_t x;
+      if (!r.i64(x)) return false;
+      v = Value{x};
+      return true;
+    }
+    case 1: {
+      double x;
+      if (!r.f64(x)) return false;
+      v = Value{x};
+      return true;
+    }
+    case 2: {
+      std::string s;
+      if (!r.str(s)) return false;
+      v = Value{std::move(s)};
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void encode(Writer& w, const Predicate& p) {
+  w.str(p.attr);
+  w.u8(static_cast<std::uint8_t>(p.op));
+  encode(w, p.value);
+}
+
+bool decode(Reader& r, Predicate& p) {
+  std::uint8_t op;
+  if (!r.str(p.attr) || !r.u8(op)) return false;
+  if (op > static_cast<std::uint8_t>(Op::kPrefix)) return false;
+  p.op = static_cast<Op>(op);
+  return decode(r, p.value);
+}
+
+void encode(Writer& w, const Filter& f) {
+  w.u32(static_cast<std::uint32_t>(f.predicates().size()));
+  for (const auto& p : f.predicates()) encode(w, p);
+}
+
+bool decode(Reader& r, Filter& f) {
+  std::uint32_t n;
+  if (!r.u32(n) || n > kMaxList) return false;
+  f = Filter{};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Predicate p;
+    if (!decode(r, p)) return false;
+    f.add(p);
+  }
+  return true;
+}
+
+void encode(Writer& w, const EntityId& id) {
+  w.u64(id.client);
+  w.u32(id.seq);
+}
+
+bool decode(Reader& r, EntityId& id) {
+  return r.u64(id.client) && r.u32(id.seq);
+}
+
+void encode(Writer& w, const Publication& p) {
+  encode(w, p.id());
+  w.u32(static_cast<std::uint32_t>(p.attrs().size()));
+  for (const auto& [k, v] : p.attrs()) {
+    w.str(k);
+    encode(w, v);
+  }
+}
+
+bool decode(Reader& r, Publication& p) {
+  PublicationId id;
+  std::uint32_t n;
+  if (!decode(r, id) || !r.u32(n) || n > kMaxList) return false;
+  p = Publication{};
+  p.set_id(id);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k;
+    Value v;
+    if (!r.str(k) || !decode(r, v)) return false;
+    p.set(std::move(k), std::move(v));
+  }
+  return true;
+}
+
+void encode(Writer& w, const Subscription& s) {
+  encode(w, s.id);
+  encode(w, s.filter);
+}
+
+bool decode(Reader& r, Subscription& s) {
+  return decode(r, s.id) && decode(r, s.filter);
+}
+
+void encode(Writer& w, const Advertisement& a) {
+  encode(w, a.id);
+  encode(w, a.filter);
+}
+
+bool decode(Reader& r, Advertisement& a) {
+  return decode(r, a.id) && decode(r, a.filter);
+}
+
+// --- vectors ----------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void encode_vec(Writer& w, const std::vector<T>& xs) {
+  w.u32(static_cast<std::uint32_t>(xs.size()));
+  for (const auto& x : xs) encode(w, x);
+}
+
+template <typename T>
+bool decode_vec(Reader& r, std::vector<T>& xs) {
+  std::uint32_t n;
+  if (!r.u32(n) || n > kMaxList) return false;
+  xs.clear();
+  xs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    T x;
+    if (!decode(r, x)) return false;
+    xs.push_back(std::move(x));
+  }
+  return true;
+}
+
+struct PayloadEncoder {
+  Writer& w;
+  void operator()(const AdvertiseMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::Advertise));
+    encode(w, m.adv);
+  }
+  void operator()(const UnadvertiseMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::Unadvertise));
+    encode(w, m.adv_id);
+  }
+  void operator()(const SubscribeMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::Subscribe));
+    encode(w, m.sub);
+  }
+  void operator()(const UnsubscribeMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::Unsubscribe));
+    encode(w, m.sub_id);
+  }
+  void operator()(const PublishMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::Publish));
+    encode(w, m.pub);
+  }
+  void operator()(const MoveNegotiateMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::MoveNegotiate));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.u32(m.source);
+    w.u32(m.target);
+    encode_vec(w, m.subs);
+    encode_vec(w, m.advs);
+    w.u32(m.next_seq);
+  }
+  void operator()(const MoveApproveMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::MoveApprove));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.u32(m.source);
+    w.u32(m.target);
+    encode_vec(w, m.subs);
+    encode_vec(w, m.advs);
+  }
+  void operator()(const MoveRejectMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::MoveReject));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.str(m.reason);
+  }
+  void operator()(const MoveStateMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::MoveState));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.u32(m.source);
+    w.u32(m.target);
+    encode_vec(w, m.queued_notifications);
+    encode_vec(w, m.queued_commands);
+    encode_vec(w, m.sub_ids);
+    encode_vec(w, m.adv_ids);
+  }
+  void operator()(const MoveAckMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::MoveAck));
+    w.u64(m.txn);
+    w.u64(m.client);
+  }
+  void operator()(const MoveAbortMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::MoveAbort));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.u32(m.source);
+    w.u32(m.target);
+    encode_vec(w, m.sub_ids);
+    encode_vec(w, m.adv_ids);
+  }
+  void operator()(const BufferedStateMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::BufferedState));
+    w.u64(m.txn);
+    w.u64(m.client);
+    encode_vec(w, m.queued_notifications);
+    encode_vec(w, m.queued_commands);
+  }
+  void operator()(const TradMoveRequestMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::TradMoveRequest));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.u32(m.source);
+    w.u32(m.target);
+    encode_vec(w, m.subs);
+    encode_vec(w, m.advs);
+    w.u32(m.next_seq);
+  }
+  void operator()(const TradReadyMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::TradReady));
+    w.u64(m.txn);
+    w.u64(m.client);
+  }
+  void operator()(const TradRejectMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::TradReject));
+    w.u64(m.txn);
+    w.u64(m.client);
+    w.str(m.reason);
+  }
+};
+
+bool decode_payload(Reader& r, Payload& payload) {
+  std::uint8_t tag;
+  if (!r.u8(tag)) return false;
+  switch (static_cast<PayloadTag>(tag)) {
+    case PayloadTag::Advertise: {
+      AdvertiseMsg m;
+      if (!decode(r, m.adv)) return false;
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::Unadvertise: {
+      UnadvertiseMsg m;
+      if (!decode(r, m.adv_id)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::Subscribe: {
+      SubscribeMsg m;
+      if (!decode(r, m.sub)) return false;
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::Unsubscribe: {
+      UnsubscribeMsg m;
+      if (!decode(r, m.sub_id)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::Publish: {
+      PublishMsg m;
+      if (!decode(r, m.pub)) return false;
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::MoveNegotiate: {
+      MoveNegotiateMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.u32(m.source) ||
+          !r.u32(m.target) || !decode_vec(r, m.subs) ||
+          !decode_vec(r, m.advs) || !r.u32(m.next_seq)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::MoveApprove: {
+      MoveApproveMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.u32(m.source) ||
+          !r.u32(m.target) || !decode_vec(r, m.subs) ||
+          !decode_vec(r, m.advs)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::MoveReject: {
+      MoveRejectMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.str(m.reason)) return false;
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::MoveState: {
+      MoveStateMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.u32(m.source) ||
+          !r.u32(m.target) || !decode_vec(r, m.queued_notifications) ||
+          !decode_vec(r, m.queued_commands) || !decode_vec(r, m.sub_ids) ||
+          !decode_vec(r, m.adv_ids)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::MoveAck: {
+      MoveAckMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::MoveAbort: {
+      MoveAbortMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.u32(m.source) ||
+          !r.u32(m.target) || !decode_vec(r, m.sub_ids) ||
+          !decode_vec(r, m.adv_ids)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::BufferedState: {
+      BufferedStateMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) ||
+          !decode_vec(r, m.queued_notifications) ||
+          !decode_vec(r, m.queued_commands)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::TradMoveRequest: {
+      TradMoveRequestMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.u32(m.source) ||
+          !r.u32(m.target) || !decode_vec(r, m.subs) ||
+          !decode_vec(r, m.advs) || !r.u32(m.next_seq)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::TradReady: {
+      TradReadyMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::TradReject: {
+      TradRejectMsg m;
+      if (!r.u64(m.txn) || !r.u64(m.client) || !r.str(m.reason)) return false;
+      payload = std::move(m);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string encode_message(const Message& m) {
+  Writer w;
+  w.u64(m.id);
+  w.u64(m.cause);
+  w.u8(m.unicast_dest ? 1 : 0);
+  if (m.unicast_dest) w.u32(*m.unicast_dest);
+  std::visit(PayloadEncoder{w}, m.payload);
+  return w.take();
+}
+
+std::optional<Message> decode_message(std::string_view bytes) {
+  Reader r(bytes);
+  Message m;
+  std::uint8_t has_dest;
+  if (!r.u64(m.id) || !r.u64(m.cause) || !r.u8(has_dest)) return std::nullopt;
+  if (has_dest) {
+    BrokerId dest;
+    if (!r.u32(dest)) return std::nullopt;
+    m.unicast_dest = dest;
+  }
+  if (!decode_payload(r, m.payload)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;  // trailing garbage
+  return m;
+}
+
+}  // namespace tmps

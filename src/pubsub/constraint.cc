@@ -1,0 +1,258 @@
+#include "pubsub/constraint.h"
+
+#include <algorithm>
+
+namespace tmps {
+namespace {
+
+/// Smallest string strictly greater than every string with prefix `p`, or
+/// empty when no such string exists (p is all 0xFF). Used to turn a prefix
+/// predicate into a half-open interval [p, next_prefix(p)).
+std::string next_prefix(std::string p) {
+  while (!p.empty()) {
+    auto& c = reinterpret_cast<unsigned char&>(p.back());
+    if (c != 0xFF) {
+      ++c;
+      return p;
+    }
+    p.pop_back();
+  }
+  return {};
+}
+
+bool value_less(const Value& a, const Value& b) {
+  return a.compare(b) == std::partial_ordering::less;
+}
+bool value_eq(const Value& a, const Value& b) {
+  return a.compare(b) == std::partial_ordering::equivalent;
+}
+
+}  // namespace
+
+bool Constraint::domain_compatible(const Value& v) const {
+  return !domain_ || domain_of(v) == *domain_;
+}
+
+bool Constraint::tighten_lo(const Value& v, bool open) {
+  if (!lo_ || value_less(*lo_, v)) {
+    lo_ = v;
+    lo_open_ = open;
+  } else if (value_eq(*lo_, v)) {
+    lo_open_ = lo_open_ || open;
+  }
+  return interval_nonempty();
+}
+
+bool Constraint::tighten_hi(const Value& v, bool open) {
+  if (!hi_ || value_less(v, *hi_)) {
+    hi_ = v;
+    hi_open_ = open;
+  } else if (value_eq(*hi_, v)) {
+    hi_open_ = hi_open_ || open;
+  }
+  return interval_nonempty();
+}
+
+bool Constraint::interval_nonempty() const {
+  if (!lo_ || !hi_) return true;
+  const auto c = lo_->compare(*hi_);
+  if (c == std::partial_ordering::less) return true;
+  if (c == std::partial_ordering::equivalent) return !lo_open_ && !hi_open_;
+  return false;
+}
+
+std::optional<Value> Constraint::singleton() const {
+  if (lo_ && hi_ && !lo_open_ && !hi_open_ && value_eq(*lo_, *hi_)) {
+    return *lo_;
+  }
+  return std::nullopt;
+}
+
+bool Constraint::add(const Predicate& p) {
+  if (p.op == Op::kPresent) return interval_nonempty();
+
+  // Any ordered/equality/exclusion/prefix predicate pins the value domain.
+  const Domain d =
+      p.op == Op::kPrefix ? Domain::String : domain_of(p.value);
+  if (domain_ && *domain_ != d) return false;  // x > 5 AND x == "a": empty
+  domain_ = d;
+
+  bool ok = true;
+  switch (p.op) {
+    case Op::kEq:
+      ok = tighten_lo(p.value, /*open=*/false) &&
+           tighten_hi(p.value, /*open=*/false);
+      break;
+    case Op::kNe:
+      if (std::none_of(exclusions_.begin(), exclusions_.end(),
+                       [&](const Value& e) { return value_eq(e, p.value); })) {
+        exclusions_.push_back(p.value);
+      }
+      break;
+    case Op::kLt:
+      ok = tighten_hi(p.value, /*open=*/true);
+      break;
+    case Op::kLe:
+      ok = tighten_hi(p.value, /*open=*/false);
+      break;
+    case Op::kGt:
+      ok = tighten_lo(p.value, /*open=*/true);
+      break;
+    case Op::kGe:
+      ok = tighten_lo(p.value, /*open=*/false);
+      break;
+    case Op::kPrefix: {
+      if (!p.value.is_string()) return false;
+      const std::string& pre = p.value.as_string();
+      if (!pre.empty()) {
+        ok = tighten_lo(Value{pre}, /*open=*/false);
+        if (ok) {
+          const std::string up = next_prefix(pre);
+          if (!up.empty()) ok = tighten_hi(Value{up}, /*open=*/true);
+        }
+      }
+      break;
+    }
+    case Op::kPresent:
+      break;
+  }
+  if (!ok) return false;
+
+  // A point interval emptied by an exclusion is unsatisfiable.
+  if (const auto s = singleton()) {
+    for (const auto& e : exclusions_) {
+      if (value_eq(e, *s)) return false;
+    }
+  }
+  return true;
+}
+
+bool Constraint::in_interval(const Value& v) const {
+  if (lo_) {
+    const auto c = v.compare(*lo_);
+    if (c == std::partial_ordering::less) return false;
+    if (c == std::partial_ordering::equivalent && lo_open_) return false;
+    if (c == std::partial_ordering::unordered) return false;
+  }
+  if (hi_) {
+    const auto c = v.compare(*hi_);
+    if (c == std::partial_ordering::greater) return false;
+    if (c == std::partial_ordering::equivalent && hi_open_) return false;
+    if (c == std::partial_ordering::unordered) return false;
+  }
+  return true;
+}
+
+bool Constraint::satisfies(const Value& v) const {
+  if (!domain_compatible(v)) return false;
+  if (!in_interval(v)) return false;
+  return std::none_of(exclusions_.begin(), exclusions_.end(),
+                      [&](const Value& e) { return value_eq(e, v); });
+}
+
+bool Constraint::covers(const Constraint& other) const {
+  if (unconstrained()) return true;
+  // *this is constrained, so its domain is pinned. If `other` admits values
+  // of any domain (or of a different domain), it admits values we reject.
+  if (!other.domain_ || *other.domain_ != *domain_) return false;
+
+  // Interval containment: our lower bound must be no tighter than theirs.
+  if (lo_) {
+    if (!other.lo_) return false;
+    const auto c = lo_->compare(*other.lo_);
+    if (c == std::partial_ordering::greater) return false;
+    if (c == std::partial_ordering::equivalent && lo_open_ &&
+        !other.lo_open_) {
+      return false;
+    }
+  }
+  if (hi_) {
+    if (!other.hi_) return false;
+    const auto c = hi_->compare(*other.hi_);
+    if (c == std::partial_ordering::less) return false;
+    if (c == std::partial_ordering::equivalent && hi_open_ &&
+        !other.hi_open_) {
+      return false;
+    }
+  }
+  // Every value we exclude must already be rejected by `other`.
+  return std::none_of(exclusions_.begin(), exclusions_.end(),
+                      [&](const Value& e) { return other.satisfies(e); });
+}
+
+bool Constraint::intersects(const Constraint& other) const {
+  if (unconstrained() || other.unconstrained()) return true;
+  if (domain_ && other.domain_ && *domain_ != *other.domain_) return false;
+
+  // Overlap interval: [max(lo), min(hi)] with open flags merged.
+  const Constraint* lo_src = nullptr;  // whose lo is the overlap lo
+  bool lo_open = false;
+  std::optional<Value> lo;
+  if (lo_ && other.lo_) {
+    const auto c = lo_->compare(*other.lo_);
+    if (c == std::partial_ordering::greater) {
+      lo = lo_;
+      lo_open = lo_open_;
+    } else if (c == std::partial_ordering::less) {
+      lo = other.lo_;
+      lo_open = other.lo_open_;
+    } else {
+      lo = lo_;
+      lo_open = lo_open_ || other.lo_open_;
+    }
+  } else if (lo_) {
+    lo = lo_;
+    lo_open = lo_open_;
+  } else if (other.lo_) {
+    lo = other.lo_;
+    lo_open = other.lo_open_;
+  }
+  (void)lo_src;
+
+  bool hi_open = false;
+  std::optional<Value> hi;
+  if (hi_ && other.hi_) {
+    const auto c = hi_->compare(*other.hi_);
+    if (c == std::partial_ordering::less) {
+      hi = hi_;
+      hi_open = hi_open_;
+    } else if (c == std::partial_ordering::greater) {
+      hi = other.hi_;
+      hi_open = other.hi_open_;
+    } else {
+      hi = hi_;
+      hi_open = hi_open_ || other.hi_open_;
+    }
+  } else if (hi_) {
+    hi = hi_;
+    hi_open = hi_open_;
+  } else if (other.hi_) {
+    hi = other.hi_;
+    hi_open = other.hi_open_;
+  }
+
+  if (lo && hi) {
+    const auto c = lo->compare(*hi);
+    if (c == std::partial_ordering::greater) return false;
+    if (c == std::partial_ordering::equivalent) {
+      if (lo_open || hi_open) return false;
+      // Point overlap: check it survives both exclusion sets.
+      return satisfies(*lo) && other.satisfies(*lo);
+    }
+  }
+  // Wider-than-point overlap: finite exclusions cannot empty it in the real/
+  // string domains we model (conservative for pure-integer use).
+  return true;
+}
+
+std::string Constraint::to_string() const {
+  if (unconstrained()) return "(any)";
+  std::string s;
+  s += lo_ ? (lo_open_ ? "(" : "[") + lo_->to_string() : std::string("(-inf");
+  s += ", ";
+  s += hi_ ? hi_->to_string() + (hi_open_ ? ")" : "]") : std::string("+inf)");
+  for (const auto& e : exclusions_) s += " \\ " + e.to_string();
+  return s;
+}
+
+}  // namespace tmps

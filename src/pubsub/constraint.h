@@ -1,0 +1,77 @@
+// Normalized per-attribute constraint: the conjunction of all predicates a
+// filter places on one attribute, reduced to an interval over a single value
+// domain plus a finite exclusion set.
+//
+// This normal form makes the three relations the routing layer needs —
+// satisfaction, coverage and intersection — cheap and mostly exact:
+//   * satisfies(v)   : exact
+//   * covers(other)  : exact for interval+exclusion constraints
+//   * intersects     : exact for intervals; conservative (may report a
+//                      non-empty intersection that exclusions actually empty
+//                      out) when the overlap region is wider than a point.
+// Conservative intersection only causes benign extra forwarding, never lost
+// notifications.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pubsub/predicate.h"
+
+namespace tmps {
+
+class Constraint {
+ public:
+  /// Unconstrained ("isPresent"): any value of any domain.
+  Constraint() = default;
+
+  /// Tightens this constraint with one more predicate (conjunction).
+  /// Returns false if the result is unsatisfiable (e.g. x>5 AND x<3, or
+  /// predicates over incompatible domains).
+  bool add(const Predicate& p);
+
+  bool satisfies(const Value& v) const;
+
+  /// Every value satisfying `other` also satisfies *this.
+  bool covers(const Constraint& other) const;
+
+  /// There may exist a value satisfying both (conservative, see above).
+  bool intersects(const Constraint& other) const;
+
+  bool unconstrained() const {
+    return !lo_ && !hi_ && exclusions_.empty() && !domain_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  enum class Domain { Numeric, String };
+
+  // Domain the interval endpoints live in; empty means "not yet pinned"
+  // (only isPresent predicates so far).
+  std::optional<Domain> domain_;
+
+  // Closed/open interval bounds; empty optional = unbounded on that side.
+  std::optional<Value> lo_, hi_;
+  bool lo_open_ = false;
+  bool hi_open_ = false;
+
+  // Values excluded by != predicates.
+  std::vector<Value> exclusions_;
+
+  bool domain_compatible(const Value& v) const;
+  bool in_interval(const Value& v) const;
+  static Domain domain_of(const Value& v) {
+    return v.is_numeric() ? Domain::Numeric : Domain::String;
+  }
+  bool tighten_lo(const Value& v, bool open);
+  bool tighten_hi(const Value& v, bool open);
+  bool interval_nonempty() const;
+  /// The interval admits exactly one value (and returns it).
+  std::optional<Value> singleton() const;
+
+  friend class ConstraintTestPeer;
+};
+
+}  // namespace tmps

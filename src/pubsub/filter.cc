@@ -1,0 +1,85 @@
+#include "pubsub/filter.h"
+
+namespace tmps {
+
+Filter::Filter(std::initializer_list<Predicate> preds) {
+  for (const auto& p : preds) add(p);
+}
+
+bool Filter::add(const Predicate& p) {
+  preds_.push_back(p);
+  if (!constraints_[p.attr].add(p)) satisfiable_ = false;
+  return satisfiable_;
+}
+
+bool Filter::matches(const Publication& pub) const {
+  if (!satisfiable_) return false;
+  for (const auto& [attr, c] : constraints_) {
+    const Value* v = pub.find(attr);
+    if (!v || !c.satisfies(*v)) return false;
+  }
+  return true;
+}
+
+bool Filter::covers(const Filter& other) const {
+  if (!satisfiable_) return false;
+  if (!other.satisfiable_) return true;  // empty set is covered by anything
+  // Every attribute we constrain must be constrained (at least as tightly)
+  // by `other`; an attribute missing from `other` admits publications
+  // without it, which we would reject.
+  for (const auto& [attr, c] : constraints_) {
+    auto it = other.constraints_.find(attr);
+    if (it == other.constraints_.end()) return false;
+    if (!c.covers(it->second)) return false;
+  }
+  return true;
+}
+
+bool Filter::intersects_advertisement(const Filter& adv) const {
+  if (!satisfiable_ || !adv.satisfiable_) return false;
+  // Each attribute the subscription constrains must be declared by the
+  // advertisement with an overlapping constraint.
+  for (const auto& [attr, c] : constraints_) {
+    auto it = adv.constraints_.find(attr);
+    if (it == adv.constraints_.end()) return false;
+    if (!c.intersects(it->second)) return false;
+  }
+  return true;
+}
+
+bool Filter::overlaps(const Filter& other) const {
+  if (!satisfiable_ || !other.satisfiable_) return false;
+  for (const auto& [attr, c] : constraints_) {
+    auto it = other.constraints_.find(attr);
+    if (it != other.constraints_.end() && !c.intersects(it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Filter::to_string() const {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& p : preds_) {
+    if (!first) s += ",";
+    s += p.to_string();
+    first = false;
+  }
+  s += "}";
+  if (!satisfiable_) s += "(unsat)";
+  return s;
+}
+
+std::string Publication::to_string() const {
+  std::string s = "pub " + tmps::to_string(id_) + " {";
+  bool first = true;
+  for (const auto& [k, v] : attrs_) {
+    if (!first) s += ",";
+    s += "[" + k + "," + v.to_string() + "]";
+    first = false;
+  }
+  return s + "}";
+}
+
+}  // namespace tmps

@@ -1,0 +1,75 @@
+// A filter is a conjunction of predicates — the body of both subscriptions
+// and advertisements in the PADRES language model.
+//
+// Semantics (standard advertisement-based content routing):
+//   * A publication matches a subscription filter when every attribute the
+//     filter constrains is present in the publication with a satisfying
+//     value.
+//   * An advertisement declares the attribute space of future publications:
+//     a publication conforms to an advertisement the same way.
+//   * Subscription S intersects advertisement A when a publication could
+//     match both: every attribute of S must appear in A with overlapping
+//     constraints.
+//   * Filter F1 covers F2 when every publication matching F2 matches F1.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pubsub/constraint.h"
+#include "pubsub/predicate.h"
+#include "pubsub/publication.h"
+
+namespace tmps {
+
+class Filter {
+ public:
+  Filter() = default;
+  Filter(std::initializer_list<Predicate> preds);
+
+  /// Conjoins another predicate. Returns false (and marks the filter
+  /// unsatisfiable) if the conjunction admits no publication.
+  bool add(const Predicate& p);
+
+  bool satisfiable() const { return satisfiable_; }
+  bool empty() const { return constraints_.empty(); }
+  std::size_t attribute_count() const { return constraints_.size(); }
+
+  bool matches(const Publication& pub) const;
+
+  /// Every publication matching `other` also matches *this.
+  bool covers(const Filter& other) const;
+
+  /// Some publication could match both *this (as subscription) and `other`
+  /// (as advertisement): attrs(*this) ⊆ attrs(other) with overlapping
+  /// constraints. Asymmetric, per advertisement-based routing.
+  bool intersects_advertisement(const Filter& adv) const;
+
+  /// Symmetric overlap: constraints on common attributes overlap and each
+  /// side's attributes could appear together in one publication.
+  bool overlaps(const Filter& other) const;
+
+  const std::map<std::string, Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// The original predicate conjunction (serialization re-encodes filters
+  /// from this list and rebuilds the normalized constraints on decode).
+  const std::vector<Predicate>& predicates() const { return preds_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Filter& a, const Filter& b) {
+    // Structural equality on the original predicate list.
+    return a.preds_ == b.preds_;
+  }
+
+ private:
+  std::vector<Predicate> preds_;
+  std::map<std::string, Constraint> constraints_;
+  bool satisfiable_ = true;
+};
+
+}  // namespace tmps

@@ -1,0 +1,63 @@
+#include "pubsub/messages.h"
+
+namespace tmps {
+namespace {
+
+struct TypeNameVisitor {
+  std::string_view operator()(const AdvertiseMsg&) const { return "adv"; }
+  std::string_view operator()(const UnadvertiseMsg&) const { return "unadv"; }
+  std::string_view operator()(const SubscribeMsg&) const { return "sub"; }
+  std::string_view operator()(const UnsubscribeMsg&) const { return "unsub"; }
+  std::string_view operator()(const PublishMsg&) const { return "pub"; }
+  std::string_view operator()(const MoveNegotiateMsg&) const {
+    return "move-negotiate";
+  }
+  std::string_view operator()(const MoveApproveMsg&) const {
+    return "move-approve";
+  }
+  std::string_view operator()(const MoveRejectMsg&) const {
+    return "move-reject";
+  }
+  std::string_view operator()(const MoveStateMsg&) const {
+    return "move-state";
+  }
+  std::string_view operator()(const MoveAckMsg&) const { return "move-ack"; }
+  std::string_view operator()(const MoveAbortMsg&) const {
+    return "move-abort";
+  }
+  std::string_view operator()(const BufferedStateMsg&) const {
+    return "buffered-state";
+  }
+  std::string_view operator()(const TradMoveRequestMsg&) const {
+    return "trad-move-request";
+  }
+  std::string_view operator()(const TradReadyMsg&) const {
+    return "trad-ready";
+  }
+  std::string_view operator()(const TradRejectMsg&) const {
+    return "trad-reject";
+  }
+};
+
+}  // namespace
+
+std::string_view Message::type_name() const {
+  return std::visit(TypeNameVisitor{}, payload);
+}
+
+bool Message::is_control() const {
+  return !std::holds_alternative<AdvertiseMsg>(payload) &&
+         !std::holds_alternative<UnadvertiseMsg>(payload) &&
+         !std::holds_alternative<SubscribeMsg>(payload) &&
+         !std::holds_alternative<UnsubscribeMsg>(payload) &&
+         !std::holds_alternative<PublishMsg>(payload);
+}
+
+std::string to_string(const Message& m) {
+  std::string s = "msg#" + std::to_string(m.id) + " " +
+                  std::string(m.type_name());
+  if (m.unicast_dest) s += " ->B" + std::to_string(*m.unicast_dest);
+  return s;
+}
+
+}  // namespace tmps

@@ -1,0 +1,195 @@
+// The inter-broker wire-message vocabulary.
+//
+// Two message classes flow over overlay links:
+//   * pub/sub routing messages — (un)advertise, (un)subscribe, publish —
+//     routed content-based by each broker's tables;
+//   * movement-protocol messages (Fig. 3 of the paper) — negotiate, approve,
+//     reject, state, ack, plus the hop-by-hop reconfiguration commit/abort.
+//     Unicast messages travel along the unique overlay path to `unicast_dest`;
+//     `approve`, `commit` and `abort` are additionally *processed* at every
+//     broker on the path (they carry the routing reconfiguration).
+//
+// Client↔broker interaction is local (clients live in the broker's mobile
+// container, per the paper's system model) and does not appear here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/publication.h"
+#include "pubsub/subscription.h"
+
+namespace tmps {
+
+// ---------------------------------------------------------------------------
+// Routing-layer payloads
+// ---------------------------------------------------------------------------
+
+struct AdvertiseMsg {
+  Advertisement adv;
+};
+
+struct UnadvertiseMsg {
+  AdvertisementId adv_id;
+};
+
+struct SubscribeMsg {
+  Subscription sub;
+};
+
+struct UnsubscribeMsg {
+  SubscriptionId sub_id;
+};
+
+struct PublishMsg {
+  Publication pub;
+};
+
+// ---------------------------------------------------------------------------
+// Movement-protocol payloads (Fig. 3: (1) negotiate, (2) approve, (3) reject,
+// (4) state, (5) ack), plus the hop-by-hop transaction resolution.
+// ---------------------------------------------------------------------------
+
+/// (1) Source coordinator -> target coordinator: data about the moving
+/// client. Pure unicast (intermediate brokers only forward).
+struct MoveNegotiateMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  std::vector<Subscription> subs;
+  std::vector<Advertisement> advs;
+  /// Next per-client entity sequence number (id allocation moves with the
+  /// client).
+  std::uint32_t next_seq = 1;
+};
+
+/// (2) Target coordinator -> source coordinator. Processed hop-by-hop along
+/// RouteS2T: each broker on the path installs the *shadow* (post-move)
+/// routing configuration for the client's subs/advs (Sec. 4.4).
+struct MoveApproveMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  std::vector<Subscription> subs;
+  std::vector<Advertisement> advs;
+};
+
+/// (3) Target coordinator -> source coordinator: movement refused; the
+/// client resumes at the source. Pure unicast.
+struct MoveRejectMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  std::string reason;
+};
+
+/// (4) Source coordinator -> target coordinator: client state hand-off,
+/// including publications queued for the client while it was paused.
+/// Processed hop-by-hop: commits the reconfiguration (deletes the pre-move
+/// routing configuration) at each broker on the path.
+struct MoveStateMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  std::vector<Publication> queued_notifications;
+  /// Publish commands the application issued while the client was moving;
+  /// replayed at the target once the client starts.
+  std::vector<Publication> queued_commands;
+  /// Entities whose shadow configuration each path broker must commit.
+  std::vector<SubscriptionId> sub_ids;
+  std::vector<AdvertisementId> adv_ids;
+};
+
+/// (5) Target coordinator -> source coordinator: hand-off complete; the
+/// source cleans up all client state. Pure unicast.
+struct MoveAckMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+};
+
+/// Transaction abort after the shadow configuration was installed. Processed
+/// hop-by-hop: deletes the shadow (post-move) configuration at each broker.
+struct MoveAbortMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  /// Entities whose shadow configuration each path broker must drop.
+  std::vector<SubscriptionId> sub_ids;
+  std::vector<AdvertisementId> adv_ids;
+};
+
+/// State hand-off used by the *traditional* covering-based protocol: the
+/// source broker ships the buffered notifications to the target after the
+/// client reconnects there. Pure unicast.
+struct BufferedStateMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  std::vector<Publication> queued_notifications;
+  std::vector<Publication> queued_commands;
+};
+
+// ---------------------------------------------------------------------------
+// Traditional (covering-based, end-to-end) mobility protocol payloads.
+// ---------------------------------------------------------------------------
+
+/// Source broker -> target broker: the moving client's profile. The target
+/// re-issues the subscriptions/advertisements (with fresh incarnations) as
+/// ordinary pub/sub operations, so covering dynamics fire. Pure unicast.
+struct TradMoveRequestMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  std::vector<Subscription> subs;
+  std::vector<Advertisement> advs;
+  std::uint32_t next_seq = 1;
+};
+
+/// Target -> source: the re-issued subscriptions have been injected; the
+/// source may now unsubscribe/unadvertise the old ones and ship the buffered
+/// notifications. Pure unicast.
+struct TradReadyMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+};
+
+/// Target -> source: movement refused; client resumes at the source.
+struct TradRejectMsg {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  std::string reason;
+};
+
+using Payload =
+    std::variant<AdvertiseMsg, UnadvertiseMsg, SubscribeMsg, UnsubscribeMsg,
+                 PublishMsg, MoveNegotiateMsg, MoveApproveMsg, MoveRejectMsg,
+                 MoveStateMsg, MoveAckMsg, MoveAbortMsg, BufferedStateMsg,
+                 TradMoveRequestMsg, TradReadyMsg, TradRejectMsg>;
+
+struct Message {
+  MessageId id = 0;
+  /// Movement transaction this message is (transitively) caused by; lets the
+  /// metrics layer attribute routing traffic — including covering-induced
+  /// (un)subscriptions — to individual movements. kNoTxn for background
+  /// traffic.
+  TxnId cause = kNoTxn;
+  /// Set for unicast (movement-protocol) messages; routing messages leave it
+  /// empty and are routed content-based.
+  std::optional<BrokerId> unicast_dest;
+  Payload payload;
+
+  /// Name of the payload alternative, for tracing and metrics.
+  std::string_view type_name() const;
+  /// True for movement-protocol (control) payloads.
+  bool is_control() const;
+};
+
+std::string to_string(const Message& m);
+
+}  // namespace tmps

@@ -1,0 +1,268 @@
+#include "pubsub/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace tmps {
+namespace {
+
+/// Minimal recursive-descent lexer/cursor over the bracketed tuple syntax.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::size_t pos() const { return pos_; }
+
+  std::string err(const std::string& what) const {
+    return what + " at position " + std::to_string(pos_);
+  }
+
+  /// A bare token: attribute name or operator symbol — letters, digits,
+  /// '_', '-', and comparison characters.
+  std::string token() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '<' || c == '>' || c == '=' || c == '!' ||
+          c == '.' || c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// 'single-quoted string' with '' as escaped quote. Call with the opening
+  /// quote already peeked.
+  bool quoted_string(std::string& out, std::string& error) {
+    if (!eat('\'')) {
+      error = err("expected opening quote");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '\'') {
+        if (pos_ < text_.size() && text_[pos_] == '\'') {
+          out.push_back('\'');
+          ++pos_;
+          continue;
+        }
+        return true;
+      }
+      out.push_back(c);
+    }
+    error = err("unterminated string");
+    return false;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<Op> parse_op(const std::string& tok) {
+  if (tok == "eq" || tok == "=") return Op::kEq;
+  if (tok == "neq" || tok == "ne" || tok == "!=" || tok == "<>") return Op::kNe;
+  if (tok == "lt" || tok == "<") return Op::kLt;
+  if (tok == "le" || tok == "<=") return Op::kLe;
+  if (tok == "gt" || tok == ">") return Op::kGt;
+  if (tok == "ge" || tok == ">=") return Op::kGe;
+  if (tok == "isPresent" || tok == "ispresent" || tok == "present") {
+    return Op::kPresent;
+  }
+  if (tok == "str-prefix" || tok == "prefix") return Op::kPrefix;
+  return std::nullopt;
+}
+
+/// Numeric token -> Value (int64 when it looks integral, else double).
+bool parse_number(const std::string& tok, Value& out) {
+  if (tok.empty()) return false;
+  const bool has_dot = tok.find('.') != std::string::npos ||
+                       tok.find('e') != std::string::npos ||
+                       tok.find('E') != std::string::npos;
+  if (!has_dot) {
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec == std::errc{} && p == tok.data() + tok.size()) {
+      out = Value{v};
+      return true;
+    }
+  }
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(tok, &used);
+    if (used != tok.size()) return false;
+    out = Value{d};
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_value(Cursor& cur, Value& out, std::string& error) {
+  if (cur.peek() == '\'') {
+    std::string s;
+    if (!cur.quoted_string(s, error)) return false;
+    out = Value{std::move(s)};
+    return true;
+  }
+  const std::string tok = cur.token();
+  if (tok.empty()) {
+    error = cur.err("expected a value");
+    return false;
+  }
+  if (!parse_number(tok, out)) {
+    error = cur.err("malformed number '" + tok + "'");
+    return false;
+  }
+  return true;
+}
+
+std::string escape(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    out.push_back(c);
+    if (c == '\'') out.push_back('\'');
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string format_value(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Int: return std::to_string(v.as_int());
+    case Value::Kind::Real: {
+      std::string s = std::to_string(v.as_real());
+      return s;
+    }
+    case Value::Kind::String: return escape(v.as_string());
+  }
+  return {};
+}
+
+}  // namespace
+
+ParseResult<Filter> parse_filter(std::string_view text) {
+  Cursor cur(text);
+  Filter f;
+  bool first = true;
+  while (!cur.at_end()) {
+    if (!first && !cur.eat(',')) {
+      return {std::nullopt, cur.err("expected ',' between predicates")};
+    }
+    first = false;
+    if (!cur.eat('[')) return {std::nullopt, cur.err("expected '['")};
+    const std::string attr = cur.token();
+    if (attr.empty()) {
+      return {std::nullopt, cur.err("expected an attribute name")};
+    }
+    if (!cur.eat(',')) {
+      return {std::nullopt, cur.err("expected ',' after attribute")};
+    }
+    const std::string op_tok = cur.token();
+    const auto op = parse_op(op_tok);
+    if (!op) {
+      return {std::nullopt, cur.err("unknown operator '" + op_tok + "'")};
+    }
+    Predicate p;
+    p.attr = attr;
+    p.op = *op;
+    if (*op != Op::kPresent) {
+      if (!cur.eat(',')) {
+        return {std::nullopt, cur.err("expected ',' before value")};
+      }
+      std::string error;
+      if (!parse_value(cur, p.value, error)) return {std::nullopt, error};
+    }
+    if (!cur.eat(']')) return {std::nullopt, cur.err("expected ']'")};
+    if (!f.add(p)) {
+      return {std::nullopt,
+              "unsatisfiable conjunction after adding " + p.to_string()};
+    }
+  }
+  if (f.empty()) return {std::nullopt, "empty filter"};
+  return {std::move(f), {}};
+}
+
+ParseResult<Publication> parse_publication(std::string_view text) {
+  Cursor cur(text);
+  Publication pub;
+  bool first = true;
+  while (!cur.at_end()) {
+    if (!first && !cur.eat(',')) {
+      return {std::nullopt, cur.err("expected ',' between attributes")};
+    }
+    first = false;
+    if (!cur.eat('[')) return {std::nullopt, cur.err("expected '['")};
+    const std::string attr = cur.token();
+    if (attr.empty()) {
+      return {std::nullopt, cur.err("expected an attribute name")};
+    }
+    if (!cur.eat(',')) {
+      return {std::nullopt, cur.err("expected ',' after attribute")};
+    }
+    Value v;
+    std::string error;
+    if (!parse_value(cur, v, error)) return {std::nullopt, error};
+    if (!cur.eat(']')) return {std::nullopt, cur.err("expected ']'")};
+    pub.set(attr, std::move(v));
+  }
+  if (pub.attrs().empty()) return {std::nullopt, "empty publication"};
+  return {std::move(pub), {}};
+}
+
+std::string format_filter(const Filter& f) {
+  std::string out;
+  bool first = true;
+  for (const auto& p : f.predicates()) {
+    if (!first) out += ",";
+    first = false;
+    out += "[" + p.attr + "," + to_string(p.op);
+    if (p.op != Op::kPresent) out += "," + format_value(p.value);
+    out += "]";
+  }
+  return out;
+}
+
+std::string format_publication(const Publication& p) {
+  std::string out;
+  bool first = true;
+  for (const auto& [attr, v] : p.attrs()) {
+    if (!first) out += ",";
+    first = false;
+    out += "[" + attr + "," + format_value(v) + "]";
+  }
+  return out;
+}
+
+}  // namespace tmps

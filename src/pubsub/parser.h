@@ -1,0 +1,49 @@
+// Parser and formatter for the PADRES-style textual subscription language
+// the paper's system uses:
+//
+//   subscriptions / advertisements:
+//     [class,eq,'STOCK'],[price,>,100],[volume,<=,5e3],[sym,isPresent]
+//   publications:
+//     [class,'STOCK'],[price,120],[sym,'ACME']
+//
+// Operators: eq =, neq != <>, lt <, le <=, gt >, ge >=, isPresent (no
+// value), str-prefix. Values: integers, reals, 'single-quoted strings'
+// (with '' as the escaped quote). Whitespace between tokens is ignored.
+//
+// Parsing is total: errors are reported via ParseResult, never exceptions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pubsub/filter.h"
+#include "pubsub/publication.h"
+
+namespace tmps {
+
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  /// Empty on success; else a human-readable description with position.
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+/// Parses a predicate conjunction (the body of a subscription or
+/// advertisement).
+ParseResult<Filter> parse_filter(std::string_view text);
+
+/// Parses a publication's attribute/value list. The id is left empty
+/// (callers stamp it via ClientStub::allocate_id or explicitly).
+ParseResult<Publication> parse_publication(std::string_view text);
+
+/// Formats a filter back to the textual syntax (round-trips through
+/// parse_filter).
+std::string format_filter(const Filter& f);
+
+/// Formats a publication's attributes (id not included).
+std::string format_publication(const Publication& p);
+
+}  // namespace tmps

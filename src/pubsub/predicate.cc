@@ -1,0 +1,58 @@
+#include "pubsub/predicate.h"
+
+namespace tmps {
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kPresent: return "isPresent";
+    case Op::kPrefix: return "str-prefix";
+  }
+  return "?";
+}
+
+bool Predicate::satisfied_by(const Value& v) const {
+  switch (op) {
+    case Op::kPresent:
+      return true;
+    case Op::kEq:
+      return v.equals(value);
+    case Op::kNe:
+      return v.comparable_with(value) && !v.equals(value);
+    case Op::kLt:
+      return v.comparable_with(value) &&
+             v.compare(value) == std::partial_ordering::less;
+    case Op::kLe: {
+      if (!v.comparable_with(value)) return false;
+      const auto c = v.compare(value);
+      return c == std::partial_ordering::less ||
+             c == std::partial_ordering::equivalent;
+    }
+    case Op::kGt:
+      return v.comparable_with(value) &&
+             v.compare(value) == std::partial_ordering::greater;
+    case Op::kGe: {
+      if (!v.comparable_with(value)) return false;
+      const auto c = v.compare(value);
+      return c == std::partial_ordering::greater ||
+             c == std::partial_ordering::equivalent;
+    }
+    case Op::kPrefix:
+      return v.is_string() && value.is_string() &&
+             v.as_string().starts_with(value.as_string());
+  }
+  return false;
+}
+
+std::string Predicate::to_string() const {
+  if (op == Op::kPresent) return "[" + attr + ",isPresent]";
+  return "[" + attr + "," + tmps::to_string(op) + "," + value.to_string() +
+         "]";
+}
+
+}  // namespace tmps

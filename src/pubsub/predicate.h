@@ -1,0 +1,64 @@
+// A single (attribute, operator, value) predicate, the atom of the PADRES
+// subscription/advertisement language.
+#pragma once
+
+#include <string>
+
+#include "pubsub/value.h"
+
+namespace tmps {
+
+enum class Op {
+  kEq,       // attribute == value
+  kNe,       // attribute != value
+  kLt,       // attribute <  value
+  kLe,       // attribute <= value
+  kGt,       // attribute >  value
+  kGe,       // attribute >= value
+  kPresent,  // attribute exists, any value ("isPresent" in PADRES)
+  kPrefix,   // string attribute starts with value
+};
+
+std::string to_string(Op op);
+
+struct Predicate {
+  std::string attr;
+  Op op = Op::kPresent;
+  Value value;
+
+  /// Does a concrete publication value satisfy this predicate?
+  bool satisfied_by(const Value& v) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+};
+
+/// Convenience constructors mirroring the PADRES string syntax
+/// ("[class,eq,'STOCK']").
+inline Predicate eq(std::string attr, Value v) {
+  return {std::move(attr), Op::kEq, std::move(v)};
+}
+inline Predicate ne(std::string attr, Value v) {
+  return {std::move(attr), Op::kNe, std::move(v)};
+}
+inline Predicate lt(std::string attr, Value v) {
+  return {std::move(attr), Op::kLt, std::move(v)};
+}
+inline Predicate le(std::string attr, Value v) {
+  return {std::move(attr), Op::kLe, std::move(v)};
+}
+inline Predicate gt(std::string attr, Value v) {
+  return {std::move(attr), Op::kGt, std::move(v)};
+}
+inline Predicate ge(std::string attr, Value v) {
+  return {std::move(attr), Op::kGe, std::move(v)};
+}
+inline Predicate present(std::string attr) {
+  return {std::move(attr), Op::kPresent, Value{}};
+}
+inline Predicate prefix(std::string attr, std::string p) {
+  return {std::move(attr), Op::kPrefix, Value{std::move(p)}};
+}
+
+}  // namespace tmps

@@ -1,0 +1,44 @@
+// A publication: a set of (attribute, value) pairs plus identity.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/ids.h"
+#include "pubsub/value.h"
+
+namespace tmps {
+
+class Publication {
+ public:
+  Publication() = default;
+  Publication(PublicationId id,
+              std::initializer_list<std::pair<const std::string, Value>> kv)
+      : id_(id), attrs_(kv) {}
+
+  PublicationId id() const { return id_; }
+  void set_id(PublicationId id) { id_ = id; }
+
+  void set(std::string attr, Value v) { attrs_[std::move(attr)] = std::move(v); }
+
+  const Value* find(const std::string& attr) const {
+    auto it = attrs_.find(attr);
+    return it == attrs_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, Value>& attrs() const { return attrs_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Publication& a, const Publication& b) {
+    return a.id_ == b.id_ && a.attrs_ == b.attrs_;
+  }
+
+ private:
+  PublicationId id_;
+  std::map<std::string, Value> attrs_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,31 @@
+// Subscriptions and advertisements: a filter plus stable identity.
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+#include "pubsub/filter.h"
+
+namespace tmps {
+
+struct Subscription {
+  SubscriptionId id;
+  Filter filter;
+
+  std::string to_string() const {
+    return "sub " + tmps::to_string(id) + " " + filter.to_string();
+  }
+  friend bool operator==(const Subscription&, const Subscription&) = default;
+};
+
+struct Advertisement {
+  AdvertisementId id;
+  Filter filter;
+
+  std::string to_string() const {
+    return "adv " + tmps::to_string(id) + " " + filter.to_string();
+  }
+  friend bool operator==(const Advertisement&, const Advertisement&) = default;
+};
+
+}  // namespace tmps

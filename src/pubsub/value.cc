@@ -1,0 +1,50 @@
+#include "pubsub/value.h"
+
+#include <cmath>
+
+namespace tmps {
+
+std::partial_ordering Value::compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (kind() == Kind::Int && other.kind() == Kind::Int) {
+      const auto a = as_int();
+      const auto b = other.as_int();
+      if (a < b) return std::partial_ordering::less;
+      if (a > b) return std::partial_ordering::greater;
+      return std::partial_ordering::equivalent;
+    }
+    const double a = numeric();
+    const double b = other.numeric();
+    if (a < b) return std::partial_ordering::less;
+    if (a > b) return std::partial_ordering::greater;
+    return std::partial_ordering::equivalent;
+  }
+  if (is_string() && other.is_string()) {
+    const int c = as_string().compare(other.as_string());
+    if (c < 0) return std::partial_ordering::less;
+    if (c > 0) return std::partial_ordering::greater;
+    return std::partial_ordering::equivalent;
+  }
+  // Cross-domain: numerics before strings, deterministically.
+  return is_numeric() ? std::partial_ordering::less
+                      : std::partial_ordering::greater;
+}
+
+bool Value::equals(const Value& other) const {
+  if (!comparable_with(other)) return false;
+  return compare(other) == std::partial_ordering::equivalent;
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case Kind::Int: return std::to_string(as_int());
+    case Kind::Real: {
+      std::string s = std::to_string(as_real());
+      return s;
+    }
+    case Kind::String: return "\"" + as_string() + "\"";
+  }
+  return {};
+}
+
+}  // namespace tmps

@@ -1,0 +1,71 @@
+// Attribute values of the PADRES content-based language model.
+//
+// Publications carry (attribute, value) pairs; subscription and advertisement
+// predicates compare attribute values against constants. Values are typed
+// (integer, real, string); integers and reals compare numerically with each
+// other, strings compare lexicographically, and values of incomparable kinds
+// never satisfy an ordered predicate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace tmps {
+
+class Value {
+ public:
+  enum class Kind { Int, Real, String };
+
+  Value() : rep_(std::int64_t{0}) {}
+  Value(std::int64_t v) : rep_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(std::int64_t{v}) {}     // NOLINT(google-explicit-constructor)
+  Value(double v) : rep_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  Kind kind() const {
+    switch (rep_.index()) {
+      case 0: return Kind::Int;
+      case 1: return Kind::Real;
+      default: return Kind::String;
+    }
+  }
+
+  bool is_numeric() const { return kind() != Kind::String; }
+  bool is_string() const { return kind() == Kind::String; }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  double as_real() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: integers widen to double. Precondition: is_numeric().
+  double numeric() const {
+    return kind() == Kind::Int ? static_cast<double>(as_int()) : as_real();
+  }
+
+  /// True when the two values live in the same comparable domain
+  /// (numeric-with-numeric or string-with-string).
+  bool comparable_with(const Value& other) const {
+    return is_numeric() == other.is_numeric();
+  }
+
+  /// Total order within a domain; across domains, numerics sort before
+  /// strings (an arbitrary but consistent tie-break used by containers).
+  std::partial_ordering compare(const Value& other) const;
+
+  bool equals(const Value& other) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.equals(b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.compare(b) == std::partial_ordering::less;
+  }
+
+ private:
+  std::variant<std::int64_t, double, std::string> rep_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,149 @@
+#include "pubsub/workload.h"
+
+#include <cassert>
+#include <random>
+
+namespace tmps {
+namespace {
+
+struct Interval {
+  std::int64_t lo, hi;
+};
+
+/// Interval of the i-th (1-based) subscription in each concrete workload.
+/// All intervals sit inside [kSpaceLo, kSpaceHi]; covering between
+/// subscriptions is exactly interval containment.
+Interval interval_of(WorkloadKind k, int i) {
+  assert(i >= 1 && i <= 10);
+  switch (k) {
+    case WorkloadKind::Covered:
+      // Root spans the space; leaves are disjoint 500-wide slices.
+      if (i == 1) return {kSpaceLo, kSpaceHi};
+      return {(i - 2) * 1000, (i - 2) * 1000 + 500};
+    case WorkloadKind::Chained:
+      // Strictly nested chain: each subscription covers the next.
+      return {(i - 1) * 100, kSpaceHi - (i - 1) * 900};
+    case WorkloadKind::Tree: {
+      // Branching-factor-3 tree: 1 covers {2,3,4}, 2 covers {5,6,7},
+      // 3 covers {8,9,10}; 4 and 5..10 are leaves.
+      switch (i) {
+        case 1: return {0, 10000};
+        case 2: return {0, 3300};
+        case 3: return {3350, 6650};
+        case 4: return {6700, 10000};
+        case 5: return {0, 1000};
+        case 6: return {1100, 2100};
+        case 7: return {2200, 3200};
+        case 8: return {3350, 4350};
+        case 9: return {4450, 5450};
+        default: return {5550, 6550};
+      }
+    }
+    case WorkloadKind::Distinct:
+      // Pairwise disjoint; no covering at all.
+      return {(i - 1) * 1000, (i - 1) * 1000 + 400};
+    case WorkloadKind::Random:
+      break;
+  }
+  assert(false && "Random has no fixed member filters");
+  return {0, 0};
+}
+
+}  // namespace
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::Covered: return "covered";
+    case WorkloadKind::Chained: return "chained";
+    case WorkloadKind::Tree: return "tree";
+    case WorkloadKind::Distinct: return "distinct";
+    case WorkloadKind::Random: return "random";
+  }
+  return "?";
+}
+
+int covering_degree(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::Covered: return 9;
+    case WorkloadKind::Chained: return 1;
+    case WorkloadKind::Tree: return 3;
+    case WorkloadKind::Distinct: return 0;
+    case WorkloadKind::Random: return -1;  // mixed; no single degree
+  }
+  return -1;
+}
+
+Filter workload_filter(WorkloadKind k, int i, std::int64_t group) {
+  const Interval iv = interval_of(k, i);
+  Filter f;
+  f.add(eq("class", "STOCK"));
+  f.add(eq("g", group));
+  f.add(ge("x", iv.lo));
+  f.add(le("x", iv.hi));
+  return f;
+}
+
+Filter workload_filter_at(WorkloadKind k, int i, std::int64_t group,
+                          std::uint64_t seed) {
+  if (k != WorkloadKind::Random) return workload_filter(k, i, group);
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + i + 1);
+  std::uniform_int_distribution<int> pick_kind(0, 3);
+  constexpr WorkloadKind kinds[] = {WorkloadKind::Covered,
+                                    WorkloadKind::Chained, WorkloadKind::Tree,
+                                    WorkloadKind::Distinct};
+  return workload_filter(kinds[pick_kind(rng)], i, group);
+}
+
+std::vector<Filter> workload_filters(WorkloadKind k, std::uint64_t seed,
+                                     std::int64_t group) {
+  std::vector<Filter> out;
+  out.reserve(10);
+  for (int i = 1; i <= 10; ++i) {
+    out.push_back(workload_filter_at(k, i, group, seed));
+  }
+  return out;
+}
+
+std::vector<int> covering_indices(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::Covered: return {0};
+    case WorkloadKind::Chained: return {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    case WorkloadKind::Tree: return {0, 1, 2};
+    case WorkloadKind::Distinct:
+    case WorkloadKind::Random: return {};
+  }
+  return {};
+}
+
+std::vector<int> covered_indices(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::Covered:
+    case WorkloadKind::Chained:
+    case WorkloadKind::Tree: return {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    case WorkloadKind::Distinct:
+    case WorkloadKind::Random: return {};
+  }
+  return {};
+}
+
+Filter full_space_advertisement() {
+  Filter f;
+  f.add(eq("class", "STOCK"));
+  f.add(ge("g", std::int64_t{0}));
+  f.add(le("g", kMaxGroup));
+  f.add(ge("x", kSpaceLo));
+  f.add(le("x", kSpaceHi));
+  return f;
+}
+
+Publication make_publication(PublicationId id, std::int64_t x,
+                             std::int64_t group) {
+  Publication p;
+  p.set_id(id);
+  p.set("class", "STOCK");
+  p.set("g", group);
+  p.set("x", x);
+  return p;
+}
+
+}  // namespace tmps

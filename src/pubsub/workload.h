@@ -1,0 +1,71 @@
+// Subscription workload generators reproducing Fig. 7 of the paper.
+//
+// Each workload is a family of 10 subscription filters over a common content
+// space (class = "STOCK", x in [0, 10000]) whose *covering relationships*
+// form the structures the paper evaluates:
+//
+//   Covered  — subscription 1 covers all of 2..10 (root + 9 disjoint leaves)
+//   Chained  — 1 covers 2 covers 3 ... covers 10 (nested intervals)
+//   Tree     — branching-factor-3 tree: 1 covers {2,3,4}, 2 covers {5,6,7},
+//              3 covers {8,9,10}  (the paper's x-axis value "3")
+//   Distinct — pairwise-disjoint intervals, no covering
+//   Random   — a uniform mix drawn from the four workloads above
+//
+// The paper's Fig. 9 x-axis ("number of covered subscriptions") is the
+// maximum direct-covering fan-out: chained=1, tree=3, covered=9, distinct=0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pubsub/filter.h"
+#include "pubsub/publication.h"
+#include "pubsub/subscription.h"
+
+namespace tmps {
+
+enum class WorkloadKind { Covered, Chained, Tree, Distinct, Random };
+
+const char* to_string(WorkloadKind k);
+
+/// The paper's x-axis value for a workload (max direct-covering fan-out).
+int covering_degree(WorkloadKind k);
+
+/// Content space shared by all workloads.
+inline constexpr std::int64_t kSpaceLo = 0;
+inline constexpr std::int64_t kSpaceHi = 10000;
+inline constexpr std::int64_t kMaxGroup = 1000000;
+
+/// The i-th (1-based) subscription filter of a workload, within covering
+/// family `group`. Filters of the same group carry the Fig. 7 covering
+/// structure; filters of different groups never cover each other (each
+/// subscriber gets a distinct subscription, as in the paper's experiments —
+/// 400 clients form 40 independent covering families). `Random` is not a
+/// fixed family; use workload_filters(Random, seed) instead.
+Filter workload_filter(WorkloadKind k, int i, std::int64_t group = 0);
+
+/// All 10 filters of a workload family, index 0 holding subscription 1 (the
+/// root where one exists). For Random, filters are drawn uniformly from the
+/// four concrete workloads using `seed`.
+Filter workload_filter_at(WorkloadKind k, int i, std::int64_t group,
+                          std::uint64_t seed);
+std::vector<Filter> workload_filters(WorkloadKind k, std::uint64_t seed = 0,
+                                     std::int64_t group = 0);
+
+/// Index set (0-based) of filters that cover at least one other filter in
+/// the workload ("covering" a.k.a. root/inner subscriptions).
+std::vector<int> covering_indices(WorkloadKind k);
+
+/// Index set (0-based) of filters covered by some other filter ("leaves").
+std::vector<int> covered_indices(WorkloadKind k);
+
+/// An advertisement filter spanning the whole content space, all groups
+/// (every workload subscription intersects it).
+Filter full_space_advertisement();
+
+/// A publication at point `x` of the content space, within covering family
+/// `group`.
+Publication make_publication(PublicationId id, std::int64_t x,
+                             std::int64_t group = 0);
+
+}  // namespace tmps

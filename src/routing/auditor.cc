@@ -1,0 +1,82 @@
+#include "routing/auditor.h"
+
+#include <set>
+
+namespace tmps {
+
+std::string AuditViolation::to_string() const {
+  return "sub " + tmps::to_string(sub) + " (subscriber at B" +
+         std::to_string(subscriber_broker) + ", publisher at B" +
+         std::to_string(publisher_broker) + "): " + detail;
+}
+
+void RoutingAuditor::expect_subscriber(const SubscriptionId& sub,
+                                       const Filter& filter, BrokerId at) {
+  subs_[sub] = Expected{filter, at};
+}
+
+void RoutingAuditor::expect_publisher(const AdvertisementId& adv,
+                                      const Filter& filter, BrokerId at) {
+  advs_[adv] = Expected{filter, at};
+}
+
+std::string RoutingAuditor::walk(const SubscriptionId& sub, BrokerId from,
+                                 BrokerId to, const Filter&) const {
+  BrokerId cur = from;
+  std::set<BrokerId> visited;
+  while (true) {
+    if (!visited.insert(cur).second) {
+      return "loop at B" + std::to_string(cur);
+    }
+    const RoutingTables& tables = tables_of_(cur);
+    const SubEntry* e = tables.find_sub(sub);
+    if (!e) return "no PRT entry at B" + std::to_string(cur);
+    const Hop next = e->lasthop;
+    if (next.is_client()) {
+      if (cur != to) {
+        return "client hop at B" + std::to_string(cur) + " but subscriber is at B" +
+               std::to_string(to);
+      }
+      if (next.client != sub.client) {
+        return "entry at B" + std::to_string(cur) + " points at client " +
+               std::to_string(next.client);
+      }
+      return {};
+    }
+    if (!next.is_broker()) {
+      return "dead entry (no last hop) at B" + std::to_string(cur);
+    }
+    if (!overlay_->are_neighbors(cur, next.broker)) {
+      return "entry at B" + std::to_string(cur) + " points at non-neighbour B" +
+             std::to_string(next.broker);
+    }
+    cur = next.broker;
+  }
+}
+
+std::vector<AuditViolation> RoutingAuditor::audit() const {
+  std::vector<AuditViolation> out;
+  for (const auto& [sid, s] : subs_) {
+    for (const auto& [aid, a] : advs_) {
+      if (!s.filter.intersects_advertisement(a.filter)) continue;
+      const std::string err = walk(sid, a.at, s.at, s.filter);
+      if (!err.empty()) {
+        out.push_back(AuditViolation{sid, s.at, a.at, err});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AuditViolation> RoutingAuditor::audit_no_shadows() const {
+  std::vector<AuditViolation> out;
+  for (BrokerId b = 1; b <= overlay_->broker_count(); ++b) {
+    if (tables_of_(b).has_pending_shadows()) {
+      out.push_back(AuditViolation{
+          {}, kNoBroker, b, "unresolved shadow state at B" + std::to_string(b)});
+    }
+  }
+  return out;
+}
+
+}  // namespace tmps

@@ -1,0 +1,78 @@
+// Whole-network routing-consistency auditor (the checkable form of the
+// Sec. 3.5 properties).
+//
+// Consistency, operationally: for every subscription S hosted at broker
+// B(S) and every advertisement A hosted at broker B(A) whose filter
+// intersects S, a publication conforming to both must be deliverable — i.e.
+// starting at B(A), greedily following PRT entries for publications matching
+// S must reach B(S) without loops. The auditor walks the tables directly
+// (no messages) and reports every broken pair.
+//
+// Stale extra entries are allowed (the paper's consistency explicitly
+// permits them); only *missing or misdirected* paths are violations.
+//
+// Scope: the per-subscription walk assumes each subscription owns its
+// delivery path — exact for covering-disabled networks (every
+// reconfiguration-mobility deployment; see DESIGN.md §5a). Under covering,
+// quenched subscriptions legitimately ride their coverer's path and the
+// walk would report false positives.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "routing/overlay.h"
+#include "routing/routing_tables.h"
+
+namespace tmps {
+
+struct AuditViolation {
+  SubscriptionId sub;
+  BrokerId subscriber_broker = kNoBroker;
+  BrokerId publisher_broker = kNoBroker;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+class RoutingAuditor {
+ public:
+  /// `tables_of` resolves a broker id to its routing tables.
+  RoutingAuditor(const Overlay& overlay,
+                 std::function<const RoutingTables&(BrokerId)> tables_of)
+      : overlay_(&overlay), tables_of_(std::move(tables_of)) {}
+
+  /// Declares where a client (and hence its subscriptions) currently lives.
+  void expect_subscriber(const SubscriptionId& sub, const Filter& filter,
+                         BrokerId at);
+  /// Declares a publisher/advertisement position.
+  void expect_publisher(const AdvertisementId& adv, const Filter& filter,
+                        BrokerId at);
+
+  /// Checks every intersecting (advertisement, subscription) pair. Returns
+  /// all violations (empty = consistent).
+  std::vector<AuditViolation> audit() const;
+
+  /// Additionally verifies no broker holds unresolved shadow state.
+  std::vector<AuditViolation> audit_no_shadows() const;
+
+ private:
+  struct Expected {
+    Filter filter;
+    BrokerId at = kNoBroker;
+  };
+
+  /// Follows PRT entries for `sub` from `from` to `to`; empty string on
+  /// success, else a description of where the walk broke.
+  std::string walk(const SubscriptionId& sub, BrokerId from, BrokerId to,
+                   const Filter& sub_filter) const;
+
+  const Overlay* overlay_;
+  std::function<const RoutingTables&(BrokerId)> tables_of_;
+  std::map<SubscriptionId, Expected> subs_;
+  std::map<AdvertisementId, Expected> advs_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,73 @@
+// Covering-optimization decisions over a broker's routing tables.
+//
+// PADRES-style covering ("active" variant, as described in Sec. 4.4 of the
+// paper): on each overlay link the broker keeps forwarded only a minimal
+// antichain of its subscriptions (and advertisements) under the covering
+// relation.
+//   * A new subscription covered by one already forwarded over a link is
+//     quenched (not forwarded there).
+//   * A new subscription that strictly covers ones already forwarded over a
+//     link is forwarded and the covered ones are retracted (unsubscribed)
+//     over that link — the behaviour the paper identifies as pathological
+//     under mobility.
+//   * Removing a subscription un-quenches the subscriptions it covered: they
+//     must be (re)forwarded over the affected links before the
+//     unsubscription propagates.
+// Mutual covering (equal filters) is broken by forwarding only the earliest
+// id, so 40 clients with identical subscriptions forward one representative.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing_tables.h"
+
+namespace tmps {
+
+/// Is `filter` (of entry `self`) covered over `link` by another subscription
+/// already forwarded over `link`?
+bool sub_covered_on_link(const RoutingTables& rt, const SubscriptionId& self,
+                         const Filter& filter, Hop link);
+
+/// Subscriptions currently forwarded over `link` that `filter` strictly
+/// covers (covers but is not covered by) — the retraction set when `self`
+/// is newly forwarded over `link`.
+std::vector<SubEntry*> strictly_covered_subs_on_link(RoutingTables& rt,
+                                                     const SubscriptionId& self,
+                                                     const Filter& filter,
+                                                     Hop link);
+
+/// Subscriptions that were quenched over `link` (at least in part) by the
+/// subscription being removed and have no remaining coverer: they must be
+/// forwarded over `link` before the removal propagates. A candidate must
+/// also *need* the link, i.e. some advertisement in the SRT with last hop
+/// `link` intersects it.
+std::vector<SubEntry*> unquenched_subs_on_link(RoutingTables& rt,
+                                               const SubEntry& removed,
+                                               Hop link);
+
+/// Advertisement analogues.
+bool adv_covered_on_link(const RoutingTables& rt, const AdvertisementId& self,
+                         const Filter& filter, Hop link);
+std::vector<AdvEntry*> strictly_covered_advs_on_link(
+    RoutingTables& rt, const AdvertisementId& self, const Filter& filter,
+    Hop link);
+/// Advertisements quenched by the removed one over `link` with no remaining
+/// coverer. Advertisements are flooded, so every non-lasthop link qualifies
+/// as "needed".
+std::vector<AdvEntry*> unquenched_advs_on_link(RoutingTables& rt,
+                                               const AdvEntry& removed,
+                                               Hop link);
+
+/// Audits the covering invariants at one broker over the given links:
+///  (1) antichain — no forwarded subscription is strictly covered by another
+///      forwarded subscription on the same link (retraction happened);
+///  (2) quench completeness — every subscription that needs a link (an
+///      intersecting advertisement lies behind it) is either forwarded there
+///      or covered by one that is (delivery is never silently dropped).
+/// Returns human-readable violation descriptions; empty means consistent.
+/// Only meaningful at quiesce points of covering-enabled static networks
+/// (in-flight operations and mobility shadow state legitimately break it).
+std::vector<std::string> audit_covering_invariants(
+    const RoutingTables& rt, const std::vector<Hop>& links);
+
+}  // namespace tmps

@@ -1,0 +1,51 @@
+// A routing-table "hop": where a message came from or should be sent next.
+// Either a neighbouring broker or a locally attached client.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/ids.h"
+
+namespace tmps {
+
+struct Hop {
+  enum class Kind : std::uint8_t { None, Broker, Client };
+
+  Kind kind = Kind::None;
+  BrokerId broker = kNoBroker;
+  ClientId client = kNoClient;
+
+  static Hop none() { return {}; }
+  static Hop of_broker(BrokerId b) { return {Kind::Broker, b, kNoClient}; }
+  static Hop of_client(ClientId c) { return {Kind::Client, kNoBroker, c}; }
+
+  bool is_none() const { return kind == Kind::None; }
+  bool is_broker() const { return kind == Kind::Broker; }
+  bool is_client() const { return kind == Kind::Client; }
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+  friend auto operator<=>(const Hop&, const Hop&) = default;
+
+  std::string to_string() const {
+    switch (kind) {
+      case Kind::None: return "none";
+      case Kind::Broker: return "B" + std::to_string(broker);
+      case Kind::Client: return "C" + std::to_string(client);
+    }
+    return "?";
+  }
+};
+
+}  // namespace tmps
+
+template <>
+struct std::hash<tmps::Hop> {
+  std::size_t operator()(const tmps::Hop& h) const noexcept {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(h.kind) << 62) ^
+        (static_cast<std::uint64_t>(h.broker) << 32) ^ h.client;
+    return std::hash<std::uint64_t>{}(k);
+  }
+};

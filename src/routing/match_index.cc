@@ -1,0 +1,84 @@
+#include "routing/match_index.h"
+
+#include <algorithm>
+
+namespace tmps {
+
+std::string SubMatchIndex::key_of(const std::string& attr, const Value& v) {
+  // Attribute names cannot contain '\x01'; the kind byte keeps 1 and "1"
+  // (and 1 vs 1.0, which compare equal but hash differently) apart — a
+  // bucket miss for an equal-valued different-kind publication is handled
+  // by also probing with the publication's own representation, so we
+  // normalize numerics to their decimal text.
+  std::string key = attr;
+  key.push_back('\x01');
+  if (v.is_numeric()) {
+    const double d = v.numeric();
+    if (d == static_cast<double>(static_cast<long long>(d))) {
+      key += std::to_string(static_cast<long long>(d));
+    } else {
+      key += std::to_string(d);
+    }
+  } else {
+    key.push_back('s');
+    key += v.as_string();
+  }
+  return key;
+}
+
+const Predicate* SubMatchIndex::pick_bucket(const Filter& filter) const {
+  const Predicate* best = nullptr;
+  std::size_t best_size = 0;
+  for (const auto& p : filter.predicates()) {
+    if (p.op != Op::kEq) continue;
+    const auto it = buckets_.find(key_of(p.attr, p.value));
+    const std::size_t size = it == buckets_.end() ? 0 : it->second.size();
+    if (!best || size < best_size) {
+      best = &p;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+void SubMatchIndex::insert(const SubscriptionId& id, const Filter& filter) {
+  if (const Predicate* p = pick_bucket(filter)) {
+    buckets_[key_of(p->attr, p->value)].push_back(id);
+    ++indexed_;
+  } else {
+    scan_.push_back(id);
+  }
+}
+
+void SubMatchIndex::erase(const SubscriptionId& id, const Filter& filter) {
+  // The entry is in one of the filter's equality buckets or the scan list;
+  // try them all (erase is rare compared to matching).
+  for (const auto& p : filter.predicates()) {
+    if (p.op != Op::kEq) continue;
+    auto it = buckets_.find(key_of(p.attr, p.value));
+    if (it == buckets_.end()) continue;
+    auto& ids = it->second;
+    auto pos = std::find(ids.begin(), ids.end(), id);
+    if (pos != ids.end()) {
+      ids.erase(pos);
+      if (ids.empty()) buckets_.erase(it);
+      --indexed_;
+      return;
+    }
+  }
+  auto pos = std::find(scan_.begin(), scan_.end(), id);
+  if (pos != scan_.end()) scan_.erase(pos);
+}
+
+void SubMatchIndex::candidates(const Publication& pub,
+                               std::vector<SubscriptionId>& out) const {
+  for (const auto& [attr, v] : pub.attrs()) {
+    const auto it = buckets_.find(key_of(attr, v));
+    if (it != buckets_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  out.insert(out.end(), scan_.begin(), scan_.end());
+}
+
+}  // namespace tmps

@@ -1,0 +1,52 @@
+// Equality-predicate pre-filter index over subscriptions: the standard
+// first stage of a content-based matching engine (cf. the counting/
+// predicate-index algorithms of Fabret et al., which PADRES builds on).
+//
+// Every subscription with at least one equality predicate is filed under
+// one (attribute, value) bucket; subscriptions without any equality
+// predicate fall back to a scan list. For a publication, the candidate set
+// is the union of the buckets probed with the publication's own
+// (attribute, value) pairs plus the scan list — sound and complete, because
+// a subscription filed under (A, v) can only match publications carrying
+// A = v. Candidates are then verified with a full filter match.
+//
+// Bucket choice is adaptive: among a subscription's equality predicates the
+// currently smallest bucket is chosen, so low-selectivity attributes (e.g.
+// a constant "class" attribute) stop attracting new entries once they grow.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/filter.h"
+#include "pubsub/publication.h"
+
+namespace tmps {
+
+class SubMatchIndex {
+ public:
+  void insert(const SubscriptionId& id, const Filter& filter);
+  void erase(const SubscriptionId& id, const Filter& filter);
+
+  /// Appends all candidate subscription ids for `pub` (a superset of the
+  /// true matches; may contain duplicates across buckets).
+  void candidates(const Publication& pub,
+                  std::vector<SubscriptionId>& out) const;
+
+  std::size_t indexed_count() const { return indexed_; }
+  std::size_t scan_count() const { return scan_.size(); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  static std::string key_of(const std::string& attr, const Value& v);
+  /// The equality predicate to file `filter` under, or nullptr.
+  const Predicate* pick_bucket(const Filter& filter) const;
+
+  std::unordered_map<std::string, std::vector<SubscriptionId>> buckets_;
+  std::vector<SubscriptionId> scan_;
+  std::size_t indexed_ = 0;
+};
+
+}  // namespace tmps

@@ -1,0 +1,176 @@
+#include "routing/overlay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+namespace tmps {
+
+Overlay::Overlay(std::uint32_t broker_count,
+                 std::vector<std::pair<BrokerId, BrokerId>> edges)
+    : n_(broker_count), edges_(std::move(edges)) {
+  if (n_ < 1) throw std::invalid_argument("overlay needs at least one broker");
+  if (edges_.size() != n_ - 1) {
+    throw std::invalid_argument("acyclic overlay over n brokers needs n-1 edges");
+  }
+  adj_.assign(n_ + 1, {});
+  for (const auto& [a, b] : edges_) {
+    if (!contains(a) || !contains(b) || a == b) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+  build_tables();
+}
+
+void Overlay::build_tables() {
+  // BFS from every broker; n is small (tens), so O(n^2) tables are cheap and
+  // make next_hop O(1) on the hot path.
+  next_hop_.assign(n_ + 1, std::vector<BrokerId>(n_ + 1, kNoBroker));
+  std::vector<BrokerId> parent(n_ + 1);
+  for (BrokerId root = 1; root <= n_; ++root) {
+    std::fill(parent.begin(), parent.end(), kNoBroker);
+    std::queue<BrokerId> q;
+    q.push(root);
+    parent[root] = root;
+    std::uint32_t visited = 0;
+    while (!q.empty()) {
+      const BrokerId u = q.front();
+      q.pop();
+      ++visited;
+      for (const BrokerId v : adj_[u]) {
+        if (parent[v] == kNoBroker) {
+          parent[v] = u;
+          q.push(v);
+        }
+      }
+    }
+    if (visited != n_) throw std::invalid_argument("overlay is disconnected");
+    // next_hop_[v][root]: first step from v towards root is v's BFS parent.
+    for (BrokerId v = 1; v <= n_; ++v) {
+      if (v != root) next_hop_[v][root] = parent[v];
+    }
+  }
+}
+
+const std::vector<BrokerId>& Overlay::neighbors(BrokerId b) const {
+  assert(contains(b));
+  return adj_[b];
+}
+
+bool Overlay::are_neighbors(BrokerId a, BrokerId b) const {
+  const auto& na = neighbors(a);
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+BrokerId Overlay::next_hop(BrokerId from, BrokerId to) const {
+  assert(contains(from) && contains(to) && from != to);
+  return next_hop_[from][to];
+}
+
+std::vector<BrokerId> Overlay::path(BrokerId from, BrokerId to) const {
+  std::vector<BrokerId> p{from};
+  while (from != to) {
+    from = next_hop(from, to);
+    p.push_back(from);
+  }
+  return p;
+}
+
+std::uint32_t Overlay::distance(BrokerId a, BrokerId b) const {
+  std::uint32_t d = 0;
+  while (a != b) {
+    a = next_hop(a, b);
+    ++d;
+  }
+  return d;
+}
+
+Overlay Overlay::paper_default() {
+  return Overlay(14, {{1, 3},
+                      {2, 3},
+                      {3, 4},
+                      {4, 5},
+                      {5, 6},
+                      {5, 7},
+                      {4, 8},
+                      {8, 9},
+                      {9, 10},
+                      {9, 11},
+                      {8, 12},
+                      {12, 13},
+                      {12, 14}});
+}
+
+Overlay Overlay::fig13_topology(std::uint32_t broker_count) {
+  if (broker_count < 14) {
+    // The fixed core references brokers 13 and 14 (movement endpoints), so
+    // the family starts at 14 brokers. (The paper sweeps 12..26; our sweep
+    // starts at its default topology size.)
+    throw std::invalid_argument("fig13 topology needs at least 14 brokers");
+  }
+  // Fixed core: spine 3-4-8-12 with endpoints 1,2 at the left and 13,14 at
+  // the right. Paths 1->12 (4 hops) and 2->14 (5 hops) never change length.
+  std::vector<std::pair<BrokerId, BrokerId>> edges{
+      {1, 3}, {2, 3}, {3, 4}, {4, 8}, {8, 12}, {12, 13}, {12, 14}};
+  const BrokerId core[] = {1, 2, 3, 4, 8, 12, 13, 14};
+  const BrokerId spine[] = {3, 4, 8, 12};
+  // Remaining ids (5,6,7,9,10,11,15,16,...) attach as leaves round-robin.
+  std::uint32_t attached = 0;
+  for (BrokerId b = 1; b <= broker_count; ++b) {
+    if (std::find(std::begin(core), std::end(core), b) != std::end(core)) {
+      continue;
+    }
+    edges.emplace_back(spine[attached % std::size(spine)], b);
+    ++attached;
+  }
+  return Overlay(broker_count, std::move(edges));
+}
+
+Overlay Overlay::random_tree(std::uint32_t broker_count, std::uint64_t seed) {
+  if (broker_count == 1) return Overlay(1, {});
+  if (broker_count == 2) return Overlay(2, {{1, 2}});
+  // Decode a uniformly random Prüfer sequence.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<BrokerId> dist(1, broker_count);
+  std::vector<BrokerId> pruefer(broker_count - 2);
+  for (auto& x : pruefer) x = dist(rng);
+
+  std::vector<std::uint32_t> degree(broker_count + 1, 1);
+  for (const BrokerId x : pruefer) ++degree[x];
+
+  std::priority_queue<BrokerId, std::vector<BrokerId>, std::greater<>> leaves;
+  for (BrokerId b = 1; b <= broker_count; ++b) {
+    if (degree[b] == 1) leaves.push(b);
+  }
+  std::vector<std::pair<BrokerId, BrokerId>> edges;
+  edges.reserve(broker_count - 1);
+  for (const BrokerId x : pruefer) {
+    const BrokerId leaf = leaves.top();
+    leaves.pop();
+    edges.emplace_back(leaf, x);
+    if (--degree[x] == 1) leaves.push(x);
+  }
+  const BrokerId a = leaves.top();
+  leaves.pop();
+  const BrokerId b = leaves.top();
+  edges.emplace_back(a, b);
+  return Overlay(broker_count, std::move(edges));
+}
+
+Overlay Overlay::chain(std::uint32_t broker_count) {
+  std::vector<std::pair<BrokerId, BrokerId>> edges;
+  for (BrokerId b = 1; b < broker_count; ++b) edges.emplace_back(b, b + 1);
+  return Overlay(broker_count, std::move(edges));
+}
+
+Overlay Overlay::star(std::uint32_t broker_count) {
+  std::vector<std::pair<BrokerId, BrokerId>> edges;
+  for (BrokerId b = 2; b <= broker_count; ++b) edges.emplace_back(1, b);
+  return Overlay(broker_count, std::move(edges));
+}
+
+}  // namespace tmps

@@ -1,0 +1,76 @@
+// The acyclic broker overlay: topology, unique paths, and the standard
+// topologies used by the paper's evaluation.
+//
+// The paper assumes an acyclic (tree) overlay, which makes the route between
+// any two brokers unique — the property the hop-by-hop reconfiguration
+// protocol exploits (Sec. 4.4, RouteS2T).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tmps {
+
+class Overlay {
+ public:
+  /// Builds an overlay over brokers 1..n with the given undirected edges.
+  /// Precondition (checked): edges form a tree over 1..n.
+  Overlay(std::uint32_t broker_count,
+          std::vector<std::pair<BrokerId, BrokerId>> edges);
+
+  /// The paper's default 14-broker topology (Fig. 6), reconstructed as a
+  /// spine 3-4-8-12 with leaf clusters: {1,2}-3, 5-4, {6,7}-5, 9-8,
+  /// {10,11}-9, {13,14}-12. Path(1,13) and path(2,14) are both 6 hops and
+  /// share the spine, matching the congestion interplay in Fig. 8.
+  static Overlay paper_default();
+
+  /// Topology family for the Fig. 13 experiment: grows from 12 to 26 brokers
+  /// while keeping the path length between the moving endpoints (1<->12 and
+  /// 2<->14) constant. The 8-broker core {1,2,3,4,8,12,13,14} is fixed;
+  /// additional brokers attach as leaves round-robin on the spine.
+  static Overlay fig13_topology(std::uint32_t broker_count);
+
+  /// Uniformly random labelled tree over 1..n (random Prüfer sequence),
+  /// for property tests.
+  static Overlay random_tree(std::uint32_t broker_count, std::uint64_t seed);
+
+  /// A simple chain 1-2-...-n.
+  static Overlay chain(std::uint32_t broker_count);
+
+  /// A star with broker 1 in the centre.
+  static Overlay star(std::uint32_t broker_count);
+
+  std::uint32_t broker_count() const { return n_; }
+  bool contains(BrokerId b) const { return b >= 1 && b <= n_; }
+
+  const std::vector<BrokerId>& neighbors(BrokerId b) const;
+
+  bool are_neighbors(BrokerId a, BrokerId b) const;
+
+  /// The next broker on the unique path from `from` towards `to`.
+  /// Precondition: from != to.
+  BrokerId next_hop(BrokerId from, BrokerId to) const;
+
+  /// The unique path <from, ..., to> inclusive of both endpoints.
+  std::vector<BrokerId> path(BrokerId from, BrokerId to) const;
+
+  /// Number of edges on the path between a and b.
+  std::uint32_t distance(BrokerId a, BrokerId b) const;
+
+  const std::vector<std::pair<BrokerId, BrokerId>>& edges() const {
+    return edges_;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<BrokerId, BrokerId>> edges_;
+  std::vector<std::vector<BrokerId>> adj_;       // adj_[b] for b in 1..n
+  std::vector<std::vector<BrokerId>> next_hop_;  // next_hop_[from][to]
+
+  void build_tables();
+};
+
+}  // namespace tmps

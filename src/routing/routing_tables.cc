@@ -1,0 +1,205 @@
+#include "routing/routing_tables.h"
+
+#include <algorithm>
+
+namespace tmps {
+
+SubEntry& RoutingTables::upsert_sub(const Subscription& sub, Hop lasthop) {
+  auto [it, inserted] = prt_.try_emplace(sub.id);
+  if (!inserted) index_.erase(sub.id, it->second.sub.filter);
+  it->second.sub = sub;
+  it->second.lasthop = lasthop;
+  if (inserted) it->second.shadow_only = false;
+  index_.insert(sub.id, sub.filter);
+  return it->second;
+}
+
+SubEntry* RoutingTables::find_sub(const SubscriptionId& id) {
+  auto it = prt_.find(id);
+  return it == prt_.end() ? nullptr : &it->second;
+}
+
+const SubEntry* RoutingTables::find_sub(const SubscriptionId& id) const {
+  auto it = prt_.find(id);
+  return it == prt_.end() ? nullptr : &it->second;
+}
+
+void RoutingTables::erase_sub(const SubscriptionId& id) {
+  auto it = prt_.find(id);
+  if (it == prt_.end()) return;
+  index_.erase(id, it->second.sub.filter);
+  prt_.erase(it);
+}
+
+AdvEntry& RoutingTables::upsert_adv(const Advertisement& adv, Hop lasthop) {
+  auto [it, inserted] = srt_.try_emplace(adv.id);
+  it->second.adv = adv;
+  it->second.lasthop = lasthop;
+  if (inserted) it->second.shadow_only = false;
+  return it->second;
+}
+
+AdvEntry* RoutingTables::find_adv(const AdvertisementId& id) {
+  auto it = srt_.find(id);
+  return it == srt_.end() ? nullptr : &it->second;
+}
+
+const AdvEntry* RoutingTables::find_adv(const AdvertisementId& id) const {
+  auto it = srt_.find(id);
+  return it == srt_.end() ? nullptr : &it->second;
+}
+
+void RoutingTables::erase_adv(const AdvertisementId& id) { srt_.erase(id); }
+
+std::vector<Hop> RoutingTables::hops_for_publication(
+    const Publication& pub) const {
+  std::vector<Hop> hops;
+  std::vector<SubscriptionId> cands;
+  index_.candidates(pub, cands);
+  for (const auto& id : cands) {
+    const auto it = prt_.find(id);
+    if (it == prt_.end()) continue;
+    const SubEntry& e = it->second;
+    if (!e.sub.filter.matches(pub)) continue;
+    // Shadow-only entries have no live primary hop; skip Hop::none().
+    if (!e.shadow_only && !e.lasthop.is_none() &&
+        std::find(hops.begin(), hops.end(), e.lasthop) == hops.end()) {
+      hops.push_back(e.lasthop);
+    }
+    if (e.shadow_lasthop && !e.shadow_lasthop->is_none() &&
+        std::find(hops.begin(), hops.end(), *e.shadow_lasthop) == hops.end()) {
+      hops.push_back(*e.shadow_lasthop);
+    }
+  }
+  return hops;
+}
+
+std::vector<const SubEntry*> RoutingTables::matching_subs(
+    const Publication& pub) const {
+  std::vector<const SubEntry*> out;
+  std::vector<SubscriptionId> cands;
+  index_.candidates(pub, cands);
+  for (const auto& id : cands) {
+    const auto it = prt_.find(id);
+    if (it != prt_.end() && it->second.sub.filter.matches(pub)) {
+      out.push_back(&it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<const SubEntry*> RoutingTables::matching_subs_scan(
+    const Publication& pub) const {
+  std::vector<const SubEntry*> out;
+  for (const auto& [id, e] : prt_) {
+    if (e.sub.filter.matches(pub)) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const AdvEntry*> RoutingTables::intersecting_advs(
+    const Filter& sub) const {
+  std::vector<const AdvEntry*> out;
+  for (const auto& [id, e] : srt_) {
+    if (sub.intersects_advertisement(e.adv.filter)) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const SubEntry*> RoutingTables::subs_intersecting(
+    const Filter& adv) const {
+  std::vector<const SubEntry*> out;
+  for (const auto& [id, e] : prt_) {
+    if (e.sub.filter.intersects_advertisement(adv)) out.push_back(&e);
+  }
+  return out;
+}
+
+void RoutingTables::install_sub_shadow(const Subscription& sub, Hop new_hop,
+                                       TxnId txn) {
+  auto [it, inserted] = prt_.try_emplace(sub.id);
+  if (inserted) {
+    it->second.sub = sub;
+    it->second.lasthop = Hop::none();
+    it->second.shadow_only = true;
+    index_.insert(sub.id, sub.filter);
+  }
+  it->second.shadow_lasthop = new_hop;
+  it->second.shadow_txn = txn;
+}
+
+void RoutingTables::install_adv_shadow(const Advertisement& adv, Hop new_hop,
+                                       TxnId txn) {
+  auto [it, inserted] = srt_.try_emplace(adv.id);
+  if (inserted) {
+    it->second.adv = adv;
+    it->second.lasthop = Hop::none();
+    it->second.shadow_only = true;
+  }
+  it->second.shadow_lasthop = new_hop;
+  it->second.shadow_txn = txn;
+}
+
+void RoutingTables::commit_shadow(const SubscriptionId& sub_id, TxnId txn) {
+  auto* e = find_sub(sub_id);
+  if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  e->lasthop = *e->shadow_lasthop;
+  e->shadow_lasthop.reset();
+  e->shadow_txn = kNoTxn;
+  e->shadow_only = false;
+}
+
+void RoutingTables::commit_adv_shadow(const AdvertisementId& adv_id,
+                                      TxnId txn) {
+  auto* e = find_adv(adv_id);
+  if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  e->lasthop = *e->shadow_lasthop;
+  e->shadow_lasthop.reset();
+  e->shadow_txn = kNoTxn;
+  e->shadow_only = false;
+}
+
+void RoutingTables::abort_shadow(const SubscriptionId& sub_id, TxnId txn) {
+  auto* e = find_sub(sub_id);
+  if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  e->shadow_lasthop.reset();
+  e->shadow_txn = kNoTxn;
+  if (e->shadow_only) erase_sub(sub_id);
+}
+
+void RoutingTables::abort_adv_shadow(const AdvertisementId& adv_id,
+                                     TxnId txn) {
+  auto* e = find_adv(adv_id);
+  if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  e->shadow_lasthop.reset();
+  e->shadow_txn = kNoTxn;
+  if (e->shadow_only) srt_.erase(adv_id);
+}
+
+bool RoutingTables::has_pending_shadows() const {
+  for (const auto& [id, e] : prt_) {
+    if (e.shadow_lasthop) return true;
+  }
+  for (const auto& [id, e] : srt_) {
+    if (e.shadow_lasthop) return true;
+  }
+  return false;
+}
+
+std::string RoutingTables::debug_string() const {
+  std::string s = "PRT{\n";
+  for (const auto& [id, e] : prt_) {
+    s += "  " + e.sub.to_string() + " last=" + e.lasthop.to_string();
+    if (e.shadow_lasthop) s += " shadow=" + e.shadow_lasthop->to_string();
+    s += "\n";
+  }
+  s += "} SRT{\n";
+  for (const auto& [id, e] : srt_) {
+    s += "  " + e.adv.to_string() + " last=" + e.lasthop.to_string();
+    if (e.shadow_lasthop) s += " shadow=" + e.shadow_lasthop->to_string();
+    s += "\n";
+  }
+  return s + "}";
+}
+
+}  // namespace tmps

@@ -1,0 +1,126 @@
+// Per-broker content-based routing state: the Subscription Routing Table
+// (SRT, advertisements used to route subscriptions) and the Publication
+// Routing Table (PRT, subscriptions used to route publications), following
+// the PADRES design the paper builds on.
+//
+// Entries support a *shadow* last hop: during a movement transaction the
+// pre-move and post-move routing configurations coexist at brokers on the
+// source→target path (Sec. 4.4). Publications route to both hops until the
+// transaction commits (then the shadow becomes primary) or aborts (then the
+// shadow is dropped) — this is what gives the routing layer its atomicity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/publication.h"
+#include "pubsub/subscription.h"
+#include "routing/hop.h"
+#include "routing/match_index.h"
+
+namespace tmps {
+
+struct SubEntry {
+  Subscription sub;
+  /// Link (or local client) the subscription arrived from; publications
+  /// matching it are forwarded here.
+  Hop lasthop;
+  /// Links this subscription has been forwarded over (and not retracted).
+  /// Used for unsubscription propagation and covering bookkeeping.
+  std::unordered_set<Hop> forwarded_to;
+  /// Post-move last hop installed by an in-flight movement transaction.
+  std::optional<Hop> shadow_lasthop;
+  TxnId shadow_txn = kNoTxn;
+  /// True when the entry exists *only* as shadow state (the broker had no
+  /// pre-move entry for this subscription); an abort removes it entirely.
+  bool shadow_only = false;
+};
+
+struct AdvEntry {
+  Advertisement adv;
+  Hop lasthop;
+  std::unordered_set<Hop> forwarded_to;
+  std::optional<Hop> shadow_lasthop;
+  TxnId shadow_txn = kNoTxn;
+  bool shadow_only = false;
+};
+
+class RoutingTables {
+ public:
+  // --- PRT (subscriptions) ---
+  SubEntry& upsert_sub(const Subscription& sub, Hop lasthop);
+  SubEntry* find_sub(const SubscriptionId& id);
+  const SubEntry* find_sub(const SubscriptionId& id) const;
+  void erase_sub(const SubscriptionId& id);
+
+  // --- SRT (advertisements) ---
+  AdvEntry& upsert_adv(const Advertisement& adv, Hop lasthop);
+  AdvEntry* find_adv(const AdvertisementId& id);
+  const AdvEntry* find_adv(const AdvertisementId& id) const;
+  void erase_adv(const AdvertisementId& id);
+
+  const std::unordered_map<SubscriptionId, SubEntry>& prt() const {
+    return prt_;
+  }
+  std::unordered_map<SubscriptionId, SubEntry>& prt() { return prt_; }
+  const std::unordered_map<AdvertisementId, AdvEntry>& srt() const {
+    return srt_;
+  }
+  std::unordered_map<AdvertisementId, AdvEntry>& srt() { return srt_; }
+
+  /// Subscriptions a publication must be delivered towards. Returns the set
+  /// of distinct hops, including shadow hops of in-flight movements (both
+  /// configurations receive traffic until resolution).
+  std::vector<Hop> hops_for_publication(const Publication& pub) const;
+
+  /// Entries whose filter matches the publication (primary view only).
+  /// Accelerated by the equality-predicate index.
+  std::vector<const SubEntry*> matching_subs(const Publication& pub) const;
+
+  /// Reference implementation of matching_subs (full scan); used by tests
+  /// and benchmarks to validate and measure the index.
+  std::vector<const SubEntry*> matching_subs_scan(const Publication& pub) const;
+
+  const SubMatchIndex& match_index() const { return index_; }
+
+  /// Advertisements a subscription filter intersects.
+  std::vector<const AdvEntry*> intersecting_advs(const Filter& sub) const;
+
+  /// Subscriptions that intersect an advertisement filter.
+  std::vector<const SubEntry*> subs_intersecting(const Filter& adv) const;
+
+  // --- movement-transaction shadow state ---
+
+  /// Installs the post-move hop for a subscription. Creates a shadow-only
+  /// entry when the broker has no existing entry for `sub`.
+  void install_sub_shadow(const Subscription& sub, Hop new_hop, TxnId txn);
+  void install_adv_shadow(const Advertisement& adv, Hop new_hop, TxnId txn);
+
+  /// Commit: the shadow hop becomes primary; the pre-move hop is forgotten.
+  /// No-op when the entry has no shadow for `txn`.
+  void commit_shadow(const SubscriptionId& sub_id, TxnId txn);
+  void commit_adv_shadow(const AdvertisementId& adv_id, TxnId txn);
+
+  /// Abort: shadow state for `txn` is dropped; shadow-only entries vanish.
+  void abort_shadow(const SubscriptionId& sub_id, TxnId txn);
+  void abort_adv_shadow(const AdvertisementId& adv_id, TxnId txn);
+
+  /// Any entry still carrying shadow state? (test/debug invariant helper)
+  bool has_pending_shadows() const;
+
+  std::size_t sub_count() const { return prt_.size(); }
+  std::size_t adv_count() const { return srt_.size(); }
+
+  std::string debug_string() const;
+
+ private:
+  std::unordered_map<SubscriptionId, SubEntry> prt_;
+  std::unordered_map<AdvertisementId, AdvEntry> srt_;
+  SubMatchIndex index_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tmps {
+
+void EventQueue::schedule_at(SimTime t, Action action) {
+  if (t < now_) t = now_;  // the past is not available; run asap
+  heap_.push(Event{t, seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast — safe because
+  // we pop immediately and never touch the moved-from Action.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!heap_.empty() && heap_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace tmps

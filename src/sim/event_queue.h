@@ -1,0 +1,64 @@
+// Discrete-event scheduler: the clock of the simulated distributed system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tmps {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t`. Events at equal times run in
+  /// scheduling order (stable). A time already in the past is clamped to
+  /// `now` — the action runs as soon as possible.
+  void schedule_at(SimTime t, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event; returns false when none remain.
+  bool step();
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Total events executed (for runaway detection in tests).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace tmps

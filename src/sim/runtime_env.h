@@ -1,0 +1,33 @@
+// Runtime services the mobility protocols need from their host — a clock,
+// timers, movement metrics, and causal-drain notification. Implemented by
+// the discrete-event SimNetwork (benchmarks) and the thread transport
+// (live runs), keeping the protocol code host-agnostic.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "sim/stats.h"
+
+namespace tmps {
+
+class RuntimeEnv {
+ public:
+  virtual ~RuntimeEnv() = default;
+
+  virtual SimTime now() const = 0;
+
+  /// Runs `fn` after `delay` seconds (protocol timeouts, retries).
+  virtual void schedule(double delay, std::function<void()> fn) = 0;
+
+  /// Reports a finished (committed or aborted) movement transaction.
+  virtual void movement_finished(MovementRecord rec) = 0;
+
+  /// Invokes `fn` once no message tagged with `cause` remains in flight.
+  /// Used by the traditional protocol to detect that a movement's induced
+  /// (un)subscription propagation — including covering cascades — has
+  /// quiesced. Fires immediately if the cause is already drained.
+  virtual void on_cause_drained(TxnId cause, std::function<void()> fn) = 0;
+};
+
+}  // namespace tmps

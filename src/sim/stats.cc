@@ -1,0 +1,85 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+namespace tmps {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  sum_ += x;
+  sumsq_ += x * x;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double v = sumsq_ / static_cast<double>(n_) - m * m;
+  return v > 0 ? v : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Stats::count_message(BrokerId from, BrokerId to, std::string_view type,
+                          TxnId cause) {
+  ++total_messages_;
+  ++link_counts_[{from, to}];
+  ++type_counts_[std::string(type)];
+  if (cause != kNoTxn) ++cause_counts_[cause];
+}
+
+std::uint64_t Stats::messages_by_type(const std::string& type) const {
+  auto it = type_counts_.find(type);
+  return it == type_counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t Stats::messages_for_cause(TxnId cause) const {
+  auto it = cause_counts_.find(cause);
+  return it == cause_counts_.end() ? 0 : it->second;
+}
+
+void Stats::reset_traffic() {
+  total_messages_ = 0;
+  link_counts_.clear();
+  type_counts_.clear();
+  cause_counts_.clear();
+}
+
+void Stats::record_movement(MovementRecord rec) {
+  rec.messages = messages_for_cause(rec.txn);
+  movements_.push_back(std::move(rec));
+}
+
+Summary Stats::latency_summary(SimTime from, SimTime to) const {
+  Summary s;
+  for (const auto& m : movements_) {
+    if (m.committed && m.start >= from && m.start < to) s.add(m.duration());
+  }
+  return s;
+}
+
+std::uint64_t Stats::committed_movements(SimTime from, SimTime to) const {
+  std::uint64_t n = 0;
+  for (const auto& m : movements_) {
+    if (m.committed && m.start >= from && m.start < to) ++n;
+  }
+  return n;
+}
+
+double Stats::messages_per_movement(SimTime from, SimTime to) const {
+  std::uint64_t msgs = 0, n = 0;
+  for (const auto& m : movements_) {
+    if (m.committed && m.start >= from && m.start < to) {
+      msgs += messages_for_cause(m.txn);
+      ++n;
+    }
+  }
+  return n ? static_cast<double>(msgs) / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace tmps

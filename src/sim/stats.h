@@ -1,0 +1,97 @@
+// Metrics collected by the simulation harness: the three quantities the
+// paper's evaluation reports (Sec. 5) plus supporting breakdowns.
+//
+//   * network traffic — messages transmitted per overlay link, total and
+//     attributed to individual movement transactions via the cause tag;
+//   * movement duration — wall-clock (simulated) time per movement;
+//   * movement throughput — completed movements over the experiment window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/event_queue.h"
+
+namespace tmps {
+
+/// Streaming summary of a series (latencies etc.).
+class Summary {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0, sumsq_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+struct MovementRecord {
+  TxnId txn = kNoTxn;
+  ClientId client = kNoClient;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool committed = false;
+  /// Messages attributed to this movement (filled from cause-tag counts).
+  std::uint64_t messages = 0;
+
+  double duration() const { return end - start; }
+};
+
+class Stats {
+ public:
+  // --- network traffic ---
+  void count_message(BrokerId from, BrokerId to, std::string_view type,
+                     TxnId cause);
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t messages_by_type(const std::string& type) const;
+  std::uint64_t messages_for_cause(TxnId cause) const;
+  const std::map<std::pair<BrokerId, BrokerId>, std::uint64_t>& link_counts()
+      const {
+    return link_counts_;
+  }
+  const std::map<std::string, std::uint64_t>& type_counts() const {
+    return type_counts_;
+  }
+
+  /// Forgets traffic accounted so far (used to exclude the setup phase, as
+  /// the paper does: "we ignore this setup phase in subsequent results").
+  void reset_traffic();
+
+  // --- movements ---
+  void record_movement(MovementRecord rec);
+  const std::vector<MovementRecord>& movements() const { return movements_; }
+  std::vector<MovementRecord>& movements() { return movements_; }
+
+  /// Summary over committed movements that *started* in [from, to).
+  Summary latency_summary(SimTime from = 0,
+                          SimTime to = 1e300) const;
+  std::uint64_t committed_movements(SimTime from = 0, SimTime to = 1e300) const;
+  /// Mean messages per committed movement in the window.
+  double messages_per_movement(SimTime from = 0, SimTime to = 1e300) const;
+
+  // --- notifications (delivery auditing) ---
+  void count_delivery(ClientId client) { (void)client; ++deliveries_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::map<std::pair<BrokerId, BrokerId>, std::uint64_t> link_counts_;
+  std::map<std::string, std::uint64_t> type_counts_;
+  std::map<TxnId, std::uint64_t> cause_counts_;
+  std::vector<MovementRecord> movements_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,197 @@
+#include "transport/inproc_transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tmps {
+
+InprocTransport::InprocTransport(const Overlay& overlay,
+                                 BrokerConfig broker_cfg,
+                                 MobilityConfig mobility_cfg)
+    : overlay_(&overlay) {
+  nodes_.resize(overlay.broker_count() + 1);
+  for (BrokerId b = 1; b <= overlay.broker_count(); ++b) {
+    auto node = std::make_unique<Node>();
+    node->broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
+    node->engine =
+        std::make_unique<MobilityEngine>(*node->broker, *this, mobility_cfg);
+    node->engine->set_transmit(
+        [this, b](Broker::Outputs out) { dispatch(b, std::move(out)); });
+    nodes_[b] = std::move(node);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+InprocTransport::~InprocTransport() { stop(); }
+
+MobilityEngine& InprocTransport::engine(BrokerId b) {
+  assert(b >= 1 && b < nodes_.size());
+  return *nodes_[b]->engine;
+}
+
+void InprocTransport::start() {
+  if (running_.exchange(true)) return;
+  epoch_ = std::chrono::steady_clock::now();
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    nodes_[b]->worker = std::thread([this, b] { worker_loop(b); });
+  }
+  timer_thread_ = std::thread([this] { timer_loop(); });
+}
+
+void InprocTransport::stop() {
+  if (!running_.exchange(false)) return;
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    nodes_[b]->queue_cv.notify_all();
+  }
+  timer_cv_.notify_all();
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    if (nodes_[b]->worker.joinable()) nodes_[b]->worker.join();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+SimTime InprocTransport::now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(d).count();
+}
+
+void InprocTransport::schedule(double delay, std::function<void()> fn) {
+  std::lock_guard lock(timer_mu_);
+  timers_.push_back(
+      Timer{std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(delay)),
+            std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end());
+  timer_cv_.notify_all();
+}
+
+void InprocTransport::movement_finished(MovementRecord rec) {
+  std::lock_guard lock(stats_mu_);
+  stats_.record_movement(std::move(rec));
+}
+
+void InprocTransport::on_cause_drained(TxnId cause,
+                                       std::function<void()> fn) {
+  {
+    std::lock_guard lock(cause_mu_);
+    auto it = outstanding_.find(cause);
+    if (it != outstanding_.end() && it->second > 0) {
+      drain_watchers_[cause].push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+void InprocTransport::dispatch(BrokerId from, Broker::Outputs outputs) {
+  for (auto& [to, msg] : outputs) {
+    {
+      std::lock_guard lock(stats_mu_);
+      stats_.count_message(from, to, msg.type_name(), msg.cause);
+    }
+    if (msg.cause != kNoTxn) {
+      std::lock_guard lock(cause_mu_);
+      ++outstanding_[msg.cause];
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    Node& node = *nodes_[to];
+    {
+      std::lock_guard lock(node.queue_mu);
+      node.queue.push_back(Envelope{from, std::move(msg)});
+    }
+    node.queue_cv.notify_one();
+  }
+}
+
+void InprocTransport::retire_cause(TxnId cause) {
+  std::vector<std::function<void()>> fire;
+  {
+    std::lock_guard lock(cause_mu_);
+    auto it = outstanding_.find(cause);
+    if (it == outstanding_.end() || it->second == 0) return;
+    if (--it->second == 0) {
+      outstanding_.erase(it);
+      auto w = drain_watchers_.find(cause);
+      if (w != drain_watchers_.end()) {
+        fire = std::move(w->second);
+        drain_watchers_.erase(w);
+      }
+    }
+  }
+  for (auto& fn : fire) fn();
+}
+
+void InprocTransport::worker_loop(BrokerId b) {
+  Node& node = *nodes_[b];
+  while (true) {
+    Envelope env{kNoBroker, {}};
+    {
+      std::unique_lock lock(node.queue_mu);
+      node.queue_cv.wait(lock, [&] {
+        return !node.queue.empty() || !running_.load();
+      });
+      if (node.queue.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      env = std::move(node.queue.front());
+      node.queue.pop_front();
+    }
+    Broker::Outputs outputs;
+    {
+      std::lock_guard lock(node.state_mu);
+      outputs = node.broker->on_message(env.from, env.msg);
+    }
+    dispatch(b, std::move(outputs));
+    if (env.msg.cause != kNoTxn) retire_cause(env.msg.cause);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void InprocTransport::timer_loop() {
+  std::unique_lock lock(timer_mu_);
+  while (running_.load()) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const auto next = timers_.front().at;
+    if (timer_cv_.wait_until(lock, next) == std::cv_status::timeout &&
+        !timers_.empty() && timers_.front().at <= next) {
+      std::pop_heap(timers_.begin(), timers_.end());
+      auto fn = std::move(timers_.back().fn);
+      timers_.pop_back();
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+  }
+}
+
+void InprocTransport::run_on(
+    BrokerId b,
+    const std::function<void(MobilityEngine&, Broker::Outputs&)>& op) {
+  Node& node = *nodes_[b];
+  Broker::Outputs out;
+  {
+    std::lock_guard lock(node.state_mu);
+    op(*node.engine, out);
+  }
+  dispatch(b, std::move(out));
+}
+
+void InprocTransport::drain() {
+  int idle_checks = 0;
+  while (idle_checks < 5) {
+    bool idle = in_flight_.load(std::memory_order_relaxed) == 0;
+    if (idle) {
+      ++idle_checks;
+    } else {
+      idle_checks = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace tmps

@@ -1,0 +1,102 @@
+// A live, multi-threaded host for the broker overlay: one worker thread per
+// broker with bounded FIFO input queues, a timer thread, and wall-clock
+// time. The same Broker/MobilityEngine objects that run under the
+// discrete-event simulator run here unchanged — this is the "real system"
+// backend used by the integration tests and the runnable examples.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/mobility_engine.h"
+#include "sim/runtime_env.h"
+
+namespace tmps {
+
+class InprocTransport final : public RuntimeEnv {
+ public:
+  InprocTransport(const Overlay& overlay, BrokerConfig broker_cfg = {},
+                  MobilityConfig mobility_cfg = {});
+  ~InprocTransport() override;
+
+  InprocTransport(const InprocTransport&) = delete;
+  InprocTransport& operator=(const InprocTransport&) = delete;
+
+  /// Spawns the broker workers and the timer thread.
+  void start();
+  /// Stops all threads; pending messages are processed first (drain).
+  void stop();
+
+  const Overlay& overlay() const { return *overlay_; }
+  MobilityEngine& engine(BrokerId b);
+
+  /// Runs a client operation on broker `b` under its lock and dispatches the
+  /// resulting messages. Thread-safe; usable from any thread.
+  void run_on(BrokerId b,
+              const std::function<void(MobilityEngine&, Broker::Outputs&)>& op);
+
+  /// Blocks until no message is queued or being processed anywhere (and the
+  /// state has stayed idle for a grace period).
+  void drain();
+
+  Stats& stats() { return stats_; }
+
+  // --- RuntimeEnv -----------------------------------------------------------
+  SimTime now() const override;  // seconds since start()
+  void schedule(double delay, std::function<void()> fn) override;
+  void movement_finished(MovementRecord rec) override;
+  void on_cause_drained(TxnId cause, std::function<void()> fn) override;
+
+ private:
+  struct Envelope {
+    BrokerId from;
+    Message msg;
+  };
+  struct Node {
+    std::unique_ptr<Broker> broker;
+    std::unique_ptr<MobilityEngine> engine;
+    std::mutex state_mu;  // guards broker+engine state
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<Envelope> queue;
+    std::thread worker;
+  };
+
+  void worker_loop(BrokerId b);
+  void timer_loop();
+  void dispatch(BrokerId from, Broker::Outputs outputs);
+  void retire_cause(TxnId cause);
+
+  const Overlay* overlay_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = BrokerId (1-based)
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> in_flight_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex stats_mu_;
+  Stats stats_;
+
+  std::mutex cause_mu_;
+  std::map<TxnId, std::uint64_t> outstanding_;
+  std::map<TxnId, std::vector<std::function<void()>>> drain_watchers_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  struct Timer {
+    std::chrono::steady_clock::time_point at;
+    std::function<void()> fn;
+    bool operator<(const Timer& o) const { return at > o.at; }
+  };
+  std::vector<Timer> timers_;  // heap
+  std::thread timer_thread_;
+};
+
+}  // namespace tmps

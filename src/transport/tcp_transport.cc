@@ -1,0 +1,375 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "pubsub/codec.h"
+
+namespace tmps {
+
+namespace {
+
+bool write_full(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+bool read_full(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t k = ::recv(fd, p, n, 0);
+    if (k <= 0) {
+      if (k < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB sanity bound
+
+}  // namespace
+
+TcpTransport::TcpTransport(const Overlay& overlay, std::uint16_t base_port,
+                           BrokerConfig broker_cfg,
+                           MobilityConfig mobility_cfg)
+    : overlay_(&overlay), base_port_(base_port) {
+  nodes_.resize(overlay.broker_count() + 1);
+  for (BrokerId b = 1; b <= overlay.broker_count(); ++b) {
+    auto node = std::make_unique<Node>();
+    node->broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
+    node->engine =
+        std::make_unique<MobilityEngine>(*node->broker, *this, mobility_cfg);
+    node->engine->set_transmit([this, b](Broker::Outputs out) {
+      dispatch_outputs(b, std::move(out));
+    });
+    nodes_[b] = std::move(node);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+MobilityEngine& TcpTransport::engine(BrokerId b) {
+  assert(b >= 1 && b < nodes_.size());
+  return *nodes_[b]->engine;
+}
+
+std::uint16_t TcpTransport::port_of(BrokerId b) const {
+  return nodes_[b]->port;
+}
+
+SimTime TcpTransport::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+bool TcpTransport::start() {
+  if (running_.exchange(true)) return true;
+  epoch_ = std::chrono::steady_clock::now();
+
+  // Bind one listener per broker.
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    Node& node = *nodes_[b];
+    node.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (node.listen_fd < 0) return false;
+    int one = 1;
+    ::setsockopt(node.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(base_port_ == 0 ? 0
+                              : static_cast<std::uint16_t>(base_port_ + b));
+    if (::bind(node.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(node.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    node.port = ntohs(addr.sin_port);
+    if (::listen(node.listen_fd, 8) != 0) return false;
+    node.accept_thread = std::thread([this, b] { accept_loop(b); });
+  }
+
+  if (!connect_links()) return false;
+
+  // Wait until every node holds a link to each of its neighbours (the
+  // accepting side registers asynchronously).
+  for (int spin = 0; spin < 500; ++spin) {
+    bool all = true;
+    for (BrokerId b = 1; b < nodes_.size(); ++b) {
+      std::lock_guard lock(nodes_[b]->peers_mu);
+      if (nodes_[b]->peer_fd.size() != overlay_->neighbors(b).size()) {
+        all = false;
+      }
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  timer_thread_ = std::thread([this] { timer_loop(); });
+  return true;
+}
+
+bool TcpTransport::connect_links() {
+  // The lower-numbered endpoint dials.
+  for (const auto& [a, b] : overlay_->edges()) {
+    const BrokerId lo = std::min(a, b), hi = std::max(a, b);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(nodes_[hi]->port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Hello: tell the acceptor who we are.
+    const std::uint32_t hello = lo;
+    if (!write_full(fd, &hello, sizeof(hello))) return false;
+
+    Node& node = *nodes_[lo];
+    {
+      std::lock_guard lock(node.peers_mu);
+      node.peer_fd[hi] = fd;
+      node.readers.emplace_back(
+          [this, lo, hi, fd] { reader_loop(lo, hi, fd); });
+    }
+  }
+  return true;
+}
+
+void TcpTransport::accept_loop(BrokerId b) {
+  Node& node = *nodes_[b];
+  while (running_.load()) {
+    const int fd = ::accept(node.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::uint32_t hello = 0;
+    if (!read_full(fd, &hello, sizeof(hello)) || hello == 0 ||
+        hello >= nodes_.size() || !overlay_->are_neighbors(b, hello)) {
+      ::close(fd);
+      continue;
+    }
+    std::lock_guard lock(node.peers_mu);
+    node.peer_fd[hello] = fd;
+    node.readers.emplace_back(
+        [this, b, peer = BrokerId{hello}, fd] { reader_loop(b, peer, fd); });
+  }
+}
+
+void TcpTransport::reader_loop(BrokerId self, BrokerId peer, int fd) {
+  while (running_.load()) {
+    std::uint32_t len = 0;
+    if (!read_full(fd, &len, sizeof(len))) return;
+    if (len < 4 || len > kMaxFrame) return;  // protocol violation: drop link
+    std::string frame(len, '\0');
+    if (!read_full(fd, frame.data(), len)) return;
+
+    std::uint32_t from = 0;
+    std::memcpy(&from, frame.data(), 4);
+    const auto msg = decode_message(std::string_view(frame).substr(4));
+    if (from != peer || !msg) {
+      ++decode_failures_;
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    process_frame(self, from, *msg);
+  }
+}
+
+void TcpTransport::process_frame(BrokerId self, BrokerId from,
+                                 const Message& msg) {
+  Node& node = *nodes_[self];
+  Broker::Outputs outputs;
+  {
+    std::lock_guard lock(node.state_mu);
+    outputs = node.broker->on_message(from, msg);
+  }
+  dispatch_outputs(self, std::move(outputs));
+  if (msg.cause != kNoTxn) retire_cause(msg.cause);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TcpTransport::send_frame(BrokerId from, BrokerId to, const Message& msg) {
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.count_message(from, to, msg.type_name(), msg.cause);
+  }
+  if (msg.cause != kNoTxn) {
+    std::lock_guard lock(cause_mu_);
+    ++outstanding_[msg.cause];
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string body = encode_message(msg);
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size()) + 4;
+  std::string frame;
+  frame.reserve(4 + len);
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  const std::uint32_t from32 = from;
+  frame.append(reinterpret_cast<const char*>(&from32), 4);
+  frame.append(body);
+
+  Node& node = *nodes_[from];
+  std::lock_guard lock(node.peers_mu);
+  auto it = node.peer_fd.find(to);
+  if (it == node.peer_fd.end() ||
+      !write_full(it->second, frame.data(), frame.size())) {
+    // Link gone: the message is lost at this layer (the paper's fault model
+    // masks this with persistent queues; see DurableNode).
+    if (msg.cause != kNoTxn) retire_cause(msg.cause);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpTransport::dispatch_outputs(BrokerId from, Broker::Outputs outputs) {
+  for (auto& [to, msg] : outputs) send_frame(from, to, msg);
+}
+
+void TcpTransport::run_on(
+    BrokerId b,
+    const std::function<void(MobilityEngine&, Broker::Outputs&)>& op) {
+  Node& node = *nodes_[b];
+  Broker::Outputs out;
+  {
+    std::lock_guard lock(node.state_mu);
+    op(*node.engine, out);
+  }
+  dispatch_outputs(b, std::move(out));
+}
+
+void TcpTransport::drain() {
+  int idle = 0;
+  while (idle < 5) {
+    if (in_flight_.load(std::memory_order_relaxed) == 0) {
+      ++idle;
+    } else {
+      idle = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void TcpTransport::retire_cause(TxnId cause) {
+  std::vector<std::function<void()>> fire;
+  {
+    std::lock_guard lock(cause_mu_);
+    auto it = outstanding_.find(cause);
+    if (it == outstanding_.end() || it->second == 0) return;
+    if (--it->second == 0) {
+      outstanding_.erase(it);
+      auto w = drain_watchers_.find(cause);
+      if (w != drain_watchers_.end()) {
+        fire = std::move(w->second);
+        drain_watchers_.erase(w);
+      }
+    }
+  }
+  for (auto& fn : fire) fn();
+}
+
+void TcpTransport::schedule(double delay, std::function<void()> fn) {
+  std::lock_guard lock(timer_mu_);
+  timers_.push_back(
+      Timer{std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(delay)),
+            std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end());
+  timer_cv_.notify_all();
+}
+
+void TcpTransport::movement_finished(MovementRecord rec) {
+  std::lock_guard lock(stats_mu_);
+  stats_.record_movement(std::move(rec));
+}
+
+void TcpTransport::on_cause_drained(TxnId cause, std::function<void()> fn) {
+  {
+    std::lock_guard lock(cause_mu_);
+    auto it = outstanding_.find(cause);
+    if (it != outstanding_.end() && it->second > 0) {
+      drain_watchers_[cause].push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+void TcpTransport::timer_loop() {
+  std::unique_lock lock(timer_mu_);
+  while (running_.load()) {
+    if (timers_.empty()) {
+      timer_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    const auto next = timers_.front().at;
+    if (timer_cv_.wait_until(lock, next) == std::cv_status::timeout &&
+        !timers_.empty() && timers_.front().at <= next) {
+      std::pop_heap(timers_.begin(), timers_.end());
+      auto fn = std::move(timers_.back().fn);
+      timers_.pop_back();
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+  }
+}
+
+void TcpTransport::stop() {
+  if (!running_.exchange(false)) return;
+  timer_cv_.notify_all();
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    Node& node = *nodes_[b];
+    if (node.listen_fd >= 0) {
+      ::shutdown(node.listen_fd, SHUT_RDWR);
+      ::close(node.listen_fd);
+      node.listen_fd = -1;
+    }
+    std::lock_guard lock(node.peers_mu);
+    for (auto& [peer, fd] : node.peer_fd) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    Node& node = *nodes_[b];
+    if (node.accept_thread.joinable()) node.accept_thread.join();
+    for (auto& t : node.readers) {
+      if (t.joinable()) t.join();
+    }
+    std::lock_guard lock(node.peers_mu);
+    for (auto& [peer, fd] : node.peer_fd) ::close(fd);
+    node.peer_fd.clear();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+}  // namespace tmps

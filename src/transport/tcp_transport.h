@@ -1,0 +1,116 @@
+// A real-sockets host for the broker overlay: every broker listens on a
+// loopback TCP port, overlay links are TCP connections, and messages travel
+// as length-prefixed frames produced by the binary codec (pubsub/codec.h).
+//
+// This is the "networking boilerplate" backend: the same Broker and
+// MobilityEngine objects the simulator benchmarks run here over an actual
+// byte stream — serialization, framing, partial reads and connection
+// management included. Loopback-only by design (the overlay is a trusted
+// cluster fabric in the paper's model).
+//
+// Frame format on the wire:  [u32 length][u32 sender broker id][message
+// bytes]  (little-endian), where `message bytes` is encode_message().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/mobility_engine.h"
+#include "sim/runtime_env.h"
+
+namespace tmps {
+
+class TcpTransport final : public RuntimeEnv {
+ public:
+  /// Brokers listen on 127.0.0.1:base_port+broker_id. Pass base_port = 0 to
+  /// let the OS pick ephemeral ports (recommended for tests).
+  TcpTransport(const Overlay& overlay, std::uint16_t base_port = 0,
+               BrokerConfig broker_cfg = {}, MobilityConfig mobility_cfg = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds listeners, establishes the overlay's TCP links, spawns reader
+  /// threads. Returns false on any socket failure.
+  bool start();
+  void stop();
+
+  const Overlay& overlay() const { return *overlay_; }
+  MobilityEngine& engine(BrokerId b);
+  std::uint16_t port_of(BrokerId b) const;
+
+  /// Runs a client operation on broker `b` under its lock and transmits the
+  /// resulting messages over the sockets.
+  void run_on(BrokerId b,
+              const std::function<void(MobilityEngine&, Broker::Outputs&)>& op);
+
+  /// Blocks until no frame is in flight and brokers have been idle briefly.
+  void drain();
+
+  Stats& stats() { return stats_; }
+  /// Frames that arrived but failed to decode (corruption canary).
+  std::uint64_t decode_failures() const { return decode_failures_.load(); }
+
+  // --- RuntimeEnv -----------------------------------------------------------
+  SimTime now() const override;
+  void schedule(double delay, std::function<void()> fn) override;
+  void movement_finished(MovementRecord rec) override;
+  void on_cause_drained(TxnId cause, std::function<void()> fn) override;
+
+ private:
+  struct Node {
+    std::unique_ptr<Broker> broker;
+    std::unique_ptr<MobilityEngine> engine;
+    std::mutex state_mu;
+    int listen_fd = -1;
+    std::uint16_t port = 0;
+    std::thread accept_thread;
+    // Established links to neighbours: fd per peer, guarded for writes.
+    std::mutex peers_mu;
+    std::map<BrokerId, int> peer_fd;
+    std::vector<std::thread> readers;
+  };
+
+  bool connect_links();
+  void accept_loop(BrokerId b);
+  void reader_loop(BrokerId self, BrokerId peer, int fd);
+  void send_frame(BrokerId from, BrokerId to, const Message& msg);
+  void dispatch_outputs(BrokerId from, Broker::Outputs outputs);
+  void process_frame(BrokerId self, BrokerId from, const Message& msg);
+  void retire_cause(TxnId cause);
+  void timer_loop();
+
+  const Overlay* overlay_;
+  std::uint16_t base_port_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> decode_failures_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex stats_mu_;
+  Stats stats_;
+
+  std::mutex cause_mu_;
+  std::map<TxnId, std::uint64_t> outstanding_;
+  std::map<TxnId, std::vector<std::function<void()>>> drain_watchers_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  struct Timer {
+    std::chrono::steady_clock::time_point at;
+    std::function<void()> fn;
+    bool operator<(const Timer& o) const { return at > o.at; }
+  };
+  std::vector<Timer> timers_;
+  std::thread timer_thread_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,149 @@
+#include "txn/persistent_queue.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace tmps {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const auto table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> scan_journal(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::ifstream in(dir / "journal.log", std::ios::binary);
+  while (in) {
+    std::uint64_t seq = 0;
+    std::uint32_t len = 0, crc = 0;
+    in.read(reinterpret_cast<char*>(&seq), sizeof(seq));
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    if (!in) break;
+    std::string payload(len, '\0');
+    in.read(payload.data(), len);
+    if (!in) break;
+    if (crc32(payload.data(), len) != crc) break;
+    out.emplace_back(seq, std::move(payload));
+  }
+  return out;
+}
+
+PersistentQueue::PersistentQueue(std::filesystem::path dir)
+    : dir_(std::move(dir)),
+      journal_path_(dir_ / "journal.log"),
+      consumed_path_(dir_ / "consumed") {
+  std::filesystem::create_directories(dir_);
+  recover();
+  journal_.open(journal_path_, std::ios::binary | std::ios::app);
+  if (!journal_) {
+    throw std::runtime_error("cannot open journal: " + journal_path_.string());
+  }
+}
+
+PersistentQueue::~PersistentQueue() = default;
+
+void PersistentQueue::recover() {
+  // Consumed marker first: records at or below it are dropped on replay.
+  if (std::ifstream in{consumed_path_, std::ios::binary}; in) {
+    in.read(reinterpret_cast<char*>(&consumed_seq_), sizeof(consumed_seq_));
+    if (!in) consumed_seq_ = 0;
+  }
+
+  std::ifstream in(journal_path_, std::ios::binary);
+  while (in) {
+    std::uint64_t seq = 0;
+    std::uint32_t len = 0, crc = 0;
+    in.read(reinterpret_cast<char*>(&seq), sizeof(seq));
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    if (!in) break;  // clean EOF or torn header
+    std::string payload(len, '\0');
+    in.read(payload.data(), len);
+    if (!in) break;                                 // torn payload
+    if (crc32(payload.data(), len) != crc) break;   // corrupt tail
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+    if (seq > consumed_seq_) live_.emplace_back(seq, std::move(payload));
+  }
+}
+
+namespace {
+
+void write_record(std::ofstream& out, std::uint64_t seq,
+                  std::string_view record) {
+  const auto len = static_cast<std::uint32_t>(record.size());
+  const std::uint32_t crc = crc32(record.data(), record.size());
+  out.write(reinterpret_cast<const char*>(&seq), sizeof(seq));
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+}
+
+}  // namespace
+
+void PersistentQueue::push(std::string_view record) {
+  const std::uint64_t seq = next_seq_++;
+  write_record(journal_, seq, record);
+  journal_.flush();
+  live_.emplace_back(seq, std::string(record));
+}
+
+std::optional<std::string> PersistentQueue::front() const {
+  if (live_.empty()) return std::nullopt;
+  return live_.front().second;
+}
+
+void PersistentQueue::write_consumed_marker() {
+  const auto tmp = consumed_path_.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(&consumed_seq_),
+              sizeof(consumed_seq_));
+  }
+  std::filesystem::rename(tmp, consumed_path_);
+}
+
+void PersistentQueue::pop() {
+  if (live_.empty()) throw std::out_of_range("pop from empty PersistentQueue");
+  consumed_seq_ = live_.front().first;
+  live_.pop_front();
+  write_consumed_marker();
+}
+
+void PersistentQueue::sync() { journal_.flush(); }
+
+void PersistentQueue::compact() {
+  journal_.close();
+  const auto tmp = journal_path_.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    for (const auto& [seq, payload] : live_) write_record(out, seq, payload);
+  }
+  std::filesystem::rename(tmp, journal_path_);
+  journal_.open(journal_path_, std::ios::binary | std::ios::app);
+}
+
+}  // namespace tmps

@@ -1,0 +1,82 @@
+// A durable FIFO queue backed by a write-ahead journal.
+//
+// Sec. 3.5 of the paper sketches how a pub/sub routing layer is made
+// fault-tolerant: "the queue state includes unprocessed incoming messages at
+// a broker and undelivered outgoing messages. The reliable delivery of these
+// messages between brokers can be achieved using persistent queues." This is
+// that persistent queue.
+//
+// On-disk layout inside the queue directory:
+//   journal.log — length-prefixed, CRC-protected records:
+//                 [u64 seq][u32 len][u32 crc32][len bytes]
+//   consumed    — last consumed sequence number (rewritten atomically via
+//                 temp file + rename)
+//
+// Recovery tolerates a torn tail: the scan stops at the first short or
+// corrupt record, which is exactly the crash-during-append case.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tmps {
+
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Reads every intact record (consumed or not) from a queue directory's
+/// journal, stopping at the first torn/corrupt record. Used by event-sourced
+/// recovery (DurableNode) to rebuild in-memory state from history.
+std::vector<std::pair<std::uint64_t, std::string>> scan_journal(
+    const std::filesystem::path& dir);
+
+class PersistentQueue {
+ public:
+  /// Opens (and recovers) the queue stored in `dir`, creating it if needed.
+  explicit PersistentQueue(std::filesystem::path dir);
+  ~PersistentQueue();
+
+  PersistentQueue(const PersistentQueue&) = delete;
+  PersistentQueue& operator=(const PersistentQueue&) = delete;
+
+  /// Appends a record to the journal and the in-memory tail.
+  void push(std::string_view record);
+
+  /// The oldest unconsumed record, if any.
+  std::optional<std::string> front() const;
+
+  /// Durably consumes the front record.
+  void pop();
+
+  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  /// Flushes the journal to the OS (fsync-equivalent for the simulation's
+  /// purposes: data survives process crash).
+  void sync();
+
+  /// Rewrites the journal dropping consumed records.
+  void compact();
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t consumed_seq() const { return consumed_seq_; }
+
+ private:
+  void recover();
+  void write_consumed_marker();
+
+  std::filesystem::path dir_;
+  std::filesystem::path journal_path_;
+  std::filesystem::path consumed_path_;
+  std::ofstream journal_;
+  std::deque<std::pair<std::uint64_t, std::string>> live_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t consumed_seq_ = 0;
+};
+
+}  // namespace tmps

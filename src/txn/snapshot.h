@@ -1,0 +1,22 @@
+// Serialization of a broker's routing tables ("algorithmic state" in the
+// paper's Sec. 3.5 terms). Together with the message journal this enables
+// checkpoint/restore recovery: snapshot the tables, truncate the journal,
+// and on restart restore the snapshot and replay only the journal tail.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "routing/routing_tables.h"
+
+namespace tmps {
+
+/// Serializes the full table state: PRT and SRT entries with last hops,
+/// forwarded-to marks and any pending shadow state.
+std::string snapshot_tables(const RoutingTables& tables);
+
+/// Restores a snapshot into `tables` (which is cleared first). Returns
+/// false — leaving `tables` empty — on malformed input.
+bool restore_tables(std::string_view bytes, RoutingTables& tables);
+
+}  // namespace tmps

@@ -1,0 +1,186 @@
+#include "txn/three_pc.h"
+
+#include <algorithm>
+
+namespace tmps {
+
+const char* to_string(TpcCoordState s) {
+  switch (s) {
+    case TpcCoordState::Init: return "init";
+    case TpcCoordState::Waiting: return "waiting";
+    case TpcCoordState::PreCommit: return "precommit";
+    case TpcCoordState::Committed: return "committed";
+    case TpcCoordState::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* to_string(TpcPartState s) {
+  switch (s) {
+    case TpcPartState::Init: return "init";
+    case TpcPartState::Ready: return "ready";
+    case TpcPartState::PreCommitted: return "precommitted";
+    case TpcPartState::Committed: return "committed";
+    case TpcPartState::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* to_string(TpcMsg::Kind k) {
+  switch (k) {
+    case TpcMsg::Kind::CanCommit: return "canCommit";
+    case TpcMsg::Kind::VoteYes: return "voteYes";
+    case TpcMsg::Kind::VoteNo: return "voteNo";
+    case TpcMsg::Kind::PreCommit: return "preCommit";
+    case TpcMsg::Kind::AckPreCommit: return "ackPreCommit";
+    case TpcMsg::Kind::DoCommit: return "doCommit";
+    case TpcMsg::Kind::Abort: return "abort";
+  }
+  return "?";
+}
+
+// --- coordinator --------------------------------------------------------------
+
+TpcCoordinator::TpcCoordinator(TxnId txn, std::vector<int> participants,
+                               SendFn send, DecisionFn on_decision)
+    : txn_(txn),
+      participants_(std::move(participants)),
+      send_(std::move(send)),
+      on_decision_(std::move(on_decision)) {}
+
+void TpcCoordinator::broadcast(TpcMsg::Kind kind) {
+  for (const int p : participants_) {
+    send_(p, TpcMsg{kind, txn_, -1});
+  }
+}
+
+void TpcCoordinator::decide(TpcDecision d) {
+  decision_ = d;
+  state_ = d == TpcDecision::Commit ? TpcCoordState::Committed
+                                    : TpcCoordState::Aborted;
+  broadcast(d == TpcDecision::Commit ? TpcMsg::Kind::DoCommit
+                                     : TpcMsg::Kind::Abort);
+  if (on_decision_) on_decision_(d);
+}
+
+void TpcCoordinator::start() {
+  if (state_ != TpcCoordState::Init) return;
+  if (participants_.empty()) {
+    state_ = TpcCoordState::Waiting;
+    decide(TpcDecision::Commit);
+    return;
+  }
+  state_ = TpcCoordState::Waiting;
+  broadcast(TpcMsg::Kind::CanCommit);
+}
+
+void TpcCoordinator::on_message(const TpcMsg& msg) {
+  if (msg.txn != txn_) return;
+  switch (state_) {
+    case TpcCoordState::Waiting:
+      if (msg.kind == TpcMsg::Kind::VoteNo) {
+        decide(TpcDecision::Abort);
+      } else if (msg.kind == TpcMsg::Kind::VoteYes) {
+        votes_[msg.from] = true;
+        if (votes_.size() == participants_.size()) {
+          state_ = TpcCoordState::PreCommit;
+          broadcast(TpcMsg::Kind::PreCommit);
+        }
+      }
+      break;
+    case TpcCoordState::PreCommit:
+      if (msg.kind == TpcMsg::Kind::AckPreCommit) {
+        acks_[msg.from] = true;
+        if (acks_.size() == participants_.size()) {
+          decide(TpcDecision::Commit);
+        }
+      }
+      break;
+    default:
+      break;  // decided or not started; duplicates are ignored
+  }
+}
+
+void TpcCoordinator::on_timeout() {
+  switch (state_) {
+    case TpcCoordState::Waiting:
+      // Missing votes: safe to abort (nobody has pre-committed).
+      decide(TpcDecision::Abort);
+      break;
+    case TpcCoordState::PreCommit:
+      // Every participant voted yes and either saw preCommit (commits on its
+      // own timeout) or is Ready and will learn the decision on recovery:
+      // commit.
+      decide(TpcDecision::Commit);
+      break;
+    default:
+      break;
+  }
+}
+
+// --- participant --------------------------------------------------------------
+
+TpcParticipant::TpcParticipant(int id, SendFn send, VoteFn vote,
+                               DecisionFn on_decision)
+    : id_(id),
+      send_(std::move(send)),
+      vote_(std::move(vote)),
+      on_decision_(std::move(on_decision)) {}
+
+void TpcParticipant::decide(TpcDecision d) {
+  decision_ = d;
+  state_ = d == TpcDecision::Commit ? TpcPartState::Committed
+                                    : TpcPartState::Aborted;
+  if (on_decision_) on_decision_(d);
+}
+
+void TpcParticipant::on_message(const TpcMsg& msg) {
+  switch (msg.kind) {
+    case TpcMsg::Kind::CanCommit:
+      if (state_ != TpcPartState::Init) break;
+      if (vote_ && !vote_(msg.txn)) {
+        send_(TpcMsg{TpcMsg::Kind::VoteNo, msg.txn, id_});
+        decide(TpcDecision::Abort);
+      } else {
+        state_ = TpcPartState::Ready;
+        send_(TpcMsg{TpcMsg::Kind::VoteYes, msg.txn, id_});
+      }
+      break;
+    case TpcMsg::Kind::PreCommit:
+      if (state_ == TpcPartState::Ready) {
+        state_ = TpcPartState::PreCommitted;
+        send_(TpcMsg{TpcMsg::Kind::AckPreCommit, msg.txn, id_});
+      }
+      break;
+    case TpcMsg::Kind::DoCommit:
+      if (state_ == TpcPartState::Ready ||
+          state_ == TpcPartState::PreCommitted) {
+        decide(TpcDecision::Commit);
+      }
+      break;
+    case TpcMsg::Kind::Abort:
+      if (state_ != TpcPartState::Committed) decide(TpcDecision::Abort);
+      break;
+    default:
+      break;  // coordinator-bound kinds
+  }
+}
+
+void TpcParticipant::on_timeout() {
+  switch (state_) {
+    case TpcPartState::Ready:
+      // Uncertain, never saw preCommit: with bounded delays the coordinator
+      // must have aborted (it would otherwise have sent preCommit in time).
+      decide(TpcDecision::Abort);
+      break;
+    case TpcPartState::PreCommitted:
+      // preCommit means every participant voted yes; the decision can only
+      // be commit.
+      decide(TpcDecision::Commit);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tmps

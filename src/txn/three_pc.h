@@ -1,0 +1,139 @@
+// Three-phase commit (Skeen / Skeen & Stonebraker [21]), the distributed
+// transaction protocol the paper's movement transaction is modelled on
+// (Sec. 4.1). Implemented as host-agnostic state machines: the caller wires
+// `send` callbacks to whatever transport it has and drives timeouts.
+//
+// Phases: canCommit? -> (votes) -> preCommit -> (acks) -> doCommit.
+//
+// Two operating modes, matching the paper's two network-failure models:
+//  * non-blocking — with bounded message delay, timeout actions resolve
+//    every transaction: a participant that voted yes but saw no preCommit
+//    aborts; one that saw preCommit but no doCommit commits; the
+//    coordinator aborts when votes are missing and commits once preCommit
+//    was sent to everyone.
+//  * blocking — without delay bounds, simply never drive the timeouts; the
+//    protocol waits (and stays safe).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tmps {
+
+enum class TpcDecision { Commit, Abort };
+
+enum class TpcCoordState {
+  Init,       // not started
+  Waiting,    // canCommit sent, collecting votes
+  PreCommit,  // all voted yes; preCommit sent, collecting acks
+  Committed,
+  Aborted,
+};
+
+enum class TpcPartState {
+  Init,          // awaiting canCommit
+  Ready,         // voted yes, uncertain
+  PreCommitted,  // preCommit received, commit is inevitable
+  Committed,
+  Aborted,
+};
+
+const char* to_string(TpcCoordState s);
+const char* to_string(TpcPartState s);
+
+struct TpcMsg {
+  enum class Kind {
+    CanCommit,
+    VoteYes,
+    VoteNo,
+    PreCommit,
+    AckPreCommit,
+    DoCommit,
+    Abort,
+  };
+  Kind kind;
+  TxnId txn = kNoTxn;
+  int from = -1;  // participant id; -1 = coordinator
+
+  friend bool operator==(const TpcMsg&, const TpcMsg&) = default;
+};
+
+const char* to_string(TpcMsg::Kind k);
+
+class TpcCoordinator {
+ public:
+  /// `send(participant_id, msg)` delivers to one participant.
+  using SendFn = std::function<void(int, const TpcMsg&)>;
+  /// Called exactly once when the decision is reached.
+  using DecisionFn = std::function<void(TpcDecision)>;
+
+  TpcCoordinator(TxnId txn, std::vector<int> participants, SendFn send,
+                 DecisionFn on_decision = nullptr);
+
+  /// Sends canCommit to every participant.
+  void start();
+
+  void on_message(const TpcMsg& msg);
+
+  /// Timeout action for the current state (non-blocking mode): Waiting ->
+  /// abort (missing votes), PreCommit -> commit (every participant is at
+  /// least Ready and will commit on its own timeout).
+  void on_timeout();
+
+  TpcCoordState state() const { return state_; }
+  std::optional<TpcDecision> decision() const { return decision_; }
+  TxnId txn() const { return txn_; }
+
+ private:
+  void broadcast(TpcMsg::Kind kind);
+  void decide(TpcDecision d);
+
+  TxnId txn_;
+  std::vector<int> participants_;
+  SendFn send_;
+  DecisionFn on_decision_;
+  TpcCoordState state_ = TpcCoordState::Init;
+  std::optional<TpcDecision> decision_;
+  std::map<int, bool> votes_;
+  std::map<int, bool> acks_;
+};
+
+class TpcParticipant {
+ public:
+  /// Sends a message to the coordinator.
+  using SendFn = std::function<void(const TpcMsg&)>;
+  /// Local vote: can this participant commit `txn`?
+  using VoteFn = std::function<bool(TxnId)>;
+  using DecisionFn = std::function<void(TpcDecision)>;
+
+  TpcParticipant(int id, SendFn send, VoteFn vote,
+                 DecisionFn on_decision = nullptr);
+
+  void on_message(const TpcMsg& msg);
+
+  /// Timeout action (non-blocking mode): Ready -> abort (uncertain, no
+  /// preCommit seen), PreCommitted -> commit (decision was inevitable).
+  void on_timeout();
+
+  TpcPartState state() const { return state_; }
+  std::optional<TpcDecision> decision() const { return decision_; }
+  int id() const { return id_; }
+
+ private:
+  void decide(TpcDecision d);
+
+  int id_;
+  SendFn send_;
+  VoteFn vote_;
+  DecisionFn on_decision_;
+  TpcPartState state_ = TpcPartState::Init;
+  std::optional<TpcDecision> decision_;
+};
+
+}  // namespace tmps

@@ -1,0 +1,192 @@
+#include "core/client_stub.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+Publication pub(std::uint32_t seq) {
+  Publication p;
+  p.set_id({99, seq});
+  p.set("x", 1);
+  return p;
+}
+
+class ClientStubTest : public ::testing::Test {
+ protected:
+  ClientStubTest() : stub_(7) {
+    stub_.set_delivery_fn([this](const Publication& p) {
+      delivered_.push_back(p.id().seq);
+    });
+  }
+  ClientStub stub_;
+  std::vector<std::uint32_t> delivered_;
+};
+
+TEST_F(ClientStubTest, HappyPathLifecycle) {
+  EXPECT_EQ(stub_.state(), ClientState::Init);
+  stub_.create();
+  EXPECT_EQ(stub_.state(), ClientState::Created);
+  stub_.start();
+  EXPECT_EQ(stub_.state(), ClientState::Started);
+  EXPECT_TRUE(stub_.can_publish());
+}
+
+TEST_F(ClientStubTest, IllegalTransitionsThrow) {
+  EXPECT_THROW(stub_.start(), IllegalTransition);
+  stub_.create();
+  EXPECT_THROW(stub_.create(), IllegalTransition);
+  EXPECT_THROW(stub_.begin_move(), IllegalTransition);
+  stub_.start();
+  EXPECT_THROW(stub_.resume(), IllegalTransition);
+  EXPECT_THROW(stub_.prepare_stop(), IllegalTransition);
+  EXPECT_THROW(stub_.clean(), IllegalTransition);
+}
+
+TEST_F(ClientStubTest, MoveStatePath) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  EXPECT_EQ(stub_.state(), ClientState::PauseMove);
+  EXPECT_FALSE(stub_.can_publish());
+  stub_.prepare_stop();
+  EXPECT_EQ(stub_.state(), ClientState::PrepareStop);
+  stub_.clean();
+  EXPECT_EQ(stub_.state(), ClientState::Clean);
+}
+
+TEST_F(ClientStubTest, RejectResumesClient) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  stub_.resume_from_reject();
+  EXPECT_EQ(stub_.state(), ClientState::Started);
+}
+
+TEST_F(ClientStubTest, PauseOperCanStartMove) {
+  stub_.create();
+  stub_.start();
+  stub_.pause();
+  EXPECT_EQ(stub_.state(), ClientState::PauseOper);
+  stub_.begin_move();
+  EXPECT_EQ(stub_.state(), ClientState::PauseMove);
+}
+
+TEST_F(ClientStubTest, NotificationsDeliverWhenStarted) {
+  stub_.create();
+  stub_.start();
+  stub_.on_notification(pub(1));
+  EXPECT_EQ(delivered_, (std::vector<std::uint32_t>{1}));
+}
+
+TEST_F(ClientStubTest, NotificationsBufferWhileMoving) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  stub_.on_notification(pub(1));
+  stub_.on_notification(pub(2));
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(stub_.buffered_count(), 2u);
+}
+
+TEST_F(ClientStubTest, BufferFlushedOnResume) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  stub_.on_notification(pub(1));
+  stub_.resume_from_reject();
+  EXPECT_EQ(delivered_, (std::vector<std::uint32_t>{1}));
+}
+
+TEST_F(ClientStubTest, DuplicatesSuppressed) {
+  stub_.create();
+  stub_.start();
+  stub_.on_notification(pub(1));
+  stub_.on_notification(pub(1));
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(ClientStubTest, DuplicateAcrossBufferAndDeliverySuppressed) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  stub_.on_notification(pub(1));
+  stub_.resume_from_reject();
+  stub_.on_notification(pub(1));
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(ClientStubTest, TakeBufferEmptiesIt) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  stub_.on_notification(pub(1));
+  stub_.on_notification(pub(2));
+  auto buf = stub_.take_buffer();
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(stub_.buffered_count(), 0u);
+}
+
+TEST_F(ClientStubTest, MergePutsShippedBeforeLocalAndDedups) {
+  // Target-side copy: created, receiving live traffic while the shipped
+  // buffer is in flight.
+  stub_.create();
+  stub_.on_notification(pub(3));  // arrives via the new route
+  stub_.on_notification(pub(4));
+  std::vector<Publication> shipped{pub(1), pub(2), pub(3)};  // 3 duplicates
+  stub_.merge_notifications(shipped);
+  EXPECT_TRUE(delivered_.empty());
+  stub_.start();
+  EXPECT_EQ(delivered_, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST_F(ClientStubTest, CommandsQueueWhileMoving) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  Publication p;
+  p.set_id({7, 10});
+  stub_.queue_command(p);
+  auto cmds = stub_.take_commands();
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].id().seq, 10u);
+  EXPECT_TRUE(stub_.take_commands().empty());
+}
+
+TEST_F(ClientStubTest, ProfileBookkeeping) {
+  const auto id1 = stub_.allocate_id();
+  const auto id2 = stub_.allocate_id();
+  EXPECT_NE(id1.seq, id2.seq);
+  stub_.remember_subscription({id1, Filter{ge("x", 1)}});
+  stub_.remember_advertisement({id2, Filter{ge("x", 0)}});
+  EXPECT_EQ(stub_.subscriptions().size(), 1u);
+  EXPECT_EQ(stub_.advertisements().size(), 1u);
+  EXPECT_TRUE(stub_.forget_subscription(id1));
+  EXPECT_FALSE(stub_.forget_subscription(id1));
+  EXPECT_TRUE(stub_.forget_advertisement(id2));
+}
+
+TEST_F(ClientStubTest, CleanDropsBuffer) {
+  stub_.create();
+  stub_.on_notification(pub(1));
+  EXPECT_EQ(stub_.buffered_count(), 1u);
+  stub_.clean();
+  EXPECT_EQ(stub_.buffered_count(), 0u);
+  // Notifications to a clean stub are dropped silently.
+  stub_.on_notification(pub(2));
+  EXPECT_TRUE(delivered_.empty());
+}
+
+TEST_F(ClientStubTest, ResumeFromAbortWorksFromPrepareStop) {
+  stub_.create();
+  stub_.start();
+  stub_.begin_move();
+  stub_.prepare_stop();
+  stub_.on_notification(pub(5));
+  stub_.resume_from_abort();
+  EXPECT_EQ(stub_.state(), ClientState::Started);
+  EXPECT_EQ(delivered_, (std::vector<std::uint32_t>{5}));
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,172 @@
+#include "pubsub/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+Constraint make(std::initializer_list<Predicate> preds, bool expect_ok = true) {
+  Constraint c;
+  bool ok = true;
+  for (const auto& p : preds) ok = c.add(p) && ok;
+  EXPECT_EQ(ok, expect_ok);
+  return c;
+}
+
+TEST(Constraint, UnconstrainedSatisfiesEverything) {
+  Constraint c;
+  EXPECT_TRUE(c.unconstrained());
+  EXPECT_TRUE(c.satisfies(Value{1}));
+  EXPECT_TRUE(c.satisfies(Value{"s"}));
+}
+
+TEST(Constraint, IntervalSatisfaction) {
+  const auto c = make({ge("x", 10), le("x", 20)});
+  EXPECT_TRUE(c.satisfies(Value{10}));
+  EXPECT_TRUE(c.satisfies(Value{15}));
+  EXPECT_TRUE(c.satisfies(Value{20}));
+  EXPECT_FALSE(c.satisfies(Value{9}));
+  EXPECT_FALSE(c.satisfies(Value{21}));
+}
+
+TEST(Constraint, OpenBounds) {
+  const auto c = make({gt("x", 10), lt("x", 20)});
+  EXPECT_FALSE(c.satisfies(Value{10}));
+  EXPECT_TRUE(c.satisfies(Value{11}));
+  EXPECT_FALSE(c.satisfies(Value{20}));
+}
+
+TEST(Constraint, ExclusionsApply) {
+  const auto c = make({ge("x", 0), le("x", 10), ne("x", 5)});
+  EXPECT_TRUE(c.satisfies(Value{4}));
+  EXPECT_FALSE(c.satisfies(Value{5}));
+}
+
+TEST(Constraint, ContradictionDetected) {
+  make({gt("x", 5), lt("x", 3)}, /*expect_ok=*/false);
+  make({eq("x", 1), eq("x", 2)}, /*expect_ok=*/false);
+  make({eq("x", 5), ne("x", 5)}, /*expect_ok=*/false);
+}
+
+TEST(Constraint, MixedDomainsUnsatisfiable) {
+  make({gt("x", 5), eq("x", "abc")}, /*expect_ok=*/false);
+}
+
+TEST(Constraint, EqualityTightensToPoint) {
+  const auto c = make({eq("x", 7)});
+  EXPECT_TRUE(c.satisfies(Value{7}));
+  EXPECT_FALSE(c.satisfies(Value{8}));
+}
+
+TEST(Constraint, DomainPinRejectsOtherDomain) {
+  const auto c = make({ge("x", 0)});
+  EXPECT_FALSE(c.satisfies(Value{"zzz"}));
+}
+
+// --- covering ---------------------------------------------------------------
+
+TEST(ConstraintCovers, WiderIntervalCoversNarrower) {
+  const auto wide = make({ge("x", 0), le("x", 100)});
+  const auto narrow = make({ge("x", 10), le("x", 20)});
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+}
+
+TEST(ConstraintCovers, EqualIntervalsCoverMutually) {
+  const auto a = make({ge("x", 0), le("x", 10)});
+  const auto b = make({ge("x", 0), le("x", 10)});
+  EXPECT_TRUE(a.covers(b));
+  EXPECT_TRUE(b.covers(a));
+}
+
+TEST(ConstraintCovers, OpenVsClosedBoundary) {
+  const auto closed = make({ge("x", 0), le("x", 10)});
+  const auto open = make({gt("x", 0), lt("x", 10)});
+  EXPECT_TRUE(closed.covers(open));
+  EXPECT_FALSE(open.covers(closed));  // open rejects 0 and 10
+}
+
+TEST(ConstraintCovers, UnconstrainedCoversAll) {
+  Constraint any;
+  EXPECT_TRUE(any.covers(make({eq("x", 1)})));
+  EXPECT_FALSE(make({eq("x", 1)}).covers(any));
+}
+
+TEST(ConstraintCovers, ExclusionBreaksCovering) {
+  const auto holed = make({ge("x", 0), le("x", 100), ne("x", 50)});
+  const auto inner = make({ge("x", 40), le("x", 60)});
+  EXPECT_FALSE(holed.covers(inner));  // inner admits 50, holed rejects it
+  const auto inner_with_hole = make({ge("x", 40), le("x", 60), ne("x", 50)});
+  EXPECT_TRUE(holed.covers(inner_with_hole));
+}
+
+TEST(ConstraintCovers, DifferentDomainsDoNotCover) {
+  const auto nums = make({ge("x", 0)});
+  const auto strs = make({ge("x", "a")});
+  EXPECT_FALSE(nums.covers(strs));
+  EXPECT_FALSE(strs.covers(nums));
+}
+
+// --- intersection -----------------------------------------------------------
+
+TEST(ConstraintIntersects, OverlappingIntervals) {
+  const auto a = make({ge("x", 0), le("x", 10)});
+  const auto b = make({ge("x", 5), le("x", 15)});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(ConstraintIntersects, DisjointIntervals) {
+  const auto a = make({ge("x", 0), le("x", 10)});
+  const auto b = make({ge("x", 11), le("x", 20)});
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(ConstraintIntersects, TouchingAtPoint) {
+  const auto a = make({ge("x", 0), le("x", 10)});
+  const auto b = make({ge("x", 10), le("x", 20)});
+  EXPECT_TRUE(a.intersects(b));  // x = 10
+  const auto b_open = make({gt("x", 10), le("x", 20)});
+  EXPECT_FALSE(a.intersects(b_open));
+}
+
+TEST(ConstraintIntersects, PointOverlapKilledByExclusion) {
+  const auto a = make({ge("x", 0), le("x", 10), ne("x", 10)});
+  const auto b = make({ge("x", 10), le("x", 20)});
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(ConstraintIntersects, UnconstrainedIntersectsAll) {
+  Constraint any;
+  EXPECT_TRUE(any.intersects(make({eq("x", 3)})));
+  EXPECT_TRUE(make({eq("x", 3)}).intersects(any));
+}
+
+TEST(ConstraintIntersects, DifferentDomainsDisjoint) {
+  EXPECT_FALSE(make({ge("x", 0)}).intersects(make({eq("x", "a")})));
+}
+
+// --- prefix -----------------------------------------------------------------
+
+TEST(ConstraintPrefix, PrefixAsInterval) {
+  const auto c = make({prefix("s", "ab")});
+  EXPECT_TRUE(c.satisfies(Value{"ab"}));
+  EXPECT_TRUE(c.satisfies(Value{"abz"}));
+  EXPECT_FALSE(c.satisfies(Value{"ac"}));
+  EXPECT_FALSE(c.satisfies(Value{"aa"}));
+}
+
+TEST(ConstraintPrefix, LongerPrefixCoveredByShorter) {
+  const auto shorter = make({prefix("s", "ab")});
+  const auto longer = make({prefix("s", "abc")});
+  EXPECT_TRUE(shorter.covers(longer));
+  EXPECT_FALSE(longer.covers(shorter));
+}
+
+TEST(ConstraintPrefix, DisjointPrefixesDoNotIntersect) {
+  EXPECT_FALSE(make({prefix("s", "ab")}).intersects(make({prefix("s", "cd")})));
+  EXPECT_TRUE(make({prefix("s", "ab")}).intersects(make({prefix("s", "abx")})));
+}
+
+}  // namespace
+}  // namespace tmps

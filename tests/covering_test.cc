@@ -1,0 +1,136 @@
+#include "routing/covering.h"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/workload.h"
+
+namespace tmps {
+namespace {
+
+Subscription sub(std::uint32_t seq, std::int64_t lo, std::int64_t hi) {
+  return {{10, seq}, Filter{eq("class", "STOCK"), ge("x", lo), le("x", hi)}};
+}
+
+class CoveringIndexTest : public ::testing::Test {
+ protected:
+  RoutingTables rt_;
+  const Hop link_ = Hop::of_broker(7);
+};
+
+TEST_F(CoveringIndexTest, CoveredByForwardedEntry) {
+  auto& wide = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  wide.forwarded_to.insert(link_);
+  EXPECT_TRUE(sub_covered_on_link(rt_, {10, 2}, sub(2, 10, 20).filter, link_));
+  // Not covered on a different link.
+  EXPECT_FALSE(sub_covered_on_link(rt_, {10, 2}, sub(2, 10, 20).filter,
+                                   Hop::of_broker(8)));
+}
+
+TEST_F(CoveringIndexTest, NotCoveredByUnforwardedEntry) {
+  rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));  // present, not forwarded
+  EXPECT_FALSE(sub_covered_on_link(rt_, {10, 2}, sub(2, 10, 20).filter, link_));
+}
+
+TEST_F(CoveringIndexTest, SelfDoesNotCoverItself) {
+  auto& e = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  e.forwarded_to.insert(link_);
+  EXPECT_FALSE(sub_covered_on_link(rt_, {10, 1}, e.sub.filter, link_));
+}
+
+TEST_F(CoveringIndexTest, StrictlyCoveredExcludesEqualFilters) {
+  auto& equal = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  equal.forwarded_to.insert(link_);
+  auto& narrow = rt_.upsert_sub(sub(2, 10, 20), Hop::of_client(2));
+  narrow.forwarded_to.insert(link_);
+
+  const auto victims =
+      strictly_covered_subs_on_link(rt_, {10, 3}, sub(3, 0, 100).filter, link_);
+  // Only the strictly narrower subscription is retracted; the equal one is
+  // kept (mutual covering never retracts).
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0]->sub.id, (SubscriptionId{10, 2}));
+}
+
+TEST_F(CoveringIndexTest, UnquenchFindsOrphanedSubs) {
+  // Advertisement reachable over the link makes it "needed".
+  rt_.upsert_adv({{20, 1}, full_space_advertisement()}, link_);
+  auto& root = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  root.forwarded_to.insert(link_);
+  rt_.upsert_sub(sub(2, 10, 20), Hop::of_client(2));  // quenched by root
+
+  root.forwarded_to.clear();  // simulate removal in progress
+  const auto orphans = unquenched_subs_on_link(rt_, root, link_);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0]->sub.id, (SubscriptionId{10, 2}));
+}
+
+TEST_F(CoveringIndexTest, UnquenchSkipsSubsWithRemainingCoverer) {
+  rt_.upsert_adv({{20, 1}, full_space_advertisement()}, link_);
+  auto& root = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  root.forwarded_to.insert(link_);
+  auto& mid = rt_.upsert_sub(sub(2, 0, 50), Hop::of_client(2));
+  mid.forwarded_to.insert(link_);
+  rt_.upsert_sub(sub(3, 10, 20), Hop::of_client(3));  // covered by both
+
+  root.forwarded_to.clear();
+  const auto orphans = unquenched_subs_on_link(rt_, root, link_);
+  // sub 3 is still covered by mid; sub 2 is already forwarded.
+  EXPECT_TRUE(orphans.empty());
+}
+
+TEST_F(CoveringIndexTest, UnquenchSkipsSubsNotNeedingLink) {
+  // No advertisement over the link: nothing needs re-forwarding there.
+  auto& root = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  root.forwarded_to.insert(link_);
+  rt_.upsert_sub(sub(2, 10, 20), Hop::of_client(2));
+  root.forwarded_to.clear();
+  EXPECT_TRUE(unquenched_subs_on_link(rt_, root, link_).empty());
+}
+
+TEST_F(CoveringIndexTest, UnquenchSkipsEntriesOwnedByLink) {
+  rt_.upsert_adv({{20, 1}, full_space_advertisement()}, link_);
+  auto& root = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  root.forwarded_to.insert(link_);
+  // This subscription CAME from the link; it must not be forwarded back.
+  rt_.upsert_sub(sub(2, 10, 20), link_);
+  root.forwarded_to.clear();
+  EXPECT_TRUE(unquenched_subs_on_link(rt_, root, link_).empty());
+}
+
+TEST_F(CoveringIndexTest, UnquenchSkipsShadowOnlyEntries) {
+  rt_.upsert_adv({{20, 1}, full_space_advertisement()}, link_);
+  auto& root = rt_.upsert_sub(sub(1, 0, 100), Hop::of_client(1));
+  root.forwarded_to.insert(link_);
+  rt_.install_sub_shadow(sub(2, 10, 20), Hop::of_broker(9), /*txn=*/3);
+  root.forwarded_to.clear();
+  EXPECT_TRUE(unquenched_subs_on_link(rt_, root, link_).empty());
+}
+
+TEST_F(CoveringIndexTest, AdvCoveringMirrorsSubCovering) {
+  Advertisement wide{{20, 1}, Filter{eq("class", "STOCK"),
+                                     ge("x", std::int64_t{0}),
+                                     le("x", std::int64_t{100})}};
+  Advertisement narrow{{20, 2}, Filter{eq("class", "STOCK"),
+                                       ge("x", std::int64_t{10}),
+                                       le("x", std::int64_t{20})}};
+  auto& w = rt_.upsert_adv(wide, Hop::of_client(1));
+  w.forwarded_to.insert(link_);
+  EXPECT_TRUE(adv_covered_on_link(rt_, narrow.id, narrow.filter, link_));
+
+  auto& n = rt_.upsert_adv(narrow, Hop::of_client(2));
+  n.forwarded_to.insert(link_);
+  const auto victims =
+      strictly_covered_advs_on_link(rt_, {20, 3}, wide.filter, link_);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0]->adv.id, narrow.id);
+
+  // Removal of the wide advertisement un-quenches the narrow one.
+  n.forwarded_to.clear();
+  w.forwarded_to.clear();
+  const auto orphans = unquenched_advs_on_link(rt_, w, link_);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0]->adv.id, narrow.id);
+}
+
+}  // namespace
+}  // namespace tmps

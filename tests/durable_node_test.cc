@@ -1,0 +1,166 @@
+// Crash-recovery tests for the durable broker node (Sec. 3.5's persistence
+// recipe): routing state is rebuilt from the journal, unprocessed messages
+// replay, and the exactly-once client guard absorbs at-least-once replays.
+#include "txn/durable_node.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pubsub/workload.h"
+
+namespace tmps {
+namespace {
+
+namespace fs = std::filesystem;
+
+Message subscribe_msg(Broker& origin, const Subscription& s) {
+  Message m;
+  m.id = origin.next_message_id();
+  m.payload = SubscribeMsg{s};
+  return m;
+}
+Message publish_msg(Broker& origin, const Publication& p) {
+  Message m;
+  m.id = origin.next_message_id();
+  m.payload = PublishMsg{p};
+  return m;
+}
+
+class DurableNodeTest : public ::testing::Test {
+ protected:
+  DurableNodeTest() : overlay_(Overlay::chain(3)), origin_(1, &overlay_) {
+    dir_ = fs::temp_directory_path() /
+           ("tmps_dn_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  ~DurableNodeTest() override { fs::remove_all(dir_); }
+
+  Subscription sub(std::uint32_t seq) {
+    return {{100, seq}, workload_filter(WorkloadKind::Covered, 2)};
+  }
+
+  Overlay overlay_;
+  Broker origin_;  // a plain broker used to mint well-formed messages
+  fs::path dir_;
+};
+
+TEST_F(DurableNodeTest, ProcessesAndForwardsLikePlainBroker) {
+  DurableNode node(2, &overlay_, dir_);
+  // An advertisement from broker 3 floods through node 2 towards broker 1.
+  Message adv;
+  adv.id = origin_.next_message_id();
+  adv.payload = AdvertiseMsg{{{200, 1}, full_space_advertisement()}};
+  const auto out = node.deliver(3, adv);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 1u);
+  EXPECT_EQ(node.backlog(), 0u);
+}
+
+TEST_F(DurableNodeTest, RoutingStateSurvivesRestart) {
+  {
+    DurableNode node(2, &overlay_, dir_);
+    Message adv;
+    adv.id = origin_.next_message_id();
+    adv.payload = AdvertiseMsg{{{200, 1}, full_space_advertisement()}};
+    node.deliver(3, adv);
+    node.deliver(1, subscribe_msg(origin_, sub(1)));
+    EXPECT_EQ(node.broker().tables().sub_count(), 1u);
+    EXPECT_EQ(node.broker().tables().adv_count(), 1u);
+  }
+  // "Restart": a fresh node over the same directory rebuilds its tables.
+  DurableNode node(2, &overlay_, dir_);
+  EXPECT_EQ(node.broker().tables().sub_count(), 0u) << "before recovery";
+  const auto out = node.recover();
+  EXPECT_TRUE(out.empty()) << "fully processed history re-emits nothing";
+  EXPECT_EQ(node.broker().tables().sub_count(), 1u);
+  EXPECT_EQ(node.broker().tables().adv_count(), 1u);
+  const SubEntry* e = node.broker().tables().find_sub({100, 1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->lasthop, Hop::of_broker(1));
+}
+
+TEST_F(DurableNodeTest, UnprocessedTailReplaysWithOutputs) {
+  {
+    DurableNode node(2, &overlay_, dir_);
+    Message adv;
+    adv.id = origin_.next_message_id();
+    adv.payload = AdvertiseMsg{{{200, 1}, full_space_advertisement()}};
+    node.deliver(3, adv);
+    // Crash window: the subscription was journaled but never processed.
+    node.journal_only(1, subscribe_msg(origin_, sub(1)));
+    EXPECT_EQ(node.backlog(), 1u);
+  }
+  DurableNode node(2, &overlay_, dir_);
+  const auto out = node.recover();
+  // The subscription replays and is forwarded towards the advertiser (3).
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 3u);
+  EXPECT_EQ(node.backlog(), 0u);
+  EXPECT_EQ(node.broker().tables().sub_count(), 1u);
+}
+
+TEST_F(DurableNodeTest, PublicationInTailRedelivers) {
+  std::vector<PublicationId> delivered;
+  {
+    DurableNode node(2, &overlay_, dir_);
+    Message adv;
+    adv.id = origin_.next_message_id();
+    adv.payload = AdvertiseMsg{{{200, 1}, full_space_advertisement()}};
+    node.deliver(3, adv);
+    // A local client subscribes directly at node 2.
+    node.broker().client_subscribe(500, sub(1));
+    node.journal_only(3, publish_msg(origin_, make_publication({200, 9},
+                                                               100, 0)));
+  }
+  DurableNode node(2, &overlay_, dir_);
+  node.broker().set_notify_sink(
+      [&](ClientId, const Publication& p) { delivered.push_back(p.id()); });
+  // NOTE: client_subscribe was not journaled (local op) — re-issue it as the
+  // client stub would on reconnect, then recover.
+  node.broker().client_subscribe(500, sub(1));
+  node.recover();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], (PublicationId{200, 9}));
+}
+
+TEST_F(DurableNodeTest, RepeatedRestartsAreIdempotent) {
+  {
+    DurableNode node(2, &overlay_, dir_);
+    Message adv;
+    adv.id = origin_.next_message_id();
+    adv.payload = AdvertiseMsg{{{200, 1}, full_space_advertisement()}};
+    node.deliver(3, adv);
+    node.deliver(1, subscribe_msg(origin_, sub(1)));
+  }
+  for (int round = 0; round < 3; ++round) {
+    DurableNode node(2, &overlay_, dir_);
+    node.recover();
+    EXPECT_EQ(node.broker().tables().sub_count(), 1u) << round;
+    EXPECT_EQ(node.broker().tables().adv_count(), 1u) << round;
+  }
+}
+
+TEST_F(DurableNodeTest, CorruptJournalEntrySkipped) {
+  {
+    DurableNode node(2, &overlay_, dir_);
+    Message adv;
+    adv.id = origin_.next_message_id();
+    adv.payload = AdvertiseMsg{{{200, 1}, full_space_advertisement()}};
+    node.deliver(3, adv);
+  }
+  // Append garbage through a raw queue (valid record framing, junk inside).
+  {
+    PersistentQueue q(dir_);
+    q.push("this is not a message envelope");
+  }
+  DurableNode node(2, &overlay_, dir_);
+  node.recover();  // must not crash; junk skipped, real history replayed
+  EXPECT_EQ(node.broker().tables().adv_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,74 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesRunInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired = -1;
+  q.schedule_at(5.0, [&] {
+    q.schedule_in(2.5, [&] { fired = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired, 7.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  q.schedule_at(3.0, [&] { ++count; });
+  q.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) q.schedule_in(0.1, recurse);
+  };
+  q.schedule_at(0.0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(q.executed(), 100u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+}  // namespace
+}  // namespace tmps

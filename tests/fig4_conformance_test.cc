@@ -1,0 +1,162 @@
+// Conformance to the concurrency table embedded in the paper's Fig. 4: the
+// allowed combinations of coordinator state and client state at the source
+// and target sites, sampled after every simulation event during commit and
+// reject runs.
+//
+//   source:  coord init    <-> client init/created/started/pause_oper
+//            coord wait    <-> client pause_move
+//            coord prepare <-> client prepare_stop
+//            coord abort   <-> client started
+//            coord commit  <-> client clean (we dismantle the clean copy)
+//   target:  coord init    <-> client init (no copy yet)
+//            coord prepare <-> client created
+//            coord abort   <-> client clean (copy dismantled)
+//            coord commit  <-> client started
+#include <gtest/gtest.h>
+
+#include "core/mobility_engine.h"
+#include "pubsub/workload.h"
+#include "sim/network.h"
+
+namespace tmps {
+namespace {
+
+constexpr ClientId kMover = 500;
+
+struct Rig {
+  Rig() : overlay(Overlay::chain(4)), net(overlay) {
+    for (BrokerId b = 1; b <= 4; ++b) {
+      engines.push_back(std::make_unique<MobilityEngine>(net.broker(b), net));
+      engines.back()->set_transmit([this, b](Broker::Outputs out) {
+        net.transmit(b, std::move(out));
+      });
+    }
+    engines[0]->connect_client(kMover);
+    Broker::Outputs out;
+    engines[0]->subscribe(kMover, workload_filter(WorkloadKind::Covered, 1),
+                          out);
+    net.transmit(1, std::move(out));
+    net.run();
+  }
+
+  /// Client state of the copy hosted at engine `idx` (nullopt = no copy).
+  std::optional<ClientState> client_at(std::size_t idx) const {
+    const ClientStub* stub = engines[idx]->find_client(kMover);
+    if (!stub) return std::nullopt;
+    return stub->state();
+  }
+
+  Overlay overlay;
+  SimNetwork net;
+  std::vector<std::unique_ptr<MobilityEngine>> engines;
+};
+
+void check_source_pair(const std::optional<SourceCoordState>& coord,
+                       const std::optional<ClientState>& client) {
+  if (!coord) {
+    // No transaction record: the client is in a stationary state (or the
+    // copy is gone after a previous committed move).
+    if (client) {
+      EXPECT_TRUE(*client == ClientState::Started ||
+                  *client == ClientState::PauseOper ||
+                  *client == ClientState::Created)
+          << to_string(*client);
+    }
+    return;
+  }
+  switch (*coord) {
+    case SourceCoordState::Init:
+      break;  // transient; any pre-move client state
+    case SourceCoordState::Wait:
+      ASSERT_TRUE(client.has_value());
+      EXPECT_EQ(*client, ClientState::PauseMove);
+      break;
+    case SourceCoordState::Prepare:
+      ASSERT_TRUE(client.has_value());
+      EXPECT_EQ(*client, ClientState::PrepareStop);
+      break;
+    case SourceCoordState::Abort:
+      ASSERT_TRUE(client.has_value());
+      EXPECT_EQ(*client, ClientState::Started);
+      break;
+    case SourceCoordState::Commit:
+      // Fig. 4: client clean — our engine dismantles the clean copy.
+      EXPECT_FALSE(client.has_value());
+      break;
+  }
+}
+
+void check_target_pair(const std::optional<TargetCoordState>& coord,
+                       const std::optional<ClientState>& client) {
+  if (!coord) {
+    EXPECT_FALSE(client.has_value());
+    return;
+  }
+  switch (*coord) {
+    case TargetCoordState::Init:
+      EXPECT_FALSE(client.has_value());
+      break;
+    case TargetCoordState::Prepare:
+      ASSERT_TRUE(client.has_value());
+      EXPECT_EQ(*client, ClientState::Created);
+      break;
+    case TargetCoordState::Abort:
+      EXPECT_FALSE(client.has_value());  // clean copy dismantled
+      break;
+    case TargetCoordState::Commit:
+      ASSERT_TRUE(client.has_value());
+      EXPECT_EQ(*client, ClientState::Started);
+      break;
+  }
+}
+
+TEST(Fig4Conformance, CommitRunHonoursConcurrencyTable) {
+  Rig r;
+  Broker::Outputs out;
+  const TxnId txn = r.engines[0]->initiate_move(kMover, 4, out);
+  r.net.transmit(1, std::move(out));
+
+  check_source_pair(r.engines[0]->source_state(txn), r.client_at(0));
+  while (r.net.events().step()) {
+    check_source_pair(r.engines[0]->source_state(txn), r.client_at(0));
+    check_target_pair(r.engines[3]->target_state(txn), r.client_at(3));
+  }
+  EXPECT_EQ(r.engines[0]->source_state(txn), SourceCoordState::Commit);
+  EXPECT_EQ(r.engines[3]->target_state(txn), TargetCoordState::Commit);
+}
+
+TEST(Fig4Conformance, RejectRunHonoursConcurrencyTable) {
+  Rig r;
+  r.engines[3]->mutable_config().accept_clients = false;
+  Broker::Outputs out;
+  const TxnId txn = r.engines[0]->initiate_move(kMover, 4, out);
+  r.net.transmit(1, std::move(out));
+
+  while (r.net.events().step()) {
+    check_source_pair(r.engines[0]->source_state(txn), r.client_at(0));
+    check_target_pair(r.engines[3]->target_state(txn), r.client_at(3));
+  }
+  EXPECT_EQ(r.engines[0]->source_state(txn), SourceCoordState::Abort);
+  EXPECT_EQ(r.engines[3]->target_state(txn), TargetCoordState::Abort);
+}
+
+TEST(Fig4Conformance, RepeatedRoundTripsStayConformant) {
+  Rig r;
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t src = (round % 2 == 0) ? 0 : 3;
+    const std::size_t dst = 3 - src;
+    Broker::Outputs out;
+    const TxnId txn = r.engines[src]->initiate_move(
+        kMover, static_cast<BrokerId>(dst + 1), out);
+    r.net.transmit(static_cast<BrokerId>(src + 1), std::move(out));
+    while (r.net.events().step()) {
+      check_source_pair(r.engines[src]->source_state(txn), r.client_at(src));
+      check_target_pair(r.engines[dst]->target_state(txn), r.client_at(dst));
+    }
+    EXPECT_EQ(r.engines[src]->source_state(txn), SourceCoordState::Commit)
+        << round;
+  }
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,124 @@
+#include "pubsub/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/workload.h"
+
+namespace tmps {
+namespace {
+
+Publication pub(std::initializer_list<std::pair<const std::string, Value>> kv) {
+  return Publication({1, 1}, kv);
+}
+
+TEST(Filter, MatchRequiresAllPredicates) {
+  const Filter f{eq("class", "STOCK"), ge("x", 10), le("x", 20)};
+  EXPECT_TRUE(f.matches(pub({{"class", "STOCK"}, {"x", 15}})));
+  EXPECT_FALSE(f.matches(pub({{"class", "STOCK"}, {"x", 25}})));
+  EXPECT_FALSE(f.matches(pub({{"class", "BOND"}, {"x", 15}})));
+}
+
+TEST(Filter, MissingAttributeFailsMatch) {
+  const Filter f{eq("class", "STOCK"), ge("x", 10)};
+  EXPECT_FALSE(f.matches(pub({{"class", "STOCK"}})));
+}
+
+TEST(Filter, ExtraPublicationAttributesIgnored) {
+  const Filter f{eq("class", "STOCK")};
+  EXPECT_TRUE(f.matches(pub({{"class", "STOCK"}, {"volume", 100}})));
+}
+
+TEST(Filter, EmptyFilterMatchesEverything) {
+  const Filter f;
+  EXPECT_TRUE(f.matches(pub({{"a", 1}})));
+  EXPECT_TRUE(f.matches(pub({})));
+}
+
+TEST(Filter, UnsatisfiableNeverMatches) {
+  Filter f;
+  f.add(eq("x", 1));
+  EXPECT_FALSE(f.add(eq("x", 2)));
+  EXPECT_FALSE(f.satisfiable());
+  EXPECT_FALSE(f.matches(pub({{"x", 1}})));
+}
+
+// --- covering ---------------------------------------------------------------
+
+TEST(FilterCovers, WiderCoversNarrower) {
+  const Filter wide{eq("class", "STOCK"), ge("x", 0), le("x", 100)};
+  const Filter narrow{eq("class", "STOCK"), ge("x", 10), le("x", 20)};
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+}
+
+TEST(FilterCovers, FewerAttributesCoverMore) {
+  // A filter constraining fewer attributes accepts a superset.
+  const Filter loose{eq("class", "STOCK")};
+  const Filter tight{eq("class", "STOCK"), ge("x", 10)};
+  EXPECT_TRUE(loose.covers(tight));
+  EXPECT_FALSE(tight.covers(loose));
+}
+
+TEST(FilterCovers, IdenticalFiltersCoverMutually) {
+  const Filter a{eq("class", "STOCK"), ge("x", 0), le("x", 10)};
+  const Filter b{eq("class", "STOCK"), ge("x", 0), le("x", 10)};
+  EXPECT_TRUE(a.covers(b));
+  EXPECT_TRUE(b.covers(a));
+}
+
+TEST(FilterCovers, DisjointConstraintsDoNotCover) {
+  const Filter a{eq("class", "STOCK"), ge("x", 0), le("x", 10)};
+  const Filter b{eq("class", "STOCK"), ge("x", 20), le("x", 30)};
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+}
+
+TEST(FilterCovers, CoveringIsTransitiveOnWorkloads) {
+  // Chained workload: each subscription covers the next.
+  for (int i = 1; i < 10; ++i) {
+    const auto outer = workload_filter(WorkloadKind::Chained, i);
+    const auto inner = workload_filter(WorkloadKind::Chained, i + 1);
+    EXPECT_TRUE(outer.covers(inner)) << "chained " << i;
+    EXPECT_FALSE(inner.covers(outer)) << "chained " << i;
+  }
+}
+
+// --- intersection with advertisements ----------------------------------------
+
+TEST(FilterIntersect, SubscriptionNeedsAllAttrsInAdv) {
+  const Filter sub{eq("class", "STOCK"), ge("x", 10), le("x", 20)};
+  const Filter adv_full{eq("class", "STOCK"), ge("x", 0), le("x", 100)};
+  const Filter adv_no_x{eq("class", "STOCK")};
+  EXPECT_TRUE(sub.intersects_advertisement(adv_full));
+  // The advertisement does not declare x, so publications may lack it.
+  EXPECT_FALSE(sub.intersects_advertisement(adv_no_x));
+}
+
+TEST(FilterIntersect, DisjointRangesDoNotIntersect) {
+  const Filter sub{eq("class", "STOCK"), ge("x", 10), le("x", 20)};
+  const Filter adv{eq("class", "STOCK"), ge("x", 30), le("x", 40)};
+  EXPECT_FALSE(sub.intersects_advertisement(adv));
+}
+
+TEST(FilterIntersect, WorkloadSubsIntersectFullSpaceAdv) {
+  const Filter adv = full_space_advertisement();
+  for (auto kind : {WorkloadKind::Covered, WorkloadKind::Chained,
+                    WorkloadKind::Tree, WorkloadKind::Distinct}) {
+    for (int i = 1; i <= 10; ++i) {
+      EXPECT_TRUE(workload_filter(kind, i, 7).intersects_advertisement(adv))
+          << to_string(kind) << " #" << i;
+    }
+  }
+}
+
+TEST(FilterOverlap, SymmetricOverlap) {
+  const Filter a{ge("x", 0), le("x", 10)};
+  const Filter b{ge("x", 5), le("x", 15)};
+  const Filter c{ge("x", 11), le("x", 15)};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,154 @@
+// The equality-predicate match index: correctness against the full-scan
+// reference on randomized subscription populations and mutation sequences.
+#include "routing/match_index.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "pubsub/workload.h"
+#include "routing/routing_tables.h"
+
+namespace tmps {
+namespace {
+
+TEST(MatchIndex, FilesEqualitySubsInBuckets) {
+  SubMatchIndex idx;
+  idx.insert({1, 1}, workload_filter(WorkloadKind::Covered, 1, 0));
+  idx.insert({2, 1}, workload_filter(WorkloadKind::Covered, 2, 1));
+  EXPECT_EQ(idx.indexed_count(), 2u);
+  EXPECT_EQ(idx.scan_count(), 0u);
+}
+
+TEST(MatchIndex, FiltersWithoutEqualityFallBackToScan) {
+  SubMatchIndex idx;
+  idx.insert({1, 1}, Filter{ge("x", 0), le("x", 10)});
+  EXPECT_EQ(idx.indexed_count(), 0u);
+  EXPECT_EQ(idx.scan_count(), 1u);
+  std::vector<SubscriptionId> c;
+  idx.candidates(make_publication({9, 9}, 5, 0), c);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (SubscriptionId{1, 1}));
+}
+
+TEST(MatchIndex, CandidatesIncludeEveryTrueMatch) {
+  SubMatchIndex idx;
+  std::vector<std::pair<SubscriptionId, Filter>> subs;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const Filter f = workload_filter_at(
+        static_cast<WorkloadKind>(i % 4), static_cast<int>(i % 10) + 1,
+        i % 12, i);
+    subs.push_back({{100 + i, 1}, f});
+    idx.insert({100 + i, 1}, f);
+  }
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::int64_t> x(kSpaceLo, kSpaceHi);
+  std::uniform_int_distribution<std::int64_t> g(0, 11);
+  for (int round = 0; round < 200; ++round) {
+    const Publication p = make_publication({1, 1}, x(rng), g(rng));
+    std::vector<SubscriptionId> cands;
+    idx.candidates(p, cands);
+    const std::set<SubscriptionId> cand_set(cands.begin(), cands.end());
+    EXPECT_EQ(cand_set.size(), cands.size()) << "no duplicate candidates";
+    for (const auto& [id, f] : subs) {
+      if (f.matches(p)) {
+        EXPECT_TRUE(cand_set.contains(id)) << to_string(id);
+      }
+    }
+  }
+}
+
+TEST(MatchIndex, EraseRemovesExactEntry) {
+  SubMatchIndex idx;
+  const Filter f = workload_filter(WorkloadKind::Covered, 1, 3);
+  idx.insert({1, 1}, f);
+  idx.insert({2, 1}, f);
+  idx.erase({1, 1}, f);
+  std::vector<SubscriptionId> c;
+  idx.candidates(make_publication({9, 9}, 100, 3), c);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (SubscriptionId{2, 1}));
+  idx.erase({2, 1}, f);
+  c.clear();
+  idx.candidates(make_publication({9, 9}, 100, 3), c);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(idx.bucket_count(), 0u);
+}
+
+TEST(MatchIndex, EraseOfUnknownIdIsHarmless) {
+  SubMatchIndex idx;
+  idx.erase({7, 7}, workload_filter(WorkloadKind::Covered, 1, 0));
+  EXPECT_EQ(idx.indexed_count(), 0u);
+}
+
+TEST(MatchIndex, AdaptiveBucketChoiceAvoidsHotAttribute) {
+  // All filters share class='STOCK'; after the first few land there, new
+  // subscriptions must prefer their (much smaller) per-family g buckets.
+  SubMatchIndex idx;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    idx.insert({i, 1}, workload_filter(WorkloadKind::Distinct,
+                                       static_cast<int>(i % 10) + 1, i / 10));
+  }
+  // Probe with one specific family: candidates must be far fewer than 100.
+  std::vector<SubscriptionId> c;
+  idx.candidates(make_publication({9, 9}, 100, /*group=*/3), c);
+  EXPECT_LT(c.size(), 30u) << "index degenerated into one hot bucket";
+}
+
+class IndexVsScan : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexVsScan, RoutingTablesMatchingEqualsReference) {
+  std::mt19937_64 rng(GetParam());
+  RoutingTables rt;
+  std::uniform_int_distribution<int> member(1, 10);
+  std::uniform_int_distribution<std::int64_t> grp(0, 7);
+  std::uniform_int_distribution<int> kindi(0, 3);
+  constexpr WorkloadKind kinds[] = {WorkloadKind::Covered,
+                                    WorkloadKind::Chained, WorkloadKind::Tree,
+                                    WorkloadKind::Distinct};
+  std::vector<Subscription> live;
+
+  std::uniform_int_distribution<int> op(0, 9);
+  std::uniform_int_distribution<std::int64_t> x(kSpaceLo, kSpaceHi);
+  std::uint32_t seq = 0;
+  for (int step = 0; step < 400; ++step) {
+    const int o = op(rng);
+    if (o < 5 || live.empty()) {
+      Subscription s{{1000 + seq, ++seq},
+                     workload_filter(kinds[kindi(rng)], member(rng),
+                                     grp(rng))};
+      rt.upsert_sub(s, Hop::of_broker(static_cast<BrokerId>(1 + seq % 5)));
+      live.push_back(s);
+    } else if (o < 7) {
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      const std::size_t i = pick(rng);
+      rt.erase_sub(live[i].id);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (o == 7 && !live.empty()) {
+      // Shadow churn: install and either commit or abort.
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      const Subscription& s = live[pick(rng)];
+      rt.install_sub_shadow(s, Hop::of_broker(3), step + 1);
+      if (step % 2 == 0) {
+        rt.commit_shadow(s.id, step + 1);
+      } else {
+        rt.abort_shadow(s.id, step + 1);
+      }
+    } else {
+      const Publication p = make_publication({1, seq}, x(rng), grp(rng));
+      auto indexed = rt.matching_subs(p);
+      auto scanned = rt.matching_subs_scan(p);
+      std::set<SubscriptionId> a, b;
+      for (const auto* e : indexed) a.insert(e->sub.id);
+      for (const auto* e : scanned) b.insert(e->sub.id);
+      ASSERT_EQ(a, b) << "index/scan divergence at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexVsScan,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,96 @@
+#include "pubsub/messages.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pubsub/workload.h"
+#include "routing/hop.h"
+
+namespace tmps {
+namespace {
+
+TEST(Messages, TypeNamesAreDistinct) {
+  const Subscription sub{{1, 1}, workload_filter(WorkloadKind::Covered, 1)};
+  const Advertisement adv{{1, 2}, full_space_advertisement()};
+  std::vector<Payload> payloads = {
+      AdvertiseMsg{adv},         UnadvertiseMsg{adv.id},
+      SubscribeMsg{sub},         UnsubscribeMsg{sub.id},
+      PublishMsg{},              MoveNegotiateMsg{},
+      MoveApproveMsg{},          MoveRejectMsg{},
+      MoveStateMsg{},            MoveAckMsg{},
+      MoveAbortMsg{},            BufferedStateMsg{},
+      TradMoveRequestMsg{},      TradReadyMsg{},
+      TradRejectMsg{},
+  };
+  std::set<std::string> names;
+  for (auto& p : payloads) {
+    Message m;
+    m.payload = p;
+    names.insert(std::string(m.type_name()));
+  }
+  EXPECT_EQ(names.size(), payloads.size());
+}
+
+TEST(Messages, RoutingPayloadsAreNotControl) {
+  for (Payload p : std::initializer_list<Payload>{
+           AdvertiseMsg{}, UnadvertiseMsg{}, SubscribeMsg{}, UnsubscribeMsg{},
+           PublishMsg{}}) {
+    Message m;
+    m.payload = p;
+    EXPECT_FALSE(m.is_control()) << m.type_name();
+  }
+}
+
+TEST(Messages, MovementPayloadsAreControl) {
+  for (Payload p : std::initializer_list<Payload>{
+           MoveNegotiateMsg{}, MoveApproveMsg{}, MoveRejectMsg{},
+           MoveStateMsg{}, MoveAckMsg{}, MoveAbortMsg{}, BufferedStateMsg{},
+           TradMoveRequestMsg{}, TradReadyMsg{}, TradRejectMsg{}}) {
+    Message m;
+    m.payload = p;
+    EXPECT_TRUE(m.is_control()) << m.type_name();
+  }
+}
+
+TEST(Messages, ToStringIncludesDestination) {
+  Message m;
+  m.id = 7;
+  m.unicast_dest = 12;
+  m.payload = MoveAckMsg{};
+  const std::string s = to_string(m);
+  EXPECT_NE(s.find("move-ack"), std::string::npos);
+  EXPECT_NE(s.find("B12"), std::string::npos);
+}
+
+TEST(Ids, EntityIdOrderingAndHash) {
+  const EntityId a{1, 1}, b{1, 2}, c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (EntityId{1, 1}));
+  std::hash<EntityId> h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_EQ(to_string(a), "1:1");
+}
+
+TEST(Hop, KindsAndEquality) {
+  const Hop none = Hop::none();
+  const Hop b = Hop::of_broker(3);
+  const Hop c = Hop::of_client(9);
+  EXPECT_TRUE(none.is_none());
+  EXPECT_TRUE(b.is_broker());
+  EXPECT_TRUE(c.is_client());
+  EXPECT_NE(b, c);
+  EXPECT_NE(b, Hop::of_broker(4));
+  EXPECT_EQ(b, Hop::of_broker(3));
+  EXPECT_EQ(b.to_string(), "B3");
+  EXPECT_EQ(c.to_string(), "C9");
+  std::hash<Hop> h;
+  EXPECT_NE(h(b), h(c));
+  // A broker and client with the same numeric id must hash differently.
+  EXPECT_NE(h(Hop::of_broker(5)), h(Hop::of_client(5)));
+}
+
+}  // namespace
+}  // namespace tmps

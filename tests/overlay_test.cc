@@ -1,0 +1,120 @@
+#include "routing/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tmps {
+namespace {
+
+TEST(Overlay, PaperDefaultShape) {
+  const Overlay o = Overlay::paper_default();
+  EXPECT_EQ(o.broker_count(), 14u);
+  EXPECT_EQ(o.edges().size(), 13u);
+  // The two movement pairs of Fig. 8 share the spine.
+  const auto p1 = o.path(1, 13);
+  const auto p2 = o.path(2, 14);
+  EXPECT_EQ(p1.size(), p2.size());
+  EXPECT_EQ(p1.front(), 1u);
+  EXPECT_EQ(p1.back(), 13u);
+  std::set<BrokerId> s1(p1.begin(), p1.end()), s2(p2.begin(), p2.end());
+  std::set<BrokerId> shared;
+  for (BrokerId b : s1) {
+    if (s2.contains(b)) shared.insert(b);
+  }
+  EXPECT_GE(shared.size(), 3u) << "pairs must share the spine";
+}
+
+TEST(Overlay, NextHopWalksThePath) {
+  const Overlay o = Overlay::paper_default();
+  BrokerId at = 1;
+  const auto path = o.path(1, 13);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    at = o.next_hop(at, 13);
+    EXPECT_EQ(at, path[i]);
+  }
+  EXPECT_EQ(at, 13u);
+}
+
+TEST(Overlay, PathIsSymmetric) {
+  const Overlay o = Overlay::paper_default();
+  auto fwd = o.path(2, 11);
+  auto bwd = o.path(11, 2);
+  std::reverse(bwd.begin(), bwd.end());
+  EXPECT_EQ(fwd, bwd);
+}
+
+TEST(Overlay, DistanceMatchesPathLength) {
+  const Overlay o = Overlay::paper_default();
+  for (BrokerId a = 1; a <= 14; ++a) {
+    for (BrokerId b = 1; b <= 14; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(o.distance(a, b), o.path(a, b).size() - 1);
+    }
+  }
+}
+
+TEST(Overlay, NeighborsAreMutual) {
+  const Overlay o = Overlay::paper_default();
+  for (BrokerId a = 1; a <= 14; ++a) {
+    for (BrokerId b : o.neighbors(a)) {
+      EXPECT_TRUE(o.are_neighbors(b, a));
+    }
+  }
+}
+
+TEST(Overlay, RejectsNonTrees) {
+  // Too few edges (disconnected).
+  EXPECT_THROW(Overlay(3, {{1, 2}}), std::invalid_argument);
+  // A cycle with n-1 edges must be disconnected elsewhere.
+  EXPECT_THROW(Overlay(4, {{1, 2}, {2, 1}, {3, 4}}), std::invalid_argument);
+  // Out-of-range endpoint.
+  EXPECT_THROW(Overlay(2, {{1, 5}}), std::invalid_argument);
+  // Self-loop.
+  EXPECT_THROW(Overlay(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Overlay, Fig13FamilyKeepsPathLengthsConstant) {
+  std::uint32_t d_1_12 = 0, d_2_14 = 0;
+  for (std::uint32_t n = 14; n <= 26; n += 2) {
+    const Overlay o = Overlay::fig13_topology(n);
+    EXPECT_EQ(o.broker_count(), n);
+    if (n == 14) {
+      d_1_12 = o.distance(1, 12);
+      d_2_14 = o.distance(2, 14);
+    } else {
+      EXPECT_EQ(o.distance(1, 12), d_1_12) << n;
+      EXPECT_EQ(o.distance(2, 14), d_2_14) << n;
+    }
+  }
+  EXPECT_THROW(Overlay::fig13_topology(12), std::invalid_argument);
+}
+
+TEST(Overlay, RandomTreeIsValidAndSeedStable) {
+  for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    const Overlay a = Overlay::random_tree(20, seed);
+    const Overlay b = Overlay::random_tree(20, seed);
+    EXPECT_EQ(a.edges(), b.edges());
+    // Connectivity: constructor validates; also spot-check a path.
+    EXPECT_FALSE(a.path(1, 20).empty());
+  }
+  EXPECT_NE(Overlay::random_tree(20, 1).edges(),
+            Overlay::random_tree(20, 2).edges());
+}
+
+TEST(Overlay, ChainAndStar) {
+  const Overlay c = Overlay::chain(5);
+  EXPECT_EQ(c.distance(1, 5), 4u);
+  const Overlay s = Overlay::star(5);
+  EXPECT_EQ(s.distance(2, 5), 2u);
+  EXPECT_EQ(s.next_hop(2, 5), 1u);
+}
+
+TEST(Overlay, SingleBroker) {
+  const Overlay o(1, {});
+  EXPECT_EQ(o.broker_count(), 1u);
+  EXPECT_TRUE(o.neighbors(1).empty());
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,147 @@
+#include "pubsub/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pubsub/workload.h"
+
+namespace tmps {
+namespace {
+
+Filter must_parse(std::string_view text) {
+  auto r = parse_filter(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.error;
+  return r.value.value_or(Filter{});
+}
+
+TEST(ParseFilter, BasicSubscription) {
+  const Filter f =
+      must_parse("[class,eq,'STOCK'],[price,>,100],[volume,<=,5000]");
+  EXPECT_EQ(f.predicates().size(), 3u);
+  Publication hit({1, 1}, {{"class", "STOCK"},
+                           {"price", std::int64_t{150}},
+                           {"volume", std::int64_t{100}}});
+  Publication miss({1, 2}, {{"class", "STOCK"},
+                            {"price", std::int64_t{50}},
+                            {"volume", std::int64_t{100}}});
+  EXPECT_TRUE(f.matches(hit));
+  EXPECT_FALSE(f.matches(miss));
+}
+
+TEST(ParseFilter, NamedAndSymbolicOperatorsEquivalent) {
+  const Filter sym = must_parse("[x,>=,5],[x,<,10],[y,!=,3]");
+  const Filter named = must_parse("[x,ge,5],[x,lt,10],[y,neq,3]");
+  EXPECT_TRUE(sym.covers(named));
+  EXPECT_TRUE(named.covers(sym));
+}
+
+TEST(ParseFilter, IsPresentHasNoValue) {
+  const Filter f = must_parse("[sym,isPresent],[price,>,0]");
+  EXPECT_TRUE(f.matches(Publication{
+      {1, 1}, {{"sym", "A"}, {"price", std::int64_t{1}}}}));
+  EXPECT_FALSE(f.matches(Publication{{1, 2}, {{"price", std::int64_t{1}}}}));
+}
+
+TEST(ParseFilter, QuotedStringsWithEscapes) {
+  const Filter f = must_parse("[name,eq,'O''Brien & Co']");
+  EXPECT_TRUE(
+      f.matches(Publication{{1, 1}, {{"name", "O'Brien & Co"}}}));
+}
+
+TEST(ParseFilter, RealsAndScientific) {
+  const Filter f = must_parse("[p,>,1.5],[p,<,2.5e2]");
+  EXPECT_TRUE(f.matches(Publication{{1, 1}, {{"p", 100.0}}}));
+  EXPECT_FALSE(f.matches(Publication{{1, 2}, {{"p", 300.0}}}));
+}
+
+TEST(ParseFilter, WhitespaceTolerated) {
+  const Filter f = must_parse("  [ class , eq , 'X' ] ,\n [ x , > , 1 ]  ");
+  EXPECT_EQ(f.predicates().size(), 2u);
+}
+
+TEST(ParseFilter, PrefixOperator) {
+  const Filter f = must_parse("[topic,str-prefix,'sports/']");
+  EXPECT_TRUE(f.matches(Publication{{1, 1}, {{"topic", "sports/nba"}}}));
+  EXPECT_FALSE(f.matches(Publication{{1, 2}, {{"topic", "news/x"}}}));
+}
+
+TEST(ParseFilter, Errors) {
+  EXPECT_FALSE(parse_filter("").ok());
+  EXPECT_FALSE(parse_filter("[x,>,1").ok());           // missing ]
+  EXPECT_FALSE(parse_filter("x,>,1]").ok());           // missing [
+  EXPECT_FALSE(parse_filter("[x,wat,1]").ok());        // unknown op
+  EXPECT_FALSE(parse_filter("[x,>,'unclosed]").ok());  // bad string
+  EXPECT_FALSE(parse_filter("[x,>]").ok());            // missing value
+  EXPECT_FALSE(parse_filter("[x,>,1][y,<,2]").ok());   // missing comma
+  EXPECT_FALSE(parse_filter("[x,>,abc]").ok());        // malformed number
+  EXPECT_FALSE(parse_filter("[,>,1]").ok());           // missing attribute
+  // Unsatisfiable conjunctions are rejected with a clear message.
+  const auto r = parse_filter("[x,>,5],[x,<,3]");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unsatisfiable"), std::string::npos);
+}
+
+TEST(ParsePublication, Basic) {
+  auto r = parse_publication("[class,'STOCK'],[price,120],[w,1.25]");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Publication& p = *r.value;
+  EXPECT_EQ(p.find("class")->as_string(), "STOCK");
+  EXPECT_EQ(p.find("price")->as_int(), 120);
+  EXPECT_DOUBLE_EQ(p.find("w")->as_real(), 1.25);
+}
+
+TEST(ParsePublication, Errors) {
+  EXPECT_FALSE(parse_publication("").ok());
+  EXPECT_FALSE(parse_publication("[x]").ok());
+  EXPECT_FALSE(parse_publication("[x,1,2]").ok());
+  EXPECT_FALSE(parse_publication("[x,oops]").ok());
+}
+
+TEST(ParseRoundTrip, FormatThenParsePreservesSemantics) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> member(1, 10);
+  std::uniform_int_distribution<std::int64_t> grp(0, 5);
+  for (auto kind : {WorkloadKind::Covered, WorkloadKind::Chained,
+                    WorkloadKind::Tree, WorkloadKind::Distinct}) {
+    for (int i = 0; i < 10; ++i) {
+      const Filter f = workload_filter(kind, member(rng), grp(rng));
+      const std::string text = format_filter(f);
+      const Filter back = must_parse(text);
+      EXPECT_TRUE(f.covers(back) && back.covers(f)) << text;
+    }
+  }
+}
+
+TEST(ParseRoundTrip, PublicationFormatThenParse) {
+  const Publication p = make_publication({3, 9}, 1234, 7);
+  auto r = parse_publication(format_publication(p));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value->attrs(), p.attrs());
+}
+
+TEST(ParseRoundTrip, StringEscapingSurvives) {
+  Publication p;
+  p.set("s", Value{"it's 'quoted', twice''"});
+  auto r = parse_publication(format_publication(p));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value->find("s")->as_string(), "it's 'quoted', twice''");
+}
+
+TEST(ParseFuzz, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> len(0, 60);
+  const std::string alphabet = "[],'<>=!abcx0129. \t";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  for (int i = 0; i < 3000; ++i) {
+    std::string junk;
+    const int n = len(rng);
+    for (int j = 0; j < n; ++j) junk.push_back(alphabet[pick(rng)]);
+    (void)parse_filter(junk);
+    (void)parse_publication(junk);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,166 @@
+#include "txn/persistent_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace tmps {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistentQueueTest : public ::testing::Test {
+ protected:
+  PersistentQueueTest() {
+    dir_ = fs::temp_directory_path() /
+           ("tmps_pq_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  ~PersistentQueueTest() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(PersistentQueueTest, FifoOrder) {
+  PersistentQueue q(dir_);
+  q.push("a");
+  q.push("b");
+  q.push("c");
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.front(), "a");
+  q.pop();
+  EXPECT_EQ(q.front(), "b");
+  q.pop();
+  EXPECT_EQ(q.front(), "c");
+  q.pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.front(), std::nullopt);
+}
+
+TEST_F(PersistentQueueTest, PopOnEmptyThrows) {
+  PersistentQueue q(dir_);
+  EXPECT_THROW(q.pop(), std::out_of_range);
+}
+
+TEST_F(PersistentQueueTest, SurvivesReopen) {
+  {
+    PersistentQueue q(dir_);
+    q.push("one");
+    q.push("two");
+    q.pop();
+  }
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), "two");
+}
+
+TEST_F(PersistentQueueTest, EmptyRecoveryIsClean) {
+  { PersistentQueue q(dir_); }
+  PersistentQueue q(dir_);
+  EXPECT_TRUE(q.empty());
+  q.push("x");
+  EXPECT_EQ(q.front(), "x");
+}
+
+TEST_F(PersistentQueueTest, BinaryPayloads) {
+  std::string blob(1024, '\0');
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>(i * 31);
+  }
+  {
+    PersistentQueue q(dir_);
+    q.push(blob);
+  }
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.front(), blob);
+}
+
+TEST_F(PersistentQueueTest, TornTailIsDiscarded) {
+  {
+    PersistentQueue q(dir_);
+    q.push("good-1");
+    q.push("good-2");
+  }
+  // Simulate a crash mid-append: chop bytes off the journal tail.
+  const auto journal = dir_ / "journal.log";
+  const auto full = fs::file_size(journal);
+  fs::resize_file(journal, full - 3);
+
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), "good-1");
+}
+
+TEST_F(PersistentQueueTest, CorruptRecordStopsReplay) {
+  {
+    PersistentQueue q(dir_);
+    q.push("aaaa");
+    q.push("bbbb");
+  }
+  // Flip a payload byte of the second record.
+  const auto journal = dir_ / "journal.log";
+  std::fstream f(journal, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-2, std::ios::end);
+  f.put('X');
+  f.close();
+
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), "aaaa");
+}
+
+TEST_F(PersistentQueueTest, CompactDropsConsumed) {
+  {
+    PersistentQueue q(dir_);
+    for (int i = 0; i < 100; ++i) q.push("record-" + std::to_string(i));
+    for (int i = 0; i < 90; ++i) q.pop();
+    const auto before = fs::file_size(dir_ / "journal.log");
+    q.compact();
+    const auto after = fs::file_size(dir_ / "journal.log");
+    EXPECT_LT(after, before / 2);
+    EXPECT_EQ(q.size(), 10u);
+    EXPECT_EQ(q.front(), "record-90");
+    q.push("post-compact");
+  }
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.size(), 11u);
+  EXPECT_EQ(q.front(), "record-90");
+}
+
+TEST_F(PersistentQueueTest, SequenceNumbersMonotonicAcrossReopen) {
+  std::uint64_t first_next;
+  {
+    PersistentQueue q(dir_);
+    q.push("a");
+    q.push("b");
+    first_next = q.next_seq();
+  }
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.next_seq(), first_next);
+  q.push("c");
+  EXPECT_EQ(q.next_seq(), first_next + 1);
+}
+
+TEST_F(PersistentQueueTest, ManyRecordsStress) {
+  {
+    PersistentQueue q(dir_);
+    for (int i = 0; i < 5000; ++i) q.push(std::to_string(i));
+    for (int i = 0; i < 2500; ++i) q.pop();
+  }
+  PersistentQueue q(dir_);
+  EXPECT_EQ(q.size(), 2500u);
+  EXPECT_EQ(q.front(), "2500");
+}
+
+TEST(Crc32, KnownVectors) {
+  // CRC-32 (IEEE) of "123456789" is 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace tmps

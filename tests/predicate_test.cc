@@ -1,0 +1,64 @@
+#include "pubsub/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+TEST(Predicate, Eq) {
+  const Predicate p = eq("x", 5);
+  EXPECT_TRUE(p.satisfied_by(Value{5}));
+  EXPECT_TRUE(p.satisfied_by(Value{5.0}));
+  EXPECT_FALSE(p.satisfied_by(Value{6}));
+  EXPECT_FALSE(p.satisfied_by(Value{"5"}));
+}
+
+TEST(Predicate, Ne) {
+  const Predicate p = ne("x", 5);
+  EXPECT_FALSE(p.satisfied_by(Value{5}));
+  EXPECT_TRUE(p.satisfied_by(Value{6}));
+  // Incomparable domains do not satisfy ordered predicates.
+  EXPECT_FALSE(p.satisfied_by(Value{"a"}));
+}
+
+TEST(Predicate, OrderedOps) {
+  EXPECT_TRUE(lt("x", 5).satisfied_by(Value{4}));
+  EXPECT_FALSE(lt("x", 5).satisfied_by(Value{5}));
+  EXPECT_TRUE(le("x", 5).satisfied_by(Value{5}));
+  EXPECT_FALSE(le("x", 5).satisfied_by(Value{6}));
+  EXPECT_TRUE(gt("x", 5).satisfied_by(Value{6}));
+  EXPECT_FALSE(gt("x", 5).satisfied_by(Value{5}));
+  EXPECT_TRUE(ge("x", 5).satisfied_by(Value{5}));
+  EXPECT_FALSE(ge("x", 5).satisfied_by(Value{4}));
+}
+
+TEST(Predicate, OrderedOpsOnStrings) {
+  EXPECT_TRUE(lt("s", "m").satisfied_by(Value{"a"}));
+  EXPECT_FALSE(lt("s", "m").satisfied_by(Value{"z"}));
+  EXPECT_TRUE(ge("s", "m").satisfied_by(Value{"m"}));
+}
+
+TEST(Predicate, Present) {
+  const Predicate p = present("x");
+  EXPECT_TRUE(p.satisfied_by(Value{1}));
+  EXPECT_TRUE(p.satisfied_by(Value{"anything"}));
+}
+
+TEST(Predicate, Prefix) {
+  const Predicate p = prefix("s", "foo");
+  EXPECT_TRUE(p.satisfied_by(Value{"foo"}));
+  EXPECT_TRUE(p.satisfied_by(Value{"foobar"}));
+  EXPECT_FALSE(p.satisfied_by(Value{"fo"}));
+  EXPECT_FALSE(p.satisfied_by(Value{"bar"}));
+  EXPECT_FALSE(p.satisfied_by(Value{42}));
+}
+
+TEST(Predicate, ToStringMentionsParts) {
+  const auto s = ge("price", 100).to_string();
+  EXPECT_NE(s.find("price"), std::string::npos);
+  EXPECT_NE(s.find("ge"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,144 @@
+#include "routing/routing_tables.h"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/workload.h"
+
+namespace tmps {
+namespace {
+
+Subscription sub(std::uint32_t seq, std::int64_t lo, std::int64_t hi) {
+  return {{10, seq}, Filter{eq("class", "STOCK"), ge("x", lo), le("x", hi)}};
+}
+Advertisement adv(std::uint32_t seq) {
+  return {{20, seq}, full_space_advertisement()};
+}
+
+TEST(RoutingTables, UpsertAndFind) {
+  RoutingTables rt;
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_broker(2));
+  EXPECT_EQ(rt.sub_count(), 1u);
+  auto* e = rt.find_sub({10, 1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->lasthop, Hop::of_broker(2));
+  // Upsert with a new hop updates in place.
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_broker(3));
+  EXPECT_EQ(rt.sub_count(), 1u);
+  EXPECT_EQ(rt.find_sub({10, 1})->lasthop, Hop::of_broker(3));
+  rt.erase_sub({10, 1});
+  EXPECT_EQ(rt.find_sub({10, 1}), nullptr);
+}
+
+TEST(RoutingTables, HopsForPublicationDedups) {
+  RoutingTables rt;
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_broker(2));
+  rt.upsert_sub(sub(2, 0, 50), Hop::of_broker(2));
+  rt.upsert_sub(sub(3, 0, 50), Hop::of_broker(4));
+  const auto hops =
+      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
+                                                   {"x", 25}}});
+  EXPECT_EQ(hops.size(), 2u);
+}
+
+TEST(RoutingTables, HopsSkipNonMatching) {
+  RoutingTables rt;
+  rt.upsert_sub(sub(1, 0, 10), Hop::of_broker(2));
+  const auto hops =
+      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
+                                                   {"x", 25}}});
+  EXPECT_TRUE(hops.empty());
+}
+
+TEST(RoutingTables, ShadowInstallCommit) {
+  RoutingTables rt;
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_client(10));
+  rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), /*txn=*/77);
+
+  // Both hops are live while the transaction is in flight.
+  const auto hops =
+      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
+                                                   {"x", 25}}});
+  EXPECT_EQ(hops.size(), 2u);
+  EXPECT_TRUE(rt.has_pending_shadows());
+
+  rt.commit_shadow({10, 1}, 77);
+  auto* e = rt.find_sub({10, 1});
+  EXPECT_EQ(e->lasthop, Hop::of_broker(5));
+  EXPECT_FALSE(e->shadow_lasthop.has_value());
+  EXPECT_FALSE(rt.has_pending_shadows());
+}
+
+TEST(RoutingTables, ShadowAbortRestoresOriginal) {
+  RoutingTables rt;
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_client(10));
+  rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), 77);
+  rt.abort_shadow({10, 1}, 77);
+  auto* e = rt.find_sub({10, 1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->lasthop, Hop::of_client(10));
+  EXPECT_FALSE(rt.has_pending_shadows());
+}
+
+TEST(RoutingTables, ShadowOnlyEntryVanishesOnAbort) {
+  RoutingTables rt;
+  rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), 77);
+  EXPECT_EQ(rt.sub_count(), 1u);
+  EXPECT_TRUE(rt.find_sub({10, 1})->shadow_only);
+  rt.abort_shadow({10, 1}, 77);
+  EXPECT_EQ(rt.sub_count(), 0u);
+}
+
+TEST(RoutingTables, ShadowOnlyEntryBecomesRealOnCommit) {
+  RoutingTables rt;
+  rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), 77);
+  rt.commit_shadow({10, 1}, 77);
+  auto* e = rt.find_sub({10, 1});
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->shadow_only);
+  EXPECT_EQ(e->lasthop, Hop::of_broker(5));
+}
+
+TEST(RoutingTables, CommitWithWrongTxnIsNoop) {
+  RoutingTables rt;
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_client(10));
+  rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), 77);
+  rt.commit_shadow({10, 1}, 78);  // different transaction
+  EXPECT_TRUE(rt.has_pending_shadows());
+  rt.abort_shadow({10, 1}, 78);  // also a no-op
+  EXPECT_TRUE(rt.has_pending_shadows());
+}
+
+TEST(RoutingTables, ShadowOnlyEntryDoesNotRouteViaPrimary) {
+  RoutingTables rt;
+  rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), 77);
+  const auto hops =
+      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
+                                                   {"x", 25}}});
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0], Hop::of_broker(5));
+}
+
+TEST(RoutingTables, AdvShadowLifecycle) {
+  RoutingTables rt;
+  rt.upsert_adv(adv(1), Hop::of_client(20));
+  rt.install_adv_shadow(adv(1), Hop::of_broker(3), 5);
+  EXPECT_TRUE(rt.has_pending_shadows());
+  rt.commit_adv_shadow({20, 1}, 5);
+  EXPECT_EQ(rt.find_adv({20, 1})->lasthop, Hop::of_broker(3));
+  rt.install_adv_shadow(adv(1), Hop::of_broker(4), 6);
+  rt.abort_adv_shadow({20, 1}, 6);
+  EXPECT_EQ(rt.find_adv({20, 1})->lasthop, Hop::of_broker(3));
+}
+
+TEST(RoutingTables, IntersectionQueries) {
+  RoutingTables rt;
+  rt.upsert_adv(adv(1), Hop::of_broker(2));
+  rt.upsert_sub(sub(1, 0, 100), Hop::of_broker(3));
+  EXPECT_EQ(rt.intersecting_advs(sub(1, 0, 100).filter).size(), 1u);
+  EXPECT_EQ(rt.subs_intersecting(adv(1).filter).size(), 1u);
+  Filter narrow{eq("class", "BOND")};
+  EXPECT_TRUE(rt.intersecting_advs(narrow).empty());
+}
+
+}  // namespace
+}  // namespace tmps

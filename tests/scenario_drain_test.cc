@@ -1,0 +1,75 @@
+// The scenario's end-of-run drain and the loss-audit bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace tmps {
+namespace {
+
+TEST(ScenarioDrain, NoInFlightMessagesAfterRun) {
+  ScenarioConfig cfg;
+  cfg.mobility.protocol = MobilityProtocol::Traditional;
+  cfg.total_clients = 60;
+  cfg.duration = 40.0;
+  cfg.warmup = 15.0;
+  cfg.pause_between_moves = 5.0;
+  Scenario s(cfg);
+  s.run();
+  // Everything scheduled has drained: the event queue is empty.
+  EXPECT_TRUE(s.net().events().empty());
+  // No broker still holds unresolved movement shadow state.
+  for (BrokerId b = 1; b <= 14; ++b) {
+    EXPECT_FALSE(s.net().broker(b).tables().has_pending_shadows()) << b;
+  }
+}
+
+TEST(ScenarioDrain, LossAuditCountsArePlausible) {
+  ScenarioConfig cfg;
+  cfg.total_clients = 60;
+  cfg.moving_clients = 6;
+  cfg.duration = 60.0;
+  cfg.warmup = 20.0;
+  cfg.publish_interval = 0.5;
+  cfg.broker.subscription_covering = false;
+  cfg.broker.advertisement_covering = false;
+  Scenario s(cfg);
+  s.run();
+  // There are stationary and mover expectations, and reconfig loses none.
+  EXPECT_GT(s.audit().stationary_expected, 0u);
+  EXPECT_GT(s.audit().mover_expected, 0u);
+  EXPECT_EQ(s.audit().stationary_losses, 0u);
+  EXPECT_EQ(s.audit().mover_losses, 0u);
+  EXPECT_EQ(s.audit().duplicates, 0u);
+}
+
+TEST(ScenarioDrain, ChurnDisablesLossAudit) {
+  ScenarioConfig cfg;
+  cfg.total_clients = 30;
+  cfg.moving_clients = 3;
+  cfg.duration = 30.0;
+  cfg.background_churn_interval = 5.0;
+  cfg.broker.subscription_covering = false;
+  cfg.broker.advertisement_covering = false;
+  Scenario s(cfg);
+  s.run();
+  // Churned clients' entitlement windows are ambiguous; the audit opts out.
+  EXPECT_EQ(s.audit().stationary_expected, 0u);
+  EXPECT_EQ(s.audit().mover_expected, 0u);
+}
+
+TEST(ScenarioDrain, PublisherMoversExcludedFromLossAudit) {
+  ScenarioConfig cfg;
+  cfg.total_clients = 40;
+  cfg.moving_clients = 10;
+  cfg.movers_are_publishers = true;
+  cfg.duration = 30.0;
+  cfg.broker.subscription_covering = false;
+  cfg.broker.advertisement_covering = false;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_EQ(s.audit().mover_expected, 0u)
+      << "publishers have no notification entitlement";
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,129 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+TEST(Stats, CountsTotalsPerLinkAndPerType) {
+  Stats s;
+  s.count_message(1, 2, "sub", kNoTxn);
+  s.count_message(1, 2, "sub", kNoTxn);
+  s.count_message(2, 3, "pub", kNoTxn);
+  EXPECT_EQ(s.total_messages(), 3u);
+  EXPECT_EQ(s.link_counts().at({1, 2}), 2u);
+  EXPECT_EQ(s.link_counts().at({2, 3}), 1u);
+  EXPECT_EQ(s.messages_by_type("sub"), 2u);
+  EXPECT_EQ(s.messages_by_type("pub"), 1u);
+  EXPECT_EQ(s.messages_by_type("unknown"), 0u);
+}
+
+TEST(Stats, CauseAttribution) {
+  Stats s;
+  s.count_message(1, 2, "sub", 42);
+  s.count_message(2, 3, "sub", 42);
+  s.count_message(1, 2, "pub", kNoTxn);
+  EXPECT_EQ(s.messages_for_cause(42), 2u);
+  EXPECT_EQ(s.messages_for_cause(43), 0u);
+}
+
+TEST(Stats, MovementRecordSnapshotsCauseCount) {
+  Stats s;
+  s.count_message(1, 2, "move-negotiate", 7);
+  s.count_message(2, 3, "move-negotiate", 7);
+  MovementRecord rec;
+  rec.txn = 7;
+  rec.client = 100;
+  rec.start = 1.0;
+  rec.end = 1.5;
+  rec.committed = true;
+  s.record_movement(rec);
+  ASSERT_EQ(s.movements().size(), 1u);
+  EXPECT_EQ(s.movements()[0].messages, 2u);
+  EXPECT_DOUBLE_EQ(s.movements()[0].duration(), 0.5);
+}
+
+TEST(Stats, WindowedSummaries) {
+  Stats s;
+  auto rec = [&](TxnId txn, double start, double dur, bool committed) {
+    MovementRecord r;
+    r.txn = txn;
+    r.start = start;
+    r.end = start + dur;
+    r.committed = committed;
+    s.record_movement(r);
+  };
+  rec(1, 5.0, 0.1, true);    // before warmup window
+  rec(2, 15.0, 0.2, true);   // in window
+  rec(3, 20.0, 0.4, true);   // in window
+  rec(4, 25.0, 9.9, false);  // aborted: excluded
+  rec(5, 95.0, 0.3, true);   // after window
+
+  const Summary w = s.latency_summary(10.0, 90.0);
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_NEAR(w.mean(), 0.3, 1e-9);
+  EXPECT_EQ(s.committed_movements(10.0, 90.0), 2u);
+  EXPECT_EQ(s.committed_movements(), 4u);
+}
+
+TEST(Stats, MessagesPerMovementAveragesOverWindow) {
+  Stats s;
+  s.count_message(1, 2, "x", 1);
+  s.count_message(1, 2, "x", 1);
+  s.count_message(1, 2, "x", 2);
+  auto rec = [&](TxnId txn, double start) {
+    MovementRecord r;
+    r.txn = txn;
+    r.start = start;
+    r.end = start + 0.1;
+    r.committed = true;
+    s.record_movement(r);
+  };
+  rec(1, 10.0);
+  rec(2, 20.0);
+  EXPECT_DOUBLE_EQ(s.messages_per_movement(0.0, 100.0), 1.5);
+  EXPECT_DOUBLE_EQ(s.messages_per_movement(15.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.messages_per_movement(50.0, 100.0), 0.0);
+}
+
+TEST(Stats, ResetTrafficClearsCountsButKeepsMovements) {
+  Stats s;
+  s.count_message(1, 2, "x", 1);
+  MovementRecord r;
+  r.txn = 1;
+  r.committed = true;
+  s.record_movement(r);
+  s.reset_traffic();
+  EXPECT_EQ(s.total_messages(), 0u);
+  EXPECT_TRUE(s.link_counts().empty());
+  EXPECT_EQ(s.messages_for_cause(1), 0u);
+  EXPECT_EQ(s.movements().size(), 1u);
+}
+
+TEST(Stats, DeliveryCounter) {
+  Stats s;
+  s.count_delivery(1);
+  s.count_delivery(2);
+  EXPECT_EQ(s.deliveries(), 2u);
+}
+
+TEST(Summary, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace tmps

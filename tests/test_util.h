@@ -1,0 +1,73 @@
+// Shared test helpers.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "broker/broker.h"
+#include "routing/overlay.h"
+
+namespace tmps::testing {
+
+/// A zero-latency synchronous network for routing-layer tests: outputs are
+/// delivered and processed in FIFO order immediately, with per-link message
+/// counting. No timing, no mobility — just the routing fabric.
+class SyncNet {
+ public:
+  explicit SyncNet(const Overlay& overlay, BrokerConfig cfg = {})
+      : overlay_(&overlay) {
+    for (BrokerId b = 1; b <= overlay.broker_count(); ++b) {
+      brokers_[b] = std::make_unique<Broker>(b, overlay_, cfg);
+    }
+  }
+
+  Broker& broker(BrokerId b) { return *brokers_.at(b); }
+
+  /// Runs a local operation and fully propagates the resulting traffic.
+  void run(BrokerId b, const std::function<Broker::Outputs(Broker&)>& op) {
+    dispatch(b, op(broker(b)));
+    drain();
+  }
+
+  void dispatch(BrokerId from, Broker::Outputs outputs) {
+    for (auto& [to, msg] : outputs) {
+      ++messages_;
+      ++link_count_[{from, to}];
+      queue_.push_back({from, to, std::move(msg)});
+    }
+  }
+
+  void drain() {
+    while (!queue_.empty()) {
+      auto [from, to, msg] = std::move(queue_.front());
+      queue_.pop_front();
+      dispatch(to, broker(to).on_message(from, msg));
+    }
+  }
+
+  std::uint64_t messages() const { return messages_; }
+  void reset_count() {
+    messages_ = 0;
+    link_count_.clear();
+  }
+  std::uint64_t on_link(BrokerId a, BrokerId b) const {
+    auto it = link_count_.find({a, b});
+    return it == link_count_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct InFlight {
+    BrokerId from, to;
+    Message msg;
+  };
+
+  const Overlay* overlay_;
+  std::map<BrokerId, std::unique_ptr<Broker>> brokers_;
+  std::deque<InFlight> queue_;
+  std::uint64_t messages_ = 0;
+  std::map<std::pair<BrokerId, BrokerId>, std::uint64_t> link_count_;
+};
+
+}  // namespace tmps::testing

@@ -1,0 +1,153 @@
+// Three-phase commit driven through the discrete-event scheduler with
+// message delays, timeout-driven termination and crash windows: across
+// randomized runs every participant that decides must decide the same way,
+// and with the non-blocking timeouts everyone eventually decides.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim/event_queue.h"
+#include "txn/three_pc.h"
+
+namespace tmps {
+namespace {
+
+struct DistributedRun {
+  explicit DistributedRun(int n, std::uint64_t seed)
+      : rng(seed), delay(0.001, 0.05) {
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    coord = std::make_unique<TpcCoordinator>(
+        1, ids,
+        [this](int to, const TpcMsg& m) {
+          if (coord_crashed) return;
+          events.schedule_in(delay(rng), [this, to, m] {
+            if (!part_crashed[to]) parts[to]->on_message(m);
+          });
+        });
+    for (int i = 0; i < n; ++i) {
+      part_crashed.push_back(false);
+      parts.push_back(std::make_unique<TpcParticipant>(
+          i,
+          [this](const TpcMsg& m) {
+            events.schedule_in(delay(rng), [this, m] {
+              if (!coord_crashed) coord->on_message(m);
+            });
+          },
+          [](TxnId) { return true; }));
+    }
+  }
+
+  /// Drives timeouts: every 0.5 s of simulated time, fire the timeout hook
+  /// of every live party until everyone has decided.
+  void drive_timeouts(double horizon) {
+    for (double t = 0.5; t < horizon; t += 0.5) {
+      events.schedule_at(t, [this] {
+        if (!coord_crashed) coord->on_timeout();
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+          if (!part_crashed[i]) parts[i]->on_timeout();
+        }
+      });
+    }
+  }
+
+  EventQueue events;
+  std::mt19937_64 rng;
+  std::uniform_real_distribution<double> delay;
+  std::unique_ptr<TpcCoordinator> coord;
+  std::vector<std::unique_ptr<TpcParticipant>> parts;
+  std::vector<bool> part_crashed;
+  bool coord_crashed = false;
+};
+
+class ThreePcDistributed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreePcDistributed, FailureFreeRunsCommitUnanimously) {
+  DistributedRun run(4, GetParam());
+  run.coord->start();
+  run.events.run();
+  EXPECT_EQ(run.coord->decision(), TpcDecision::Commit);
+  for (auto& p : run.parts) {
+    EXPECT_EQ(p->decision(), TpcDecision::Commit);
+  }
+}
+
+TEST_P(ThreePcDistributed, ParticipantCrashBeforeVoteAbortsConsistently) {
+  DistributedRun run(4, GetParam());
+  // Participant 2 is dead from the start: its vote never arrives, the
+  // coordinator times out in Waiting and aborts; the rest follow (directly
+  // or via their own Ready-timeout).
+  run.part_crashed[2] = true;
+  run.drive_timeouts(10.0);
+  run.coord->start();
+  run.events.run();
+  EXPECT_EQ(run.coord->decision(), TpcDecision::Abort);
+  for (std::size_t i = 0; i < run.parts.size(); ++i) {
+    if (run.part_crashed[i]) continue;
+    EXPECT_EQ(run.parts[i]->decision(), TpcDecision::Abort) << i;
+  }
+}
+
+TEST_P(ThreePcDistributed, CoordinatorCrashAfterPreCommitStillCommits) {
+  DistributedRun run(3, GetParam());
+  // Let the protocol reach PreCommit, then kill the coordinator: the
+  // participants have seen preCommit and their timeouts must drive them to
+  // commit (3PC's non-blocking property).
+  run.coord->start();
+  // Deliver events until every participant is at least Ready or
+  // PreCommitted, then crash the coordinator at a random point after its
+  // own PreCommit transition.
+  while (run.events.step()) {
+    if (run.coord->state() == TpcCoordState::PreCommit) {
+      run.coord_crashed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(run.coord_crashed) << "run never reached PreCommit";
+  run.drive_timeouts(10.0);
+  run.events.run();
+  for (auto& p : run.parts) {
+    // Participants in PreCommitted commit; any still Ready (preCommit lost
+    // with the crash) abort — but 3PC guarantees this split cannot happen:
+    // preCommit was sent to everyone before the crash.
+    EXPECT_EQ(p->decision(), TpcDecision::Commit)
+        << to_string(p->state());
+  }
+}
+
+TEST_P(ThreePcDistributed, AllDecisionsAgreeUnderRandomSingleCrash) {
+  // Crash one random party at a random simulated time; whatever happens,
+  // no two live parties may decide differently.
+  DistributedRun run(4, GetParam());
+  std::uniform_real_distribution<double> when(0.0, 0.2);
+  std::uniform_int_distribution<int> who(-1, 3);  // -1 = coordinator
+  const int victim = who(run.rng);
+  run.events.schedule_at(when(run.rng), [&run, victim] {
+    if (victim < 0) {
+      run.coord_crashed = true;
+    } else {
+      run.part_crashed[victim] = true;
+    }
+  });
+  run.drive_timeouts(10.0);
+  run.coord->start();
+  run.events.run();
+
+  std::optional<TpcDecision> agreed;
+  if (!run.coord_crashed && run.coord->decision()) {
+    agreed = run.coord->decision();
+  }
+  for (std::size_t i = 0; i < run.parts.size(); ++i) {
+    if (run.part_crashed[i]) continue;
+    const auto d = run.parts[i]->decision();
+    ASSERT_TRUE(d.has_value()) << "live participant " << i << " undecided";
+    if (!agreed) agreed = d;
+    EXPECT_EQ(*d, *agreed) << "participant " << i << " disagrees";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreePcDistributed,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace tmps

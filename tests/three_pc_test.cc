@@ -1,0 +1,190 @@
+#include "txn/three_pc.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace tmps {
+namespace {
+
+/// A little message bus that lets tests control delivery order and drop
+/// messages selectively.
+class Bus {
+ public:
+  void to_participant(int id, const TpcMsg& m) { down_.push_back({id, m}); }
+  void to_coordinator(const TpcMsg& m) { up_.push_back(m); }
+
+  /// Delivers everything currently queued (and whatever that triggers).
+  void run(TpcCoordinator& coord, std::map<int, TpcParticipant*>& parts) {
+    while (!down_.empty() || !up_.empty()) {
+      if (!down_.empty()) {
+        auto [id, m] = down_.front();
+        down_.pop_front();
+        if (!drop_to_participants_) parts.at(id)->on_message(m);
+      } else {
+        auto m = up_.front();
+        up_.pop_front();
+        if (!drop_to_coordinator_) coord.on_message(m);
+      }
+    }
+  }
+
+  bool drop_to_participants_ = false;
+  bool drop_to_coordinator_ = false;
+
+ private:
+  std::deque<std::pair<int, TpcMsg>> down_;
+  std::deque<TpcMsg> up_;
+};
+
+struct Harness {
+  explicit Harness(int n, std::function<bool(int, TxnId)> vote = nullptr) {
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    coord = std::make_unique<TpcCoordinator>(
+        1, ids, [this](int id, const TpcMsg& m) { bus.to_participant(id, m); });
+    for (int i = 0; i < n; ++i) {
+      parts_store.push_back(std::make_unique<TpcParticipant>(
+          i, [this](const TpcMsg& m) { bus.to_coordinator(m); },
+          [vote, i](TxnId t) { return vote ? vote(i, t) : true; }));
+      parts[i] = parts_store.back().get();
+    }
+  }
+  void run() { bus.run(*coord, parts); }
+
+  Bus bus;
+  std::unique_ptr<TpcCoordinator> coord;
+  std::vector<std::unique_ptr<TpcParticipant>> parts_store;
+  std::map<int, TpcParticipant*> parts;
+};
+
+TEST(ThreePc, UnanimousYesCommits) {
+  Harness h(3);
+  h.coord->start();
+  h.run();
+  EXPECT_EQ(h.coord->state(), TpcCoordState::Committed);
+  EXPECT_EQ(h.coord->decision(), TpcDecision::Commit);
+  for (auto& [id, p] : h.parts) {
+    EXPECT_EQ(p->state(), TpcPartState::Committed) << id;
+  }
+}
+
+TEST(ThreePc, SingleNoAborts) {
+  Harness h(3, [](int id, TxnId) { return id != 1; });
+  h.coord->start();
+  h.run();
+  EXPECT_EQ(h.coord->state(), TpcCoordState::Aborted);
+  for (auto& [id, p] : h.parts) {
+    EXPECT_EQ(p->state(), TpcPartState::Aborted) << id;
+  }
+}
+
+TEST(ThreePc, NoParticipantsCommitsTrivially) {
+  Harness h(0);
+  h.coord->start();
+  EXPECT_EQ(h.coord->decision(), TpcDecision::Commit);
+}
+
+TEST(ThreePc, CoordinatorTimeoutInWaitingAborts) {
+  Harness h(2);
+  h.bus.drop_to_coordinator_ = true;  // votes never arrive
+  h.coord->start();
+  h.run();
+  EXPECT_EQ(h.coord->state(), TpcCoordState::Waiting);
+  h.coord->on_timeout();
+  EXPECT_EQ(h.coord->decision(), TpcDecision::Abort);
+  // Participants voted yes and are uncertain; their own timeout aborts —
+  // consistent with the coordinator.
+  h.bus.drop_to_participants_ = true;
+  for (auto& [id, p] : h.parts) {
+    EXPECT_EQ(p->state(), TpcPartState::Ready);
+    p->on_timeout();
+    EXPECT_EQ(p->state(), TpcPartState::Aborted) << id;
+  }
+}
+
+TEST(ThreePc, ParticipantTimeoutAfterPreCommitCommits) {
+  Harness h(2);
+  h.coord->start();
+  h.run();  // full run: everyone committed
+  // Re-create the situation manually: a fresh participant that saw
+  // canCommit and preCommit but whose doCommit was lost.
+  Bus bus;
+  TpcParticipant p(0, [&](const TpcMsg& m) { bus.to_coordinator(m); },
+                   [](TxnId) { return true; });
+  p.on_message({TpcMsg::Kind::CanCommit, 1, -1});
+  p.on_message({TpcMsg::Kind::PreCommit, 1, -1});
+  EXPECT_EQ(p.state(), TpcPartState::PreCommitted);
+  p.on_timeout();
+  EXPECT_EQ(p.state(), TpcPartState::Committed);
+}
+
+TEST(ThreePc, CoordinatorTimeoutInPreCommitCommits) {
+  Harness h(2);
+  h.coord->start();
+  // Deliver canCommit + votes, but drop the acks.
+  h.run();
+  // Everything already delivered; emulate lost acks by rebuilding:
+  Harness h2(2);
+  h2.coord->start();
+  h2.bus.drop_to_coordinator_ = false;
+  // run only until votes processed: deliver all; coordinator reaches
+  // PreCommit and gets acks... instead drop acks:
+  // simpler: drive states manually.
+  TpcCoordinator coord(9, {0, 1}, [](int, const TpcMsg&) {});
+  coord.start();
+  coord.on_message({TpcMsg::Kind::VoteYes, 9, 0});
+  coord.on_message({TpcMsg::Kind::VoteYes, 9, 1});
+  EXPECT_EQ(coord.state(), TpcCoordState::PreCommit);
+  coord.on_timeout();
+  EXPECT_EQ(coord.decision(), TpcDecision::Commit);
+}
+
+TEST(ThreePc, DuplicateMessagesAreIdempotent) {
+  TpcCoordinator coord(9, {0}, [](int, const TpcMsg&) {});
+  coord.start();
+  coord.on_message({TpcMsg::Kind::VoteYes, 9, 0});
+  coord.on_message({TpcMsg::Kind::VoteYes, 9, 0});
+  EXPECT_EQ(coord.state(), TpcCoordState::PreCommit);
+  coord.on_message({TpcMsg::Kind::AckPreCommit, 9, 0});
+  EXPECT_EQ(coord.state(), TpcCoordState::Committed);
+  coord.on_message({TpcMsg::Kind::AckPreCommit, 9, 0});
+  EXPECT_EQ(coord.state(), TpcCoordState::Committed);
+}
+
+TEST(ThreePc, WrongTxnIgnored) {
+  TpcCoordinator coord(9, {0}, [](int, const TpcMsg&) {});
+  coord.start();
+  coord.on_message({TpcMsg::Kind::VoteYes, 8, 0});  // foreign transaction
+  EXPECT_EQ(coord.state(), TpcCoordState::Waiting);
+}
+
+TEST(ThreePc, DecisionCallbackFiresOnce) {
+  int calls = 0;
+  TpcCoordinator coord(9, {0}, [](int, const TpcMsg&) {},
+                       [&](TpcDecision) { ++calls; });
+  coord.start();
+  coord.on_message({TpcMsg::Kind::VoteYes, 9, 0});
+  coord.on_message({TpcMsg::Kind::AckPreCommit, 9, 0});
+  coord.on_timeout();  // after decision: no-op
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreePc, AbortAfterReadyViaCoordinatorMessage) {
+  TpcParticipant p(0, [](const TpcMsg&) {}, [](TxnId) { return true; });
+  p.on_message({TpcMsg::Kind::CanCommit, 1, -1});
+  EXPECT_EQ(p.state(), TpcPartState::Ready);
+  p.on_message({TpcMsg::Kind::Abort, 1, -1});
+  EXPECT_EQ(p.state(), TpcPartState::Aborted);
+}
+
+TEST(ThreePc, BlockingVariantJustWaits) {
+  // Without timeouts a Ready participant stays Ready forever — safe.
+  TpcParticipant p(0, [](const TpcMsg&) {}, [](TxnId) { return true; });
+  p.on_message({TpcMsg::Kind::CanCommit, 1, -1});
+  EXPECT_EQ(p.state(), TpcPartState::Ready);
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,54 @@
+// Broker busy-time accounting in the simulator.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace tmps {
+namespace {
+
+Message unicast(Broker& from, BrokerId dest) {
+  Message m;
+  m.id = from.next_message_id();
+  m.unicast_dest = dest;
+  m.payload = MoveAckMsg{};
+  return m;
+}
+
+TEST(Utilization, BusyTimeAccumulatesPerProcessedMessage) {
+  Overlay o = Overlay::chain(3);
+  NetworkProfile p;
+  p.control_proc = 0.01;
+  SimNetwork net(o, {}, p);
+  EXPECT_DOUBLE_EQ(net.broker_busy_seconds(2), 0.0);
+  for (int i = 0; i < 5; ++i) {
+    net.transmit(1, {{2, unicast(net.broker(1), 3)}});
+  }
+  net.run();
+  // Broker 2 relayed 5 messages at 10 ms each; broker 3 processed 5.
+  EXPECT_NEAR(net.broker_busy_seconds(2), 0.05, 1e-9);
+  EXPECT_NEAR(net.broker_busy_seconds(3), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(net.broker_busy_seconds(1), 0.0) << "sender does not pay";
+}
+
+TEST(Utilization, RoutingMessagesPayTheirClassCost) {
+  Overlay o = Overlay::chain(2);
+  NetworkProfile p;
+  p.pub_proc = 0.004;
+  p.sub_proc = 0.016;
+  SimNetwork net(o, {}, p);
+  Message pub;
+  pub.id = net.broker(1).next_message_id();
+  pub.payload = PublishMsg{};
+  Message sub;
+  sub.id = net.broker(1).next_message_id();
+  sub.payload = SubscribeMsg{};
+  net.transmit(1, {{2, pub}});
+  net.run();
+  EXPECT_NEAR(net.broker_busy_seconds(2), 0.004, 1e-9);
+  net.transmit(1, {{2, sub}});
+  net.run();
+  EXPECT_NEAR(net.broker_busy_seconds(2), 0.020, 1e-9);
+}
+
+}  // namespace
+}  // namespace tmps

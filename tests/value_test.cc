@@ -1,0 +1,69 @@
+#include "pubsub/value.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+TEST(Value, KindsAreDetected) {
+  EXPECT_EQ(Value{std::int64_t{3}}.kind(), Value::Kind::Int);
+  EXPECT_EQ(Value{3.5}.kind(), Value::Kind::Real);
+  EXPECT_EQ(Value{"abc"}.kind(), Value::Kind::String);
+}
+
+TEST(Value, IntAndRealCompareNumerically) {
+  EXPECT_TRUE(Value{3}.equals(Value{3.0}));
+  EXPECT_EQ(Value{2}.compare(Value{2.5}), std::partial_ordering::less);
+  EXPECT_EQ(Value{3.5}.compare(Value{3}), std::partial_ordering::greater);
+}
+
+TEST(Value, IntIntComparesExactly) {
+  // Large int64 values that would lose precision as doubles.
+  const std::int64_t big = (1LL << 62) + 1;
+  EXPECT_EQ(Value{big}.compare(Value{big + 1}), std::partial_ordering::less);
+  EXPECT_TRUE(Value{big}.equals(Value{big}));
+}
+
+TEST(Value, StringsCompareLexicographically) {
+  EXPECT_EQ(Value{"abc"}.compare(Value{"abd"}), std::partial_ordering::less);
+  EXPECT_TRUE(Value{"x"}.equals(Value{"x"}));
+  EXPECT_EQ(Value{"b"}.compare(Value{"a"}), std::partial_ordering::greater);
+}
+
+TEST(Value, CrossDomainNeverEquals) {
+  EXPECT_FALSE(Value{3}.equals(Value{"3"}));
+  EXPECT_FALSE(Value{"3"}.equals(Value{3}));
+  EXPECT_FALSE(Value{3}.comparable_with(Value{"3"}));
+}
+
+TEST(Value, CrossDomainOrderIsDeterministic) {
+  // Numerics sort before strings (container tie-break).
+  EXPECT_EQ(Value{100}.compare(Value{"a"}), std::partial_ordering::less);
+  EXPECT_EQ(Value{"a"}.compare(Value{100}), std::partial_ordering::greater);
+}
+
+TEST(Value, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value{7}.numeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value{7.25}.numeric(), 7.25);
+}
+
+TEST(Value, ToStringRendersAllKinds) {
+  EXPECT_EQ(Value{42}.to_string(), "42");
+  EXPECT_EQ(Value{"hi"}.to_string(), "\"hi\"");
+  EXPECT_NE(Value{1.5}.to_string().find("1.5"), std::string::npos);
+}
+
+TEST(Value, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.kind(), Value::Kind::Int);
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+TEST(Value, OperatorLessMatchesCompare) {
+  EXPECT_LT(Value{1}, Value{2});
+  EXPECT_LT(Value{"a"}, Value{"b"});
+  EXPECT_FALSE(Value{2} < Value{1});
+}
+
+}  // namespace
+}  // namespace tmps

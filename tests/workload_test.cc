@@ -1,0 +1,127 @@
+#include "pubsub/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace tmps {
+namespace {
+
+/// Direct + transitive covering count: how many other members of the family
+/// does subscription i cover?
+int covered_count(WorkloadKind k, int i) {
+  const Filter f = workload_filter(k, i);
+  int n = 0;
+  for (int j = 1; j <= 10; ++j) {
+    if (j == i) continue;
+    if (f.covers(workload_filter(k, j))) ++n;
+  }
+  return n;
+}
+
+TEST(Workload, CoveredRootCoversAllNine) {
+  EXPECT_EQ(covered_count(WorkloadKind::Covered, 1), 9);
+  for (int i = 2; i <= 10; ++i) {
+    EXPECT_EQ(covered_count(WorkloadKind::Covered, i), 0) << i;
+  }
+}
+
+TEST(Workload, CoveredLeavesAreDisjoint) {
+  for (int i = 2; i <= 10; ++i) {
+    for (int j = i + 1; j <= 10; ++j) {
+      EXPECT_FALSE(workload_filter(WorkloadKind::Covered, i)
+                       .overlaps(workload_filter(WorkloadKind::Covered, j)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Workload, ChainedIsNested) {
+  // Subscription i covers exactly the 10-i later ones (transitively).
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(covered_count(WorkloadKind::Chained, i), 10 - i) << i;
+  }
+}
+
+TEST(Workload, TreeStructure) {
+  // 1 covers everything below it; 2 and 3 cover their three children.
+  EXPECT_EQ(covered_count(WorkloadKind::Tree, 1), 9);
+  EXPECT_EQ(covered_count(WorkloadKind::Tree, 2), 3);
+  EXPECT_EQ(covered_count(WorkloadKind::Tree, 3), 3);
+  for (int i = 4; i <= 10; ++i) {
+    EXPECT_EQ(covered_count(WorkloadKind::Tree, i), 0) << i;
+  }
+}
+
+TEST(Workload, DistinctHasNoCoveringAndNoOverlap) {
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(covered_count(WorkloadKind::Distinct, i), 0) << i;
+    for (int j = i + 1; j <= 10; ++j) {
+      EXPECT_FALSE(workload_filter(WorkloadKind::Distinct, i)
+                       .overlaps(workload_filter(WorkloadKind::Distinct, j)));
+    }
+  }
+}
+
+TEST(Workload, CoveringDegreesMatchPaperAxis) {
+  EXPECT_EQ(covering_degree(WorkloadKind::Distinct), 0);
+  EXPECT_EQ(covering_degree(WorkloadKind::Chained), 1);
+  EXPECT_EQ(covering_degree(WorkloadKind::Tree), 3);
+  EXPECT_EQ(covering_degree(WorkloadKind::Covered), 9);
+}
+
+TEST(Workload, GroupsAreIsolated) {
+  // The same member in different groups must not cover or overlap: every
+  // client's subscription is distinct and families are independent.
+  const auto a = workload_filter(WorkloadKind::Covered, 1, 0);
+  const auto b = workload_filter(WorkloadKind::Covered, 1, 1);
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+  EXPECT_FALSE(a.overlaps(b));
+  // Root of group 3 covers leaves of group 3 but not of group 4.
+  const auto root3 = workload_filter(WorkloadKind::Covered, 1, 3);
+  EXPECT_TRUE(root3.covers(workload_filter(WorkloadKind::Covered, 5, 3)));
+  EXPECT_FALSE(root3.covers(workload_filter(WorkloadKind::Covered, 5, 4)));
+}
+
+TEST(Workload, FullSpaceAdvIntersectsAllGroups) {
+  const Filter adv = full_space_advertisement();
+  for (std::int64_t g : {0L, 1L, 39L, 999L}) {
+    for (int i = 1; i <= 10; ++i) {
+      EXPECT_TRUE(workload_filter(WorkloadKind::Tree, i, g)
+                      .intersects_advertisement(adv));
+    }
+  }
+}
+
+TEST(Workload, PublicationsMatchTheRightGroup) {
+  const Publication p = make_publication({1, 1}, 150, /*group=*/2);
+  EXPECT_TRUE(workload_filter(WorkloadKind::Covered, 1, 2).matches(p));
+  EXPECT_FALSE(workload_filter(WorkloadKind::Covered, 1, 3).matches(p));
+}
+
+TEST(Workload, RandomDrawsFromConcreteKinds) {
+  const auto filters = workload_filters(WorkloadKind::Random, /*seed=*/7);
+  ASSERT_EQ(filters.size(), 10u);
+  // Deterministic for a fixed seed.
+  const auto again = workload_filters(WorkloadKind::Random, /*seed=*/7);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(filters[i] == again[i]);
+}
+
+TEST(Workload, CoveringIndicesConsistent) {
+  for (auto k : {WorkloadKind::Covered, WorkloadKind::Chained,
+                 WorkloadKind::Tree, WorkloadKind::Distinct}) {
+    for (int idx : covering_indices(k)) {
+      EXPECT_GT(covered_count(k, idx + 1), 0) << to_string(k) << " " << idx;
+    }
+    for (int idx : covered_indices(k)) {
+      const Filter f = workload_filter(k, idx + 1);
+      bool covered = false;
+      for (int j = 1; j <= 10; ++j) {
+        if (j != idx + 1 && workload_filter(k, j).covers(f)) covered = true;
+      }
+      EXPECT_TRUE(covered) << to_string(k) << " " << idx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,148 @@
+// tmps_sim — command-line experiment runner.
+//
+// Runs one movement-scenario simulation with the paper's experimental setup
+// and prints the metrics its figures report. Useful for exploring parameter
+// combinations the bundled figure benches do not cover.
+//
+//   tmps_sim [--protocol reconfig|covering] [--workload covered|chained|
+//            tree|distinct|random] [--clients N] [--movers N]
+//            [--duration SECONDS] [--pause SECONDS] [--wan]
+//            [--no-covering-opt] [--seed N] [--csv]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/scenario.h"
+
+using namespace tmps;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --protocol reconfig|covering   movement protocol (default reconfig)\n"
+      "  --workload covered|chained|tree|distinct|random (default covered)\n"
+      "  --clients N                    total subscribers (default 400)\n"
+      "  --movers N                     moving subscribers (default all)\n"
+      "  --duration SECONDS             simulated time (default 150)\n"
+      "  --warmup SECONDS               excluded from summaries (default 40)\n"
+      "  --pause SECONDS                pause between moves (default 10)\n"
+      "  --wan                          PlanetLab-like network profile\n"
+      "  --no-covering-opt              disable the covering optimization\n"
+      "  --seed N                       RNG seed (default 7)\n"
+      "  --csv                          machine-readable one-line output\n",
+      argv0);
+  std::exit(2);
+}
+
+WorkloadKind parse_workload(const std::string& s, const char* argv0) {
+  if (s == "covered") return WorkloadKind::Covered;
+  if (s == "chained") return WorkloadKind::Chained;
+  if (s == "tree") return WorkloadKind::Tree;
+  if (s == "distinct") return WorkloadKind::Distinct;
+  if (s == "random") return WorkloadKind::Random;
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig cfg;
+  cfg.duration = 150.0;
+  cfg.warmup = 40.0;
+  bool csv = false;
+  bool covering_opt_forced_off = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const std::string v = next();
+      if (v == "reconfig") {
+        cfg.mobility.protocol = MobilityProtocol::Reconfiguration;
+      } else if (v == "covering") {
+        cfg.mobility.protocol = MobilityProtocol::Traditional;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--workload") {
+      cfg.workload = parse_workload(next(), argv[0]);
+    } else if (arg == "--clients") {
+      cfg.total_clients = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--movers") {
+      cfg.moving_clients = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--duration") {
+      cfg.duration = std::atof(next());
+    } else if (arg == "--warmup") {
+      cfg.warmup = std::atof(next());
+    } else if (arg == "--pause") {
+      cfg.pause_between_moves = std::atof(next());
+    } else if (arg == "--wan") {
+      cfg.net = NetworkProfile::planetlab();
+    } else if (arg == "--no-covering-opt") {
+      covering_opt_forced_off = true;
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  // Covering quenching is only sound under the covering protocol (see
+  // DESIGN.md §5a).
+  const bool covering_opt =
+      cfg.mobility.protocol == MobilityProtocol::Traditional &&
+      !covering_opt_forced_off;
+  cfg.broker.subscription_covering = covering_opt;
+  cfg.broker.advertisement_covering = covering_opt;
+
+  Scenario s(cfg);
+  s.run();
+
+  const Summary lat = s.latency();
+  const char* proto = to_string(cfg.mobility.protocol);
+  if (csv) {
+    std::printf(
+        "protocol,workload,clients,movers,duration_s,lat_mean_ms,lat_max_ms,"
+        "lat_stddev_ms,msgs_per_move,movements,total_msgs,duplicates\n");
+    std::printf("%s,%s,%u,%u,%.0f,%.3f,%.3f,%.3f,%.2f,%llu,%llu,%llu\n",
+                proto, to_string(cfg.workload), cfg.total_clients,
+                std::min(cfg.moving_clients, cfg.total_clients), cfg.duration,
+                lat.mean() * 1e3, lat.max() * 1e3, lat.stddev() * 1e3,
+                s.messages_per_movement(),
+                static_cast<unsigned long long>(s.movements()),
+                static_cast<unsigned long long>(s.stats().total_messages()),
+                static_cast<unsigned long long>(s.audit().duplicates));
+    return 0;
+  }
+
+  std::printf("tmps_sim: %s protocol, %s workload, %u clients (%u moving)\n",
+              proto, to_string(cfg.workload), cfg.total_clients,
+              std::min(cfg.moving_clients, cfg.total_clients));
+  std::printf("  simulated %.0f s (warmup %.0f s), covering optimization %s\n",
+              cfg.duration, cfg.warmup, covering_opt ? "on" : "off");
+  std::printf("  movement latency: mean %.1f ms, max %.1f ms, stddev %.1f ms\n",
+              lat.mean() * 1e3, lat.max() * 1e3, lat.stddev() * 1e3);
+  std::printf("  movements completed: %llu (%.1f msgs per movement)\n",
+              static_cast<unsigned long long>(s.movements()),
+              s.messages_per_movement());
+  std::printf("  network traffic: %llu messages, deliveries: %llu, "
+              "duplicates: %llu\n",
+              static_cast<unsigned long long>(s.stats().total_messages()),
+              static_cast<unsigned long long>(s.audit().delivered),
+              static_cast<unsigned long long>(s.audit().duplicates));
+  std::printf("  notification losses: movers %llu/%llu, stationary %llu/%llu\n",
+              static_cast<unsigned long long>(s.audit().mover_losses),
+              static_cast<unsigned long long>(s.audit().mover_expected),
+              static_cast<unsigned long long>(s.audit().stationary_losses),
+              static_cast<unsigned long long>(s.audit().stationary_expected));
+  return 0;
+}
