@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_guarantees.dir/ext_guarantees.cc.o"
+  "CMakeFiles/ext_guarantees.dir/ext_guarantees.cc.o.d"
+  "ext_guarantees"
+  "ext_guarantees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_guarantees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

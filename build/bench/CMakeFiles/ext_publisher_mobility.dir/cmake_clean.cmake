@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_publisher_mobility.dir/ext_publisher_mobility.cc.o"
+  "CMakeFiles/ext_publisher_mobility.dir/ext_publisher_mobility.cc.o.d"
+  "ext_publisher_mobility"
+  "ext_publisher_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_publisher_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

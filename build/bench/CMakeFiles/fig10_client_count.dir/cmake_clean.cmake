@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_client_count.dir/fig10_client_count.cc.o"
+  "CMakeFiles/fig10_client_count.dir/fig10_client_count.cc.o.d"
+  "fig10_client_count"
+  "fig10_client_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_client_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_single_client.dir/fig11_single_client.cc.o"
+  "CMakeFiles/fig11_single_client.dir/fig11_single_client.cc.o.d"
+  "fig11_single_client"
+  "fig11_single_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_single_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

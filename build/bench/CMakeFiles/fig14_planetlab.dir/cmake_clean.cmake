@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_planetlab.dir/fig14_planetlab.cc.o"
+  "CMakeFiles/fig14_planetlab.dir/fig14_planetlab.cc.o.d"
+  "fig14_planetlab"
+  "fig14_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

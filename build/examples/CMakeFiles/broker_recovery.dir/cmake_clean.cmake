@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_recovery.dir/broker_recovery.cpp.o"
+  "CMakeFiles/broker_recovery.dir/broker_recovery.cpp.o.d"
+  "broker_recovery"
+  "broker_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

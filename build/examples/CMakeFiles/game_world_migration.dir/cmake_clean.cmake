@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_world_migration.dir/game_world_migration.cpp.o"
+  "CMakeFiles/game_world_migration.dir/game_world_migration.cpp.o.d"
+  "game_world_migration"
+  "game_world_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_world_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for game_world_migration.
+# This may be replaced when dependencies are built.

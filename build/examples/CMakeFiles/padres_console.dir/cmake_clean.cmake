@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padres_console.dir/padres_console.cpp.o"
+  "CMakeFiles/padres_console.dir/padres_console.cpp.o.d"
+  "padres_console"
+  "padres_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padres_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_operator_migration.dir/stream_operator_migration.cpp.o"
+  "CMakeFiles/stream_operator_migration.dir/stream_operator_migration.cpp.o.d"
+  "stream_operator_migration"
+  "stream_operator_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_operator_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

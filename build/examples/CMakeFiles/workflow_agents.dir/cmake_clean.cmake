@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_agents.dir/workflow_agents.cpp.o"
+  "CMakeFiles/workflow_agents.dir/workflow_agents.cpp.o.d"
+  "workflow_agents"
+  "workflow_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

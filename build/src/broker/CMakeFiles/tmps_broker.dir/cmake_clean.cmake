@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_broker.dir/broker.cc.o"
+  "CMakeFiles/tmps_broker.dir/broker.cc.o.d"
+  "libtmps_broker.a"
+  "libtmps_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_core.dir/client_stub.cc.o"
+  "CMakeFiles/tmps_core.dir/client_stub.cc.o.d"
+  "CMakeFiles/tmps_core.dir/mobile_client.cc.o"
+  "CMakeFiles/tmps_core.dir/mobile_client.cc.o.d"
+  "CMakeFiles/tmps_core.dir/mobility_engine.cc.o"
+  "CMakeFiles/tmps_core.dir/mobility_engine.cc.o.d"
+  "CMakeFiles/tmps_core.dir/scenario.cc.o"
+  "CMakeFiles/tmps_core.dir/scenario.cc.o.d"
+  "libtmps_core.a"
+  "libtmps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_failure.dir/failure_injector.cc.o"
+  "CMakeFiles/tmps_failure.dir/failure_injector.cc.o.d"
+  "libtmps_failure.a"
+  "libtmps_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

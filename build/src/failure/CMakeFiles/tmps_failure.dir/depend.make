@@ -1,0 +1,2 @@
+# Empty dependencies file for tmps_failure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/codec.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/codec.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/codec.cc.o.d"
+  "/root/repo/src/pubsub/constraint.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/constraint.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/constraint.cc.o.d"
+  "/root/repo/src/pubsub/filter.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/filter.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/filter.cc.o.d"
+  "/root/repo/src/pubsub/messages.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/messages.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/messages.cc.o.d"
+  "/root/repo/src/pubsub/parser.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/parser.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/parser.cc.o.d"
+  "/root/repo/src/pubsub/predicate.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/predicate.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/predicate.cc.o.d"
+  "/root/repo/src/pubsub/value.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/value.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/value.cc.o.d"
+  "/root/repo/src/pubsub/workload.cc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/workload.cc.o" "gcc" "src/pubsub/CMakeFiles/tmps_pubsub.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

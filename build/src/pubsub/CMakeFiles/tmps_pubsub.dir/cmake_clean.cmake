@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_pubsub.dir/codec.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/codec.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/constraint.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/constraint.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/filter.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/filter.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/messages.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/messages.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/parser.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/parser.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/predicate.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/predicate.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/value.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/value.cc.o.d"
+  "CMakeFiles/tmps_pubsub.dir/workload.cc.o"
+  "CMakeFiles/tmps_pubsub.dir/workload.cc.o.d"
+  "libtmps_pubsub.a"
+  "libtmps_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/auditor.cc" "src/routing/CMakeFiles/tmps_routing.dir/auditor.cc.o" "gcc" "src/routing/CMakeFiles/tmps_routing.dir/auditor.cc.o.d"
+  "/root/repo/src/routing/covering.cc" "src/routing/CMakeFiles/tmps_routing.dir/covering.cc.o" "gcc" "src/routing/CMakeFiles/tmps_routing.dir/covering.cc.o.d"
+  "/root/repo/src/routing/match_index.cc" "src/routing/CMakeFiles/tmps_routing.dir/match_index.cc.o" "gcc" "src/routing/CMakeFiles/tmps_routing.dir/match_index.cc.o.d"
+  "/root/repo/src/routing/overlay.cc" "src/routing/CMakeFiles/tmps_routing.dir/overlay.cc.o" "gcc" "src/routing/CMakeFiles/tmps_routing.dir/overlay.cc.o.d"
+  "/root/repo/src/routing/routing_tables.cc" "src/routing/CMakeFiles/tmps_routing.dir/routing_tables.cc.o" "gcc" "src/routing/CMakeFiles/tmps_routing.dir/routing_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pubsub/CMakeFiles/tmps_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

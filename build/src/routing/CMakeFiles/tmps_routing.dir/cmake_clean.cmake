@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_routing.dir/auditor.cc.o"
+  "CMakeFiles/tmps_routing.dir/auditor.cc.o.d"
+  "CMakeFiles/tmps_routing.dir/covering.cc.o"
+  "CMakeFiles/tmps_routing.dir/covering.cc.o.d"
+  "CMakeFiles/tmps_routing.dir/match_index.cc.o"
+  "CMakeFiles/tmps_routing.dir/match_index.cc.o.d"
+  "CMakeFiles/tmps_routing.dir/overlay.cc.o"
+  "CMakeFiles/tmps_routing.dir/overlay.cc.o.d"
+  "CMakeFiles/tmps_routing.dir/routing_tables.cc.o"
+  "CMakeFiles/tmps_routing.dir/routing_tables.cc.o.d"
+  "libtmps_routing.a"
+  "libtmps_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/tmps_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/tmps_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/tmps_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/tmps_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/tmps_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/tmps_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/tmps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tmps_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/tmps_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tmps_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tmps_sim.dir/network.cc.o"
+  "CMakeFiles/tmps_sim.dir/network.cc.o.d"
+  "CMakeFiles/tmps_sim.dir/stats.cc.o"
+  "CMakeFiles/tmps_sim.dir/stats.cc.o.d"
+  "libtmps_sim.a"
+  "libtmps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmps_sim.a"
+)

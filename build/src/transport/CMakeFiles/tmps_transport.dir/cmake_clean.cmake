@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_transport.dir/inproc_transport.cc.o"
+  "CMakeFiles/tmps_transport.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/tmps_transport.dir/tcp_transport.cc.o"
+  "CMakeFiles/tmps_transport.dir/tcp_transport.cc.o.d"
+  "libtmps_transport.a"
+  "libtmps_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

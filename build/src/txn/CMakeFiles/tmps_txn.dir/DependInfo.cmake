@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/durable_node.cc" "src/txn/CMakeFiles/tmps_txn.dir/durable_node.cc.o" "gcc" "src/txn/CMakeFiles/tmps_txn.dir/durable_node.cc.o.d"
+  "/root/repo/src/txn/persistent_queue.cc" "src/txn/CMakeFiles/tmps_txn.dir/persistent_queue.cc.o" "gcc" "src/txn/CMakeFiles/tmps_txn.dir/persistent_queue.cc.o.d"
+  "/root/repo/src/txn/snapshot.cc" "src/txn/CMakeFiles/tmps_txn.dir/snapshot.cc.o" "gcc" "src/txn/CMakeFiles/tmps_txn.dir/snapshot.cc.o.d"
+  "/root/repo/src/txn/three_pc.cc" "src/txn/CMakeFiles/tmps_txn.dir/three_pc.cc.o" "gcc" "src/txn/CMakeFiles/tmps_txn.dir/three_pc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pubsub/CMakeFiles/tmps_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/tmps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tmps_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

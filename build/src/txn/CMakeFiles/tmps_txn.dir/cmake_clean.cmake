@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_txn.dir/durable_node.cc.o"
+  "CMakeFiles/tmps_txn.dir/durable_node.cc.o.d"
+  "CMakeFiles/tmps_txn.dir/persistent_queue.cc.o"
+  "CMakeFiles/tmps_txn.dir/persistent_queue.cc.o.d"
+  "CMakeFiles/tmps_txn.dir/snapshot.cc.o"
+  "CMakeFiles/tmps_txn.dir/snapshot.cc.o.d"
+  "CMakeFiles/tmps_txn.dir/three_pc.cc.o"
+  "CMakeFiles/tmps_txn.dir/three_pc.cc.o.d"
+  "libtmps_txn.a"
+  "libtmps_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/broker_multiadvertiser_test.cc" "tests/CMakeFiles/broker_multiadvertiser_test.dir/broker_multiadvertiser_test.cc.o" "gcc" "tests/CMakeFiles/broker_multiadvertiser_test.dir/broker_multiadvertiser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/tmps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/tmps_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/tmps_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/tmps_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/tmps_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tmps_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

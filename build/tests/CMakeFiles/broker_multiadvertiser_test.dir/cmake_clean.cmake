@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_multiadvertiser_test.dir/broker_multiadvertiser_test.cc.o"
+  "CMakeFiles/broker_multiadvertiser_test.dir/broker_multiadvertiser_test.cc.o.d"
+  "broker_multiadvertiser_test"
+  "broker_multiadvertiser_test.pdb"
+  "broker_multiadvertiser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_multiadvertiser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_stub_test.dir/client_stub_test.cc.o"
+  "CMakeFiles/client_stub_test.dir/client_stub_test.cc.o.d"
+  "client_stub_test"
+  "client_stub_test.pdb"
+  "client_stub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covering_mobility_interaction_test.dir/covering_mobility_interaction_test.cc.o"
+  "CMakeFiles/covering_mobility_interaction_test.dir/covering_mobility_interaction_test.cc.o.d"
+  "covering_mobility_interaction_test"
+  "covering_mobility_interaction_test.pdb"
+  "covering_mobility_interaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covering_mobility_interaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

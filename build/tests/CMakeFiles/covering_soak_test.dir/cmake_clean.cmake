@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covering_soak_test.dir/covering_soak_test.cc.o"
+  "CMakeFiles/covering_soak_test.dir/covering_soak_test.cc.o.d"
+  "covering_soak_test"
+  "covering_soak_test.pdb"
+  "covering_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covering_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

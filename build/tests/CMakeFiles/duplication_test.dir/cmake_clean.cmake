@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplication_test.dir/duplication_test.cc.o"
+  "CMakeFiles/duplication_test.dir/duplication_test.cc.o.d"
+  "duplication_test"
+  "duplication_test.pdb"
+  "duplication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

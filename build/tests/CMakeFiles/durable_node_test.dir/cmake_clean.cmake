@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_node_test.dir/durable_node_test.cc.o"
+  "CMakeFiles/durable_node_test.dir/durable_node_test.cc.o.d"
+  "durable_node_test"
+  "durable_node_test.pdb"
+  "durable_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

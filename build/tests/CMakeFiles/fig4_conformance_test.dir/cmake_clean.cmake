@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_conformance_test.dir/fig4_conformance_test.cc.o"
+  "CMakeFiles/fig4_conformance_test.dir/fig4_conformance_test.cc.o.d"
+  "fig4_conformance_test"
+  "fig4_conformance_test.pdb"
+  "fig4_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

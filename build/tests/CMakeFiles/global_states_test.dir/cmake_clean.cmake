@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_states_test.dir/global_states_test.cc.o"
+  "CMakeFiles/global_states_test.dir/global_states_test.cc.o.d"
+  "global_states_test"
+  "global_states_test.pdb"
+  "global_states_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_states_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inproc_transport_test.dir/inproc_transport_test.cc.o"
+  "CMakeFiles/inproc_transport_test.dir/inproc_transport_test.cc.o.d"
+  "inproc_transport_test"
+  "inproc_transport_test.pdb"
+  "inproc_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inproc_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

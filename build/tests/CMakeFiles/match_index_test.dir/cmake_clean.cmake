@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_index_test.dir/match_index_test.cc.o"
+  "CMakeFiles/match_index_test.dir/match_index_test.cc.o.d"
+  "match_index_test"
+  "match_index_test.pdb"
+  "match_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

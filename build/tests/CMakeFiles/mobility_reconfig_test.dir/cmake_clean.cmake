@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_reconfig_test.dir/mobility_reconfig_test.cc.o"
+  "CMakeFiles/mobility_reconfig_test.dir/mobility_reconfig_test.cc.o.d"
+  "mobility_reconfig_test"
+  "mobility_reconfig_test.pdb"
+  "mobility_reconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_reconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_traditional_test.dir/mobility_traditional_test.cc.o"
+  "CMakeFiles/mobility_traditional_test.dir/mobility_traditional_test.cc.o.d"
+  "mobility_traditional_test"
+  "mobility_traditional_test.pdb"
+  "mobility_traditional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_traditional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

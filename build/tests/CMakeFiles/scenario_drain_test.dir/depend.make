@@ -1,0 +1,2 @@
+# Empty dependencies file for scenario_drain_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_pc_distributed_test.dir/three_pc_distributed_test.cc.o"
+  "CMakeFiles/three_pc_distributed_test.dir/three_pc_distributed_test.cc.o.d"
+  "three_pc_distributed_test"
+  "three_pc_distributed_test.pdb"
+  "three_pc_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_pc_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

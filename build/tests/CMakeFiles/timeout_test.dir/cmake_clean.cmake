@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_test.dir/timeout_test.cc.o"
+  "CMakeFiles/timeout_test.dir/timeout_test.cc.o.d"
+  "timeout_test"
+  "timeout_test.pdb"
+  "timeout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmps_sim_cli.dir/tmps_sim.cc.o"
+  "CMakeFiles/tmps_sim_cli.dir/tmps_sim.cc.o.d"
+  "tmps_sim"
+  "tmps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmps_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
