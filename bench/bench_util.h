@@ -49,6 +49,9 @@ struct RunResult {
   double latency_ms = 0;
   double latency_max_ms = 0;
   double latency_stddev_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
   double msgs_per_movement = 0;
   std::uint64_t movements = 0;
   std::uint64_t total_messages = 0;
@@ -57,7 +60,26 @@ struct RunResult {
   std::uint64_t mover_expected = 0;
 };
 
-inline RunResult run_scenario(const ScenarioConfig& cfg) {
+/// Wires the observability sinks when TMPS_TRACE is set: "1" writes
+/// trace.jsonl / metrics.jsonl into the working directory, any other value
+/// is used as the output directory. The first traced run of the process
+/// truncates the files; later runs append, so a sweep lands in one file and
+/// `tools/trace_inspect` can group it by run label.
+inline void apply_tracing(ScenarioConfig& cfg, const std::string& run_label) {
+  const char* v = std::getenv("TMPS_TRACE");
+  if (!v || !*v || std::string(v) == "0") return;
+  const std::string dir = std::string(v) == "1" ? "." : std::string(v);
+  cfg.trace_path = dir + "/trace.jsonl";
+  cfg.metrics_path = dir + "/metrics.jsonl";
+  cfg.run_label = run_label;
+  static bool first = true;
+  cfg.trace_append = !first;
+  first = false;
+}
+
+inline RunResult run_scenario(ScenarioConfig cfg,
+                              const std::string& run_label = {}) {
+  apply_tracing(cfg, run_label);
   Scenario s(cfg);
   s.run();
   const Summary lat = s.latency();
@@ -65,6 +87,9 @@ inline RunResult run_scenario(const ScenarioConfig& cfg) {
   r.latency_ms = lat.mean() * 1e3;
   r.latency_max_ms = lat.max() * 1e3;
   r.latency_stddev_ms = lat.stddev() * 1e3;
+  r.latency_p50_ms = lat.p50() * 1e3;
+  r.latency_p95_ms = lat.p95() * 1e3;
+  r.latency_p99_ms = lat.p99() * 1e3;
   r.msgs_per_movement = s.messages_per_movement();
   r.movements = s.movements();
   r.total_messages = s.stats().total_messages();

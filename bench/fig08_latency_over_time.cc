@@ -27,6 +27,7 @@ int main() {
        {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
     ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
     cfg.warmup = 0;  // this figure *shows* the setup phase
+    apply_tracing(cfg, std::string("fig08:") + label(proto));
     Scenario s(cfg);
     s.run();
 

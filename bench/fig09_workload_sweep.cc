@@ -19,19 +19,23 @@ int main() {
   print_header("Fig. 9 — subscription workload sweep",
                "Fig. 9(a) movement latency, Fig. 9(b) message load");
 
-  std::printf("%9s %7s %9s | %12s %12s | %10s %11s\n", "workload", "cover°",
-              "protocol", "lat mean(ms)", "lat max(ms)", "msgs/move",
-              "movements");
+  std::printf("%9s %7s %9s | %12s %8s %8s %8s %12s | %10s %11s\n", "workload",
+              "cover°", "protocol", "lat mean(ms)", "p50", "p95", "p99",
+              "lat max(ms)", "msgs/move", "movements");
   for (auto wl : {WorkloadKind::Distinct, WorkloadKind::Chained,
                   WorkloadKind::Tree, WorkloadKind::Covered,
                   WorkloadKind::Random}) {
     for (auto proto :
          {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
-      const RunResult r = run_scenario(paper_config(proto, wl));
-      std::printf("%9s %7d %9s | %12.1f %12.1f | %10.1f %11llu\n",
-                  to_string(wl), covering_degree(wl), label(proto),
-                  r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
-                  static_cast<unsigned long long>(r.movements));
+      const std::string run =
+          std::string("fig09:") + to_string(wl) + ":" + label(proto);
+      const RunResult r = run_scenario(paper_config(proto, wl), run);
+      std::printf(
+          "%9s %7d %9s | %12.1f %8.1f %8.1f %8.1f %12.1f | %10.1f %11llu\n",
+          to_string(wl), covering_degree(wl), label(proto), r.latency_ms,
+          r.latency_p50_ms, r.latency_p95_ms, r.latency_p99_ms,
+          r.latency_max_ms, r.msgs_per_movement,
+          static_cast<unsigned long long>(r.movements));
     }
   }
   std::printf(

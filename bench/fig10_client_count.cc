@@ -20,7 +20,8 @@ int main() {
          {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
       ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
       cfg.total_clients = n;
-      const RunResult r = run_scenario(cfg);
+      const RunResult r = run_scenario(
+          cfg, "fig10:" + std::to_string(n) + ":" + label(proto));
       std::printf("%8u %9s | %12.1f %12.1f | %10.1f %11llu\n", n, label(proto),
                   r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));

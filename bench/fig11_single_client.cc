@@ -23,7 +23,8 @@ int main() {
        {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
     ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
     cfg.moving_clients = 1;  // client 0 holds subscription 1 of family 0
-    const RunResult r = run_scenario(cfg);
+    const RunResult r =
+        run_scenario(cfg, std::string("fig11:") + label(proto));
     std::printf("%9s | %12.1f %12.1f | %10.1f %11llu\n", label(proto),
                 r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                 static_cast<unsigned long long>(r.movements));

@@ -81,7 +81,8 @@ int main() {
       cfg.mover_override = [movers](std::uint32_t k) {
         return std::find(movers.begin(), movers.end(), k) != movers.end();
       };
-      const RunResult r = run_scenario(cfg);
+      const RunResult r = run_scenario(
+          cfg, "fig12:" + std::to_string(count) + ":" + label(proto));
       std::printf("%7u %9s | %12.1f %12.1f | %10.1f %11llu\n", count,
                   label(proto), r.latency_ms, r.latency_max_ms,
                   r.msgs_per_movement,

@@ -25,7 +25,8 @@ int main() {
       ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
       cfg.overlay = Overlay::fig13_topology(n);
       cfg.move_pairs = {{1, 12}, {2, 14}};
-      const RunResult r = run_scenario(cfg);
+      const RunResult r = run_scenario(
+          cfg, "fig13:" + std::to_string(n) + ":" + label(proto));
       std::printf("%8u %9s | %12.1f %12.1f | %10.1f %11llu\n", n, label(proto),
                   r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: builds and runs the full test suite twice —
+#
+#   1. a plain release-ish build (the configuration the benches use);
+#   2. an AddressSanitizer+UBSan build (-DTMPS_SANITIZE=address), which has
+#      caught lifetime bugs the plain run cannot (use
+#      TMPS_SANITIZE=thread for the data-race variant; the tcp/inproc
+#      transports are the threaded code paths).
+#
+# Usage: scripts/ci.sh [jobs]     (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== test ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite build
+run_suite build-asan -DTMPS_SANITIZE=address
+
+echo "=== ci.sh: both suites passed ==="

@@ -11,6 +11,22 @@ Broker::Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg)
   assert(overlay_ && overlay_->contains(id_));
 }
 
+void Broker::set_observability(obs::Tracer* tracer,
+                               obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (!metrics) {
+    msgs_processed_ = covering_retracts_ = covering_unquenches_ = nullptr;
+    return;
+  }
+  const obs::Labels labels = {{"broker", std::to_string(id_)}};
+  msgs_processed_ = &metrics->counter("broker_messages_processed_total",
+                                      labels);
+  covering_retracts_ = &metrics->counter("broker_covering_retracts_total",
+                                         labels);
+  covering_unquenches_ = &metrics->counter("broker_covering_unquenches_total",
+                                           labels);
+}
+
 MessageId Broker::next_message_id() {
   return (static_cast<MessageId>(id_) << 40) | ++msg_seq_;
 }
@@ -91,6 +107,7 @@ void Broker::inject_publish(Hop from, const Publication& pub, TxnId cause,
 
 Broker::Outputs Broker::on_message(BrokerId from, const Message& msg) {
   Outputs out;
+  if (msgs_processed_) msgs_processed_->inc();
   const Hop from_hop = Hop::of_broker(from);
   if (const auto* p = std::get_if<AdvertiseMsg>(&msg.payload)) {
     do_advertise(from_hop, p->adv, msg.cause, out);
@@ -148,6 +165,13 @@ void Broker::forward_sub_on_link(SubEntry& entry, Hop link, TxnId cause,
                                                      entry.sub.filter, link)) {
       t->forwarded_to.erase(link);
       send(link.broker, UnsubscribeMsg{t->sub.id}, cause, out);
+      if (covering_retracts_) covering_retracts_->inc();
+      if (cause != kNoTxn) {
+        TMPS_EVENT(tracer_, cause, "covering:unsub",
+                   {{"broker", std::to_string(id_)},
+                    {"link", std::to_string(link.broker)},
+                    {"sub", to_string(t->sub.id)}});
+      }
     }
   }
 }
@@ -161,6 +185,13 @@ void Broker::forward_adv_on_link(AdvEntry& entry, Hop link, TxnId cause,
                                                      entry.adv.filter, link)) {
       t->forwarded_to.erase(link);
       send(link.broker, UnadvertiseMsg{t->adv.id}, cause, out);
+      if (covering_retracts_) covering_retracts_->inc();
+      if (cause != kNoTxn) {
+        TMPS_EVENT(tracer_, cause, "covering:unadv",
+                   {{"broker", std::to_string(id_)},
+                    {"link", std::to_string(link.broker)},
+                    {"adv", to_string(t->adv.id)}});
+      }
     }
   }
 }
@@ -201,6 +232,13 @@ void Broker::do_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
       for (SubEntry* t : unquenched_subs_on_link(tables_, *entry, link)) {
         if (sub_covered_on_link(tables_, t->sub.id, t->sub.filter, link)) {
           continue;
+        }
+        if (covering_unquenches_) covering_unquenches_->inc();
+        if (cause != kNoTxn) {
+          TMPS_EVENT(tracer_, cause, "covering:sub",
+                     {{"broker", std::to_string(id_)},
+                      {"link", std::to_string(link.broker)},
+                      {"sub", to_string(t->sub.id)}});
         }
         forward_sub_on_link(*t, link, cause, out);
       }
@@ -255,6 +293,13 @@ void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
       for (AdvEntry* t : unquenched_advs_on_link(tables_, *entry, link)) {
         if (adv_covered_on_link(tables_, t->adv.id, t->adv.filter, link)) {
           continue;
+        }
+        if (covering_unquenches_) covering_unquenches_->inc();
+        if (cause != kNoTxn) {
+          TMPS_EVENT(tracer_, cause, "covering:adv",
+                     {{"broker", std::to_string(id_)},
+                      {"link", std::to_string(link.broker)},
+                      {"adv", to_string(t->adv.id)}});
         }
         forward_adv_on_link(*t, link, cause, out);
       }

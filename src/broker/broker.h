@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pubsub/messages.h"
 #include "routing/overlay.h"
 #include "routing/routing_tables.h"
@@ -69,6 +71,13 @@ class Broker {
 
   void set_control_handler(ControlHandler* handler) { control_ = handler; }
   void set_notify_sink(NotifySink sink) { notify_ = std::move(sink); }
+
+  /// Attaches the host's observability (both optional). Registers this
+  /// broker's per-broker counters and caches the handles; covering-induced
+  /// (un)subscription events carry the triggering cause tag so they join a
+  /// movement's trace.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+  obs::Tracer* tracer() { return tracer_; }
 
   // --- operations by locally attached clients -----------------------------
 
@@ -146,6 +155,10 @@ class Broker {
   RoutingTables tables_;
   ControlHandler* control_ = nullptr;
   NotifySink notify_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* msgs_processed_ = nullptr;
+  obs::Counter* covering_retracts_ = nullptr;
+  obs::Counter* covering_unquenches_ = nullptr;
   std::uint64_t msg_seq_ = 0;
 };
 

@@ -35,7 +35,7 @@ const char* to_string(TargetCoordState s) {
 
 MobilityEngine::MobilityEngine(Broker& broker, RuntimeEnv& env,
                                MobilityConfig cfg)
-    : broker_(&broker), env_(&env), cfg_(cfg) {
+    : broker_(&broker), env_(&env), tracer_(env.tracer()), cfg_(cfg) {
   broker_->set_control_handler(this);
 }
 
@@ -161,6 +161,15 @@ TxnId MobilityEngine::initiate_move(ClientId client, BrokerId target,
   sm.start = env_->now();
   sm.state = SourceCoordState::Wait;
   sm.protocol = cfg_.protocol;
+  sm.move_span =
+      TMPS_SPAN_BEGIN(tracer_, txn, "movement", obs::kNoSpan,
+                      {{"client", std::to_string(client)},
+                       {"source", std::to_string(broker_->id())},
+                       {"target", std::to_string(target)},
+                       {"protocol", to_string(cfg_.protocol)}});
+  // Prepare phase: negotiate sent -> approve/ready (or reject) received.
+  sm.phase_span =
+      TMPS_SPAN_BEGIN(tracer_, txn, "phase:prepare", sm.move_span);
 
   if (cfg_.protocol == MobilityProtocol::Reconfiguration) {
     MoveNegotiateMsg m;
@@ -266,6 +275,9 @@ void MobilityEngine::on_negotiate(const MoveNegotiateMsg& m, TxnId cause,
     tm.source = m.source;
     tm.state = TargetCoordState::Abort;  // Fig. 4: init -> abort on reject
     target_moves_.emplace(m.txn, std::move(tm));
+    TMPS_EVENT(tracer_, m.txn, "movement:reject",
+               {{"broker", std::to_string(broker_->id())},
+                {"reason", "admission refused"}});
     MoveRejectMsg r;
     r.txn = m.txn;
     r.client = m.client;
@@ -292,6 +304,10 @@ void MobilityEngine::on_negotiate(const MoveNegotiateMsg& m, TxnId cause,
   tm.state = TargetCoordState::Prepare;
   for (const auto& s : m.subs) tm.sub_ids.push_back(s.id);
   for (const auto& a : m.advs) tm.adv_ids.push_back(a.id);
+  // Target-side precommit: shadow configuration installed and approve on its
+  // way; ends when the state message (or an abort) arrives.
+  tm.span = TMPS_SPAN_BEGIN(tracer_, m.txn, "phase:precommit", obs::kNoSpan,
+                            {{"broker", std::to_string(broker_->id())}});
 
   // Approve: install the shadow configuration here, then send it hop-by-hop
   // towards the source (message (2) of Fig. 3).
@@ -337,6 +353,9 @@ void MobilityEngine::on_approve_hop(BrokerId from, const Message& msg,
 
   if (self != m.source) {
     install_shadows(m);
+    // One hop of the target->source approve leg of the reconfiguration path.
+    TMPS_EVENT(tracer_, m.txn, "hop:approve",
+               {{"broker", std::to_string(self)}});
     broker_->forward_unicast(msg, out);
     return;
   }
@@ -359,6 +378,13 @@ void MobilityEngine::on_approve_hop(BrokerId from, const Message& msg,
   }
   SourceMove& sm = it->second;
   ++sm.timer_gen;  // cancel the negotiate timeout
+
+  TMPS_EVENT(tracer_, m.txn, "hop:approve",
+             {{"broker", std::to_string(self)}});
+  TMPS_SPAN_END(tracer_, sm.phase_span, {{"outcome", "approved"}});
+  // Commit phase: state sent hop-by-hop towards the target -> ack received.
+  sm.phase_span =
+      TMPS_SPAN_BEGIN(tracer_, m.txn, "phase:commit", sm.move_span);
 
   install_shadows(m);
 
@@ -479,6 +505,8 @@ void MobilityEngine::on_state_hop(BrokerId from, const Message& msg,
   const BrokerId self = broker_->id();
 
   commit_shadows_here(m, out);
+  // One hop of the source->target state (commit) leg.
+  TMPS_EVENT(tracer_, m.txn, "hop:state", {{"broker", std::to_string(self)}});
 
   if (self != m.target) {
     broker_->forward_unicast(msg, out);
@@ -498,6 +526,8 @@ void MobilityEngine::on_state_hop(BrokerId from, const Message& msg,
     for (const auto& cmd : m.queued_commands) stub->queue_command(cmd);
     drain_commands(*stub, out);
     tm.state = TargetCoordState::Commit;
+    TMPS_SPAN_END(tracer_, tm.span, {{"outcome", "commit"}});
+    tm.span = obs::kNoSpan;
   }
   MoveAckMsg ack;
   ack.txn = m.txn;
@@ -541,6 +571,7 @@ void MobilityEngine::on_abort_hop(BrokerId from, const Message& msg,
   const BrokerId self = broker_->id();
 
   abort_shadows_here(m);
+  TMPS_EVENT(tracer_, m.txn, "hop:abort", {{"broker", std::to_string(self)}});
 
   if (msg.unicast_dest && *msg.unicast_dest != self) {
     broker_->forward_unicast(msg, out);
@@ -553,6 +584,8 @@ void MobilityEngine::on_abort_hop(BrokerId from, const Message& msg,
         it->second.state == TargetCoordState::Prepare) {
       ++it->second.timer_gen;
       it->second.state = TargetCoordState::Abort;
+      TMPS_SPAN_END(tracer_, it->second.span, {{"outcome", "abort"}});
+      it->second.span = obs::kNoSpan;
       ClientStub* stub = find_client(m.client);
       if (stub && stub->state() == ClientState::Created) {
         stub->clean();
@@ -594,6 +627,21 @@ void MobilityEngine::finish_source_move(SourceMove& sm, bool committed,
   rec.start = sm.start;
   rec.end = env_->now();
   rec.committed = committed;
+
+  const char* outcome = committed ? "commit" : "abort";
+  TMPS_SPAN_END(tracer_, sm.phase_span);  // whichever phase was running
+  sm.phase_span = obs::kNoSpan;
+  TMPS_SPAN_END(tracer_, sm.move_span, {{"outcome", outcome}});
+  sm.move_span = obs::kNoSpan;
+  if (obs::MetricsRegistry* mr = env_->metrics()) {
+    mr->histogram("movement_latency_seconds",
+                  {{"protocol", to_string(sm.protocol)}, {"outcome", outcome}})
+        .observe(rec.duration());
+    mr->counter("movements_total",
+                {{"protocol", to_string(sm.protocol)}, {"outcome", outcome}})
+        .inc();
+  }
+
   env_->movement_finished(rec);
   if (move_cb_) move_cb_(rec);
 }
@@ -618,6 +666,9 @@ void MobilityEngine::source_timeout(TxnId txn, SourceCoordState expected) {
   if (it == source_moves_.end()) return;
   SourceMove& sm = it->second;
   Outputs out;
+  TMPS_EVENT(tracer_, txn, "timeout",
+             {{"broker", std::to_string(broker_->id())},
+              {"state", to_string(expected)}});
   if (expected == SourceCoordState::Wait) {
     // Negotiate/approve lost or slow: abort; if an approve arrives later the
     // source answers it with an abort that unwinds the shadow state.
@@ -661,7 +712,12 @@ void MobilityEngine::target_timeout(TxnId txn) {
   // Conservative resolution: abort towards the source, unwinding shadow
   // state along the path. The client is never lost: its primary copy is
   // still at the source.
+  TMPS_EVENT(tracer_, txn, "timeout",
+             {{"broker", std::to_string(broker_->id())},
+              {"state", "prepare"}});
   tm.state = TargetCoordState::Abort;
+  TMPS_SPAN_END(tracer_, tm.span, {{"outcome", "abort"}});
+  tm.span = obs::kNoSpan;
   ClientStub* stub = find_client(tm.client);
   if (stub && stub->state() == ClientState::Created) {
     stub->clean();
@@ -697,6 +753,9 @@ void MobilityEngine::on_trad_request(const TradMoveRequestMsg& m,
     tm.source = m.source;
     tm.state = TargetCoordState::Abort;
     target_moves_.emplace(m.txn, std::move(tm));
+    TMPS_EVENT(tracer_, m.txn, "movement:reject",
+               {{"broker", std::to_string(broker_->id())},
+                {"reason", "admission refused"}});
     TradRejectMsg r;
     r.txn = m.txn;
     r.client = m.client;
@@ -719,6 +778,10 @@ void MobilityEngine::on_trad_request(const TradMoveRequestMsg& m,
   tm.client = m.client;
   tm.source = m.source;
   tm.state = TargetCoordState::Prepare;
+  // Target-side work of the traditional protocol: re-issuing the profile
+  // (and its covering cascade) until the buffered state arrives.
+  tm.span = TMPS_SPAN_BEGIN(tracer_, m.txn, "phase:precommit", obs::kNoSpan,
+                            {{"broker", std::to_string(broker_->id())}});
   target_moves_.emplace(m.txn, std::move(tm));
 
   // Re-issue the client's profile as ordinary pub/sub operations with fresh
@@ -765,6 +828,11 @@ void MobilityEngine::on_trad_ready(const TradReadyMsg& m, Outputs& out) {
   stub->clean();
   clients_.erase(m.client);
   sm.state = SourceCoordState::Prepare;
+  TMPS_SPAN_END(tracer_, sm.phase_span, {{"outcome", "ready"}});
+  // Commit phase of the traditional protocol: waiting for the movement's
+  // entire causal message chain (covering cascade included) to drain.
+  sm.phase_span =
+      TMPS_SPAN_BEGIN(tracer_, m.txn, "phase:commit", sm.move_span);
 
   // The movement completes when every message it caused — including the
   // covering cascade — has been processed network-wide.
@@ -817,6 +885,8 @@ void MobilityEngine::on_buffered_state(const BufferedStateMsg& m,
   for (const auto& cmd : m.queued_commands) stub->queue_command(cmd);
   drain_commands(*stub, out);
   tm.state = TargetCoordState::Commit;
+  TMPS_SPAN_END(tracer_, tm.span, {{"outcome", "commit"}});
+  tm.span = obs::kNoSpan;
 }
 
 // --- introspection ---------------------------------------------------------------

@@ -31,6 +31,7 @@
 
 #include "broker/broker.h"
 #include "core/client_stub.h"
+#include "obs/trace.h"
 #include "sim/runtime_env.h"
 
 namespace tmps {
@@ -143,6 +144,10 @@ class MobilityEngine final : public ControlHandler {
     std::uint64_t timer_gen = 0;
     /// Copy of the state message for idempotent retry on prepare timeout.
     std::optional<MoveStateMsg> pending_state;
+    /// Trace spans: the whole movement, and the currently running phase
+    /// (prepare while awaiting approve/ready, commit while awaiting ack).
+    obs::SpanId move_span = obs::kNoSpan;
+    obs::SpanId phase_span = obs::kNoSpan;
   };
   struct TargetMove {
     TxnId txn = kNoTxn;
@@ -152,6 +157,8 @@ class MobilityEngine final : public ControlHandler {
     std::vector<SubscriptionId> sub_ids;
     std::vector<AdvertisementId> adv_ids;
     std::uint64_t timer_gen = 0;
+    /// Target-side precommit span (negotiate accepted -> state/abort).
+    obs::SpanId span = obs::kNoSpan;
   };
 
   // Reconfiguration-protocol handlers.
@@ -192,6 +199,7 @@ class MobilityEngine final : public ControlHandler {
 
   Broker* broker_;
   RuntimeEnv* env_;
+  obs::Tracer* tracer_;  // the host's tracer (may be null)
   MobilityConfig cfg_;
   std::function<void(Outputs)> transmit_;
   DeliverySink delivery_;

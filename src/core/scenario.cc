@@ -1,6 +1,8 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <cassert>
+#include <fstream>
 
 namespace tmps {
 
@@ -40,6 +42,7 @@ BrokerId Scenario::other_end(std::uint32_t k, BrokerId at) const {
 
 void Scenario::build() {
   net_ = std::make_unique<SimNetwork>(overlay_, cfg_.broker, cfg_.net);
+  if (!cfg_.trace_path.empty()) net_->tracer()->set_enabled(true);
 
   for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
     auto engine =
@@ -215,6 +218,41 @@ void Scenario::run() {
   // the loss audit does not count undelivered-yet publications.
   net_->run();
   account_losses();
+  dump_observability();
+}
+
+void Scenario::dump_observability() {
+  if (cfg_.trace_path.empty() && cfg_.metrics_path.empty()) return;
+  const auto mode = cfg_.trace_append ? std::ios::app : std::ios::trunc;
+
+  if (!cfg_.trace_path.empty()) {
+    obs::Tracer& tracer = *net_->tracer();
+    // Join record per movement: lets the trace inspector attach the final
+    // message attribution (Stats cause counts) to each waterfall by TxnId.
+    for (const MovementRecord& m : stats().movements()) {
+      tracer.event(m.txn, "movement:stats",
+                   {{"messages", std::to_string(m.messages)},
+                    {"committed", m.committed ? "true" : "false"},
+                    {"duration", std::to_string(m.duration())}});
+    }
+    std::ofstream os(cfg_.trace_path, mode);
+    if (os) tracer.write_jsonl(os, cfg_.run_label);
+  }
+
+  if (!cfg_.metrics_path.empty()) {
+    obs::MetricsRegistry& mr = *net_->metrics();
+    // Expose the per-link traffic totals: the inspector's hot-link report
+    // reads these counters.
+    for (const auto& [link, n] : stats().link_counts()) {
+      obs::Counter& c =
+          mr.counter("link_messages_total",
+                     {{"from", std::to_string(link.first)},
+                      {"to", std::to_string(link.second)}});
+      c.inc(n - std::min(n, c.value()));  // idempotent if called twice
+    }
+    std::ofstream os(cfg_.metrics_path, mode);
+    if (os) mr.write_jsonl(os, cfg_.run_label);
+  }
 }
 
 Summary Scenario::latency() const {

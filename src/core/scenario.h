@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -75,6 +76,18 @@ struct ScenarioConfig {
   /// paper ignores the join/setup phase).
   double warmup = 40.0;
   std::uint64_t seed = 1;
+
+  // Observability. When `trace_path` is set the run records movement spans,
+  // per-hop events and covering events, then flushes them as JSONL (joined
+  // to message counts via per-movement "movement:stats" events). When
+  // `metrics_path` is set the metrics registry snapshot (including per-link
+  // message counters) is written alongside. `run_label` tags every record so
+  // a bench sweep can append multiple runs into one file.
+  std::string trace_path;
+  std::string metrics_path;
+  std::string run_label;
+  /// Append to existing files instead of truncating (multi-run sweeps).
+  bool trace_append = false;
 };
 
 class Scenario {
@@ -135,6 +148,7 @@ class Scenario {
 
  private:
   void build();
+  void dump_observability();
   void schedule_joins();
   void schedule_publishers();
   void publish_tick(BrokerId b, ClientId id);

@@ -1,0 +1,51 @@
+// Minimal JSON-lines writing helpers shared by the trace and metrics sinks.
+//
+// The observability layer emits flat objects (strings, numbers, one nested
+// string->string map), so a full JSON library is unnecessary; these helpers
+// only guarantee valid escaping and locale-independent number formatting.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tmps::obs {
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Formats a double with enough digits to round-trip, without locale
+/// surprises ("%.17g" is exact but noisy; 12 significant digits are plenty
+/// for second-scale timestamps with nanosecond resolution).
+inline void append_json_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+inline void append_json_number(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace tmps::obs

@@ -1,0 +1,73 @@
+// Fixed logarithmic bucketing shared by obs::Histogram (atomic counters) and
+// sim::Summary (plain counters).
+//
+// Buckets follow a base-2^(1/4) geometric grid anchored at 2^-30 (~0.93 ns
+// when values are seconds): bucket i covers [2^-30 * 2^(i/4), 2^-30 *
+// 2^((i+1)/4)). Four sub-buckets per octave bound the relative quantization
+// error of bucket-derived percentiles at ~±9%. 256 buckets reach 2^34
+// (~1.7e10), far beyond any latency or count this system records; values at
+// or below the anchor land in bucket 0, values beyond the grid in the last
+// bucket.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace tmps::obs {
+
+inline constexpr int kNumBuckets = 256;
+inline constexpr int kSubBucketsPerOctave = 4;
+inline constexpr double kBucketAnchor = 0x1p-30;
+
+/// Bucket index for a value (values <= anchor, NaN and negatives -> 0).
+inline int bucket_index(double v) {
+  if (!(v > kBucketAnchor)) return 0;
+  // log2(v) - log2(anchor), not log2(v / anchor): the division overflows to
+  // inf for v within ~2^30 of DBL_MAX, and casting inf to int is UB.
+  const int i = static_cast<int>(std::floor(
+      kSubBucketsPerOctave * (std::log2(v) - std::log2(kBucketAnchor))));
+  if (i < 0) return 0;
+  if (i >= kNumBuckets) return kNumBuckets - 1;
+  return i;
+}
+
+/// Inclusive lower bound of bucket `i` (bucket 0 starts at 0: it also
+/// collects every value at or below the anchor).
+inline double bucket_lower(int i) {
+  if (i <= 0) return 0.0;
+  return kBucketAnchor *
+         std::exp2(static_cast<double>(i) / kSubBucketsPerOctave);
+}
+
+/// Exclusive upper bound of bucket `i`.
+inline double bucket_upper(int i) {
+  return kBucketAnchor *
+         std::exp2(static_cast<double>(i + 1) / kSubBucketsPerOctave);
+}
+
+/// Quantile estimate from per-bucket counts: finds the bucket holding the
+/// rank-`q` observation and interpolates linearly within it. `counts` must
+/// have kNumBuckets entries summing to `total`. Returns 0 for empty data.
+inline double percentile_from_counts(const std::uint64_t* counts,
+                                     std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * (frac < 0 ? 0 : frac);
+    }
+  }
+  return bucket_upper(kNumBuckets - 1);
+}
+
+}  // namespace tmps::obs

@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/jsonl.h"
+
+namespace tmps::obs {
+
+double Histogram::percentile(double q) const {
+  std::uint64_t counts[kNumBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  return percentile_from_counts(counts, total, q);
+}
+
+std::string MetricsRegistry::key_of(std::string_view name,
+                                    const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        Labels labels,
+                                                        Kind kind) {
+  // Canonical label order so {{a},{b}} and {{b},{a}} are one metric.
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key_of(name, labels));
+  Entry& e = it->second;
+  if (inserted) {
+    e.name = std::string(name);
+    e.labels = std::move(labels);
+    e.kind = kind;
+    switch (kind) {
+      case Kind::Counter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::Gauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::Histogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+  }
+  return e;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return *find_or_create(name, std::move(labels), Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return *find_or_create(name, std::move(labels), Kind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels) {
+  return *find_or_create(name, std::move(labels), Kind::Histogram).histogram;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             Labels labels) const {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(key_of(name, labels));
+  if (it == entries_.end() || it->second.kind != Kind::Counter) return 0;
+  return it->second.counter->value();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os,
+                                  std::string_view run) const {
+  std::lock_guard lock(mu_);
+  std::string line;
+  for (const auto& [key, e] : entries_) {
+    line.clear();
+    line += "{\"metric\":";
+    append_json_string(line, e.name);
+    if (!run.empty()) {
+      line += ",\"run\":";
+      append_json_string(line, run);
+    }
+    line += ",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.labels) {
+      if (!first) line += ',';
+      first = false;
+      append_json_string(line, k);
+      line += ':';
+      append_json_string(line, v);
+    }
+    line += '}';
+    switch (e.kind) {
+      case Kind::Counter:
+        line += ",\"type\":\"counter\",\"value\":";
+        append_json_number(line, e.counter->value());
+        break;
+      case Kind::Gauge:
+        line += ",\"type\":\"gauge\",\"value\":";
+        append_json_number(line, e.gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        line += ",\"type\":\"histogram\",\"count\":";
+        append_json_number(line, h.count());
+        line += ",\"sum\":";
+        append_json_number(line, h.sum());
+        line += ",\"p50\":";
+        append_json_number(line, h.p50());
+        line += ",\"p95\":";
+        append_json_number(line, h.p95());
+        line += ",\"p99\":";
+        append_json_number(line, h.p99());
+        line += ",\"buckets\":[";
+        bool first_b = true;
+        for (int i = 0; i < kNumBuckets; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          if (!first_b) line += ',';
+          first_b = false;
+          line += '[';
+          append_json_number(line, bucket_upper(i));
+          line += ',';
+          append_json_number(line, n);
+          line += ']';
+        }
+        line += ']';
+        break;
+      }
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+}  // namespace tmps::obs

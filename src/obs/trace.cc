@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include "obs/jsonl.h"
+
+namespace tmps::obs {
+
+void Tracer::set_clock(Clock clock) {
+  std::lock_guard lock(mu_);
+  clock_ = std::move(clock);
+}
+
+SpanId Tracer::begin_span(TxnId trace, std::string_view name, SpanId parent,
+                          Attrs attrs) {
+  if (!enabled()) return kNoSpan;
+  std::lock_guard lock(mu_);
+  const SpanId id = ++next_span_;
+  TraceRecord rec;
+  rec.is_span = true;
+  rec.trace = trace;
+  rec.span = id;
+  rec.parent = parent;
+  rec.name = std::string(name);
+  rec.t0 = clock_ ? clock_() : 0.0;
+  rec.t1 = rec.t0 - 1;  // sentinel until ended
+  rec.open = true;
+  rec.attrs = std::move(attrs);
+  open_spans_[id] = records_.size();
+  records_.push_back(std::move(rec));
+  return id;
+}
+
+void Tracer::end_span(SpanId span, Attrs extra) {
+  if (span == kNoSpan) return;
+  std::lock_guard lock(mu_);
+  auto it = open_spans_.find(span);
+  if (it == open_spans_.end()) return;
+  TraceRecord& rec = records_[it->second];
+  rec.t1 = clock_ ? clock_() : 0.0;
+  rec.open = false;
+  for (auto& kv : extra) rec.attrs.push_back(std::move(kv));
+  open_spans_.erase(it);
+}
+
+void Tracer::event(TxnId trace, std::string_view name, Attrs attrs,
+                   SpanId parent) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  TraceRecord rec;
+  rec.trace = trace;
+  rec.parent = parent;
+  rec.name = std::string(name);
+  rec.t0 = clock_ ? clock_() : 0.0;
+  rec.t1 = rec.t0;
+  rec.attrs = std::move(attrs);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<TraceRecord> Tracer::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+std::size_t Tracer::record_count() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  records_.clear();
+  open_spans_.clear();
+}
+
+void Tracer::write_jsonl(std::ostream& os, std::string_view run) {
+  std::lock_guard lock(mu_);
+  std::string line;
+  for (const TraceRecord& rec : records_) {
+    line.clear();
+    line += "{\"kind\":";
+    line += rec.is_span ? "\"span\"" : "\"event\"";
+    if (!run.empty()) {
+      line += ",\"run\":";
+      append_json_string(line, run);
+    }
+    line += ",\"trace\":";
+    append_json_number(line, static_cast<std::uint64_t>(rec.trace));
+    line += ",\"span\":";
+    append_json_number(line, rec.span);
+    line += ",\"parent\":";
+    append_json_number(line, rec.parent);
+    line += ",\"name\":";
+    append_json_string(line, rec.name);
+    line += ",\"t0\":";
+    append_json_number(line, rec.t0);
+    line += ",\"t1\":";
+    append_json_number(line, rec.open ? rec.t0 : rec.t1);
+    if (rec.open) line += ",\"open\":true";
+    line += ",\"attrs\":{";
+    bool first = true;
+    for (const auto& [k, v] : rec.attrs) {
+      if (!first) line += ',';
+      first = false;
+      append_json_string(line, k);
+      line += ':';
+      append_json_string(line, v);
+    }
+    line += "}}\n";
+    os << line;
+  }
+  records_.clear();
+  open_spans_.clear();
+}
+
+}  // namespace tmps::obs

@@ -1,0 +1,140 @@
+// Structured tracing for movement transactions.
+//
+// A *span* is a named interval inside a trace (a movement transaction,
+// identified by its TxnId); spans nest via parent ids. An *event* is an
+// instantaneous record (a reconfiguration hop processed, a covering-induced
+// (un)subscription forwarded). Every record carries the TxnId cause tag, so
+// traces join against the Stats message attribution by TxnId.
+//
+// Cost model: tracing is off by default. The TMPS_* macros below check a
+// relaxed atomic before doing anything, so a disabled tracer costs one load
+// per site; a null tracer costs a pointer compare. Compile with
+// -DTMPS_TRACING_ENABLED=0 (CMake: -DTMPS_TRACING=OFF) to remove the sites
+// entirely.
+//
+// Records buffer in memory (the hosts flush them to trace.jsonl at the end
+// of a run); the tracer is thread-safe for the multi-threaded transports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tmps::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// Key-value annotations on spans and events; values are pre-formatted.
+using Attrs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceRecord {
+  bool is_span = false;
+  TxnId trace = kNoTxn;
+  SpanId span = kNoSpan;    // 0 for events
+  SpanId parent = kNoSpan;  // 0 = root of its trace
+  std::string name;
+  double t0 = 0;  // events: the timestamp
+  double t1 = 0;  // spans: end time; < t0 while still open
+  bool open = false;
+  Attrs attrs;
+};
+
+class Tracer {
+ public:
+  /// Supplies timestamps (simulated or wall-clock seconds). Defaults to a
+  /// constant 0 until the host installs its clock.
+  using Clock = std::function<double()>;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_clock(Clock clock);
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a span; returns its id (kNoSpan when tracing is disabled, which
+  /// end_span ignores, so callers may store the result unconditionally).
+  SpanId begin_span(TxnId trace, std::string_view name,
+                    SpanId parent = kNoSpan, Attrs attrs = {});
+  /// Closes a span; `extra` attributes are appended (e.g. the outcome).
+  /// Unknown or kNoSpan ids are ignored (span opened while disabled).
+  void end_span(SpanId span, Attrs extra = {});
+
+  /// Records an instantaneous event in `trace`.
+  void event(TxnId trace, std::string_view name, Attrs attrs = {},
+             SpanId parent = kNoSpan);
+
+  /// Copy of the buffered records (tests, inspection).
+  std::vector<TraceRecord> records() const;
+  std::size_t record_count() const;
+
+  /// Writes one JSON object per record and clears the buffer. Spans still
+  /// open are emitted with "open":true. `run` labels the emitting
+  /// experiment so multi-run benches can append into one file.
+  void write_jsonl(std::ostream& os, std::string_view run = {});
+
+  /// Drops all buffered records (e.g. to exclude a setup phase).
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Clock clock_;
+  SpanId next_span_ = 0;
+  std::vector<TraceRecord> records_;
+  /// Open span id -> index into records_.
+  std::unordered_map<SpanId, std::size_t> open_spans_;
+};
+
+}  // namespace tmps::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Attrs go last so brace-enclosed initializer lists
+// (which the preprocessor would otherwise split at commas) ride in through
+// __VA_ARGS__.
+// ---------------------------------------------------------------------------
+
+#ifndef TMPS_TRACING_ENABLED
+#define TMPS_TRACING_ENABLED 1
+#endif
+
+#if TMPS_TRACING_ENABLED
+#define TMPS_SPAN_BEGIN(tracer, trace, name, parent, ...)                   \
+  ((tracer) != nullptr && (tracer)->enabled()                               \
+       ? (tracer)->begin_span((trace), (name),                              \
+                              (parent)__VA_OPT__(, ) __VA_ARGS__)           \
+       : ::tmps::obs::kNoSpan)
+#define TMPS_SPAN_END(tracer, span, ...)                                    \
+  do {                                                                      \
+    if ((tracer) != nullptr && (span) != ::tmps::obs::kNoSpan) {            \
+      (tracer)->end_span((span)__VA_OPT__(, ) __VA_ARGS__);                 \
+    }                                                                       \
+  } while (0)
+#define TMPS_EVENT(tracer, trace, name, ...)                                \
+  do {                                                                      \
+    if ((tracer) != nullptr && (tracer)->enabled()) {                       \
+      (tracer)->event((trace), (name)__VA_OPT__(, ) __VA_ARGS__);           \
+    }                                                                       \
+  } while (0)
+#else
+#define TMPS_SPAN_BEGIN(tracer, trace, name, parent, ...) (::tmps::obs::kNoSpan)
+#define TMPS_SPAN_END(tracer, span, ...) \
+  do {                                   \
+  } while (0)
+#define TMPS_EVENT(tracer, trace, name, ...) \
+  do {                                       \
+  } while (0)
+#endif

@@ -23,9 +23,14 @@ NetworkProfile NetworkProfile::planetlab() {
 SimNetwork::SimNetwork(const Overlay& overlay, BrokerConfig broker_cfg,
                        NetworkProfile profile)
     : overlay_(&overlay), profile_(profile), rng_(profile.seed) {
+  tracer_.set_clock([this] { return events_.now(); });
+  msgs_sent_ = &metrics_.counter("sim_messages_total");
+  link_wait_ = &metrics_.histogram("sim_link_wait_seconds");
+  broker_wait_ = &metrics_.histogram("sim_broker_wait_seconds");
   brokers_.resize(overlay.broker_count() + 1);
   for (BrokerId b = 1; b <= overlay.broker_count(); ++b) {
     brokers_[b].broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
+    brokers_[b].broker->set_observability(&tracer_, &metrics_);
   }
   // Pre-create directed link states; heterogeneous profiles draw a per-link
   // base delay once (log-normal around the configured mean) and use it for
@@ -103,10 +108,12 @@ void SimNetwork::send_one(BrokerId from, BrokerId to, Message msg) {
   }
   stats_.count_message(from, to, msg.type_name(), msg.cause);
   if (msg.cause != kNoTxn) ++outstanding_[msg.cause];
+  msgs_sent_->inc();
 
   LinkState& l = link(from, to);
   const double now = events_.now();
   const double start = std::max({now, l.next_free, l.paused_until});
+  link_wait_->observe(start - now);
   const double depart = start + profile_.link_service;
   l.next_free = depart;
   double at = depart + l.base_delay + jitter();
@@ -122,6 +129,7 @@ void SimNetwork::arrive(BrokerId from, BrokerId to, Message msg) {
   BrokerState& b = brokers_[to];
   const double start =
       std::max({events_.now(), b.next_free, b.paused_until});
+  broker_wait_->observe(start - events_.now());
   // Per-message processing cost by class: publications pay a matching pass,
   // (un)subscriptions/(un)advertisements pay covering checks, movement
   // control messages pay only relay/bookkeeping work.

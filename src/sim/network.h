@@ -78,6 +78,8 @@ class SimNetwork final : public RuntimeEnv {
   void schedule(double delay, std::function<void()> fn) override;
   void movement_finished(MovementRecord rec) override;
   void on_cause_drained(TxnId cause, std::function<void()> fn) override;
+  obs::Tracer* tracer() override { return &tracer_; }
+  obs::MetricsRegistry* metrics() override { return &metrics_; }
 
   /// Hands a broker's outputs to the network at the current time.
   void transmit(BrokerId from, Broker::Outputs outputs);
@@ -126,6 +128,13 @@ class SimNetwork final : public RuntimeEnv {
   NetworkProfile profile_;
   EventQueue events_;
   Stats stats_;
+  // Observability lives above brokers_ so instrumented brokers never
+  // outlive the registry/tracer they cache handles into.
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* msgs_sent_ = nullptr;
+  obs::Histogram* link_wait_ = nullptr;
+  obs::Histogram* broker_wait_ = nullptr;
   std::mt19937_64 rng_;
   std::vector<BrokerState> brokers_;  // index by BrokerId (1-based)
   std::map<std::pair<BrokerId, BrokerId>, LinkState> links_;

@@ -7,6 +7,8 @@
 #include <functional>
 
 #include "common/ids.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 
 namespace tmps {
@@ -28,6 +30,14 @@ class RuntimeEnv {
   /// (un)subscription propagation — including covering cascades — has
   /// quiesced. Fires immediately if the cause is already drained.
   virtual void on_cause_drained(TxnId cause, std::function<void()> fn) = 0;
+
+  /// Movement-transaction tracer of this host; nullptr when the host does
+  /// not provide one. Guarded by the TMPS_* trace macros at every use site.
+  virtual obs::Tracer* tracer() { return nullptr; }
+
+  /// Metrics registry of this host; nullptr when the host does not provide
+  /// one. Instrumented components cache the metric handles they register.
+  virtual obs::MetricsRegistry* metrics() { return nullptr; }
 };
 
 }  // namespace tmps

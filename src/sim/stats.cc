@@ -1,5 +1,6 @@
 #include "sim/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tmps {
@@ -14,6 +15,7 @@ void Summary::add(double x) {
   ++n_;
   sum_ += x;
   sumsq_ += x * x;
+  ++buckets_[obs::bucket_index(x)];
 }
 
 double Summary::variance() const {
@@ -25,12 +27,26 @@ double Summary::variance() const {
 
 double Summary::stddev() const { return std::sqrt(variance()); }
 
+double Summary::percentile(double q) const {
+  if (n_ == 0) return 0.0;
+  const double est = obs::percentile_from_counts(buckets_.data(), n_, q);
+  // Bucket interpolation cannot be tighter than the data itself.
+  return std::min(std::max(est, min_), max_);
+}
+
 void Stats::count_message(BrokerId from, BrokerId to, std::string_view type,
                           TxnId cause) {
   ++total_messages_;
   ++link_counts_[{from, to}];
   ++type_counts_[std::string(type)];
-  if (cause != kNoTxn) ++cause_counts_[cause];
+  if (cause != kNoTxn) {
+    ++cause_counts_[cause];
+    // Keep the movement record's attribution live: covering cascades (and
+    // the tail of the hop-by-hop path) can still emit messages for this
+    // transaction after the coordinator captured the record.
+    auto it = movement_index_.find(cause);
+    if (it != movement_index_.end()) ++movements_[it->second].messages;
+  }
 }
 
 std::uint64_t Stats::messages_by_type(const std::string& type) const {
@@ -52,6 +68,9 @@ void Stats::reset_traffic() {
 
 void Stats::record_movement(MovementRecord rec) {
   rec.messages = messages_for_cause(rec.txn);
+  if (rec.txn != kNoTxn) {
+    movement_index_.emplace(rec.txn, movements_.size());
+  }
   movements_.push_back(std::move(rec));
 }
 

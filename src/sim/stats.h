@@ -7,17 +7,23 @@
 //   * movement throughput — completed movements over the experiment window.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/log_buckets.h"
 #include "sim/event_queue.h"
 
 namespace tmps {
 
-/// Streaming summary of a series (latencies etc.).
+/// Streaming summary of a series (latencies etc.). Alongside the moment
+/// statistics it maintains fixed log-bucket counts (obs/log_buckets.h), so
+/// tail quantiles are available without storing samples — bucket-resolution
+/// approximations (~±9% relative error), which is what the stability
+/// comparisons in the paper's figures need.
 class Summary {
  public:
   void add(double x);
@@ -28,10 +34,18 @@ class Summary {
   double variance() const;
   double stddev() const;
 
+  /// Bucket-interpolated quantile of everything added so far, clamped to
+  /// the observed [min, max] range. q in [0, 1]; 0 for an empty summary.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+
  private:
   std::uint64_t n_ = 0;
   double sum_ = 0, sumsq_ = 0;
   double min_ = 0, max_ = 0;
+  std::array<std::uint64_t, obs::kNumBuckets> buckets_{};
 };
 
 struct MovementRecord {
@@ -92,6 +106,10 @@ class Stats {
   std::map<std::string, std::uint64_t> type_counts_;
   std::map<TxnId, std::uint64_t> cause_counts_;
   std::vector<MovementRecord> movements_;
+  /// txn -> index into movements_, so messages attributed to a movement
+  /// *after* its record was captured (covering-induced (un)subscriptions
+  /// still cascading at brokers off the movement path) reach the record.
+  std::map<TxnId, std::size_t> movement_index_;
 };
 
 }  // namespace tmps

@@ -9,10 +9,13 @@ InprocTransport::InprocTransport(const Overlay& overlay,
                                  BrokerConfig broker_cfg,
                                  MobilityConfig mobility_cfg)
     : overlay_(&overlay) {
+  tracer_.set_clock([this] { return now(); });
+  dispatched_ = &metrics_.counter("inproc_messages_dispatched_total");
   nodes_.resize(overlay.broker_count() + 1);
   for (BrokerId b = 1; b <= overlay.broker_count(); ++b) {
     auto node = std::make_unique<Node>();
     node->broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
+    node->broker->set_observability(&tracer_, &metrics_);
     node->engine =
         std::make_unique<MobilityEngine>(*node->broker, *this, mobility_cfg);
     node->engine->set_transmit(
@@ -95,6 +98,7 @@ void InprocTransport::dispatch(BrokerId from, Broker::Outputs outputs) {
       ++outstanding_[msg.cause];
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    dispatched_->inc();
     Node& node = *nodes_[to];
     {
       std::lock_guard lock(node.queue_mu);

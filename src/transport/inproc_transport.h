@@ -53,6 +53,8 @@ class InprocTransport final : public RuntimeEnv {
   void schedule(double delay, std::function<void()> fn) override;
   void movement_finished(MovementRecord rec) override;
   void on_cause_drained(TxnId cause, std::function<void()> fn) override;
+  obs::Tracer* tracer() override { return &tracer_; }
+  obs::MetricsRegistry* metrics() override { return &metrics_; }
 
  private:
   struct Envelope {
@@ -75,6 +77,10 @@ class InprocTransport final : public RuntimeEnv {
   void retire_cause(TxnId cause);
 
   const Overlay* overlay_;
+  // Declared before nodes_: brokers/engines cache handles into these.
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* dispatched_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;  // index = BrokerId (1-based)
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> in_flight_{0};

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <fstream>
 
 #include "pubsub/codec.h"
 
@@ -52,10 +53,17 @@ TcpTransport::TcpTransport(const Overlay& overlay, std::uint16_t base_port,
                            BrokerConfig broker_cfg,
                            MobilityConfig mobility_cfg)
     : overlay_(&overlay), base_port_(base_port) {
+  tracer_.set_clock([this] { return now(); });
+  frames_sent_ = &metrics_.counter("tcp_frames_sent_total");
+  bytes_sent_ = &metrics_.counter("tcp_bytes_sent_total");
+  frames_received_ = &metrics_.counter("tcp_frames_received_total");
+  decode_failures_metric_ = &metrics_.counter("tcp_decode_failures_total");
+  send_failures_ = &metrics_.counter("tcp_send_failures_total");
   nodes_.resize(overlay.broker_count() + 1);
   for (BrokerId b = 1; b <= overlay.broker_count(); ++b) {
     auto node = std::make_unique<Node>();
     node->broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
+    node->broker->set_observability(&tracer_, &metrics_);
     node->engine =
         std::make_unique<MobilityEngine>(*node->broker, *this, mobility_cfg);
     node->engine->set_transmit([this, b](Broker::Outputs out) {
@@ -198,9 +206,11 @@ void TcpTransport::reader_loop(BrokerId self, BrokerId peer, int fd) {
     const auto msg = decode_message(std::string_view(frame).substr(4));
     if (from != peer || !msg) {
       ++decode_failures_;
+      decode_failures_metric_->inc();
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
+    frames_received_->inc();
     process_frame(self, from, *msg);
   }
 }
@@ -245,9 +255,13 @@ void TcpTransport::send_frame(BrokerId from, BrokerId to, const Message& msg) {
       !write_full(it->second, frame.data(), frame.size())) {
     // Link gone: the message is lost at this layer (the paper's fault model
     // masks this with persistent queues; see DurableNode).
+    send_failures_->inc();
     if (msg.cause != kNoTxn) retire_cause(msg.cause);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return;
   }
+  frames_sent_->inc();
+  bytes_sent_->inc(frame.size());
 }
 
 void TcpTransport::dispatch_outputs(BrokerId from, Broker::Outputs outputs) {
@@ -341,6 +355,19 @@ void TcpTransport::timer_loop() {
       fn();
       lock.lock();
     }
+  }
+}
+
+void TcpTransport::dump_observability(const std::string& trace_path,
+                                      const std::string& metrics_path,
+                                      std::string_view run) {
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path, std::ios::app);
+    if (os) tracer_.write_jsonl(os, run);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path, std::ios::app);
+    if (os) metrics_.write_jsonl(os, run);
   }
 }
 

@@ -58,11 +58,19 @@ class TcpTransport final : public RuntimeEnv {
   /// Frames that arrived but failed to decode (corruption canary).
   std::uint64_t decode_failures() const { return decode_failures_.load(); }
 
+  /// Flushes buffered trace records and a metrics snapshot to JSONL files
+  /// (appending). Either path may be empty to skip that sink.
+  void dump_observability(const std::string& trace_path,
+                          const std::string& metrics_path,
+                          std::string_view run = {});
+
   // --- RuntimeEnv -----------------------------------------------------------
   SimTime now() const override;
   void schedule(double delay, std::function<void()> fn) override;
   void movement_finished(MovementRecord rec) override;
   void on_cause_drained(TxnId cause, std::function<void()> fn) override;
+  obs::Tracer* tracer() override { return &tracer_; }
+  obs::MetricsRegistry* metrics() override { return &metrics_; }
 
  private:
   struct Node {
@@ -89,6 +97,14 @@ class TcpTransport final : public RuntimeEnv {
 
   const Overlay* overlay_;
   std::uint16_t base_port_;
+  // Declared before nodes_: brokers/engines cache handles into these.
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* frames_sent_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* frames_received_ = nullptr;
+  obs::Counter* decode_failures_metric_ = nullptr;
+  obs::Counter* send_failures_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> in_flight_{0};

@@ -58,6 +58,11 @@ void TpcCoordinator::decide(TpcDecision d) {
   decision_ = d;
   state_ = d == TpcDecision::Commit ? TpcCoordState::Committed
                                     : TpcCoordState::Aborted;
+  const char* outcome = d == TpcDecision::Commit ? "commit" : "abort";
+  TMPS_SPAN_END(tracer_, phase_span_);
+  phase_span_ = obs::kNoSpan;
+  TMPS_SPAN_END(tracer_, txn_span_, {{"decision", outcome}});
+  txn_span_ = obs::kNoSpan;
   broadcast(d == TpcDecision::Commit ? TpcMsg::Kind::DoCommit
                                      : TpcMsg::Kind::Abort);
   if (on_decision_) on_decision_(d);
@@ -65,12 +70,16 @@ void TpcCoordinator::decide(TpcDecision d) {
 
 void TpcCoordinator::start() {
   if (state_ != TpcCoordState::Init) return;
+  txn_span_ = TMPS_SPAN_BEGIN(
+      tracer_, txn_, "3pc", obs::kNoSpan,
+      {{"participants", std::to_string(participants_.size())}});
   if (participants_.empty()) {
     state_ = TpcCoordState::Waiting;
     decide(TpcDecision::Commit);
     return;
   }
   state_ = TpcCoordState::Waiting;
+  phase_span_ = TMPS_SPAN_BEGIN(tracer_, txn_, "3pc:prepare", txn_span_);
   broadcast(TpcMsg::Kind::CanCommit);
 }
 
@@ -84,6 +93,9 @@ void TpcCoordinator::on_message(const TpcMsg& msg) {
         votes_[msg.from] = true;
         if (votes_.size() == participants_.size()) {
           state_ = TpcCoordState::PreCommit;
+          TMPS_SPAN_END(tracer_, phase_span_, {{"votes", "unanimous"}});
+          phase_span_ =
+              TMPS_SPAN_BEGIN(tracer_, txn_, "3pc:precommit", txn_span_);
           broadcast(TpcMsg::Kind::PreCommit);
         }
       }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/trace.h"
 
 namespace tmps {
 
@@ -90,6 +91,10 @@ class TpcCoordinator {
   std::optional<TpcDecision> decision() const { return decision_; }
   TxnId txn() const { return txn_; }
 
+  /// Optional tracing: a "3pc" span over the whole protocol run with child
+  /// spans per phase (prepare = vote collection, precommit = ack collection).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void broadcast(TpcMsg::Kind kind);
   void decide(TpcDecision d);
@@ -98,6 +103,9 @@ class TpcCoordinator {
   std::vector<int> participants_;
   SendFn send_;
   DecisionFn on_decision_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::SpanId txn_span_ = obs::kNoSpan;
+  obs::SpanId phase_span_ = obs::kNoSpan;
   TpcCoordState state_ = TpcCoordState::Init;
   std::optional<TpcDecision> decision_;
   std::map<int, bool> votes_;

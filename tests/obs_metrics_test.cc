@@ -1,0 +1,196 @@
+// Tests of the metrics registry: log-bucket edge behaviour around the
+// 2^-30 anchor and power-of-two boundaries, percentile bounds, registry
+// identity (stable references), concurrent increments from several threads,
+// and population of the tcp_transport wire metrics over real sockets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/log_buckets.h"
+#include "obs/metrics.h"
+#include "pubsub/workload.h"
+#include "transport/tcp_transport.h"
+
+namespace tmps {
+namespace {
+
+using obs::bucket_index;
+using obs::bucket_lower;
+using obs::bucket_upper;
+using obs::Histogram;
+using obs::kBucketAnchor;
+using obs::kNumBuckets;
+using obs::kSubBucketsPerOctave;
+using obs::MetricsRegistry;
+
+TEST(LogBuckets, AnchorAndBelowLandInBucketZero) {
+  EXPECT_EQ(bucket_index(0.0), 0);
+  EXPECT_EQ(bucket_index(-1.0), 0);
+  EXPECT_EQ(bucket_index(std::nan("")), 0);
+  EXPECT_EQ(bucket_index(kBucketAnchor), 0);
+  EXPECT_EQ(bucket_index(kBucketAnchor / 2), 0);
+  // Just above the anchor starts the grid proper.
+  EXPECT_EQ(bucket_index(kBucketAnchor * 1.0001), 0);
+  EXPECT_EQ(bucket_index(kBucketAnchor * 1.2), 1);
+}
+
+TEST(LogBuckets, PowerOfTwoBoundaries) {
+  // Each octave above the anchor spans exactly kSubBucketsPerOctave buckets:
+  // 2^-30 * 2^k falls at bucket k * 4 (the left edge of that bucket).
+  for (int k = 1; k < 30; ++k) {
+    const double v = kBucketAnchor * std::exp2(k);
+    const int i = bucket_index(v);
+    EXPECT_TRUE(i == k * kSubBucketsPerOctave ||
+                i == k * kSubBucketsPerOctave - 1)
+        << "v=2^-30 * 2^" << k << " -> bucket " << i;
+    // Slightly inside the bucket is unambiguous.
+    EXPECT_EQ(bucket_index(v * 1.01), k * kSubBucketsPerOctave);
+  }
+  // 1.0 = anchor * 2^30 -> bucket 120.
+  EXPECT_EQ(bucket_index(1.001), 30 * kSubBucketsPerOctave);
+}
+
+TEST(LogBuckets, ValuesBeyondGridClampToLastBucket) {
+  EXPECT_EQ(bucket_index(1e300), kNumBuckets - 1);
+  EXPECT_LT(bucket_lower(kNumBuckets - 1), bucket_upper(kNumBuckets - 1));
+}
+
+TEST(LogBuckets, BoundsNestAndCoverEveryValue) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    EXPECT_LT(bucket_lower(i), bucket_upper(i));
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(bucket_upper(i - 1), bucket_lower(i));
+    }
+    // A value strictly inside the bucket maps back to it.
+    const double mid = (bucket_lower(i) + bucket_upper(i)) / 2;
+    EXPECT_EQ(bucket_index(mid), i) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, PercentilesBoundedByBucketEdges) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(0.010);  // 10 ms
+  h.observe(1.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_NEAR(h.sum(), 2.0, 1e-9);
+  // p50 must land inside 10ms's bucket (±9% quantization), p99+ may reach
+  // into the outlier's bucket but never past its upper edge.
+  const int b10 = bucket_index(0.010);
+  EXPECT_GE(h.p50(), bucket_lower(b10));
+  EXPECT_LE(h.p50(), bucket_upper(b10));
+  EXPECT_LE(h.percentile(1.0), bucket_upper(bucket_index(1.0)));
+  EXPECT_GE(h.percentile(0.0), 0.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableIdentity) {
+  MetricsRegistry mr;
+  obs::Counter& a = mr.counter("msgs", {{"broker", "1"}});
+  obs::Counter& b = mr.counter("msgs", {{"broker", "1"}});
+  obs::Counter& c = mr.counter("msgs", {{"broker", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(mr.counter_value("msgs", {{"broker", "1"}}), 3u);
+  EXPECT_EQ(mr.counter_value("never-registered"), 0u);
+  EXPECT_EQ(mr.size(), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry mr;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mr] {
+      // Registration races on the mutex; increments race on the atomics.
+      obs::Counter& c = mr.counter("shared_total");
+      obs::Gauge& g = mr.gauge("shared_gauge");
+      obs::Histogram& h = mr.histogram("shared_hist");
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.observe(0.001);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mr.counter_value("shared_total"),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(mr.gauge("shared_gauge").value(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(mr.histogram("shared_hist").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistry, WriteJsonlEmitsEveryMetric) {
+  MetricsRegistry mr;
+  mr.counter("c_total", {{"broker", "1"}}).inc(5);
+  mr.gauge("g").set(2.5);
+  mr.histogram("h").observe(0.25);
+  std::ostringstream os;
+  mr.write_jsonl(os, "runA");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"metric\":\"c_total\""), std::string::npos);
+  EXPECT_NE(out.find("\"broker\":\"1\""), std::string::npos);
+  EXPECT_NE(out.find("\"run\":\"runA\""), std::string::npos);
+  EXPECT_NE(out.find("\"metric\":\"g\""), std::string::npos);
+  EXPECT_NE(out.find("\"metric\":\"h\""), std::string::npos);
+}
+
+// --- tcp_transport populates the wire metrics under real concurrency ------
+
+TEST(TcpTransportMetrics, WireCountersPopulate) {
+  constexpr ClientId kSubscriber = 500;
+  constexpr ClientId kPublisher = 600;
+  Overlay overlay = Overlay::chain(3);
+  TcpTransport net(overlay);
+  ASSERT_TRUE(net.start());
+  net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(kPublisher);
+    e.advertise(kPublisher, full_space_advertisement(), out);
+  });
+  net.drain();
+  net.run_on(3, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(kSubscriber);
+    e.subscribe(kSubscriber, workload_filter(WorkloadKind::Covered, 2), out);
+  });
+  net.drain();
+  const Publication p = make_publication({kPublisher, 1}, 100, 0);
+  net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.publish(kPublisher, Publication(p), out);
+  });
+  net.drain();
+  net.stop();
+
+  obs::MetricsRegistry* mr = net.metrics();
+  ASSERT_NE(mr, nullptr);
+  const std::uint64_t sent = mr->counter_value("tcp_frames_sent_total");
+  const std::uint64_t received = mr->counter_value("tcp_frames_received_total");
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(received, 0u);
+  EXPECT_GT(mr->counter_value("tcp_bytes_sent_total"), sent)
+      << "every frame is more than one byte";
+  EXPECT_EQ(mr->counter_value("tcp_decode_failures_total"), 0u);
+  EXPECT_EQ(mr->counter_value("tcp_send_failures_total"), 0u);
+  // The same traffic was counted per broker by the broker-level counters.
+  std::uint64_t processed = 0;
+  for (BrokerId b = 1; b <= 3; ++b) {
+    processed += mr->counter_value("broker_messages_processed_total",
+                                   {{"broker", std::to_string(b)}});
+  }
+  EXPECT_GT(processed, 0u);
+}
+
+}  // namespace
+}  // namespace tmps

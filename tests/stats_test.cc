@@ -43,6 +43,29 @@ TEST(Stats, MovementRecordSnapshotsCauseCount) {
   EXPECT_DOUBLE_EQ(s.movements()[0].duration(), 0.5);
 }
 
+TEST(Stats, CauseMessagesAfterRecordCaptureReachTheRecord) {
+  // Regression: covering-induced (un)subscriptions tagged with the movement's
+  // TxnId can still be cascading at brokers off the movement path when the
+  // movement record is captured. Those late messages must land in the
+  // record's message count, not vanish.
+  Stats s;
+  s.count_message(1, 2, "move-negotiate", 7);
+  MovementRecord rec;
+  rec.txn = 7;
+  rec.committed = true;
+  s.record_movement(rec);
+  EXPECT_EQ(s.movements()[0].messages, 1u);
+
+  s.count_message(3, 4, "sub", 7);  // arrives after the record was captured
+  s.count_message(4, 5, "unsub", 7);
+  EXPECT_EQ(s.messages_for_cause(7), 3u);
+  EXPECT_EQ(s.movements()[0].messages, 3u)
+      << "late cause-tagged messages must join the movement record";
+  // Unrelated causes stay unaffected.
+  s.count_message(1, 2, "sub", 8);
+  EXPECT_EQ(s.movements()[0].messages, 3u);
+}
+
 TEST(Stats, WindowedSummaries) {
   Stats s;
   auto rec = [&](TxnId txn, double start, double dur, bool committed) {
@@ -123,6 +146,39 @@ TEST(Summary, SingleValue) {
   EXPECT_DOUBLE_EQ(s.min(), 3.5);
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  // With one sample every quantile clamps to that sample.
+  EXPECT_DOUBLE_EQ(s.p50(), 3.5);
+  EXPECT_DOUBLE_EQ(s.p99(), 3.5);
+}
+
+TEST(Summary, PercentilesTrackTheDistributionTail) {
+  // 99 fast samples at 10ms plus one 1s outlier: the median must stay near
+  // 10ms (within the ±9% bucket quantization) while p99+ sees the tail.
+  Summary s;
+  for (int i = 0; i < 99; ++i) s.add(0.010);
+  s.add(1.0);
+  EXPECT_NEAR(s.p50(), 0.010, 0.010 * 0.10);
+  EXPECT_NEAR(s.p95(), 0.010, 0.010 * 0.10);
+  EXPECT_GT(s.percentile(0.995), 0.5);
+  // Quantiles are clamped to the observed range.
+  EXPECT_GE(s.percentile(0.0), s.min());
+  EXPECT_LE(s.percentile(1.0), s.max());
+}
+
+TEST(Summary, PercentilesAreMonotonic) {
+  Summary s;
+  for (int i = 1; i <= 1000; ++i) s.add(i * 0.001);  // 1ms..1s
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = s.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, s.min());
+    EXPECT_LE(v, s.max());
+    prev = v;
+  }
+  // Bucket resolution keeps the estimate within ~±9% of the true quantile.
+  EXPECT_NEAR(s.p50(), 0.5, 0.5 * 0.10);
+  EXPECT_NEAR(s.p95(), 0.95, 0.95 * 0.10);
 }
 
 }  // namespace
