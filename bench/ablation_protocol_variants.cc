@@ -18,6 +18,7 @@ using namespace tmps::bench;
 int main() {
   print_header("Ablations — protocol variants",
                "design-choice ablations (not a paper figure)");
+  static BenchJson json = json_out("ablation_protocol_variants");
 
   // --- (1) covering on/off under the traditional protocol -------------------
   std::printf("[1] traditional protocol, covering optimization on/off "
@@ -29,11 +30,16 @@ int main() {
         paper_config(MobilityProtocol::Traditional, WorkloadKind::Covered);
     cfg.broker.subscription_covering = covering;
     cfg.broker.advertisement_covering = covering;
-    const RunResult r = run_scenario(cfg);
+    const RunResult r = run_scenario(
+        cfg, std::string("ablation:covering:") + (covering ? "on" : "off"));
     std::printf("%10s | %12.1f %12.1f | %10.1f %11llu\n",
                 covering ? "on" : "off", r.latency_ms, r.latency_max_ms,
                 r.msgs_per_movement,
                 static_cast<unsigned long long>(r.movements));
+    auto& row = json.add_row()
+                    .field("section", "covering_toggle")
+                    .field("covering", covering);
+    result_fields(row, r);
   }
 
   // --- (2) reconfiguration cost is linear in path length --------------------
@@ -49,9 +55,15 @@ int main() {
     cfg.total_clients = 10;
     cfg.moving_clients = 1;
     cfg.publisher_brokers = {n / 2};
-    const RunResult r = run_scenario(cfg);
+    const RunResult r =
+        run_scenario(cfg, "ablation:chain:" + std::to_string(n));
     std::printf("%6u %10u | %10.1f %12.1f\n", n - 1, n, r.msgs_per_movement,
                 r.latency_ms);
+    auto& row = json.add_row()
+                    .field("section", "path_length")
+                    .field("brokers", n)
+                    .field("hops", n - 1);
+    result_fields(row, r);
   }
   std::printf("(expected: msgs/move = 4 legs x hops)\n");
 
@@ -71,9 +83,18 @@ int main() {
         ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
         cfg.pause_between_moves = pause;
         const double window = cfg.duration - cfg.warmup;
-        const RunResult r = run_scenario(cfg);
+        const RunResult r = run_scenario(
+            cfg, "ablation:throughput:" + std::to_string(pause) + ":" +
+                     label(proto));
         std::printf("%10.1f %9s | %14.1f %12.1f\n", pause, label(proto),
                     static_cast<double>(r.movements) / window, r.latency_ms);
+        auto& row = json.add_row()
+                        .field("section", "throughput")
+                        .field("pause_s", pause)
+                        .field("protocol", label(proto))
+                        .field("moves_per_s",
+                               static_cast<double>(r.movements) / window);
+        result_fields(row, r);
       }
     }
   };
@@ -88,9 +109,16 @@ int main() {
          {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
       ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
       cfg.net.sub_proc *= scale;
-      const RunResult r = run_scenario(cfg);
+      const RunResult r = run_scenario(
+          cfg, "ablation:subproc:" + std::to_string(scale) + ":" +
+                   label(proto));
       std::printf("%12.1f %9s | %12.1f %12.1f\n", cfg.net.sub_proc * 1e3,
                   label(proto), r.latency_ms, r.latency_max_ms);
+      auto& row = json.add_row()
+                      .field("section", "sub_proc")
+                      .field("sub_proc_ms", cfg.net.sub_proc * 1e3)
+                      .field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
 
@@ -117,9 +145,16 @@ int main() {
       ScenarioConfig cfg = paper_config(proto, WorkloadKind::Covered);
       cfg.moving_clients = 100;
       cfg.background_churn_interval = churn;
-      const RunResult r = run_scenario(cfg);
+      const RunResult r = run_scenario(
+          cfg,
+          "ablation:churn:" + std::to_string(churn) + ":" + label(proto));
       std::printf("%10s %9s | %12.1f %12.1f\n", churn_label, label(proto),
                   r.latency_ms, r.latency_max_ms);
+      auto& row = json.add_row()
+                      .field("section", "churn")
+                      .field("churn_interval_s", churn)
+                      .field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   return 0;

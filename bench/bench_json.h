@@ -1,0 +1,144 @@
+// Machine-readable benchmark output: every bench binary writes one
+// BENCH_<name>.json next to its stdout table so sweeps can be archived and
+// diffed by CI without scraping text.
+//
+// File shape:
+//   {"bench":"fig09","mode":"quick","config":{...},"rows":[
+//   {"workload":"covered","protocol":"reconfig","lat_mean_ms":12.3,...},
+//   ...
+//   ]}
+//
+// Output directory: $TMPS_BENCH_OUT when set, else the working directory.
+// Header-only and dependency-free so micro benchmarks (which do not link the
+// scenario stack) can use it too.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tmps::bench {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+class BenchJson {
+ public:
+  class Row {
+   public:
+    Row& field(std::string_view key, std::string_view v) {
+      return raw(key, "\"" + json_escape(v) + "\"");
+    }
+    Row& field(std::string_view key, const char* v) {
+      return field(key, std::string_view(v));
+    }
+    Row& field(std::string_view key, double v) {
+      return raw(key, json_number(v));
+    }
+    Row& field(std::string_view key, std::uint64_t v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& field(std::string_view key, std::int64_t v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& field(std::string_view key, int v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& field(std::string_view key, unsigned v) {
+      return raw(key, std::to_string(v));
+    }
+    Row& field(std::string_view key, bool v) {
+      return raw(key, v ? "true" : "false");
+    }
+
+   private:
+    friend class BenchJson;
+    Row& raw(std::string_view key, const std::string& value) {
+      if (!body_.empty()) body_ += ',';
+      body_ += '"';
+      body_ += json_escape(key);
+      body_ += "\":";
+      body_ += value;
+      return *this;
+    }
+    std::string body_;
+  };
+
+  explicit BenchJson(std::string name, std::string mode = "quick")
+      : name_(std::move(name)), mode_(std::move(mode)) {}
+
+  ~BenchJson() { write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Top-level config fields ({"config":{...}}), e.g. duration or seed.
+  Row& config() { return config_; }
+  Row& add_row() { return rows_.emplace_back(); }
+
+  /// Writes BENCH_<name>.json; called by the destructor, idempotent.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("TMPS_BENCH_OUT");
+    const std::string path = (dir && *dir ? std::string(dir) + "/" : "") +
+                             "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return;
+    }
+    os << "{\"bench\":\"" << json_escape(name_) << "\",\"mode\":\""
+       << json_escape(mode_) << "\",\"config\":{" << config_.body_
+       << "},\"rows\":[\n";
+    bool first = true;
+    for (const Row& r : rows_) {
+      if (!first) os << ",\n";
+      first = false;
+      os << '{' << r.body_ << '}';
+    }
+    os << "\n]}\n";
+  }
+
+ private:
+  std::string name_;
+  std::string mode_;
+  Row config_;
+  std::deque<Row> rows_;  // deque: add_row references stay valid
+  bool written_ = false;
+};
+
+}  // namespace tmps::bench

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_json.h"
 #include "core/scenario.h"
 
 namespace tmps::bench {
@@ -17,6 +18,18 @@ namespace tmps::bench {
 inline bool full_run() {
   const char* v = std::getenv("TMPS_FULL");
   return v && *v && std::string(v) != "0";
+}
+
+/// TMPS_AUDIT=1 runs the embedded movement-invariant auditor over every
+/// scenario; any violation prints the report and aborts the bench with a
+/// nonzero exit, so a CI leg can fail on the first broken invariant.
+inline bool audit_run() {
+  const char* v = std::getenv("TMPS_AUDIT");
+  return v && *v && std::string(v) != "0";
+}
+
+inline BenchJson json_out(std::string name) {
+  return BenchJson(std::move(name), full_run() ? "full" : "quick");
 }
 
 /// The paper's default experiment setup (Sec. 5): 14-broker overlay of
@@ -66,15 +79,36 @@ struct RunResult {
 /// truncates the files; later runs append, so a sweep lands in one file and
 /// `tools/trace_inspect` can group it by run label.
 inline void apply_tracing(ScenarioConfig& cfg, const std::string& run_label) {
-  const char* v = std::getenv("TMPS_TRACE");
-  if (!v || !*v || std::string(v) == "0") return;
-  const std::string dir = std::string(v) == "1" ? "." : std::string(v);
-  cfg.trace_path = dir + "/trace.jsonl";
-  cfg.metrics_path = dir + "/metrics.jsonl";
+  const char* trace = std::getenv("TMPS_TRACE");
+  const bool traced = trace && *trace && std::string(trace) != "0";
+  if (!traced && !audit_run()) return;
   cfg.run_label = run_label;
   static bool first = true;
   cfg.trace_append = !first;
   first = false;
+  if (audit_run()) cfg.audit = true;
+  if (!traced) return;
+  const std::string dir =
+      std::string(trace) == "1" ? "." : std::string(trace);
+  cfg.trace_path = dir + "/trace.jsonl";
+  cfg.metrics_path = dir + "/metrics.jsonl";
+  cfg.snapshot_path = dir + "/snapshots.jsonl";
+}
+
+/// Enforces the auditor's verdict after a run: clean prints one stderr line,
+/// any violation prints the full report and exits nonzero (so the CI audit
+/// leg fails on the first broken invariant). No-op when auditing is off.
+inline void check_audit(const Scenario& s, const std::string& run_label) {
+  if (!s.config().audit) return;
+  const obs::AuditReport& report = s.audit_report();
+  if (!report.clean()) {
+    std::fprintf(stderr, "AUDIT FAILED for run '%s':\n%s", run_label.c_str(),
+                 report.summary().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "audit '%s': clean (%zu movements, %zu snapshots)\n",
+               run_label.c_str(), report.movements_checked,
+               report.snapshots_checked);
 }
 
 inline RunResult run_scenario(ScenarioConfig cfg,
@@ -82,6 +116,7 @@ inline RunResult run_scenario(ScenarioConfig cfg,
   apply_tracing(cfg, run_label);
   Scenario s(cfg);
   s.run();
+  check_audit(s, run_label);
   const Summary lat = s.latency();
   RunResult r;
   r.latency_ms = lat.mean() * 1e3;
@@ -97,6 +132,23 @@ inline RunResult run_scenario(ScenarioConfig cfg,
   r.mover_losses = s.audit().mover_losses;
   r.mover_expected = s.audit().mover_expected;
   return r;
+}
+
+/// Appends the standard result columns of a RunResult to a JSON row (after
+/// the caller's own x-axis fields).
+inline BenchJson::Row& result_fields(BenchJson::Row& row, const RunResult& r) {
+  return row.field("lat_mean_ms", r.latency_ms)
+      .field("lat_p50_ms", r.latency_p50_ms)
+      .field("lat_p95_ms", r.latency_p95_ms)
+      .field("lat_p99_ms", r.latency_p99_ms)
+      .field("lat_max_ms", r.latency_max_ms)
+      .field("lat_stddev_ms", r.latency_stddev_ms)
+      .field("msgs_per_movement", r.msgs_per_movement)
+      .field("movements", r.movements)
+      .field("total_messages", r.total_messages)
+      .field("duplicates", r.duplicates)
+      .field("mover_losses", r.mover_losses)
+      .field("mover_expected", r.mover_expected);
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

@@ -19,6 +19,7 @@ int main() {
   print_header("Extension — notification guarantees under movement",
                "Sec. 3.4 atomicity/consistency, measured");
 
+  BenchJson json = json_out("ext_guarantees");
   std::printf("%9s %9s | %18s %20s | %10s\n", "workload", "protocol",
               "mover loss", "stationary loss", "duplicates");
   for (auto wl : {WorkloadKind::Covered, WorkloadKind::Tree,
@@ -30,9 +31,13 @@ int main() {
       // members stay and depend on them wherever quenching applied.
       cfg.mover_override = [](std::uint32_t k) { return k % 10 == 0; };
       cfg.publish_interval = 0.25;
+      const std::string run =
+          std::string("extg:") + to_string(wl) + ":" + label(proto);
+      apply_tracing(cfg, run);
 
       Scenario s(cfg);
       s.run();
+      check_audit(s, run);
       const auto& a = s.audit();
       std::printf("%9s %9s | %8llu / %-8llu %9llu / %-8llu | %10llu\n",
                   to_string(wl), label(proto),
@@ -41,6 +46,14 @@ int main() {
                   static_cast<unsigned long long>(a.stationary_losses),
                   static_cast<unsigned long long>(a.stationary_expected),
                   static_cast<unsigned long long>(a.duplicates));
+      json.add_row()
+          .field("workload", to_string(wl))
+          .field("protocol", label(proto))
+          .field("mover_losses", a.mover_losses)
+          .field("mover_expected", a.mover_expected)
+          .field("stationary_losses", a.stationary_losses)
+          .field("stationary_expected", a.stationary_expected)
+          .field("duplicates", a.duplicates);
     }
   }
   return 0;

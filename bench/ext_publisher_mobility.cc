@@ -23,6 +23,7 @@ int main() {
                "Sec. 4.4 advertisement reconfiguration (not evaluated in "
                "the paper)");
 
+  BenchJson json = json_out("ext_publisher_mobility");
   std::printf("%9s %7s %9s | %12s %12s | %10s %11s\n", "workload", "cover°",
               "protocol", "lat mean(ms)", "lat max(ms)", "msgs/move",
               "movements");
@@ -46,11 +47,16 @@ int main() {
         return workload_filter_at(wl, static_cast<int>((s / 10) % 10) + 1,
                                   s % 10, 7 + s % 10);
       };
-      const RunResult r = run_scenario(cfg);
+      const RunResult r = run_scenario(
+          cfg, std::string("extpub:") + to_string(wl) + ":" + label(proto));
       std::printf("%9s %7d %9s | %12.1f %12.1f | %10.1f %11llu\n",
                   to_string(wl), covering_degree(wl), label(proto),
                   r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));
+      auto& row = json.add_row()
+                      .field("workload", to_string(wl))
+                      .field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   return 0;

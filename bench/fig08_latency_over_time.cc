@@ -22,6 +22,11 @@ int main() {
   print_header("Fig. 8 — movement latency over time",
                "Fig. 8(a) reconfiguration protocol, Fig. 8(b) covering "
                "protocol");
+  BenchJson json = json_out("fig08_latency_over_time");
+  json.config()
+      .field("workload", "covered")
+      .field("clients", 400)
+      .field("warmup_s", 0.0);
 
   for (auto proto :
        {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
@@ -30,6 +35,7 @@ int main() {
     apply_tracing(cfg, std::string("fig08:") + label(proto));
     Scenario s(cfg);
     s.run();
+    check_audit(s, std::string("fig08:") + label(proto));
 
     const double bucket = cfg.duration / 10.0;
     // pair 0 = brokers 1<->13 (odd subscriptions), pair 1 = 2<->14 (even).
@@ -53,6 +59,14 @@ int main() {
       std::printf("%4.0f-%-5.0f  %10.1f %11.1f  %10.1f %11.1f\n", b * bucket,
                   (b + 1) * bucket, pairs[0].mean(), pairs[0].max(),
                   pairs[1].mean(), pairs[1].max());
+      json.add_row()
+          .field("protocol", label(proto))
+          .field("t0_s", b * bucket)
+          .field("t1_s", (b + 1) * bucket)
+          .field("pair13_mean_ms", pairs[0].mean())
+          .field("pair13_max_ms", pairs[0].max())
+          .field("pair14_mean_ms", pairs[1].mean())
+          .field("pair14_max_ms", pairs[1].max());
     }
     const Summary all = s.stats().latency_summary(cfg.warmup, cfg.duration);
     std::printf("overall: mean=%.1f ms  max=%.1f ms  movements=%llu\n",

@@ -19,6 +19,7 @@ int main() {
   print_header("Fig. 9 — subscription workload sweep",
                "Fig. 9(a) movement latency, Fig. 9(b) message load");
 
+  BenchJson json = json_out("fig09_workload_sweep");
   std::printf("%9s %7s %9s | %12s %8s %8s %8s %12s | %10s %11s\n", "workload",
               "cover°", "protocol", "lat mean(ms)", "p50", "p95", "p99",
               "lat max(ms)", "msgs/move", "movements");
@@ -36,6 +37,11 @@ int main() {
           r.latency_p50_ms, r.latency_p95_ms, r.latency_p99_ms,
           r.latency_max_ms, r.msgs_per_movement,
           static_cast<unsigned long long>(r.movements));
+      auto& row = json.add_row()
+                      .field("workload", to_string(wl))
+                      .field("covering_degree", covering_degree(wl))
+                      .field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   std::printf(

@@ -13,6 +13,7 @@ int main() {
   print_header("Fig. 10 — number of moving clients",
                "Fig. 10(a) movement latency, Fig. 10(b) message load");
 
+  BenchJson json = json_out("fig10_client_count");
   std::printf("%8s %9s | %12s %12s | %10s %11s\n", "clients", "protocol",
               "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
   for (std::uint32_t n = 400; n <= 1000; n += 200) {
@@ -25,6 +26,9 @@ int main() {
       std::printf("%8u %9s | %12.1f %12.1f | %10.1f %11llu\n", n, label(proto),
                   r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));
+      auto& row =
+          json.add_row().field("clients", n).field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   return 0;

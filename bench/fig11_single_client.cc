@@ -17,6 +17,7 @@ int main() {
   print_header("Fig. 11 — single moving client (covering root)",
                "Fig. 11(a) movement latency, Fig. 11(b) message load");
 
+  BenchJson json = json_out("fig11_single_client");
   std::printf("%9s | %12s %12s | %10s %11s\n", "protocol", "lat mean(ms)",
               "lat max(ms)", "msgs/move", "movements");
   for (auto proto :
@@ -28,6 +29,8 @@ int main() {
     std::printf("%9s | %12.1f %12.1f | %10.1f %11llu\n", label(proto),
                 r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                 static_cast<unsigned long long>(r.movements));
+    auto& row = json.add_row().field("protocol", label(proto));
+    result_fields(row, r);
   }
   return 0;
 }

@@ -70,6 +70,7 @@ int main() {
   print_header("Fig. 12 — incremental movement",
                "Fig. 12(a) movement latency, Fig. 12(b) message load");
 
+  BenchJson json = json_out("fig12_incremental");
   std::printf("%7s %9s | %12s %12s | %10s %11s\n", "movers", "protocol",
               "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
   for (std::uint32_t count = 10; count <= 60; count += 10) {
@@ -87,6 +88,9 @@ int main() {
                   label(proto), r.latency_ms, r.latency_max_ms,
                   r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));
+      auto& row =
+          json.add_row().field("movers", count).field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   return 0;

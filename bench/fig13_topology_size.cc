@@ -17,6 +17,7 @@ int main() {
   print_header("Fig. 13 — topology size",
                "Fig. 13(a) movement latency, Fig. 13(b) message load");
 
+  BenchJson json = json_out("fig13_topology_size");
   std::printf("%8s %9s | %12s %12s | %10s %11s\n", "brokers", "protocol",
               "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
   for (std::uint32_t n = 14; n <= 26; n += 2) {
@@ -30,6 +31,9 @@ int main() {
       std::printf("%8u %9s | %12.1f %12.1f | %10.1f %11llu\n", n, label(proto),
                   r.latency_ms, r.latency_max_ms, r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));
+      auto& row =
+          json.add_row().field("brokers", n).field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   std::printf(

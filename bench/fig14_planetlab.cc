@@ -31,13 +31,17 @@ int main() {
                "Fig. 14(a,b) latency over time, Fig. 14(c) latency per "
                "workload, Fig. 14(d) message load");
 
+  BenchJson json = json_out("fig14_planetlab");
+
   // (a) + (b): latency over time, covered workload.
   for (auto proto :
        {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
     ScenarioConfig cfg = wan_config(proto, WorkloadKind::Covered);
     cfg.warmup = 0;
+    apply_tracing(cfg, std::string("fig14:time:") + label(proto));
     Scenario s(cfg);
     s.run();
+    check_audit(s, std::string("fig14:time:") + label(proto));
     const double bucket = cfg.duration / 8.0;
     std::map<int, Summary> buckets;
     for (const auto& m : s.movement_records()) {
@@ -62,12 +66,18 @@ int main() {
        {WorkloadKind::Chained, WorkloadKind::Tree, WorkloadKind::Covered}) {
     for (auto proto :
          {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {
-      const RunResult r = run_scenario(wan_config(proto, wl));
+      const std::string run =
+          std::string("fig14:") + to_string(wl) + ":" + label(proto);
+      const RunResult r = run_scenario(wan_config(proto, wl), run);
       std::printf("%9s %7d %9s | %11.2f %11.2f | %10.1f %11llu\n",
                   to_string(wl), covering_degree(wl), label(proto),
                   r.latency_ms / 1e3, r.latency_max_ms / 1e3,
                   r.msgs_per_movement,
                   static_cast<unsigned long long>(r.movements));
+      auto& row = json.add_row()
+                      .field("workload", to_string(wl))
+                      .field("protocol", label(proto));
+      result_fields(row, r);
     }
   }
   return 0;

@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "bench_json.h"
 #include "pubsub/workload.h"
 #include "routing/covering.h"
 #include "routing/overlay.h"
@@ -158,7 +159,45 @@ void BM_ShadowInstallCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_ShadowInstallCommit);
 
+// Mirrors every run into BENCH_micro_matching.json (one row per benchmark)
+// alongside google-benchmark's console table, so the micro benches land in
+// the same artifact format as the figure benches. Extends the console
+// reporter rather than registering as a file reporter: a file reporter
+// would require --benchmark_out, which this binary manages itself.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowReporter(bench::BenchJson& json) : json_(&json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      auto& row = json_->add_row();
+      row.field("name", run.benchmark_name())
+          .field("iterations", static_cast<std::uint64_t>(run.iterations))
+          .field("real_time", run.GetAdjustedRealTime())
+          .field("cpu_time", run.GetAdjustedCPUTime())
+          .field("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        row.field("items_per_second", static_cast<double>(it->second));
+      }
+    }
+  }
+
+ private:
+  bench::BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace tmps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tmps::bench::BenchJson json("micro_matching", "benchmark");
+  tmps::JsonRowReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

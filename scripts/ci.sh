@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: builds and runs the full test suite twice —
+# CI entry point: builds and runs the test suite under several
+# configurations —
 #
 #   1. a plain release-ish build (the configuration the benches use);
 #   2. an AddressSanitizer+UBSan build (-DTMPS_SANITIZE=address), which has
-#      caught lifetime bugs the plain run cannot (use
-#      TMPS_SANITIZE=thread for the data-race variant; the tcp/inproc
-#      transports are the threaded code paths).
+#      caught lifetime bugs the plain run cannot;
+#   3. a ThreadSanitizer build (-DTMPS_SANITIZE=thread) scoped to the
+#      threaded code paths: the tcp/inproc transports, the HTTP admin
+#      endpoints and the broker fixtures they drive;
+#   4. an audit leg: the fig09 workload sweep with tracing and the embedded
+#      movement-invariant auditor enabled, re-checked from the emitted JSONL
+#      files by tools/tmps_audit. Any invariant violation fails the leg.
+#      Bench JSON artifacts (BENCH_*.json) land in results/.
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -16,15 +22,40 @@ JOBS="${1:-$(nproc)}"
 run_suite() {
   local build_dir="$1"
   shift
+  local ctest_filter=()
+  if [[ "${1:-}" == "--filter" ]]; then
+    ctest_filter=(-R "$2")
+    shift 2
+  fi
   echo "=== configure ${build_dir} ($*) ==="
   cmake -B "${build_dir}" -S . "$@"
   echo "=== build ${build_dir} ==="
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== test ${build_dir} ==="
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+    "${ctest_filter[@]}"
 }
 
 run_suite build
 run_suite build-asan -DTMPS_SANITIZE=address
 
-echo "=== ci.sh: both suites passed ==="
+# ThreadSanitizer on the threaded paths only (the simulator is
+# single-threaded; running the whole suite under TSan would triple CI time
+# for no extra coverage).
+run_suite build-tsan \
+  --filter '^(TcpTest|InprocTest|HttpAdmin|BrokerChain|BrokerCovering)' \
+  -DTMPS_SANITIZE=thread
+
+echo "=== audit leg: fig09 under the movement-invariant auditor ==="
+RESULTS="results"
+OBS_DIR="${RESULTS}/fig09-obs"
+mkdir -p "${OBS_DIR}"
+TMPS_AUDIT=1 TMPS_TRACE="${OBS_DIR}" TMPS_BENCH_OUT="${RESULTS}" \
+  ./build/bench/fig09_workload_sweep
+# Second opinion from the file-driven CLI over the emitted streams.
+./build/tools/tmps_audit "${OBS_DIR}/trace.jsonl" \
+  --snapshots "${OBS_DIR}/snapshots.jsonl" --quiet
+echo "bench artifacts:"
+ls -l "${RESULTS}"/BENCH_*.json
+
+echo "=== ci.sh: all legs passed ==="

@@ -1,5 +1,6 @@
 #include "broker/broker.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "routing/covering.h"
@@ -323,6 +324,52 @@ void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
       deliver_local(hop.client, pub);
     }
   }
+}
+
+namespace {
+
+template <typename Entry>
+obs::EntrySnap snap_entry(const std::string& id, const std::string& filter,
+                          const Entry& e) {
+  obs::EntrySnap snap;
+  snap.id = id;
+  snap.filter = filter;
+  snap.lasthop = e.lasthop.to_string();
+  for (const Hop& h : e.forwarded_to) {
+    snap.forwarded_to.push_back(h.to_string());
+  }
+  std::sort(snap.forwarded_to.begin(), snap.forwarded_to.end());
+  if (e.shadow_lasthop.has_value()) {
+    snap.has_shadow = true;
+    snap.shadow_lasthop = e.shadow_lasthop->to_string();
+    snap.shadow_txn = e.shadow_txn;
+    snap.shadow_only = e.shadow_only;
+  }
+  return snap;
+}
+
+}  // namespace
+
+void Broker::snapshot(obs::BrokerSnapshot& snap) const {
+  snap.broker = id_;
+  snap.sub_covering = cfg_.subscription_covering;
+  snap.adv_covering = cfg_.advertisement_covering;
+  for (const BrokerId n : overlay_->neighbors(id_)) {
+    snap.neighbors.push_back(n);
+  }
+  for (const auto& [id, e] : tables_.prt()) {
+    snap.prt.push_back(snap_entry(to_string(id), e.sub.filter.to_string(), e));
+  }
+  for (const auto& [id, e] : tables_.srt()) {
+    snap.srt.push_back(snap_entry(to_string(id), e.adv.filter.to_string(), e));
+  }
+  // Deterministic order: the tables are unordered maps.
+  auto by_id = [](const obs::EntrySnap& a, const obs::EntrySnap& b) {
+    return a.id < b.id;
+  };
+  std::sort(snap.prt.begin(), snap.prt.end(), by_id);
+  std::sort(snap.srt.begin(), snap.srt.end(), by_id);
+  if (control_ != nullptr) control_->snapshot_into(snap);
 }
 
 std::string Broker::debug_string() const {

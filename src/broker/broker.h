@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pubsub/messages.h"
@@ -51,6 +52,11 @@ class ControlHandler {
   /// Return true to consume it (e.g. buffer for a paused/moving client).
   virtual bool intercept_notification(ClientId client,
                                       const Publication& pub) = 0;
+
+  /// Appends the mobility layer's view — hosted clients and in-flight
+  /// movement transactions — to a routing snapshot (obs/introspect.h).
+  /// Default: nothing to add.
+  virtual void snapshot_into(obs::BrokerSnapshot& snap) const { (void)snap; }
 };
 
 class Broker {
@@ -126,6 +132,12 @@ class Broker {
   void deliver_local(ClientId client, const Publication& pub);
 
   MessageId next_message_id();
+
+  /// Fills `snap` with this broker's live routing state: identity, overlay
+  /// links, covering config, every SRT/PRT entry with its (shadow) hops, and
+  /// — via the control handler — hosted clients and in-flight movement
+  /// transactions. The host sets time/run/final_snapshot.
+  void snapshot(obs::BrokerSnapshot& snap) const;
 
   std::string debug_string() const;
 

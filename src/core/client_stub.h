@@ -109,6 +109,7 @@ class ClientStub {
 
   const std::vector<Publication>& delivered_log() const { return delivered_; }
   std::size_t buffered_count() const { return buffer_.size(); }
+  std::size_t queued_commands() const { return pending_pubs_.size(); }
 
  private:
   void deliver(const Publication& pub);

@@ -261,6 +261,33 @@ bool MobilityEngine::intercept_notification(ClientId client,
   return true;
 }
 
+void MobilityEngine::snapshot_into(obs::BrokerSnapshot& snap) const {
+  // Only in-flight transactions: terminal coordinator records stay in the
+  // maps for post-mortem introspection but are not parked protocol state.
+  for (const auto& [txn, m] : source_moves_) {
+    if (m.state == SourceCoordState::Abort ||
+        m.state == SourceCoordState::Commit) {
+      continue;
+    }
+    snap.txns.push_back({txn, "source", to_string(m.state), m.client,
+                         m.target});
+  }
+  for (const auto& [txn, m] : target_moves_) {
+    if (m.state == TargetCoordState::Abort ||
+        m.state == TargetCoordState::Commit) {
+      continue;
+    }
+    snap.txns.push_back({txn, "target", to_string(m.state), m.client,
+                         m.source});
+  }
+  for (const auto& [id, stub] : clients_) {
+    snap.clients.push_back({id, to_string(stub->state()),
+                            stub->buffered_count(), stub->queued_commands(),
+                            stub->subscriptions().size(),
+                            stub->advertisements().size()});
+  }
+}
+
 // --- reconfiguration protocol ---------------------------------------------------
 
 void MobilityEngine::on_negotiate(const MoveNegotiateMsg& m, TxnId cause,

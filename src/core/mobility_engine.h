@@ -124,6 +124,7 @@ class MobilityEngine final : public ControlHandler {
   void on_control(BrokerId from, const Message& msg,
                   std::vector<std::pair<BrokerId, Message>>& out) override;
   bool intercept_notification(ClientId client, const Publication& pub) override;
+  void snapshot_into(obs::BrokerSnapshot& snap) const override;
 
   // --- introspection (tests, global-state-graph checks) ---------------------
 

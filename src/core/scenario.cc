@@ -42,7 +42,9 @@ BrokerId Scenario::other_end(std::uint32_t k, BrokerId at) const {
 
 void Scenario::build() {
   net_ = std::make_unique<SimNetwork>(overlay_, cfg_.broker, cfg_.net);
-  if (!cfg_.trace_path.empty()) net_->tracer()->set_enabled(true);
+  // The auditor reconstructs movement windows from spans, so auditing
+  // implies tracing even when no trace file is requested.
+  if (!cfg_.trace_path.empty() || cfg_.audit) net_->tracer()->set_enabled(true);
 
   for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
     auto engine =
@@ -50,9 +52,10 @@ void Scenario::build() {
     engine->set_transmit(
         [this, b](Broker::Outputs out) { net_->transmit(b, std::move(out)); });
     engine->set_delivery_sink(
-        [this](ClientId c, const Publication& pub, SimTime) {
+        [this](ClientId c, const Publication& pub, SimTime t) {
           ++audit_.delivered;
           if (!seen_[c].insert(pub.id()).second) ++audit_.duplicates;
+          if (cfg_.audit) auditor_.on_delivery(c, to_string(pub.id()), t);
           stats().count_delivery(c);
         });
     engine->set_move_callback(
@@ -69,7 +72,7 @@ void Scenario::publish_tick(BrokerId b, ClientId id) {
   std::uniform_int_distribution<std::int64_t> g(0,
                                                 groups > 0 ? groups - 1 : 0);
   Publication pub = make_publication({id, ++pub_seq_}, x(rng_), g(rng_));
-  published_.push_back(pub);
+  published_.emplace_back(pub, net_->now());
   Broker::Outputs out;
   eng.publish(id, std::move(pub), out);
   net_->transmit(b, std::move(out));
@@ -91,13 +94,14 @@ void Scenario::account_losses() {
     const ClientId id = subscriber_id(k);
     const Filter f = filter_of(k);
     const auto seen = seen_.find(id);
-    for (const auto& pub : published_) {
+    for (const auto& [pub, t_pub] : published_) {
       if (pub.id().seq <= settle_seq_) continue;
       if (!f.matches(pub)) continue;
       auto& expected =
           mover ? audit_.mover_expected : audit_.stationary_expected;
       auto& losses = mover ? audit_.mover_losses : audit_.stationary_losses;
       ++expected;
+      if (cfg_.audit) auditor_.expect_delivery(id, to_string(pub.id()), t_pub);
       if (seen == seen_.end() || !seen->second.contains(pub.id())) {
         ++losses;
       }
@@ -207,6 +211,7 @@ void Scenario::on_movement(const MovementRecord& rec) {
 
 void Scenario::run() {
   build();
+  if (cfg_.post_build) cfg_.post_build(*net_);
   schedule_publishers();
   schedule_joins();
   // Publications before this point may legitimately race join propagation;
@@ -218,7 +223,33 @@ void Scenario::run() {
   // the loss audit does not count undelivered-yet publications.
   net_->run();
   account_losses();
+  run_audit();  // must precede dump_observability(): the flush clears traces
   dump_observability();
+}
+
+void Scenario::run_audit() {
+  if (!cfg_.audit && cfg_.snapshot_path.empty()) return;
+
+  std::vector<obs::BrokerSnapshot> snaps;
+  net_->snapshot_routing(snaps, /*final_snapshot=*/true);
+  for (auto& s : snaps) s.run = cfg_.run_label;
+
+  if (!cfg_.snapshot_path.empty()) {
+    const auto mode = cfg_.trace_append ? std::ios::app : std::ios::trunc;
+    std::ofstream os(cfg_.snapshot_path, mode);
+    for (const auto& s : snaps) s.write_jsonl(os);
+  }
+
+  if (!cfg_.audit) return;
+  auditor_.set_path_fn([this](std::uint32_t a, std::uint32_t b) {
+    return overlay_.path(a, b);
+  });
+  auditor_.ingest_trace(net_->tracer()->records());
+  for (const auto& s : snaps) auditor_.ingest_snapshot(s);
+  for (const auto& [cause, n] : net_->outstanding_causes()) {
+    auditor_.set_outstanding(cause, n);
+  }
+  audit_report_ = auditor_.finish();
 }
 
 void Scenario::dump_observability() {

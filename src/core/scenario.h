@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/mobility_engine.h"
+#include "obs/audit.h"
 #include "pubsub/workload.h"
 #include "sim/network.h"
 
@@ -88,6 +89,19 @@ struct ScenarioConfig {
   std::string run_label;
   /// Append to existing files instead of truncating (multi-run sweeps).
   bool trace_append = false;
+
+  /// Run the embedded movement-invariant auditor (obs/audit.h) over the
+  /// finished run: trace + final routing snapshots + delivery accounting.
+  /// Read the verdict via Scenario::audit_report(). Implies tracing (the
+  /// auditor needs the movement spans), even without a trace_path sink.
+  bool audit = false;
+  /// Write one final obs::BrokerSnapshot JSONL line per broker here
+  /// (honours trace_append / run_label like the other sinks).
+  std::string snapshot_path;
+
+  /// Called after the network and engines are built, before any events run.
+  /// Tests use this to attach a FailureInjector or arm message faults.
+  std::function<void(SimNetwork&)> post_build;
 };
 
 class Scenario {
@@ -141,6 +155,9 @@ class Scenario {
   };
   const Audit& audit() const { return audit_; }
 
+  /// Verdict of the embedded invariant auditor; empty unless cfg.audit.
+  const obs::AuditReport& audit_report() const { return audit_report_; }
+
   /// The filter assigned to client k (for tests).
   Filter filter_of(std::uint32_t k) const;
   /// Whether client k is a mover.
@@ -160,9 +177,13 @@ class Scenario {
   const std::pair<BrokerId, BrokerId>& pair_of(std::uint32_t k) const;
   BrokerId other_end(std::uint32_t k, BrokerId at) const;
 
+  void run_audit();
+
   ScenarioConfig cfg_;
   Overlay overlay_;
   std::unique_ptr<SimNetwork> net_;
+  obs::Auditor auditor_;
+  obs::AuditReport audit_report_;
   std::vector<std::unique_ptr<MobilityEngine>> engines_by_index_;
   std::map<BrokerId, MobilityEngine*> engines_;
   std::unordered_map<ClientId, std::uint32_t> mover_index_;
@@ -173,7 +194,7 @@ class Scenario {
   /// Publications issued after this sequence number are audited for loss
   /// (earlier ones may legitimately race subscription propagation at join).
   std::uint32_t settle_seq_ = 0;
-  std::vector<Publication> published_;
+  std::vector<std::pair<Publication, SimTime>> published_;
 };
 
 }  // namespace tmps

@@ -55,4 +55,41 @@ void FailureInjector::fail_link_at(BrokerId a, BrokerId b, SimTime at,
   });
 }
 
+void FailureInjector::arm(MessageFault fault) {
+  faults_.push_back(std::move(fault));
+  if (!hook_installed_) {
+    hook_installed_ = true;
+    net_->set_fault_hook(
+        [this](BrokerId from, BrokerId to, const Message& msg) {
+          return on_message(from, to, msg);
+        });
+  }
+}
+
+FaultAction FailureInjector::on_message(BrokerId from, BrokerId to,
+                                        const Message& msg) {
+  for (MessageFault& f : faults_) {
+    if (f.count == 0) continue;
+    if (!f.type.empty() && msg.type_name() != f.type) continue;
+    if (f.from != kNoBroker && from != f.from) continue;
+    if (f.to != kNoBroker && to != f.to) continue;
+    if (f.cause != kNoTxn && msg.cause != f.cause) continue;
+    if (net_->now() < f.after) continue;
+    if (f.count > 0) --f.count;
+    hits_.push_back(FaultHit{net_->now(), std::string(msg.type_name()), from,
+                             to, msg.cause, f.action});
+    FaultAction action;
+    switch (f.action) {
+      case MessageFault::Action::Drop: action.drop = true; break;
+      case MessageFault::Action::Duplicate:
+        action.duplicate = true;
+        action.duplicate_delay = f.delay;
+        break;
+      case MessageFault::Action::Delay: action.extra_delay = f.delay; break;
+    }
+    return action;
+  }
+  return {};
+}
+
 }  // namespace tmps

@@ -16,6 +16,27 @@
 
 namespace tmps {
 
+/// One targeted *unmasked* message fault — the injector's way of stepping
+/// outside the paper's fault model (where failures only delay). Used by the
+/// auditor tests: a fault must either be absorbed by the protocol or show up
+/// as an attributed invariant violation.
+struct MessageFault {
+  enum class Action { Drop, Duplicate, Delay };
+  Action action = Action::Drop;
+
+  // Match criteria; empty / kNo* values are wildcards.
+  std::string type;             // Message::type_name(), e.g. "move-state"
+  BrokerId from = kNoBroker;    // sending link endpoint
+  BrokerId to = kNoBroker;      // receiving link endpoint
+  TxnId cause = kNoTxn;         // message's cause tag
+  double after = 0;             // only messages entering the link at/after t
+  /// How many matching messages to hit before the fault disarms; -1 = all.
+  int count = 1;
+  /// Delay: extra latency on the message. Duplicate: extra latency on the
+  /// injected copy (a late retransmission). Both bypass link FIFO order.
+  double delay = 0;
+};
+
 struct FailurePlan {
   /// Expected broker crashes per second, network-wide (Poisson).
   double broker_crash_rate = 0.0;
@@ -51,13 +72,34 @@ class FailureInjector {
   void crash_broker_at(BrokerId b, SimTime at, double duration);
   void fail_link_at(BrokerId a, BrokerId b, SimTime at, double duration);
 
+  /// Arms an unmasked message fault (drop/duplicate/delay). The first call
+  /// installs this injector as the network's fault hook; faults are
+  /// consulted in arming order and the first match applies.
+  void arm(MessageFault fault);
+
+  /// One record per message a fault actually hit.
+  struct FaultHit {
+    double at = 0;
+    std::string type;
+    BrokerId from = kNoBroker;
+    BrokerId to = kNoBroker;
+    TxnId cause = kNoTxn;
+    MessageFault::Action action = MessageFault::Action::Drop;
+  };
+  const std::vector<FaultHit>& fault_hits() const { return hits_; }
+
   const std::vector<Event>& log() const { return log_; }
 
  private:
+  FaultAction on_message(BrokerId from, BrokerId to, const Message& msg);
+
   SimNetwork* net_;
   FailurePlan plan_;
   std::mt19937_64 rng_;
   std::vector<Event> log_;
+  std::vector<MessageFault> faults_;
+  std::vector<FaultHit> hits_;
+  bool hook_installed_ = false;
 };
 
 }  // namespace tmps

@@ -1,0 +1,496 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <istream>
+#include <sstream>
+
+#include "obs/json_read.h"
+
+namespace tmps::obs {
+
+namespace {
+
+const std::string* attr(const Attrs& attrs, std::string_view key) {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t attr_u64(const Attrs& attrs, std::string_view key) {
+  const std::string* v = attr(attrs, key);
+  return v ? std::strtoull(v->c_str(), nullptr, 10) : 0;
+}
+
+/// Client id from an EntityId string ("client:seq"); 0 when unparseable.
+std::uint64_t client_of_entity(const std::string& id) {
+  return std::strtoull(id.c_str(), nullptr, 10);
+}
+
+/// Parses Hop notation: returns true and sets broker/client for "B3"/"C42";
+/// false for "none" or garbage.
+bool parse_hop(const std::string& hop, bool& is_client, std::uint64_t& value) {
+  if (hop.size() < 2) return false;
+  if (hop[0] == 'B') {
+    is_client = false;
+  } else if (hop[0] == 'C') {
+    is_client = true;
+  } else {
+    return false;
+  }
+  value = std::strtoull(hop.c_str() + 1, nullptr, 10);
+  return true;
+}
+
+std::string broker_hop(std::uint32_t b) { return "B" + std::to_string(b); }
+std::string client_hop(std::uint64_t c) { return "C" + std::to_string(c); }
+
+}  // namespace
+
+const char* to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::PathConsistency: return "path-consistency";
+    case InvariantKind::OrphanState: return "orphan-state";
+    case InvariantKind::DuplicateDelivery: return "duplicate-delivery";
+    case InvariantKind::LostDelivery: return "lost-delivery";
+    case InvariantKind::Quiescence: return "quiescence";
+  }
+  return "?";
+}
+
+std::string InvariantViolation::to_string() const {
+  std::string out = "[";
+  out += obs::to_string(kind);
+  out += "] txn=" + std::to_string(txn);
+  out += " broker=" + std::to_string(broker);
+  if (client != 0) out += " client=" + std::to_string(client);
+  out += ": " + detail;
+  return out;
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  for (const InvariantViolation& v : violations) {
+    os << v.to_string() << '\n';
+  }
+  os << "audit: " << violations.size() << " violation(s) over "
+     << movements_checked << " movement(s), " << snapshots_checked
+     << " snapshot(s), " << deliveries_checked << " delivery record(s)";
+  if (expected_mover_losses) {
+    os << " (covering hand-off, expected: " << expected_mover_losses
+       << " lost)";
+  }
+  os << '\n';
+  return os.str();
+}
+
+void Auditor::ingest_trace(const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    if (r.is_span) {
+      if (r.name != "movement") continue;
+      Movement& m = movement(r.trace);
+      m.txn = r.trace;
+      m.client = attr_u64(r.attrs, "client");
+      m.source = static_cast<std::uint32_t>(attr_u64(r.attrs, "source"));
+      m.target = static_cast<std::uint32_t>(attr_u64(r.attrs, "target"));
+      if (const std::string* p = attr(r.attrs, "protocol")) m.protocol = *p;
+      m.t0 = r.t0;
+      if (!r.open && r.t1 >= r.t0) {
+        m.resolved = true;
+        m.t1 = r.t1;
+        const std::string* outcome = attr(r.attrs, "outcome");
+        m.committed = outcome && *outcome == "commit";
+      }
+    } else {
+      std::set<std::uint32_t>* hops = nullptr;
+      if (r.name == "hop:approve") {
+        hops = &movement(r.trace).approve_hops;
+      } else if (r.name == "hop:state") {
+        hops = &movement(r.trace).state_hops;
+      } else if (r.name == "hop:abort") {
+        hops = &movement(r.trace).abort_hops;
+      }
+      if (hops) {
+        hops->insert(static_cast<std::uint32_t>(attr_u64(r.attrs, "broker")));
+      }
+    }
+  }
+}
+
+void Auditor::ingest_trace_stream(std::istream& is) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto obj = parse_json_line(line);
+    if (!obj) continue;
+    const std::string kind = obj->str("kind");
+    if (kind != "span" && kind != "event") continue;
+    TraceRecord r;
+    r.is_span = kind == "span";
+    r.trace = obj->u64("trace");
+    r.span = obj->u64("span");
+    r.parent = obj->u64("parent");
+    r.name = obj->str("name");
+    r.t0 = obj->num("t0");
+    r.t1 = obj->num("t1");
+    r.open = obj->boolean("open");
+    if (auto it = obj->objects.find("attrs"); it != obj->objects.end()) {
+      for (const auto& [k, v] : it->second) r.attrs.emplace_back(k, v);
+    }
+    records.push_back(std::move(r));
+  }
+  ingest_trace(records);
+}
+
+void Auditor::ingest_snapshot(const BrokerSnapshot& snap) {
+  snapshots_.push_back(snap);
+}
+
+void Auditor::ingest_snapshot_stream(std::istream& is) {
+  for (BrokerSnapshot& snap : read_snapshots(is)) {
+    snapshots_.push_back(std::move(snap));
+  }
+}
+
+void Auditor::expect_delivery(std::uint64_t client, const std::string& pub,
+                              double t_pub) {
+  expectations_.emplace(std::make_pair(client, pub), t_pub);
+}
+
+void Auditor::on_delivery(std::uint64_t client, const std::string& pub,
+                          double t) {
+  Delivery& d = deliveries_[std::make_pair(client, pub)];
+  if (d.count == 0) d.first_t = t;
+  d.last_t = t;
+  ++d.count;
+}
+
+void Auditor::set_outstanding(std::uint64_t cause, std::uint64_t count) {
+  outstanding_[cause] = count;
+}
+
+const Auditor::Movement* Auditor::window_for(std::uint64_t client,
+                                             double t) const {
+  const Movement* best = nullptr;
+  double best_dist = 0;
+  for (const auto& [txn, m] : movements_) {
+    if (m.client != client) continue;
+    const double t1 = m.resolved ? m.t1 : std::max(m.t0, t);
+    const double dist = t < m.t0 ? m.t0 - t : (t > t1 ? t - t1 : 0);
+    if (!best || dist < best_dist) {
+      best = &m;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> Auditor::path_between(std::uint32_t a,
+                                                 std::uint32_t b) const {
+  if (path_fn_) return path_fn_(a, b);
+  if (adjacency_.empty()) {
+    for (const BrokerSnapshot& snap : snapshots_) {
+      for (std::uint32_t n : snap.neighbors) {
+        adjacency_[snap.broker].insert(n);
+        adjacency_[n].insert(snap.broker);
+      }
+    }
+  }
+  if (!adjacency_.count(a) || !adjacency_.count(b)) return {};
+  // BFS; the overlay is a tree, so the first route found is the unique path.
+  std::map<std::uint32_t, std::uint32_t> parent;
+  std::deque<std::uint32_t> queue{a};
+  parent[a] = a;
+  while (!queue.empty()) {
+    const std::uint32_t cur = queue.front();
+    queue.pop_front();
+    if (cur == b) break;
+    for (std::uint32_t n : adjacency_.at(cur)) {
+      if (parent.emplace(n, cur).second) queue.push_back(n);
+    }
+  }
+  if (!parent.count(b)) return {};
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t cur = b; cur != a; cur = parent[cur]) path.push_back(cur);
+  path.push_back(a);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Auditor::check_path_consistency(AuditReport& report) const {
+  for (const auto& [txn, m] : movements_) {
+    if (!m.resolved || m.protocol != "reconfig") continue;
+    const std::vector<std::uint32_t> path = path_between(m.source, m.target);
+    if (m.committed) {
+      if (!path.empty()) {
+        // Approve installs shadows target→source and is recorded at every
+        // path broker except the target; state commits source→target and is
+        // recorded everywhere except the source.
+        for (std::uint32_t b : path) {
+          if (b != m.target && !m.approve_hops.count(b)) {
+            report.violations.push_back(
+                {InvariantKind::PathConsistency, txn, b, m.client,
+                 "committed movement missing hop:approve on the source->target "
+                 "path"});
+          }
+          if (b != m.source && !m.state_hops.count(b)) {
+            report.violations.push_back(
+                {InvariantKind::PathConsistency, txn, b, m.client,
+                 "committed movement missing hop:state on the source->target "
+                 "path"});
+          }
+        }
+        for (std::uint32_t b : m.approve_hops) {
+          if (std::find(path.begin(), path.end(), b) == path.end()) {
+            report.violations.push_back(
+                {InvariantKind::PathConsistency, txn, b, m.client,
+                 "hop:approve at a broker off the source->target path"});
+          }
+        }
+        for (std::uint32_t b : m.state_hops) {
+          if (std::find(path.begin(), path.end(), b) == path.end()) {
+            report.violations.push_back(
+                {InvariantKind::PathConsistency, txn, b, m.client,
+                 "hop:state at a broker off the source->target path"});
+          }
+        }
+      } else {
+        // No topology available: the two traversals must still cover the
+        // same brokers (approve skips the target, state skips the source).
+        std::set<std::uint32_t> approve = m.approve_hops;
+        approve.insert(m.target);
+        std::set<std::uint32_t> state = m.state_hops;
+        state.insert(m.source);
+        if (approve != state) {
+          std::uint32_t odd = 0;
+          for (std::uint32_t b : approve) {
+            if (!state.count(b)) odd = b;
+          }
+          for (std::uint32_t b : state) {
+            if (!approve.count(b)) odd = b;
+          }
+          report.violations.push_back(
+              {InvariantKind::PathConsistency, txn, odd, m.client,
+               "approve and state traversals cover different brokers"});
+        }
+      }
+    } else {
+      // Abort must reach every broker that installed shadow state; the
+      // source learns of the abort as the coordinator, not via a hop.
+      for (std::uint32_t b : m.approve_hops) {
+        if (b != m.source && !m.abort_hops.count(b)) {
+          report.violations.push_back(
+              {InvariantKind::PathConsistency, txn, b, m.client,
+               "aborted movement left a broker that approved without an "
+               "abort hop"});
+        }
+      }
+    }
+  }
+}
+
+void Auditor::check_snapshots(AuditReport& report) const {
+  // Latest final snapshot per broker.
+  std::map<std::uint32_t, const BrokerSnapshot*> finals;
+  for (const BrokerSnapshot& snap : snapshots_) {
+    if (!snap.final_snapshot) {
+      // Mid-run snapshot: shadow state is legitimate while its transaction
+      // is in flight, a leak once the transaction resolved.
+      for (const std::vector<EntrySnap> BrokerSnapshot::* table :
+           {&BrokerSnapshot::prt, &BrokerSnapshot::srt}) {
+        for (const EntrySnap& e : snap.*table) {
+          if (!e.has_shadow) continue;
+          auto it = movements_.find(e.shadow_txn);
+          if (it != movements_.end() && it->second.resolved &&
+              snap.time > it->second.t1) {
+            report.violations.push_back(
+                {InvariantKind::OrphanState, e.shadow_txn, snap.broker,
+                 it->second.client,
+                 "entry " + e.id + " still carries shadow state after its "
+                 "transaction resolved"});
+          }
+        }
+      }
+      continue;
+    }
+    const BrokerSnapshot*& slot = finals[snap.broker];
+    if (!slot || snap.time >= slot->time) slot = &snap;
+  }
+  if (finals.empty()) return;
+
+  // Where every client ended up, per the brokers' own client containers.
+  std::map<std::uint64_t, std::uint32_t> hosted_at;
+  for (const auto& [b, snap] : finals) {
+    for (const ClientSnap& c : snap->clients) hosted_at[c.id] = b;
+  }
+
+  for (const auto& [b, snap] : finals) {
+    for (const TxnSnap& t : snap->txns) {
+      report.violations.push_back(
+          {InvariantKind::Quiescence, t.txn, b, t.client,
+           "movement transaction still parked on the broker (" + t.role +
+               " in state " + t.state + ") after the run drained"});
+    }
+    for (const std::vector<EntrySnap> BrokerSnapshot::* table :
+         {&BrokerSnapshot::prt, &BrokerSnapshot::srt}) {
+      for (const EntrySnap& e : snap->*table) {
+        if (e.has_shadow) {
+          std::uint64_t client = 0;
+          if (auto it = movements_.find(e.shadow_txn); it != movements_.end())
+            client = it->second.client;
+          report.violations.push_back(
+              {InvariantKind::OrphanState, e.shadow_txn, b, client,
+               "entry " + e.id + " still carries shadow state in the final "
+               "snapshot"});
+        }
+        bool hop_is_client = false;
+        std::uint64_t hop_value = 0;
+        if (parse_hop(e.lasthop, hop_is_client, hop_value) && hop_is_client) {
+          auto it = hosted_at.find(hop_value);
+          if (it != hosted_at.end() && it->second != b) {
+            const Movement* w = window_for(hop_value, snap->time);
+            report.violations.push_back(
+                {InvariantKind::OrphanState, w ? w->txn : 0, b, hop_value,
+                 "entry " + e.id + " points at client hop " + e.lasthop +
+                     " but the client is hosted at broker " +
+                     std::to_string(it->second)});
+          }
+        }
+      }
+    }
+  }
+
+  // Path-direction: after a client's last resolved reconfiguration movement,
+  // every broker on RouteS2T must agree on the direction of the client's
+  // entries. (Covering-protocol moves re-issue fresh subscriptions, so the
+  // path property does not apply to them.)
+  std::map<std::uint64_t, const Movement*> last_move;
+  for (const auto& [txn, m] : movements_) {
+    if (!m.resolved || m.protocol != "reconfig") continue;
+    const Movement*& slot = last_move[m.client];
+    if (!slot || m.t1 >= slot->t1) slot = &m;
+  }
+  for (const auto& [client, m] : last_move) {
+    const std::vector<std::uint32_t> path = path_between(m->source, m->target);
+    if (path.empty()) continue;
+    const std::uint32_t host = m->committed ? m->target : m->source;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const std::uint32_t b = path[i];
+      auto fit = finals.find(b);
+      if (fit == finals.end()) continue;
+      const BrokerSnapshot& snap = *fit->second;
+      // The hop this broker should route the client's traffic towards.
+      std::string expected;
+      if (b == host) {
+        expected = client_hop(client);
+      } else if (m->committed) {
+        expected = broker_hop(path[i + 1]);  // next towards the target
+      } else {
+        expected = broker_hop(path[i - 1]);  // back towards the source
+      }
+      for (const std::vector<EntrySnap> BrokerSnapshot::* table :
+           {&BrokerSnapshot::prt, &BrokerSnapshot::srt}) {
+        const bool covering = table == &BrokerSnapshot::prt
+                                  ? snap.sub_covering
+                                  : snap.adv_covering;
+        bool found = false;
+        for (const EntrySnap& e : snap.*table) {
+          if (client_of_entity(e.id) != client) continue;
+          found = true;
+          if (e.lasthop != expected) {
+            report.violations.push_back(
+                {InvariantKind::PathConsistency, m->txn, b, client,
+                 "entry " + e.id + " has lasthop " + e.lasthop +
+                     " but the client's last movement requires " + expected});
+          }
+        }
+        // Commit materializes the moved entries at every path broker; their
+        // absence means the transfer lost state. Only provable when covering
+        // cannot have pruned the entry, and only for clients that hold state
+        // in this table at all (check the host broker's own tables).
+        if (m->committed && !covering && !found && b != host) {
+          bool host_has = false;
+          if (auto hit = finals.find(host); hit != finals.end()) {
+            for (const EntrySnap& e : hit->second->*table) {
+              if (client_of_entity(e.id) == client) host_has = true;
+            }
+          }
+          if (host_has) {
+            report.violations.push_back(
+                {InvariantKind::OrphanState, m->txn, b, client,
+                 "committed movement left no entry for the client on the "
+                 "source->target path"});
+          }
+        }
+      }
+    }
+  }
+}
+
+void Auditor::check_deliveries(AuditReport& report) {
+  for (const auto& [key, d] : deliveries_) {
+    if (d.count < 2) continue;
+    const auto& [client, pub] = key;
+    // Duplicates are violations under both protocols: the client stubs
+    // de-duplicate, so a duplicate reaching the sink means incarnation
+    // state was lost across a hand-off.
+    const Movement* w = window_for(client, d.last_t);
+    report.violations.push_back(
+        {InvariantKind::DuplicateDelivery, w ? w->txn : 0,
+         w ? w->target : 0, client,
+         "publication " + pub + " delivered " + std::to_string(d.count) +
+             " times"});
+  }
+  for (const auto& [key, t_pub] : expectations_) {
+    if (deliveries_.count(key)) continue;
+    const auto& [client, pub] = key;
+    const Movement* w = window_for(client, t_pub);
+    if (w && w->protocol == "covering") {
+      // Expected hand-off loss of the traditional protocol (Sec. 2).
+      ++report.expected_mover_losses;
+      continue;
+    }
+    report.violations.push_back(
+        {InvariantKind::LostDelivery, w ? w->txn : 0, w ? w->source : 0,
+         client, "publication " + pub + " (t=" + std::to_string(t_pub) +
+                     ") was never delivered"});
+  }
+}
+
+void Auditor::check_quiescence(AuditReport& report) const {
+  for (const auto& [txn, m] : movements_) {
+    if (!m.resolved) {
+      report.violations.push_back(
+          {InvariantKind::Quiescence, txn, m.source, m.client,
+           "movement span never closed (transaction neither committed nor "
+           "aborted)"});
+    }
+  }
+  for (const auto& [cause, count] : outstanding_) {
+    if (count == 0) continue;
+    auto it = movements_.find(cause);
+    if (it == movements_.end()) continue;
+    report.violations.push_back(
+        {InvariantKind::Quiescence, cause, it->second.source,
+         it->second.client,
+         std::to_string(count) + " message(s) still attributed to the "
+         "transaction after the run drained"});
+  }
+}
+
+AuditReport Auditor::finish() {
+  AuditReport report;
+  report.movements_checked = movements_.size();
+  report.snapshots_checked = snapshots_.size();
+  report.deliveries_checked = deliveries_.size();
+  check_path_consistency(report);
+  check_snapshots(report);
+  check_deliveries(report);
+  check_quiescence(report);
+  return report;
+}
+
+}  // namespace tmps::obs

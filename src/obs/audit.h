@@ -1,0 +1,168 @@
+// Online movement-invariant auditor.
+//
+// Consumes the three observability streams — movement traces (trace.h),
+// routing snapshots (introspect.h), and live delivery accounting — and
+// mechanically checks the paper's safety properties per movement
+// transaction:
+//
+//   PathConsistency   every broker on RouteS2T processed the approve/state
+//                     hops it should have (Sec. 4.4: the shadow routing is
+//                     installed target→source and committed source→target),
+//                     and after the run each path broker's entry for the
+//                     moved client points toward the client's final host.
+//   OrphanState       no SRT/PRT entry still carries shadow state after its
+//                     transaction resolved, and no entry names a client hop
+//                     at a broker that does not host that client
+//                     (Sec. 4.2: commit/abort leaves exactly one
+//                     configuration).
+//   DuplicateDelivery exactly-once inside the movement window: a moving
+//   LostDelivery      subscriber receives every entitled publication exactly
+//                     once under the reconfiguration protocol (Sec. 4.3).
+//                     Covering (traditional) hand-off *losses* are expected
+//                     per the paper and reported as an informational count,
+//                     not violations; duplicates are violations under both
+//                     protocols (the client stubs de-duplicate, so a
+//                     duplicate reaching the sink means incarnation state
+//                     was lost). Stationary subscribers must be loss-free
+//                     under both.
+//   Quiescence        after commit/abort the network settles: no movement
+//                     span left open, no messages still attributed to a
+//                     resolved transaction, no coordinator state parked on
+//                     a broker (Sec. 4.5's message-cost accounting assumes
+//                     the covering cascade terminates).
+//
+// The Auditor is embeddable (Scenario feeds it live) and file-driven
+// (tools/tmps_audit replays the JSONL streams); both paths share this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/introspect.h"
+#include "obs/trace.h"
+
+namespace tmps::obs {
+
+enum class InvariantKind {
+  PathConsistency,
+  OrphanState,
+  DuplicateDelivery,
+  LostDelivery,
+  Quiescence,
+};
+
+const char* to_string(InvariantKind kind);
+
+struct InvariantViolation {
+  InvariantKind kind;
+  std::uint64_t txn = 0;    // offending transaction (0 = none attributable)
+  std::uint32_t broker = 0; // offending broker (0 = none attributable)
+  std::uint64_t client = 0;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+struct AuditReport {
+  std::vector<InvariantViolation> violations;
+  std::size_t movements_checked = 0;
+  std::size_t snapshots_checked = 0;
+  std::size_t deliveries_checked = 0;
+  /// Covering-protocol hand-off losses inside movement windows: expected
+  /// per the paper (Sec. 2), counted but not violations.
+  std::size_t expected_mover_losses = 0;
+
+  bool clean() const { return violations.empty(); }
+  /// Multi-line human-readable report (one line per violation + totals).
+  std::string summary() const;
+};
+
+class Auditor {
+ public:
+  /// Returns the unique overlay path between two brokers, inclusive of both
+  /// endpoints; empty when unknown. Injected so the obs layer needs no
+  /// routing dependency; when absent, the auditor recovers the topology
+  /// from snapshot neighbor lists (or degrades to set-consistency checks).
+  using PathFn =
+      std::function<std::vector<std::uint32_t>(std::uint32_t, std::uint32_t)>;
+
+  void set_path_fn(PathFn fn) { path_fn_ = std::move(fn); }
+
+  // --- feeds ---------------------------------------------------------------
+
+  /// In-memory trace records (embedded mode; call before the tracer flushes).
+  void ingest_trace(const std::vector<TraceRecord>& records);
+  /// trace.jsonl lines (file mode). Non-trace lines are skipped.
+  void ingest_trace_stream(std::istream& is);
+
+  void ingest_snapshot(const BrokerSnapshot& snap);
+  /// snapshots.jsonl lines (file mode).
+  void ingest_snapshot_stream(std::istream& is);
+
+  /// The host owes `client` this publication (it matched a subscription the
+  /// client held when the publication entered the network at `t_pub`).
+  void expect_delivery(std::uint64_t client, const std::string& pub,
+                       double t_pub);
+  /// The host delivered `pub` to `client` at time `t`.
+  void on_delivery(std::uint64_t client, const std::string& pub, double t);
+
+  /// End-of-run count of messages still attributed to `cause`
+  /// (SimNetwork::outstanding_causes); nonzero for a resolved movement
+  /// transaction breaks quiescence.
+  void set_outstanding(std::uint64_t cause, std::uint64_t count);
+
+  // --- verdict -------------------------------------------------------------
+
+  /// Runs every check over everything ingested. Idempotent per feed state.
+  AuditReport finish();
+
+ private:
+  struct Movement {
+    std::uint64_t txn = 0;
+    std::uint64_t client = 0;
+    std::uint32_t source = 0;
+    std::uint32_t target = 0;
+    std::string protocol;  // "reconfig" | "covering"
+    double t0 = 0;
+    double t1 = 0;
+    bool resolved = false;
+    bool committed = false;
+    std::set<std::uint32_t> approve_hops;
+    std::set<std::uint32_t> state_hops;
+    std::set<std::uint32_t> abort_hops;
+  };
+
+  struct Delivery {
+    double first_t = 0;
+    double last_t = 0;
+    std::uint64_t count = 0;
+  };
+
+  Movement& movement(std::uint64_t txn) { return movements_[txn]; }
+  /// The movement window of `client` containing `t`, else the nearest one;
+  /// nullptr when the client never moved.
+  const Movement* window_for(std::uint64_t client, double t) const;
+  std::vector<std::uint32_t> path_between(std::uint32_t a,
+                                          std::uint32_t b) const;
+
+  void check_path_consistency(AuditReport& report) const;
+  void check_snapshots(AuditReport& report) const;
+  void check_deliveries(AuditReport& report);
+  void check_quiescence(AuditReport& report) const;
+
+  PathFn path_fn_;
+  std::map<std::uint64_t, Movement> movements_;
+  std::vector<BrokerSnapshot> snapshots_;
+  std::map<std::pair<std::uint64_t, std::string>, double> expectations_;
+  std::map<std::pair<std::uint64_t, std::string>, Delivery> deliveries_;
+  std::map<std::uint64_t, std::uint64_t> outstanding_;
+  /// Adjacency recovered from snapshot neighbor lists (used when no PathFn).
+  mutable std::map<std::uint32_t, std::set<std::uint32_t>> adjacency_;
+};
+
+}  // namespace tmps::obs

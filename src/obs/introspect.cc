@@ -1,0 +1,230 @@
+#include "obs/introspect.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json_read.h"
+#include "obs/jsonl.h"
+
+namespace tmps::obs {
+
+namespace {
+
+void append_entry(std::string& out, const EntrySnap& e) {
+  out += "{\"id\":";
+  append_json_string(out, e.id);
+  out += ",\"filter\":";
+  append_json_string(out, e.filter);
+  out += ",\"lasthop\":";
+  append_json_string(out, e.lasthop);
+  // Space-joined so the entry stays a flat object for the line parser.
+  std::string fwd;
+  for (const std::string& h : e.forwarded_to) {
+    if (!fwd.empty()) fwd += ' ';
+    fwd += h;
+  }
+  out += ",\"forwarded_to\":";
+  append_json_string(out, fwd);
+  if (e.has_shadow) {
+    out += ",\"shadow_lasthop\":";
+    append_json_string(out, e.shadow_lasthop);
+    out += ",\"shadow_txn\":";
+    append_json_number(out, e.shadow_txn);
+    out += ",\"shadow_only\":";
+    out += e.shadow_only ? "true" : "false";
+  }
+  out += '}';
+}
+
+void append_entries(std::string& out, const char* key,
+                    const std::vector<EntrySnap>& entries) {
+  out += ",\"";
+  out += key;
+  out += "\":[";
+  bool first = true;
+  for (const EntrySnap& e : entries) {
+    if (!first) out += ',';
+    first = false;
+    append_entry(out, e);
+  }
+  out += ']';
+}
+
+EntrySnap entry_from_flat(const JsonObject::Flat& f) {
+  EntrySnap e;
+  auto get = [&](const char* k) -> std::string {
+    auto it = f.find(k);
+    return it == f.end() ? std::string() : it->second;
+  };
+  e.id = get("id");
+  e.filter = get("filter");
+  e.lasthop = get("lasthop");
+  std::istringstream fwd(get("forwarded_to"));
+  std::string hop;
+  while (fwd >> hop) e.forwarded_to.push_back(hop);
+  if (auto it = f.find("shadow_txn"); it != f.end()) {
+    e.has_shadow = true;
+    e.shadow_txn = std::strtoull(it->second.c_str(), nullptr, 10);
+    e.shadow_lasthop = get("shadow_lasthop");
+    e.shadow_only = get("shadow_only") == "true";
+  }
+  return e;
+}
+
+}  // namespace
+
+bool BrokerSnapshot::has_pending_shadows() const {
+  for (const EntrySnap& e : prt) {
+    if (e.has_shadow) return true;
+  }
+  for (const EntrySnap& e : srt) {
+    if (e.has_shadow) return true;
+  }
+  return false;
+}
+
+std::string BrokerSnapshot::to_jsonl() const {
+  std::string out = "{\"kind\":\"snapshot\",\"v\":";
+  append_json_number(out, static_cast<std::uint64_t>(version));
+  if (!run.empty()) {
+    out += ",\"run\":";
+    append_json_string(out, run);
+  }
+  out += ",\"broker\":";
+  append_json_number(out, static_cast<std::uint64_t>(broker));
+  out += ",\"time\":";
+  append_json_number(out, time);
+  out += ",\"final\":";
+  out += final_snapshot ? "true" : "false";
+  out += ",\"sub_covering\":";
+  out += sub_covering ? "true" : "false";
+  out += ",\"adv_covering\":";
+  out += adv_covering ? "true" : "false";
+  out += ",\"neighbors\":[";
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    if (i) out += ',';
+    append_json_number(out, static_cast<std::uint64_t>(neighbors[i]));
+  }
+  out += ']';
+  append_entries(out, "prt", prt);
+  append_entries(out, "srt", srt);
+  out += ",\"txns\":[";
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    if (i) out += ',';
+    const TxnSnap& t = txns[i];
+    out += "{\"txn\":";
+    append_json_number(out, t.txn);
+    out += ",\"role\":";
+    append_json_string(out, t.role);
+    out += ",\"state\":";
+    append_json_string(out, t.state);
+    out += ",\"client\":";
+    append_json_number(out, t.client);
+    out += ",\"peer\":";
+    append_json_number(out, static_cast<std::uint64_t>(t.peer));
+    out += '}';
+  }
+  out += "],\"clients\":[";
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    if (i) out += ',';
+    const ClientSnap& c = clients[i];
+    out += "{\"id\":";
+    append_json_number(out, c.id);
+    out += ",\"state\":";
+    append_json_string(out, c.state);
+    out += ",\"buffered\":";
+    append_json_number(out, c.buffered_notifications);
+    out += ",\"queued\":";
+    append_json_number(out, c.queued_commands);
+    out += ",\"subs\":";
+    append_json_number(out, c.subscriptions);
+    out += ",\"advs\":";
+    append_json_number(out, c.advertisements);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void BrokerSnapshot::write_jsonl(std::ostream& os) const {
+  os << to_jsonl() << '\n';
+}
+
+std::optional<BrokerSnapshot> BrokerSnapshot::from_jsonl(
+    const std::string& line) {
+  auto obj = parse_json_line(line);
+  if (!obj || obj->str("kind") != "snapshot") return std::nullopt;
+  const int v = static_cast<int>(obj->num("v", -1));
+  if (v < 1 || v > kSnapshotVersion) return std::nullopt;
+  BrokerSnapshot snap;
+  snap.version = v;
+  snap.run = obj->str("run");
+  snap.broker = static_cast<std::uint32_t>(obj->u64("broker"));
+  snap.time = obj->num("time");
+  snap.final_snapshot = obj->boolean("final");
+  snap.sub_covering = obj->boolean("sub_covering");
+  snap.adv_covering = obj->boolean("adv_covering");
+  if (auto it = obj->arrays.find("neighbors"); it != obj->arrays.end()) {
+    for (const std::string& n : it->second) {
+      snap.neighbors.push_back(
+          static_cast<std::uint32_t>(std::strtoul(n.c_str(), nullptr, 10)));
+    }
+  }
+  if (auto it = obj->object_arrays.find("prt"); it != obj->object_arrays.end()) {
+    for (const auto& f : it->second) snap.prt.push_back(entry_from_flat(f));
+  }
+  if (auto it = obj->object_arrays.find("srt"); it != obj->object_arrays.end()) {
+    for (const auto& f : it->second) snap.srt.push_back(entry_from_flat(f));
+  }
+  if (auto it = obj->object_arrays.find("txns");
+      it != obj->object_arrays.end()) {
+    for (const auto& f : it->second) {
+      TxnSnap t;
+      auto get = [&](const char* k) -> std::string {
+        auto fit = f.find(k);
+        return fit == f.end() ? std::string() : fit->second;
+      };
+      t.txn = std::strtoull(get("txn").c_str(), nullptr, 10);
+      t.role = get("role");
+      t.state = get("state");
+      t.client = std::strtoull(get("client").c_str(), nullptr, 10);
+      t.peer =
+          static_cast<std::uint32_t>(std::strtoul(get("peer").c_str(), nullptr, 10));
+      snap.txns.push_back(std::move(t));
+    }
+  }
+  if (auto it = obj->object_arrays.find("clients");
+      it != obj->object_arrays.end()) {
+    for (const auto& f : it->second) {
+      ClientSnap c;
+      auto get = [&](const char* k) -> std::string {
+        auto fit = f.find(k);
+        return fit == f.end() ? std::string() : fit->second;
+      };
+      c.id = std::strtoull(get("id").c_str(), nullptr, 10);
+      c.state = get("state");
+      c.buffered_notifications =
+          std::strtoull(get("buffered").c_str(), nullptr, 10);
+      c.queued_commands = std::strtoull(get("queued").c_str(), nullptr, 10);
+      c.subscriptions = std::strtoull(get("subs").c_str(), nullptr, 10);
+      c.advertisements = std::strtoull(get("advs").c_str(), nullptr, 10);
+      snap.clients.push_back(std::move(c));
+    }
+  }
+  return snap;
+}
+
+std::vector<BrokerSnapshot> read_snapshots(std::istream& is) {
+  std::vector<BrokerSnapshot> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (auto snap = BrokerSnapshot::from_jsonl(line)) {
+      out.push_back(std::move(*snap));
+    }
+  }
+  return out;
+}
+
+}  // namespace tmps::obs

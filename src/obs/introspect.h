@@ -1,0 +1,96 @@
+// Routing-state introspection: a versioned, serializable snapshot of one
+// broker's live routing state — SRT/PRT entries with their (shadow) last
+// hops, in-flight movement transactions, and hosted clients with parked
+// publications/commands.
+//
+// The snapshot is the observable the paper's safety arguments quantify
+// over: "no orphaned routing state after commit/abort" and "every broker on
+// RouteS2T agrees on the moved subscription's direction" are statements
+// about exactly this data. Hosts expose it three ways: in-process via
+// `RuntimeEnv::snapshot_routing`, as JSONL files next to the trace/metrics
+// streams, and over HTTP (`/routing`) on the TCP transport.
+//
+// Everything here is plain strings/integers so the obs layer stays free of
+// routing/sim dependencies; hop values use Hop::to_string notation
+// ("B3", "C42", "none") and entry ids use EntityId notation ("client:seq").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tmps::obs {
+
+/// Bumped whenever the JSONL shape changes; readers reject newer versions.
+inline constexpr int kSnapshotVersion = 1;
+
+/// One SRT or PRT entry.
+struct EntrySnap {
+  std::string id;       // EntityId notation "client:seq"
+  std::string filter;   // human-readable filter text
+  std::string lasthop;  // pre-move hop, Hop notation
+  std::vector<std::string> forwarded_to;
+  bool has_shadow = false;      // a movement txn installed a post-move hop
+  std::string shadow_lasthop;   // empty unless has_shadow
+  std::uint64_t shadow_txn = 0;
+  bool shadow_only = false;     // entry exists only as shadow state
+};
+
+/// One in-flight movement transaction this broker coordinates (as the
+/// source or target endpoint of the move).
+struct TxnSnap {
+  std::uint64_t txn = 0;
+  std::string role;   // "source" | "target"
+  std::string state;  // protocol-state name, e.g. "Prepare", "Commit"
+  std::uint64_t client = 0;
+  std::uint32_t peer = 0;  // the other endpoint broker
+};
+
+/// One client hosted in this broker's mobile container.
+struct ClientSnap {
+  std::uint64_t id = 0;
+  std::string state;  // ClientState name, e.g. "Started", "PauseMove"
+  std::uint64_t buffered_notifications = 0;  // parked during a move
+  std::uint64_t queued_commands = 0;
+  std::uint64_t subscriptions = 0;
+  std::uint64_t advertisements = 0;
+};
+
+struct BrokerSnapshot {
+  int version = kSnapshotVersion;
+  std::string run;  // experiment label, same convention as trace records
+  std::uint32_t broker = 0;
+  double time = 0;  // host clock when taken
+  /// True when taken after the host fully drained (end of run); the
+  /// auditor's orphan/quiescence checks only bind on final snapshots.
+  bool final_snapshot = false;
+  /// Covering optimizations active at this broker; the auditor's
+  /// entry-existence checks only bind when covering cannot have pruned
+  /// the entry.
+  bool sub_covering = false;
+  bool adv_covering = false;
+  std::vector<std::uint32_t> neighbors;  // overlay links, for topology recovery
+  std::vector<EntrySnap> prt;
+  std::vector<EntrySnap> srt;
+  std::vector<TxnSnap> txns;
+  std::vector<ClientSnap> clients;
+
+  /// Any entry (PRT or SRT) still carrying shadow state?
+  bool has_pending_shadows() const;
+
+  /// One JSON object, no trailing newline.
+  std::string to_jsonl() const;
+  void write_jsonl(std::ostream& os) const;  // to_jsonl + '\n'
+
+  /// Parses a line produced by to_jsonl; nullopt on malformed input or a
+  /// version newer than kSnapshotVersion.
+  static std::optional<BrokerSnapshot> from_jsonl(const std::string& line);
+};
+
+/// Loads every parseable snapshot line from a JSONL stream (non-snapshot
+/// lines are skipped, so snapshots may share a file with other records).
+std::vector<BrokerSnapshot> read_snapshots(std::istream& is);
+
+}  // namespace tmps::obs

@@ -1,0 +1,194 @@
+// Minimal JSONL reading, the counterpart of jsonl.h: parses exactly the flat
+// shape the observability writers emit — one object per line whose values
+// are scalars, one-level string->scalar objects, arrays of scalars, or
+// arrays of flat objects. Shared by tools/trace_inspect, tools/tmps_audit
+// and the snapshot loader (introspect.cc). It is not a general JSON parser.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tmps::obs {
+
+/// One parsed JSONL line. Scalars keep their source text (numbers, true,
+/// false, null) or the unescaped string value.
+struct JsonObject {
+  using Flat = std::map<std::string, std::string>;
+
+  Flat fields;                                  // scalar values
+  std::map<std::string, Flat> objects;          // {"labels":{"k":"v"}}
+  std::map<std::string, std::vector<std::string>> arrays;  // scalar arrays
+  std::map<std::string, std::vector<Flat>> object_arrays;  // [{...},{...}]
+
+  const std::string* get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+  std::string str(const std::string& key, std::string def = "") const {
+    const std::string* v = get(key);
+    return v ? *v : def;
+  }
+  double num(const std::string& key, double def = 0) const {
+    const std::string* v = get(key);
+    return v ? std::strtod(v->c_str(), nullptr) : def;
+  }
+  std::uint64_t u64(const std::string& key, std::uint64_t def = 0) const {
+    const std::string* v = get(key);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : def;
+  }
+  bool boolean(const std::string& key, bool def = false) const {
+    const std::string* v = get(key);
+    return v ? *v == "true" : def;
+  }
+};
+
+namespace json_detail {
+
+inline void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+inline std::optional<std::string> parse_string(const std::string& s,
+                                               std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return std::nullopt;
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          // \u00XX escapes (the writer only emits control characters this
+          // way); decode the low byte, good enough for display.
+          if (i + 4 < s.size()) {
+            out += static_cast<char>(
+                std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+    ++i;
+  }
+  if (i >= s.size()) return std::nullopt;
+  ++i;  // closing quote
+  return out;
+}
+
+inline std::optional<std::string> parse_scalar(const std::string& s,
+                                               std::size_t& i) {
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '"') return parse_string(s, i);
+  // Bare token: number / true / false / null.
+  std::size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  if (i == start) return std::nullopt;
+  return s.substr(start, i - start);
+}
+
+/// Parses {"k":"v",...} with scalar values into `out`; nested containers
+/// inside a flat object are rejected.
+inline bool parse_flat_object(const std::string& s, std::size_t& i,
+                              JsonObject::Flat& out) {
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  while (true) {
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    auto key = parse_string(s, i);
+    if (!key) return false;
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    auto val = parse_scalar(s, i);
+    if (!val) return false;
+    out[*key] = *val;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+}
+
+}  // namespace json_detail
+
+/// Parses one JSONL line into a JsonObject; nullopt on malformed input.
+inline std::optional<JsonObject> parse_json_line(const std::string& line) {
+  using namespace json_detail;
+  JsonObject obj;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  while (true) {
+    skip_ws(line, i);
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == '}') break;
+    auto key = parse_string(line, i);
+    if (!key) return std::nullopt;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == '{') {
+      JsonObject::Flat nested;
+      if (!parse_flat_object(line, i, nested)) return std::nullopt;
+      obj.objects[*key] = std::move(nested);
+    } else if (i < line.size() && line[i] == '[') {
+      ++i;
+      std::vector<std::string> scalars;
+      std::vector<JsonObject::Flat> flats;
+      while (true) {
+        skip_ws(line, i);
+        if (i >= line.size()) return std::nullopt;
+        if (line[i] == ']') {
+          ++i;
+          break;
+        }
+        if (line[i] == '{') {
+          JsonObject::Flat nested;
+          if (!parse_flat_object(line, i, nested)) return std::nullopt;
+          flats.push_back(std::move(nested));
+        } else {
+          auto val = parse_scalar(line, i);
+          if (!val) return std::nullopt;
+          scalars.push_back(std::move(*val));
+        }
+        skip_ws(line, i);
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (!flats.empty()) {
+        obj.object_arrays[*key] = std::move(flats);
+      } else {
+        obj.arrays[*key] = std::move(scalars);
+      }
+    } else {
+      auto val = parse_scalar(line, i);
+      if (!val) return std::nullopt;
+      obj.fields[*key] = *val;
+    }
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  return obj;
+}
+
+}  // namespace tmps::obs

@@ -140,4 +140,100 @@ void MetricsRegistry::write_jsonl(std::ostream& os,
   }
 }
 
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_prom_labels(std::string& out, const Labels& labels,
+                        const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + prom_escape(v) + '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + extra_value + '"';
+  }
+  out += '}';
+}
+
+std::string prom_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  // TYPE comments must precede the first sample of each metric name; the
+  // map is keyed by name-then-labels, so names arrive grouped.
+  std::string last_typed;
+  std::string line;
+  for (const auto& [key, e] : entries_) {
+    const char* type = e.kind == Kind::Counter ? "counter"
+                       : e.kind == Kind::Gauge ? "gauge"
+                                               : "histogram";
+    if (e.name != last_typed) {
+      os << "# TYPE " << e.name << ' ' << type << '\n';
+      last_typed = e.name;
+    }
+    line.clear();
+    switch (e.kind) {
+      case Kind::Counter:
+        line = e.name;
+        append_prom_labels(line, e.labels);
+        line += ' ' + std::to_string(e.counter->value());
+        break;
+      case Kind::Gauge:
+        line = e.name;
+        append_prom_labels(line, e.labels);
+        line += ' ' + prom_number(e.gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        std::uint64_t cum = 0;
+        for (int i = 0; i < kNumBuckets; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          cum += n;
+          line += e.name + "_bucket";
+          append_prom_labels(line, e.labels, "le",
+                             prom_number(bucket_upper(i)));
+          line += ' ' + std::to_string(cum) + '\n';
+        }
+        line += e.name + "_bucket";
+        append_prom_labels(line, e.labels, "le", "+Inf");
+        line += ' ' + std::to_string(h.count()) + '\n';
+        line += e.name + "_sum";
+        append_prom_labels(line, e.labels);
+        line += ' ' + prom_number(h.sum()) + '\n';
+        line += e.name + "_count";
+        append_prom_labels(line, e.labels);
+        line += ' ' + std::to_string(h.count());
+        break;
+      }
+    }
+    os << line << '\n';
+  }
+}
+
 }  // namespace tmps::obs

@@ -114,6 +114,11 @@ class MetricsRegistry {
   /// multi-run bench can append into one file.
   void write_jsonl(std::ostream& os, std::string_view run = {}) const;
 
+  /// Prometheus text exposition format (the `/metrics` endpoint). Counters
+  /// and gauges emit one sample; histograms emit cumulative `_bucket{le=}`
+  /// samples over the log-bucket grid plus `_sum`/`_count`.
+  void write_prometheus(std::ostream& os) const;
+
   /// Snapshot of a counter's value; 0 when never registered (test helper).
   std::uint64_t counter_value(std::string_view name, Labels labels = {}) const;
 

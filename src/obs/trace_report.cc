@@ -1,0 +1,250 @@
+#include "obs/trace_report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json_read.h"
+#include "obs/metrics.h"
+
+namespace tmps::obs {
+
+namespace {
+
+struct Record {
+  bool is_span = false;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::string run;
+  std::string name;
+  double t0 = 0, t1 = 0;
+  JsonObject::Flat attrs;
+
+  std::string attr(const std::string& key) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? "" : it->second;
+  }
+};
+
+struct Movement {
+  std::uint64_t txn = 0;
+  std::string run;
+  const Record* root = nullptr;       // the source-side "movement" span
+  std::vector<const Record*> spans;   // all spans of the trace
+  std::vector<const Record*> events;  // all events of the trace
+  std::uint64_t messages = 0;         // from movement:stats
+  bool have_stats = false;
+};
+
+/// printf-into-stream helper; report lines are short and fixed-format.
+template <typename... Args>
+void outf(std::ostream& os, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  os << buf;
+}
+
+std::string bar(double frac, int width) {
+  const int n = std::clamp(static_cast<int>(frac * width + 0.5), 0, width);
+  return std::string(n, '#');
+}
+
+void print_waterfall(std::ostream& os, const Movement& m) {
+  const Record& root = *m.root;
+  const double span_len = std::max(root.t1 - root.t0, 1e-9);
+  outf(os, "movement txn=%llu %s: %s -> %s client=%s protocol=%s outcome=%s\n",
+       static_cast<unsigned long long>(m.txn),
+       m.run.empty() ? "" : ("[" + m.run + "]").c_str(),
+       root.attr("source").c_str(), root.attr("target").c_str(),
+       root.attr("client").c_str(), root.attr("protocol").c_str(),
+       root.attr("outcome").c_str());
+  outf(os, "  start=%.6fs duration=%.3fms", root.t0, span_len * 1e3);
+  if (m.have_stats) {
+    outf(os, " messages=%llu", static_cast<unsigned long long>(m.messages));
+  }
+  os << '\n';
+
+  // Spans sorted by start time; indent children of the movement root.
+  std::vector<const Record*> spans = m.spans;
+  std::sort(spans.begin(), spans.end(),
+            [](const Record* a, const Record* b) { return a->t0 < b->t0; });
+  for (const Record* s : spans) {
+    const double off = s->t0 - root.t0;
+    const double len = std::max(s->t1 - s->t0, 0.0);
+    const int lead =
+        std::clamp(static_cast<int>(off / span_len * 40 + 0.5), 0, 40);
+    const bool child = s->parent != 0;
+    outf(os, "  %-18s %8.3fms +%8.3fms |%*s%s\n",
+         ((child ? "  " : "") + s->name).c_str(), len * 1e3, off * 1e3, lead,
+         "", bar(len / span_len, 40 - lead).c_str());
+  }
+
+  // Events in time order, grouped visually under the spans.
+  std::vector<const Record*> events = m.events;
+  std::sort(events.begin(), events.end(),
+            [](const Record* a, const Record* b) { return a->t0 < b->t0; });
+  std::size_t covering = 0;
+  const Record* prev_hop = nullptr;
+  for (const Record* e : events) {
+    if (e->name.rfind("covering:", 0) == 0) {
+      ++covering;
+      continue;
+    }
+    if (e->name == "movement:stats") continue;
+    std::string extra;
+    if (e->name.rfind("hop:", 0) == 0) {
+      if (prev_hop && prev_hop->name == e->name) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "  (+%.3fms since prev hop)",
+                      (e->t0 - prev_hop->t0) * 1e3);
+        extra = buf;
+      }
+      prev_hop = e;
+    }
+    outf(os, "    @%8.3fms %-14s broker=%s%s\n", (e->t0 - root.t0) * 1e3,
+         e->name.c_str(), e->attr("broker").c_str(), extra.c_str());
+  }
+  if (covering > 0) {
+    outf(os, "    covering-induced (un)subscription events: %zu\n", covering);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::size_t write_trace_report(std::istream& trace, std::istream* metrics,
+                               std::ostream& os,
+                               const TraceReportOptions& opts) {
+  std::vector<Record> records;
+  std::string line;
+  std::size_t bad_lines = 0;
+  while (std::getline(trace, line)) {
+    if (line.empty()) continue;
+    auto obj = parse_json_line(line);
+    if (!obj) {
+      ++bad_lines;
+      continue;
+    }
+    if (!obj->get("kind")) continue;  // snapshot or foreign record
+    Record r;
+    r.is_span = obj->str("kind") == "span";
+    r.trace = obj->u64("trace");
+    r.span = obj->u64("span");
+    r.parent = obj->u64("parent");
+    r.run = obj->str("run");
+    r.name = obj->str("name");
+    r.t0 = obj->num("t0");
+    r.t1 = obj->num("t1");
+    auto at = obj->objects.find("attrs");
+    if (at != obj->objects.end()) r.attrs = at->second;
+    records.push_back(std::move(r));
+  }
+  if (bad_lines > 0) {
+    outf(os, "warning: %zu unparseable lines skipped\n", bad_lines);
+  }
+
+  // Group by (run, txn): a sweep appends several runs into one file and txn
+  // ids may repeat across runs.
+  std::map<std::pair<std::string, std::uint64_t>, Movement> movements;
+  for (const Record& r : records) {
+    if (r.trace == 0) continue;
+    Movement& m = movements[{r.run, r.trace}];
+    m.txn = r.trace;
+    m.run = r.run;
+    if (r.is_span) {
+      m.spans.push_back(&r);
+      if (r.name == "movement") m.root = &r;
+    } else {
+      m.events.push_back(&r);
+      if (r.name == "movement:stats") {
+        m.have_stats = true;
+        m.messages = std::strtoull(r.attr("messages").c_str(), nullptr, 10);
+      }
+    }
+  }
+
+  // --- per-movement waterfalls ----------------------------------------------
+  std::vector<const Movement*> with_root;
+  for (const auto& [key, m] : movements) {
+    if (m.root) with_root.push_back(&m);
+  }
+  std::sort(with_root.begin(), with_root.end(),
+            [](const Movement* a, const Movement* b) {
+              return a->root->t0 < b->root->t0;
+            });
+  outf(os, "=== %zu movement(s) ===\n\n", with_root.size());
+  int shown = 0;
+  for (const Movement* m : with_root) {
+    if (opts.waterfall_limit >= 0 && shown >= opts.waterfall_limit) break;
+    print_waterfall(os, *m);
+    ++shown;
+  }
+  if (shown < static_cast<int>(with_root.size())) {
+    outf(os,
+         "... %zu more movement(s); rerun with --limit N to see them\n\n",
+         with_root.size() - shown);
+  }
+
+  // --- phase latency percentiles --------------------------------------------
+  struct PhaseStats {
+    Histogram hist;
+    double max = 0;
+  };
+  std::map<std::string, PhaseStats> phases;
+  for (const auto& [key, m] : movements) {
+    for (const Record* s : m.spans) {
+      if (s->t1 >= s->t0) {
+        PhaseStats& p = phases[s->name];
+        p.hist.observe(s->t1 - s->t0);
+        p.max = std::max(p.max, s->t1 - s->t0);
+      }
+    }
+  }
+  if (!phases.empty()) {
+    outf(os, "=== phase latency (ms) ===\n");
+    outf(os, "%-18s %8s %8s %8s %8s %8s %8s\n", "phase", "count", "mean",
+         "p50", "p95", "p99", "max");
+    for (const auto& [name, p] : phases) {
+      outf(os, "%-18s %8llu %8.3f %8.3f %8.3f %8.3f %8.3f\n", name.c_str(),
+           static_cast<unsigned long long>(p.hist.count()),
+           p.hist.mean() * 1e3, p.hist.p50() * 1e3, p.hist.p95() * 1e3,
+           p.hist.p99() * 1e3, p.max * 1e3);
+    }
+    os << '\n';
+  }
+
+  // --- hot links from metrics.jsonl -----------------------------------------
+  if (metrics != nullptr) {
+    // A sweep appends one registry snapshot per run and the counters are
+    // cumulative, so take the max across runs, not the sum.
+    std::map<std::string, std::uint64_t> links;
+    while (std::getline(*metrics, line)) {
+      if (line.empty()) continue;
+      auto obj = parse_json_line(line);
+      if (!obj || obj->str("metric") != "link_messages_total") continue;
+      auto lt = obj->objects.find("labels");
+      if (lt == obj->objects.end()) continue;
+      const std::string key = lt->second["from"] + " -> " + lt->second["to"];
+      links[key] = std::max(links[key], obj->u64("value"));
+    }
+    std::vector<std::pair<std::uint64_t, std::string>> order;
+    for (const auto& [key, n] : links) order.emplace_back(n, key);
+    std::sort(order.rbegin(), order.rend());
+    outf(os, "=== top %d hot links (messages) ===\n", opts.top_links);
+    for (int i = 0; i < opts.top_links && i < static_cast<int>(order.size());
+         ++i) {
+      outf(os, "%-12s %12llu\n", order[i].second.c_str(),
+           static_cast<unsigned long long>(order[i].first));
+    }
+  }
+  return with_root.size();
+}
+
+}  // namespace tmps::obs

@@ -1,0 +1,26 @@
+// Renders the human-readable report tools/trace_inspect prints: per-movement
+// waterfalls, phase-latency percentiles, and the hottest overlay links.
+// Lives in the obs library (instead of the tool) so tests can drive it over
+// in-memory streams.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace tmps::obs {
+
+struct TraceReportOptions {
+  /// Max movements to render as waterfalls; negative = all.
+  int waterfall_limit = 10;
+  /// Rows in the hot-link table.
+  int top_links = 10;
+};
+
+/// Reads trace JSONL from `trace` (and, when non-null, metrics JSONL from
+/// `metrics`) and writes the report to `os`. Returns the number of movement
+/// transactions found (0 also when the stream held no trace records at all).
+std::size_t write_trace_report(std::istream& trace, std::istream* metrics,
+                               std::ostream& os,
+                               const TraceReportOptions& opts = {});
+
+}  // namespace tmps::obs

@@ -25,6 +25,7 @@ SimNetwork::SimNetwork(const Overlay& overlay, BrokerConfig broker_cfg,
     : overlay_(&overlay), profile_(profile), rng_(profile.seed) {
   tracer_.set_clock([this] { return events_.now(); });
   msgs_sent_ = &metrics_.counter("sim_messages_total");
+  msgs_dropped_ = &metrics_.counter("sim_messages_dropped_total");
   link_wait_ = &metrics_.histogram("sim_link_wait_seconds");
   broker_wait_ = &metrics_.histogram("sim_broker_wait_seconds");
   brokers_.resize(overlay.broker_count() + 1);
@@ -95,6 +96,9 @@ void SimNetwork::run_local(BrokerId b,
 }
 
 void SimNetwork::send_one(BrokerId from, BrokerId to, Message msg) {
+  FaultAction fault;
+  if (fault_hook_) fault = fault_hook_(from, to, msg);
+
   if (profile_.duplicate_prob > 0) {
     std::bernoulli_distribution dup(profile_.duplicate_prob);
     if (dup(rng_)) {
@@ -106,7 +110,28 @@ void SimNetwork::send_one(BrokerId from, BrokerId to, Message msg) {
       profile_.duplicate_prob = saved;
     }
   }
+  if (fault.duplicate) {
+    // The injected copy bypasses the FIFO clamp: it models a late
+    // retransmission and may arrive after (and reordered with) traffic
+    // sent much later.
+    Message copy = msg;
+    stats_.count_message(from, to, copy.type_name(), copy.cause);
+    if (copy.cause != kNoTxn) ++outstanding_[copy.cause];
+    msgs_sent_->inc();
+    const double at = events_.now() + profile_.link_service +
+                      link(from, to).base_delay + fault.duplicate_delay;
+    events_.schedule_at(at, [this, from, to, m = std::move(copy)]() mutable {
+      arrive(from, to, std::move(m));
+    });
+  }
+
   stats_.count_message(from, to, msg.type_name(), msg.cause);
+  if (fault.drop) {
+    // A genuine loss: never arrives, and its cause tag is not incremented
+    // so causal drains above still terminate.
+    msgs_dropped_->inc();
+    return;
+  }
   if (msg.cause != kNoTxn) ++outstanding_[msg.cause];
   msgs_sent_->inc();
 
@@ -116,10 +141,16 @@ void SimNetwork::send_one(BrokerId from, BrokerId to, Message msg) {
   link_wait_->observe(start - now);
   const double depart = start + profile_.link_service;
   l.next_free = depart;
-  double at = depart + l.base_delay + jitter();
-  // Links are FIFO: jitter must not reorder messages in one direction.
-  at = std::max(at, l.last_arrival);
-  l.last_arrival = at;
+  double at = depart + l.base_delay + jitter() + fault.extra_delay;
+  if (fault.extra_delay > 0) {
+    // An injected delay deliberately breaks FIFO: later traffic may
+    // overtake this message (and l.last_arrival is left alone so it does
+    // not hold later messages back).
+  } else {
+    // Links are FIFO: jitter must not reorder messages in one direction.
+    at = std::max(at, l.last_arrival);
+    l.last_arrival = at;
+  }
   events_.schedule_at(at, [this, from, to, m = std::move(msg)]() mutable {
     arrive(from, to, std::move(m));
   });
@@ -175,6 +206,17 @@ void SimNetwork::process(BrokerId from, BrokerId to, Message msg) {
 double SimNetwork::broker_busy_seconds(BrokerId b) const {
   assert(b >= 1 && b < brokers_.size());
   return brokers_[b].busy_seconds;
+}
+
+void SimNetwork::snapshot_routing(std::vector<obs::BrokerSnapshot>& out,
+                                  bool final_snapshot) {
+  for (BrokerId b = 1; b < brokers_.size(); ++b) {
+    obs::BrokerSnapshot snap;
+    snap.time = events_.now();
+    snap.final_snapshot = final_snapshot;
+    brokers_[b].broker->snapshot(snap);
+    out.push_back(std::move(snap));
+  }
 }
 
 void SimNetwork::pause_broker(BrokerId b, double duration) {

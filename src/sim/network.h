@@ -58,6 +58,22 @@ struct NetworkProfile {
   static NetworkProfile planetlab();
 };
 
+/// What a fault hook does to one message about to enter a link. Default:
+/// deliver normally.
+struct FaultAction {
+  /// The message never arrives (a genuine loss — unlike pause_*, which only
+  /// delays). Its cause tag is NOT incremented, so causal drains still
+  /// terminate; the protocol above must cope or time out.
+  bool drop = false;
+  /// A second copy arrives after `duplicate_delay` extra seconds, bypassing
+  /// the link's FIFO clamp (a late retransmission, possibly reordered).
+  bool duplicate = false;
+  double duplicate_delay = 0;
+  /// Extra latency on the message itself; a delayed message also bypasses
+  /// the FIFO clamp, so later traffic may overtake it.
+  double extra_delay = 0;
+};
+
 class SimNetwork final : public RuntimeEnv {
  public:
   SimNetwork(const Overlay& overlay, BrokerConfig broker_cfg = {},
@@ -94,11 +110,28 @@ class SimNetwork final : public RuntimeEnv {
   void pause_broker(BrokerId b, double duration);
   void pause_link(BrokerId a, BrokerId b, double duration);
 
+  /// Unmasked message faults (drop/duplicate/delay): consulted for every
+  /// message entering a link. Used by FailureInjector to violate the
+  /// paper's fault model on purpose so the auditor has something to catch.
+  using FaultHook =
+      std::function<FaultAction(BrokerId from, BrokerId to, const Message&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   void run() { events_.run(); }
   void run_until(SimTime t) { events_.run_until(t); }
 
   /// Messages still in flight for a cause tag (test visibility).
   std::uint64_t outstanding(TxnId cause) const;
+
+  /// All causes with messages still in flight (entries are erased when a
+  /// cause drains, so leftovers are genuinely outstanding). The auditor's
+  /// quiescence check reads this after the run.
+  const std::map<TxnId, std::uint64_t>& outstanding_causes() const {
+    return outstanding_;
+  }
+
+  void snapshot_routing(std::vector<obs::BrokerSnapshot>& out,
+                        bool final_snapshot = false) override;
 
   /// Cumulative processing (busy) time of a broker — utilization evidence
   /// for the congestion analysis (busy / now = utilization).
@@ -133,8 +166,10 @@ class SimNetwork final : public RuntimeEnv {
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
   obs::Counter* msgs_sent_ = nullptr;
+  obs::Counter* msgs_dropped_ = nullptr;
   obs::Histogram* link_wait_ = nullptr;
   obs::Histogram* broker_wait_ = nullptr;
+  FaultHook fault_hook_;
   std::mt19937_64 rng_;
   std::vector<BrokerState> brokers_;  // index by BrokerId (1-based)
   std::map<std::pair<BrokerId, BrokerId>, LinkState> links_;

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "common/ids.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/stats.h"
@@ -38,6 +40,15 @@ class RuntimeEnv {
   /// Metrics registry of this host; nullptr when the host does not provide
   /// one. Instrumented components cache the metric handles they register.
   virtual obs::MetricsRegistry* metrics() { return nullptr; }
+
+  /// Appends one routing snapshot per hosted broker (obs/introspect.h).
+  /// `final_snapshot` marks an end-of-run capture, which arms the auditor's
+  /// orphan/quiescence checks. Default: the host has no snapshot support.
+  virtual void snapshot_routing(std::vector<obs::BrokerSnapshot>& out,
+                                bool final_snapshot = false) {
+    (void)out;
+    (void)final_snapshot;
+  }
 };
 
 }  // namespace tmps

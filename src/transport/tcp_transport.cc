@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "pubsub/codec.h"
 
@@ -50,9 +51,9 @@ constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB sanity bound
 }  // namespace
 
 TcpTransport::TcpTransport(const Overlay& overlay, std::uint16_t base_port,
-                           BrokerConfig broker_cfg,
-                           MobilityConfig mobility_cfg)
-    : overlay_(&overlay), base_port_(base_port) {
+                           BrokerConfig broker_cfg, MobilityConfig mobility_cfg,
+                           AdminConfig admin_cfg)
+    : overlay_(&overlay), base_port_(base_port), admin_cfg_(admin_cfg) {
   tracer_.set_clock([this] { return now(); });
   frames_sent_ = &metrics_.counter("tcp_frames_sent_total");
   bytes_sent_ = &metrics_.counter("tcp_bytes_sent_total");
@@ -83,6 +84,11 @@ MobilityEngine& TcpTransport::engine(BrokerId b) {
 
 std::uint16_t TcpTransport::port_of(BrokerId b) const {
   return nodes_[b]->port;
+}
+
+std::uint16_t TcpTransport::admin_port_of(BrokerId b) const {
+  const Node& node = *nodes_[b];
+  return node.admin ? node.admin->port() : 0;
 }
 
 SimTime TcpTransport::now() const {
@@ -120,6 +126,7 @@ bool TcpTransport::start() {
   }
 
   if (!connect_links()) return false;
+  if (admin_cfg_.enabled && !start_admin()) return false;
 
   // Wait until every node holds a link to each of its neighbours (the
   // accepting side registers asynchronously).
@@ -136,6 +143,59 @@ bool TcpTransport::start() {
   }
 
   timer_thread_ = std::thread([this] { timer_loop(); });
+  return true;
+}
+
+obs::BrokerSnapshot TcpTransport::snapshot_one(BrokerId b) {
+  Node& node = *nodes_[b];
+  obs::BrokerSnapshot snap;
+  snap.time = now();
+  std::lock_guard lock(node.state_mu);
+  node.broker->snapshot(snap);
+  return snap;
+}
+
+void TcpTransport::snapshot_routing(std::vector<obs::BrokerSnapshot>& out,
+                                    bool final_snapshot) {
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    obs::BrokerSnapshot snap = snapshot_one(b);
+    snap.final_snapshot = final_snapshot;
+    out.push_back(std::move(snap));
+  }
+}
+
+bool TcpTransport::start_admin() {
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    Node& node = *nodes_[b];
+    node.admin = std::make_unique<HttpAdminServer>();
+    node.admin->add_route("/healthz", [this, b, &node]() -> HttpResponse {
+      const obs::BrokerSnapshot snap = snapshot_one(b);
+      std::size_t peers = 0;
+      {
+        std::lock_guard lock(node.peers_mu);
+        peers = node.peer_fd.size();
+      }
+      std::ostringstream os;
+      os << "{\"status\":\"ok\",\"broker\":" << b << ",\"time\":" << now()
+         << ",\"peers\":" << peers
+         << ",\"hosted_clients\":" << snap.clients.size()
+         << ",\"in_flight_txns\":" << snap.txns.size() << "}\n";
+      return {200, "application/json", os.str()};
+    });
+    node.admin->add_route("/metrics", [this]() -> HttpResponse {
+      std::ostringstream os;
+      metrics_.write_prometheus(os);
+      return {200, "text/plain; version=0.0.4; charset=utf-8", os.str()};
+    });
+    node.admin->add_route("/routing", [this, b]() -> HttpResponse {
+      return {200, "application/x-ndjson", snapshot_one(b).to_jsonl() + "\n"};
+    });
+    const std::uint16_t port =
+        admin_cfg_.base_port == 0
+            ? 0
+            : static_cast<std::uint16_t>(admin_cfg_.base_port + b);
+    if (!node.admin->start(port)) return false;
+  }
   return true;
 }
 
@@ -373,6 +433,10 @@ void TcpTransport::dump_observability(const std::string& trace_path,
 
 void TcpTransport::stop() {
   if (!running_.exchange(false)) return;
+  // Admin servers first: their handlers lock broker state.
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    if (nodes_[b]->admin) nodes_[b]->admin->stop();
+  }
   timer_cv_.notify_all();
   for (BrokerId b = 1; b < nodes_.size(); ++b) {
     Node& node = *nodes_[b];

@@ -23,15 +23,26 @@
 
 #include "core/mobility_engine.h"
 #include "sim/runtime_env.h"
+#include "transport/http_admin.h"
 
 namespace tmps {
+
+/// Per-broker HTTP admin endpoints (/healthz, /metrics, /routing). Off by
+/// default; hosts opt in. Loopback only.
+struct AdminConfig {
+  bool enabled = false;
+  /// Broker b listens on base_port + b; 0 = OS-assigned ephemeral ports
+  /// (read them back via admin_port_of).
+  std::uint16_t base_port = 0;
+};
 
 class TcpTransport final : public RuntimeEnv {
  public:
   /// Brokers listen on 127.0.0.1:base_port+broker_id. Pass base_port = 0 to
   /// let the OS pick ephemeral ports (recommended for tests).
   TcpTransport(const Overlay& overlay, std::uint16_t base_port = 0,
-               BrokerConfig broker_cfg = {}, MobilityConfig mobility_cfg = {});
+               BrokerConfig broker_cfg = {}, MobilityConfig mobility_cfg = {},
+               AdminConfig admin_cfg = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -45,6 +56,9 @@ class TcpTransport final : public RuntimeEnv {
   const Overlay& overlay() const { return *overlay_; }
   MobilityEngine& engine(BrokerId b);
   std::uint16_t port_of(BrokerId b) const;
+  /// Admin endpoint port of broker b (0 when the admin plane is disabled or
+  /// not yet started).
+  std::uint16_t admin_port_of(BrokerId b) const;
 
   /// Runs a client operation on broker `b` under its lock and transmits the
   /// resulting messages over the sockets.
@@ -71,20 +85,27 @@ class TcpTransport final : public RuntimeEnv {
   void on_cause_drained(TxnId cause, std::function<void()> fn) override;
   obs::Tracer* tracer() override { return &tracer_; }
   obs::MetricsRegistry* metrics() override { return &metrics_; }
+  void snapshot_routing(std::vector<obs::BrokerSnapshot>& out,
+                        bool final_snapshot = false) override;
 
  private:
   struct Node {
     std::unique_ptr<Broker> broker;
     std::unique_ptr<MobilityEngine> engine;
     std::mutex state_mu;
-    int listen_fd = -1;
+    // Atomic: stop() resets it while the accept thread is still reading.
+    std::atomic<int> listen_fd{-1};
     std::uint16_t port = 0;
     std::thread accept_thread;
     // Established links to neighbours: fd per peer, guarded for writes.
     std::mutex peers_mu;
     std::map<BrokerId, int> peer_fd;
     std::vector<std::thread> readers;
+    std::unique_ptr<HttpAdminServer> admin;
   };
+
+  obs::BrokerSnapshot snapshot_one(BrokerId b);
+  bool start_admin();
 
   bool connect_links();
   void accept_loop(BrokerId b);
@@ -97,6 +118,7 @@ class TcpTransport final : public RuntimeEnv {
 
   const Overlay* overlay_;
   std::uint16_t base_port_;
+  AdminConfig admin_cfg_;
   // Declared before nodes_: brokers/engines cache handles into these.
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;

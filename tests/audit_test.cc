@@ -1,0 +1,290 @@
+// Movement-invariant auditor (obs/audit.h): synthetic feeds exercising each
+// invariant check, plus end-to-end clean runs under both protocols (the
+// auditor must stay silent when nothing is wrong).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.h"
+#include "obs/audit.h"
+#include "obs/trace.h"
+
+namespace tmps {
+namespace {
+
+// The end-to-end tests reconstruct movement windows from tracer spans,
+// which a -DTMPS_TRACING=OFF build compiles away.
+#if TMPS_TRACING_ENABLED
+#define TMPS_REQUIRE_TRACING()
+#else
+#define TMPS_REQUIRE_TRACING() \
+  GTEST_SKIP() << "instrumentation sites compiled out (TMPS_TRACING=OFF)"
+#endif
+
+using obs::InvariantKind;
+
+bool has_kind(const obs::AuditReport& r, InvariantKind kind) {
+  for (const auto& v : r.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+const obs::InvariantViolation* find_kind(const obs::AuditReport& r,
+                                         InvariantKind kind) {
+  for (const auto& v : r.violations) {
+    if (v.kind == kind) return &v;
+  }
+  return nullptr;
+}
+
+obs::TraceRecord movement_span(std::uint64_t txn, std::uint64_t client,
+                               std::uint32_t source, std::uint32_t target,
+                               const std::string& protocol, double t0,
+                               double t1, bool open,
+                               const std::string& outcome = "commit") {
+  obs::TraceRecord r;
+  r.is_span = true;
+  r.trace = txn;
+  r.span = txn * 10;
+  r.name = "movement";
+  r.t0 = t0;
+  r.t1 = t1;
+  r.open = open;
+  r.attrs = {{"client", std::to_string(client)},
+             {"source", std::to_string(source)},
+             {"target", std::to_string(target)},
+             {"protocol", protocol}};
+  if (!open) r.attrs.emplace_back("outcome", outcome);
+  return r;
+}
+
+obs::TraceRecord hop_event(std::uint64_t txn, const std::string& name,
+                           std::uint32_t broker, double t) {
+  obs::TraceRecord r;
+  r.trace = txn;
+  r.name = name;
+  r.t0 = t;
+  r.attrs = {{"broker", std::to_string(broker)}};
+  return r;
+}
+
+// --- synthetic feeds --------------------------------------------------------
+
+TEST(Auditor, CleanSyntheticMovementPasses) {
+  obs::Auditor a;
+  a.set_path_fn([](std::uint32_t, std::uint32_t) {
+    return std::vector<std::uint32_t>{1, 2, 3};
+  });
+  std::vector<obs::TraceRecord> recs;
+  recs.push_back(movement_span(7, 1005, 1, 3, "reconfig", 10.0, 10.4, false));
+  recs.push_back(hop_event(7, "hop:approve", 2, 10.1));
+  recs.push_back(hop_event(7, "hop:approve", 1, 10.2));
+  recs.push_back(hop_event(7, "hop:state", 2, 10.3));
+  recs.push_back(hop_event(7, "hop:state", 3, 10.4));
+  a.ingest_trace(recs);
+  const auto report = a.finish();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.movements_checked, 1u);
+}
+
+TEST(Auditor, MissingStateHopIsPathInconsistent) {
+  obs::Auditor a;
+  a.set_path_fn([](std::uint32_t, std::uint32_t) {
+    return std::vector<std::uint32_t>{1, 2, 3};
+  });
+  std::vector<obs::TraceRecord> recs;
+  recs.push_back(movement_span(7, 1005, 1, 3, "reconfig", 10.0, 10.4, false));
+  recs.push_back(hop_event(7, "hop:approve", 2, 10.1));
+  recs.push_back(hop_event(7, "hop:approve", 1, 10.2));
+  recs.push_back(hop_event(7, "hop:state", 3, 10.4));  // broker 2 skipped
+  a.ingest_trace(recs);
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::PathConsistency);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->txn, 7u);
+  EXPECT_EQ(v->broker, 2u);
+  EXPECT_EQ(v->client, 1005u);
+}
+
+TEST(Auditor, AbortMustReachEveryApprovedBroker) {
+  obs::Auditor a;
+  a.set_path_fn([](std::uint32_t, std::uint32_t) {
+    return std::vector<std::uint32_t>{1, 2, 3};
+  });
+  std::vector<obs::TraceRecord> recs;
+  recs.push_back(
+      movement_span(9, 1005, 1, 3, "reconfig", 10.0, 10.4, false, "abort"));
+  recs.push_back(hop_event(9, "hop:approve", 2, 10.1));
+  recs.push_back(hop_event(9, "hop:approve", 1, 10.2));
+  // No hop:abort at broker 2 -> its shadow was never cleaned up.
+  a.ingest_trace(recs);
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::PathConsistency);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->txn, 9u);
+  EXPECT_EQ(v->broker, 2u);
+}
+
+TEST(Auditor, OpenMovementSpanBreaksQuiescence) {
+  obs::Auditor a;
+  a.ingest_trace({movement_span(5, 1001, 2, 14, "reconfig", 20.0, 0, true)});
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::Quiescence);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->txn, 5u);
+  EXPECT_EQ(v->broker, 2u);
+  EXPECT_EQ(v->client, 1001u);
+}
+
+TEST(Auditor, OutstandingMessagesAfterResolveBreakQuiescence) {
+  obs::Auditor a;
+  a.ingest_trace({movement_span(5, 1001, 2, 14, "reconfig", 20.0, 21.0,
+                                false)});
+  a.set_outstanding(5, 3);
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::Quiescence);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->txn, 5u);
+}
+
+TEST(Auditor, ShadowInFinalSnapshotIsOrphanState) {
+  obs::Auditor a;
+  obs::BrokerSnapshot snap;
+  snap.broker = 4;
+  snap.time = 60.0;
+  snap.final_snapshot = true;
+  obs::EntrySnap e;
+  e.id = "1005:2";
+  e.lasthop = "B1";
+  e.has_shadow = true;
+  e.shadow_lasthop = "B5";
+  e.shadow_txn = 42;
+  snap.prt.push_back(e);
+  a.ingest_snapshot(snap);
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::OrphanState);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->txn, 42u);
+  EXPECT_EQ(v->broker, 4u);
+}
+
+TEST(Auditor, DuplicateDeliveryIsFlagged) {
+  obs::Auditor a;
+  a.expect_delivery(1005, "7:3", 30.0);
+  a.on_delivery(1005, "7:3", 30.1);
+  a.on_delivery(1005, "7:3", 30.2);
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::DuplicateDelivery);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->client, 1005u);
+}
+
+TEST(Auditor, LostDeliveryIsFlagged) {
+  obs::Auditor a;
+  a.expect_delivery(1005, "7:3", 30.0);
+  const auto report = a.finish();
+  const auto* v = find_kind(report, InvariantKind::LostDelivery);
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->client, 1005u);
+  EXPECT_EQ(report.deliveries_checked, 0u);
+}
+
+TEST(Auditor, CoveringWindowLossIsInformational) {
+  obs::Auditor a;
+  a.ingest_trace({movement_span(5, 1005, 1, 13, "covering", 29.0, 31.0,
+                                false)});
+  a.expect_delivery(1005, "7:3", 30.0);  // inside the hand-off window
+  const auto report = a.finish();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.expected_mover_losses, 1u);
+}
+
+TEST(Auditor, CoveringWindowDuplicateIsStillAViolation) {
+  obs::Auditor a;
+  a.ingest_trace({movement_span(5, 1005, 1, 13, "covering", 29.0, 31.0,
+                                false)});
+  a.on_delivery(1005, "7:3", 29.5);
+  a.on_delivery(1005, "7:3", 30.5);
+  const auto report = a.finish();
+  EXPECT_TRUE(has_kind(report, InvariantKind::DuplicateDelivery))
+      << report.summary();
+}
+
+TEST(Auditor, StreamFeedsMatchInMemoryFeeds) {
+  // The JSONL ingest path (tools/tmps_audit) must reach the same verdict as
+  // the in-memory path (Scenario).
+  obs::Auditor a;
+  std::istringstream trace(
+      "{\"kind\":\"span\",\"trace\":5,\"span\":50,\"name\":\"movement\","
+      "\"t0\":20.0,\"t1\":0,\"open\":true,\"attrs\":{\"client\":\"1001\","
+      "\"source\":\"2\",\"target\":\"14\",\"protocol\":\"reconfig\"}}\n"
+      "{\"kind\":\"metric\",\"name\":\"ignored\"}\n");
+  a.ingest_trace_stream(trace);
+  obs::BrokerSnapshot snap;
+  snap.broker = 4;
+  snap.final_snapshot = true;
+  obs::EntrySnap e;
+  e.id = "1001:1";
+  e.lasthop = "B1";
+  e.has_shadow = true;
+  e.shadow_txn = 5;
+  snap.prt.push_back(e);
+  std::stringstream snaps;
+  snap.write_jsonl(snaps);
+  a.ingest_snapshot_stream(snaps);
+  const auto report = a.finish();
+  EXPECT_TRUE(has_kind(report, InvariantKind::Quiescence)) << report.summary();
+  EXPECT_TRUE(has_kind(report, InvariantKind::OrphanState))
+      << report.summary();
+  EXPECT_EQ(report.movements_checked, 1u);
+  EXPECT_EQ(report.snapshots_checked, 1u);
+}
+
+// --- end-to-end clean runs --------------------------------------------------
+
+ScenarioConfig small(MobilityProtocol proto, WorkloadKind wl) {
+  ScenarioConfig cfg;
+  cfg.mobility.protocol = proto;
+  cfg.broker.subscription_covering = proto == MobilityProtocol::Traditional;
+  cfg.broker.advertisement_covering = proto == MobilityProtocol::Traditional;
+  cfg.workload = wl;
+  cfg.total_clients = 40;
+  cfg.duration = 60.0;
+  cfg.warmup = 20.0;
+  cfg.pause_between_moves = 5.0;
+  cfg.publish_interval = 2.0;
+  cfg.seed = 11;
+  cfg.audit = true;
+  return cfg;
+}
+
+TEST(AuditorScenario, CleanReconfigRunIsGreen) {
+  TMPS_REQUIRE_TRACING();
+  Scenario s(small(MobilityProtocol::Reconfiguration, WorkloadKind::Covered));
+  s.run();
+  const auto& report = s.audit_report();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.movements_checked, 0u);
+  EXPECT_EQ(report.snapshots_checked, 14u);
+  EXPECT_GT(report.deliveries_checked, 0u);
+}
+
+TEST(AuditorScenario, CleanTraditionalRunIsGreen) {
+  TMPS_REQUIRE_TRACING();
+  Scenario s(small(MobilityProtocol::Traditional, WorkloadKind::Covered));
+  s.run();
+  const auto& report = s.audit_report();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.movements_checked, 0u);
+}
+
+TEST(AuditorScenario, CleanTreeWorkloadRunIsGreen) {
+  TMPS_REQUIRE_TRACING();
+  Scenario s(small(MobilityProtocol::Reconfiguration, WorkloadKind::Tree));
+  s.run();
+  EXPECT_TRUE(s.audit_report().clean()) << s.audit_report().summary();
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,167 @@
+// Routing-state introspection (obs/introspect.h): JSONL round-trips,
+// version gating, and live snapshots taken from a full scenario run.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/scenario.h"
+#include "obs/introspect.h"
+
+namespace tmps {
+namespace {
+
+obs::BrokerSnapshot sample_snapshot() {
+  obs::BrokerSnapshot snap;
+  snap.run = "unit:introspect";
+  snap.broker = 3;
+  snap.time = 12.5;
+  snap.final_snapshot = true;
+  snap.sub_covering = true;
+  snap.adv_covering = false;
+  snap.neighbors = {1, 4, 7};
+
+  obs::EntrySnap sub;
+  sub.id = "1005:2";
+  sub.filter = "[class = A, x > 10]";
+  sub.lasthop = "B1";
+  sub.forwarded_to = {"B4", "C1005"};
+  sub.has_shadow = true;
+  sub.shadow_lasthop = "B4";
+  sub.shadow_txn = 42;
+  sub.shadow_only = false;
+  snap.prt.push_back(sub);
+
+  obs::EntrySnap adv;
+  adv.id = "7:1";
+  adv.filter = "[class = *]";
+  adv.lasthop = "C7";
+  snap.srt.push_back(adv);
+
+  obs::TxnSnap txn;
+  txn.txn = 42;
+  txn.role = "source";
+  txn.state = "Prepare";
+  txn.client = 1005;
+  txn.peer = 9;
+  snap.txns.push_back(txn);
+
+  obs::ClientSnap client;
+  client.id = 1005;
+  client.state = "PauseMove";
+  client.buffered_notifications = 3;
+  client.queued_commands = 1;
+  client.subscriptions = 2;
+  client.advertisements = 0;
+  snap.clients.push_back(client);
+  return snap;
+}
+
+TEST(Introspect, JsonlRoundTrip) {
+  const obs::BrokerSnapshot in = sample_snapshot();
+  const std::string line = in.to_jsonl();
+  const auto out = obs::BrokerSnapshot::from_jsonl(line);
+  ASSERT_TRUE(out.has_value()) << line;
+
+  EXPECT_EQ(out->version, obs::kSnapshotVersion);
+  EXPECT_EQ(out->run, in.run);
+  EXPECT_EQ(out->broker, in.broker);
+  EXPECT_DOUBLE_EQ(out->time, in.time);
+  EXPECT_EQ(out->final_snapshot, in.final_snapshot);
+  EXPECT_EQ(out->sub_covering, in.sub_covering);
+  EXPECT_EQ(out->adv_covering, in.adv_covering);
+  EXPECT_EQ(out->neighbors, in.neighbors);
+
+  ASSERT_EQ(out->prt.size(), 1u);
+  const obs::EntrySnap& sub = out->prt[0];
+  EXPECT_EQ(sub.id, "1005:2");
+  EXPECT_EQ(sub.filter, in.prt[0].filter);
+  EXPECT_EQ(sub.lasthop, "B1");
+  EXPECT_EQ(sub.forwarded_to, in.prt[0].forwarded_to);
+  EXPECT_TRUE(sub.has_shadow);
+  EXPECT_EQ(sub.shadow_lasthop, "B4");
+  EXPECT_EQ(sub.shadow_txn, 42u);
+  EXPECT_FALSE(sub.shadow_only);
+
+  ASSERT_EQ(out->srt.size(), 1u);
+  EXPECT_EQ(out->srt[0].id, "7:1");
+  EXPECT_FALSE(out->srt[0].has_shadow);
+
+  ASSERT_EQ(out->txns.size(), 1u);
+  EXPECT_EQ(out->txns[0].txn, 42u);
+  EXPECT_EQ(out->txns[0].role, "source");
+  EXPECT_EQ(out->txns[0].state, "Prepare");
+  EXPECT_EQ(out->txns[0].client, 1005u);
+  EXPECT_EQ(out->txns[0].peer, 9u);
+
+  ASSERT_EQ(out->clients.size(), 1u);
+  EXPECT_EQ(out->clients[0].id, 1005u);
+  EXPECT_EQ(out->clients[0].state, "PauseMove");
+  EXPECT_EQ(out->clients[0].buffered_notifications, 3u);
+  EXPECT_EQ(out->clients[0].queued_commands, 1u);
+  EXPECT_EQ(out->clients[0].subscriptions, 2u);
+
+  EXPECT_TRUE(out->has_pending_shadows());
+}
+
+TEST(Introspect, RejectsNewerVersion) {
+  obs::BrokerSnapshot snap = sample_snapshot();
+  snap.version = obs::kSnapshotVersion + 1;
+  EXPECT_FALSE(obs::BrokerSnapshot::from_jsonl(snap.to_jsonl()).has_value());
+}
+
+TEST(Introspect, RejectsGarbage) {
+  EXPECT_FALSE(obs::BrokerSnapshot::from_jsonl("not json").has_value());
+  EXPECT_FALSE(obs::BrokerSnapshot::from_jsonl("{}").has_value());
+}
+
+TEST(Introspect, ReadSnapshotsSkipsForeignLines) {
+  std::stringstream ss;
+  ss << "{\"kind\":\"span\",\"trace\":1}\n";  // a trace record, not a snapshot
+  sample_snapshot().write_jsonl(ss);
+  ss << "\n";  // blank line
+  sample_snapshot().write_jsonl(ss);
+  const auto snaps = obs::read_snapshots(ss);
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].broker, 3u);
+}
+
+TEST(Introspect, ScenarioWritesFinalSnapshotsPerBroker) {
+  ScenarioConfig cfg;
+  cfg.mobility.protocol = MobilityProtocol::Reconfiguration;
+  cfg.broker.subscription_covering = false;
+  cfg.broker.advertisement_covering = false;
+  cfg.total_clients = 40;
+  cfg.duration = 60.0;
+  cfg.warmup = 20.0;
+  cfg.pause_between_moves = 5.0;
+  cfg.publish_interval = 2.0;
+  cfg.seed = 11;
+  cfg.run_label = "introspect-test";
+  cfg.snapshot_path = ::testing::TempDir() + "/introspect_snaps.jsonl";
+
+  Scenario s(cfg);
+  s.run();
+
+  std::ifstream is(cfg.snapshot_path);
+  ASSERT_TRUE(is.good());
+  const auto snaps = obs::read_snapshots(is);
+  ASSERT_EQ(snaps.size(), 14u);  // one per paper-topology broker
+
+  std::size_t prt_entries = 0, clients = 0;
+  for (const obs::BrokerSnapshot& snap : snaps) {
+    EXPECT_TRUE(snap.final_snapshot);
+    EXPECT_EQ(snap.run, "introspect-test");
+    EXPECT_FALSE(snap.neighbors.empty());
+    // A clean run leaves no shadow state behind.
+    EXPECT_FALSE(snap.has_pending_shadows()) << "broker " << snap.broker;
+    EXPECT_TRUE(snap.txns.empty()) << "broker " << snap.broker;
+    prt_entries += snap.prt.size();
+    clients += snap.clients.size();
+  }
+  EXPECT_GT(prt_entries, 0u);
+  EXPECT_GE(clients, 40u);  // every subscriber is hosted somewhere
+}
+
+}  // namespace
+}  // namespace tmps

@@ -1,0 +1,123 @@
+// Smoke tests of the command-line observability tools: generate a real
+// trace/snapshot pair with the scenario driver, then run the installed
+// trace_inspect and tmps_audit binaries on it and check their output.
+// Binary locations are injected by CMake (TMPS_TRACE_INSPECT_BIN /
+// TMPS_AUDIT_BIN).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.h"
+#include "obs/introspect.h"
+#include "obs/trace.h"
+
+namespace tmps {
+namespace {
+
+/// Runs `cmd`, capturing stdout+stderr into `out`; returns the exit code
+/// (-1 when the shell could not run it).
+int run_capture(const std::string& cmd, const std::string& out_file,
+                std::string& out) {
+  const int rc = std::system((cmd + " > " + out_file + " 2>&1").c_str());
+  std::ifstream is(out_file);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  if (rc == -1) return -1;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+class ToolsSmoke : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(::testing::TempDir() + "/tools_smoke");
+    std::system(("mkdir -p " + *dir_).c_str());
+    ScenarioConfig cfg;
+    cfg.mobility.protocol = MobilityProtocol::Reconfiguration;
+    cfg.broker.subscription_covering = false;
+    cfg.broker.advertisement_covering = false;
+    cfg.total_clients = 40;
+    cfg.duration = 60.0;
+    cfg.warmup = 20.0;
+    cfg.pause_between_moves = 5.0;
+    cfg.publish_interval = 2.0;
+    cfg.seed = 11;
+    cfg.run_label = "tools-smoke";
+    cfg.trace_path = *dir_ + "/trace.jsonl";
+    cfg.metrics_path = *dir_ + "/metrics.jsonl";
+    cfg.snapshot_path = *dir_ + "/snapshots.jsonl";
+    Scenario s(cfg);
+    s.run();
+  }
+
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string* dir_;
+};
+
+std::string* ToolsSmoke::dir_ = nullptr;
+
+TEST_F(ToolsSmoke, TraceInspectRendersWaterfall) {
+#if !TMPS_TRACING_ENABLED
+  GTEST_SKIP() << "instrumentation sites compiled out (TMPS_TRACING=OFF)";
+#endif
+  std::string out;
+  const int rc = run_capture(std::string(TMPS_TRACE_INSPECT_BIN) + " " +
+                                 *dir_ + "/trace.jsonl " + *dir_ +
+                                 "/metrics.jsonl --limit 3",
+                             *dir_ + "/inspect.out", out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("movement txn="), std::string::npos) << out;
+  EXPECT_NE(out.find("outcome=commit"), std::string::npos) << out;
+}
+
+TEST_F(ToolsSmoke, AuditCliIsGreenOnCleanRun) {
+  std::string out;
+  const int rc = run_capture(std::string(TMPS_AUDIT_BIN) + " " + *dir_ +
+                                 "/trace.jsonl --snapshots " + *dir_ +
+                                 "/snapshots.jsonl",
+                             *dir_ + "/audit.out", out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("0 violation(s)"), std::string::npos) << out;
+}
+
+TEST_F(ToolsSmoke, AuditCliFlagsDoctoredSnapshots) {
+  // Append a forged final snapshot carrying shadow state: the CLI must
+  // exit non-zero and name the orphan.
+  {
+    std::ofstream os(*dir_ + "/bad_snaps.jsonl");
+    std::ifstream is(*dir_ + "/snapshots.jsonl");
+    os << is.rdbuf();
+    obs::BrokerSnapshot forged;
+    forged.run = "tools-smoke";
+    forged.broker = 4;
+    forged.time = 1e6;  // later than the run's real final snapshots
+    forged.final_snapshot = true;
+    obs::EntrySnap e;
+    e.id = "1001:1";
+    e.filter = "f";
+    e.lasthop = "B1";
+    e.has_shadow = true;
+    e.shadow_lasthop = "B5";
+    e.shadow_txn = 9999;
+    forged.prt.push_back(e);
+    forged.write_jsonl(os);
+  }
+  std::string out;
+  const int rc = run_capture(std::string(TMPS_AUDIT_BIN) + " " + *dir_ +
+                                 "/trace.jsonl --snapshots " + *dir_ +
+                                 "/bad_snaps.jsonl",
+                             *dir_ + "/audit_bad.out", out);
+  EXPECT_EQ(rc, 1) << out;
+  EXPECT_NE(out.find("orphan-state"), std::string::npos) << out;
+  EXPECT_NE(out.find("9999"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace tmps

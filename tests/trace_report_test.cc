@@ -1,0 +1,65 @@
+// The trace-inspector report renderer (obs/trace_report.h) over in-memory
+// streams: a traced scenario run must yield movement waterfalls.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/scenario.h"
+#include "obs/trace.h"
+#include "obs/trace_report.h"
+
+namespace tmps {
+namespace {
+
+ScenarioConfig traced_small(const std::string& dir) {
+  ScenarioConfig cfg;
+  cfg.mobility.protocol = MobilityProtocol::Reconfiguration;
+  cfg.broker.subscription_covering = false;
+  cfg.broker.advertisement_covering = false;
+  cfg.total_clients = 40;
+  cfg.duration = 60.0;
+  cfg.warmup = 20.0;
+  cfg.pause_between_moves = 5.0;
+  cfg.publish_interval = 2.0;
+  cfg.seed = 11;
+  cfg.run_label = "trace-report-test";
+  cfg.trace_path = dir + "/trace.jsonl";
+  cfg.metrics_path = dir + "/metrics.jsonl";
+  return cfg;
+}
+
+TEST(TraceReport, RendersWaterfallsFromScenarioTrace) {
+#if !TMPS_TRACING_ENABLED
+  GTEST_SKIP() << "instrumentation sites compiled out (TMPS_TRACING=OFF)";
+#endif
+  const std::string dir = ::testing::TempDir();
+  Scenario s(traced_small(dir));
+  s.run();
+  ASSERT_GT(s.movements(), 0u);
+
+  std::ifstream trace(dir + "/trace.jsonl");
+  ASSERT_TRUE(trace.good());
+  std::ifstream metrics(dir + "/metrics.jsonl");
+  ASSERT_TRUE(metrics.good());
+
+  std::ostringstream os;
+  obs::TraceReportOptions opts;
+  opts.waterfall_limit = 3;
+  const std::size_t n = obs::write_trace_report(trace, &metrics, os, opts);
+  EXPECT_GT(n, 0u);
+
+  const std::string report = os.str();
+  EXPECT_NE(report.find("movement txn="), std::string::npos) << report;
+  EXPECT_NE(report.find("protocol=reconfig"), std::string::npos) << report;
+  EXPECT_NE(report.find("outcome=commit"), std::string::npos) << report;
+}
+
+TEST(TraceReport, EmptyStreamYieldsNoMovements) {
+  std::istringstream trace("");
+  std::ostringstream os;
+  EXPECT_EQ(obs::write_trace_report(trace, nullptr, os, {}), 0u);
+}
+
+}  // namespace
+}  // namespace tmps

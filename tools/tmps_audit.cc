@@ -1,0 +1,101 @@
+// Offline movement-invariant auditor: replays the observability streams a
+// run left behind — trace JSONL (movement spans + per-hop events) and,
+// optionally, routing snapshots — through obs::Auditor and reports every
+// invariant violation with the offending TxnId and broker.
+//
+// Bench sweeps append multiple runs into one file (each record carries a
+// "run" label and TxnIds repeat across runs), so lines are grouped by run
+// and each run gets its own Auditor.
+//
+// Usage:  tmps_audit <trace.jsonl> [--snapshots snaps.jsonl] [--quiet]
+//
+// Exit status: 0 when every run is clean, 1 when any invariant was violated,
+// 2 on usage/IO errors.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+#include "obs/json_read.h"
+
+namespace {
+
+// Buckets a JSONL file's lines by their "run" label (empty = unlabeled).
+bool bucket_by_run(const std::string& path,
+                   std::map<std::string, std::string>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string run;
+    if (auto obj = tmps::obs::parse_json_line(line)) run = obj->str("run");
+    out[run] += line;
+    out[run] += '\n';
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string snapshot_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--snapshots" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: tmps_audit <trace.jsonl> [--snapshots snaps.jsonl] "
+                 "[--quiet]\n");
+    return 2;
+  }
+
+  std::map<std::string, std::string> trace_runs;
+  std::map<std::string, std::string> snap_runs;
+  if (!bucket_by_run(trace_path, trace_runs)) return 2;
+  if (!snapshot_path.empty() && !bucket_by_run(snapshot_path, snap_runs))
+    return 2;
+  // Runs that only produced snapshots still get audited.
+  for (const auto& [run, lines] : snap_runs) trace_runs.try_emplace(run);
+
+  std::size_t total_violations = 0;
+  std::size_t total_movements = 0;
+  for (const auto& [run, lines] : trace_runs) {
+    tmps::obs::Auditor auditor;
+    std::istringstream trace(lines);
+    auditor.ingest_trace_stream(trace);
+    if (auto it = snap_runs.find(run); it != snap_runs.end()) {
+      std::istringstream snaps(it->second);
+      auditor.ingest_snapshot_stream(snaps);
+    }
+    const tmps::obs::AuditReport report = auditor.finish();
+    total_violations += report.violations.size();
+    total_movements += report.movements_checked;
+    if (!quiet || !report.clean()) {
+      std::printf("== run %s ==\n", run.empty() ? "(unlabeled)" : run.c_str());
+      std::fputs(report.summary().c_str(), stdout);
+    }
+  }
+
+  std::printf("audited %zu movement(s) across %zu run(s): %zu violation(s)\n",
+              total_movements, trace_runs.size(), total_violations);
+  return total_violations == 0 ? 0 : 1;
+}

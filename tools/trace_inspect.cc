@@ -5,287 +5,33 @@
 //  * a per-movement waterfall — the movement span, its phase child spans,
 //    per-hop reconfiguration events and covering-induced (un)subscription
 //    events, joined to the movement's message attribution by TxnId;
-//  * phase-latency percentiles (p50/p95/p99 via the shared log-bucket
-//    Summary) across all movements, grouped by phase name;
+//  * phase-latency percentiles (p50/p95/p99) across all movements, grouped
+//    by phase name;
 //  * the top-N hottest overlay links by message count (from the
 //    link_messages_total counters in metrics.jsonl).
 //
-// The parser handles exactly the flat JSON the tracer/registry emit: one
-// object per line, string/number values, one level of nesting for "attrs" /
-// "labels" / "buckets". It is not a general JSON parser.
+// The rendering lives in obs/trace_report.h so tests can drive it over
+// in-memory streams; this is the command-line shell around it.
 //
 // Usage:  trace_inspect <trace.jsonl> [metrics.jsonl] [--top N] [--limit N]
-#include <algorithm>
-#include <cctype>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <map>
-#include <optional>
+#include <iostream>
 #include <string>
-#include <vector>
 
-#include "sim/stats.h"
-
-namespace {
-
-using tmps::Summary;
-
-// --- minimal JSONL parsing ---------------------------------------------------
-
-struct JsonObject {
-  std::map<std::string, std::string> fields;  // scalar values, unescaped
-  std::map<std::string, std::map<std::string, std::string>> objects;
-
-  const std::string* get(const std::string& key) const {
-    auto it = fields.find(key);
-    return it == fields.end() ? nullptr : &it->second;
-  }
-  std::string str(const std::string& key, std::string def = "") const {
-    const std::string* v = get(key);
-    return v ? *v : def;
-  }
-  double num(const std::string& key, double def = 0) const {
-    const std::string* v = get(key);
-    return v ? std::strtod(v->c_str(), nullptr) : def;
-  }
-  std::uint64_t u64(const std::string& key, std::uint64_t def = 0) const {
-    const std::string* v = get(key);
-    return v ? std::strtoull(v->c_str(), nullptr, 10) : def;
-  }
-};
-
-void skip_ws(const std::string& s, std::size_t& i) {
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-}
-
-std::optional<std::string> parse_string(const std::string& s, std::size_t& i) {
-  if (i >= s.size() || s[i] != '"') return std::nullopt;
-  ++i;
-  std::string out;
-  while (i < s.size() && s[i] != '"') {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      ++i;
-      switch (s[i]) {
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u':
-          // \u00XX escapes (the writer only emits control characters this
-          // way); decode the low byte, good enough for display.
-          if (i + 4 < s.size()) {
-            out += static_cast<char>(
-                std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
-            i += 4;
-          }
-          break;
-        default: out += s[i];
-      }
-    } else {
-      out += s[i];
-    }
-    ++i;
-  }
-  if (i >= s.size()) return std::nullopt;
-  ++i;  // closing quote
-  return out;
-}
-
-std::optional<std::string> parse_scalar(const std::string& s, std::size_t& i) {
-  skip_ws(s, i);
-  if (i < s.size() && s[i] == '"') return parse_string(s, i);
-  // Bare token: number / true / false / null.
-  std::size_t start = i;
-  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
-         !std::isspace(static_cast<unsigned char>(s[i]))) {
-    ++i;
-  }
-  if (i == start) return std::nullopt;
-  return s.substr(start, i - start);
-}
-
-// Parses {"k":"v",...} with string/number values into `out`.
-bool parse_flat_object(const std::string& s, std::size_t& i,
-                       std::map<std::string, std::string>& out) {
-  skip_ws(s, i);
-  if (i >= s.size() || s[i] != '{') return false;
-  ++i;
-  while (true) {
-    skip_ws(s, i);
-    if (i < s.size() && s[i] == '}') {
-      ++i;
-      return true;
-    }
-    auto key = parse_string(s, i);
-    if (!key) return false;
-    skip_ws(s, i);
-    if (i >= s.size() || s[i] != ':') return false;
-    ++i;
-    auto val = parse_scalar(s, i);
-    if (!val) return false;
-    out[*key] = *val;
-    skip_ws(s, i);
-    if (i < s.size() && s[i] == ',') ++i;
-  }
-}
-
-// Skips a [...] value (histogram bucket arrays), tracking nesting depth.
-void skip_array(const std::string& s, std::size_t& i) {
-  int depth = 0;
-  while (i < s.size()) {
-    if (s[i] == '[') ++depth;
-    if (s[i] == ']' && --depth == 0) {
-      ++i;
-      return;
-    }
-    ++i;
-  }
-}
-
-std::optional<JsonObject> parse_line(const std::string& line) {
-  JsonObject obj;
-  std::size_t i = 0;
-  skip_ws(line, i);
-  if (i >= line.size() || line[i] != '{') return std::nullopt;
-  ++i;
-  while (true) {
-    skip_ws(line, i);
-    if (i < line.size() && line[i] == '}') break;
-    auto key = parse_string(line, i);
-    if (!key) return std::nullopt;
-    skip_ws(line, i);
-    if (i >= line.size() || line[i] != ':') return std::nullopt;
-    ++i;
-    skip_ws(line, i);
-    if (i < line.size() && line[i] == '{') {
-      std::map<std::string, std::string> nested;
-      if (!parse_flat_object(line, i, nested)) return std::nullopt;
-      obj.objects[*key] = std::move(nested);
-    } else if (i < line.size() && line[i] == '[') {
-      skip_array(line, i);
-    } else {
-      auto val = parse_scalar(line, i);
-      if (!val) return std::nullopt;
-      obj.fields[*key] = *val;
-    }
-    skip_ws(line, i);
-    if (i < line.size() && line[i] == ',') ++i;
-  }
-  return obj;
-}
-
-// --- trace model -------------------------------------------------------------
-
-struct Record {
-  bool is_span = false;
-  std::uint64_t trace = 0;
-  std::uint64_t span = 0;
-  std::uint64_t parent = 0;
-  std::string run;
-  std::string name;
-  double t0 = 0, t1 = 0;
-  std::map<std::string, std::string> attrs;
-
-  std::string attr(const std::string& key) const {
-    auto it = attrs.find(key);
-    return it == attrs.end() ? "" : it->second;
-  }
-};
-
-struct Movement {
-  std::uint64_t txn = 0;
-  std::string run;
-  const Record* root = nullptr;           // the source-side "movement" span
-  std::vector<const Record*> spans;       // all spans of the trace
-  std::vector<const Record*> events;      // all events of the trace
-  std::uint64_t messages = 0;             // from movement:stats
-  bool have_stats = false;
-};
-
-std::string bar(double frac, int width) {
-  const int n = std::clamp(static_cast<int>(frac * width + 0.5), 0, width);
-  return std::string(n, '#');
-}
-
-void print_waterfall(const Movement& m) {
-  const Record& root = *m.root;
-  const double span_len = std::max(root.t1 - root.t0, 1e-9);
-  std::printf(
-      "movement txn=%llu %s: %s -> %s client=%s protocol=%s outcome=%s\n",
-      static_cast<unsigned long long>(m.txn),
-      m.run.empty() ? "" : ("[" + m.run + "]").c_str(),
-      root.attr("source").c_str(), root.attr("target").c_str(),
-      root.attr("client").c_str(), root.attr("protocol").c_str(),
-      root.attr("outcome").c_str());
-  std::printf("  start=%.6fs duration=%.3fms", root.t0, span_len * 1e3);
-  if (m.have_stats) {
-    std::printf(" messages=%llu", static_cast<unsigned long long>(m.messages));
-  }
-  std::printf("\n");
-
-  // Spans sorted by start time; indent children of the movement root.
-  std::vector<const Record*> spans = m.spans;
-  std::sort(spans.begin(), spans.end(),
-            [](const Record* a, const Record* b) { return a->t0 < b->t0; });
-  for (const Record* s : spans) {
-    const double off = s->t0 - root.t0;
-    const double len = std::max(s->t1 - s->t0, 0.0);
-    const int lead = std::clamp(
-        static_cast<int>(off / span_len * 40 + 0.5), 0, 40);
-    const bool child = s->parent != 0;
-    std::printf("  %-18s %8.3fms +%8.3fms |%*s%s\n",
-                ((child ? "  " : "") + s->name).c_str(), len * 1e3, off * 1e3,
-                lead, "", bar(len / span_len, 40 - lead).c_str());
-  }
-
-  // Events in time order, grouped visually under the spans.
-  std::vector<const Record*> events = m.events;
-  std::sort(events.begin(), events.end(),
-            [](const Record* a, const Record* b) { return a->t0 < b->t0; });
-  std::size_t covering = 0;
-  const Record* prev_hop = nullptr;
-  for (const Record* e : events) {
-    if (e->name.rfind("covering:", 0) == 0) {
-      ++covering;
-      continue;
-    }
-    if (e->name == "movement:stats") continue;
-    std::string extra;
-    if (e->name.rfind("hop:", 0) == 0) {
-      if (prev_hop && prev_hop->name == e->name) {
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "  (+%.3fms since prev hop)",
-                      (e->t0 - prev_hop->t0) * 1e3);
-        extra = buf;
-      }
-      prev_hop = e;
-    }
-    std::printf("    @%8.3fms %-14s broker=%s%s\n", (e->t0 - root.t0) * 1e3,
-                e->name.c_str(), e->attr("broker").c_str(), extra.c_str());
-  }
-  if (covering > 0) {
-    std::printf("    covering-induced (un)subscription events: %zu\n",
-                covering);
-  }
-  std::printf("\n");
-}
-
-}  // namespace
+#include "obs/trace_report.h"
 
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
-  int top_n = 10;
-  int waterfall_limit = 10;
+  tmps::obs::TraceReportOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--top" && i + 1 < argc) {
-      top_n = std::atoi(argv[++i]);
+      opts.top_links = std::atoi(argv[++i]);
     } else if (arg == "--limit" && i + 1 < argc) {
-      waterfall_limit = std::atoi(argv[++i]);
+      opts.waterfall_limit = std::atoi(argv[++i]);
     } else if (trace_path.empty()) {
       trace_path = arg;
     } else if (metrics_path.empty()) {
@@ -307,123 +53,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
     return 1;
   }
-
-  std::vector<Record> records;
-  std::string line;
-  std::size_t bad_lines = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto obj = parse_line(line);
-    if (!obj) {
-      ++bad_lines;
-      continue;
-    }
-    Record r;
-    r.is_span = obj->str("kind") == "span";
-    r.trace = obj->u64("trace");
-    r.span = obj->u64("span");
-    r.parent = obj->u64("parent");
-    r.run = obj->str("run");
-    r.name = obj->str("name");
-    r.t0 = obj->num("t0");
-    r.t1 = obj->num("t1");
-    auto at = obj->objects.find("attrs");
-    if (at != obj->objects.end()) r.attrs = at->second;
-    records.push_back(std::move(r));
-  }
-  if (bad_lines > 0) {
-    std::fprintf(stderr, "warning: %zu unparseable lines skipped\n",
-                 bad_lines);
-  }
-
-  // Group by (run, txn): a sweep appends several runs into one file and txn
-  // ids may repeat across runs.
-  std::map<std::pair<std::string, std::uint64_t>, Movement> movements;
-  for (const Record& r : records) {
-    if (r.trace == 0) continue;
-    Movement& m = movements[{r.run, r.trace}];
-    m.txn = r.trace;
-    m.run = r.run;
-    if (r.is_span) {
-      m.spans.push_back(&r);
-      if (r.name == "movement") m.root = &r;
-    } else {
-      m.events.push_back(&r);
-      if (r.name == "movement:stats") {
-        m.have_stats = true;
-        m.messages = std::strtoull(r.attr("messages").c_str(), nullptr, 10);
-      }
-    }
-  }
-
-  // --- per-movement waterfalls ----------------------------------------------
-  std::vector<const Movement*> with_root;
-  for (const auto& [key, m] : movements) {
-    if (m.root) with_root.push_back(&m);
-  }
-  std::sort(with_root.begin(), with_root.end(),
-            [](const Movement* a, const Movement* b) {
-              return a->root->t0 < b->root->t0;
-            });
-  std::printf("=== %zu movement(s) in %s ===\n\n", with_root.size(),
-              trace_path.c_str());
-  int shown = 0;
-  for (const Movement* m : with_root) {
-    if (waterfall_limit >= 0 && shown >= waterfall_limit) break;
-    print_waterfall(*m);
-    ++shown;
-  }
-  if (shown < static_cast<int>(with_root.size())) {
-    std::printf("... %zu more movement(s); rerun with --limit N to see "
-                "them\n\n",
-                with_root.size() - shown);
-  }
-
-  // --- phase latency percentiles --------------------------------------------
-  std::map<std::string, Summary> phases;
-  for (const auto& [key, m] : movements) {
-    for (const Record* s : m.spans) {
-      if (s->t1 >= s->t0) phases[s->name].add(s->t1 - s->t0);
-    }
-  }
-  if (!phases.empty()) {
-    std::printf("=== phase latency (ms) ===\n");
-    std::printf("%-18s %8s %8s %8s %8s %8s %8s\n", "phase", "count", "mean",
-                "p50", "p95", "p99", "max");
-    for (const auto& [name, s] : phases) {
-      std::printf("%-18s %8llu %8.3f %8.3f %8.3f %8.3f %8.3f\n", name.c_str(),
-                  static_cast<unsigned long long>(s.count()), s.mean() * 1e3,
-                  s.p50() * 1e3, s.p95() * 1e3, s.p99() * 1e3, s.max() * 1e3);
-    }
-    std::printf("\n");
-  }
-
-  // --- hot links from metrics.jsonl -----------------------------------------
+  std::ifstream metrics;
   if (!metrics_path.empty()) {
-    std::ifstream min(metrics_path);
-    if (!min) {
+    metrics.open(metrics_path);
+    if (!metrics) {
       std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
       return 1;
     }
-    // Sum across runs (a sweep appends one snapshot per run).
-    std::map<std::string, std::uint64_t> links;
-    while (std::getline(min, line)) {
-      if (line.empty()) continue;
-      auto obj = parse_line(line);
-      if (!obj || obj->str("metric") != "link_messages_total") continue;
-      auto lt = obj->objects.find("labels");
-      if (lt == obj->objects.end()) continue;
-      const std::string key = lt->second["from"] + " -> " + lt->second["to"];
-      links[key] = std::max(links[key], obj->u64("value"));
-    }
-    std::vector<std::pair<std::uint64_t, std::string>> order;
-    for (const auto& [key, n] : links) order.emplace_back(n, key);
-    std::sort(order.rbegin(), order.rend());
-    std::printf("=== top %d hot links (messages) ===\n", top_n);
-    for (int i = 0; i < top_n && i < static_cast<int>(order.size()); ++i) {
-      std::printf("%-12s %12llu\n", order[i].second.c_str(),
-                  static_cast<unsigned long long>(order[i].first));
-    }
+  }
+
+  const std::size_t movements = tmps::obs::write_trace_report(
+      in, metrics_path.empty() ? nullptr : &metrics, std::cout, opts);
+  if (movements == 0) {
+    std::fprintf(stderr, "no movement spans found in %s\n",
+                 trace_path.c_str());
   }
   return 0;
 }
