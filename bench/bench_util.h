@@ -23,10 +23,9 @@ inline bool full_run() {
 /// TMPS_AUDIT=1 runs the embedded movement-invariant auditor over every
 /// scenario; any violation prints the report and aborts the bench with a
 /// nonzero exit, so a CI leg can fail on the first broken invariant.
-inline bool audit_run() {
-  const char* v = std::getenv("TMPS_AUDIT");
-  return v && *v && std::string(v) != "0";
-}
+/// (Env parsing lives in BrokerConfig::from_env; this is the bench-side
+/// convenience view.)
+inline bool audit_run() { return BrokerConfig::from_env().obs.audit; }
 
 inline BenchJson json_out(std::string name) {
   return BenchJson(std::move(name), full_run() ? "full" : "quick");
@@ -77,22 +76,16 @@ struct RunResult {
 /// trace.jsonl / metrics.jsonl into the working directory, any other value
 /// is used as the output directory. The first traced run of the process
 /// truncates the files; later runs append, so a sweep lands in one file and
-/// `tools/trace_inspect` can group it by run label.
+/// `tools/trace_inspect` can group it by run label. Env parsing is
+/// BrokerConfig::from_env; the Scenario expands broker.obs.trace_dir into
+/// the individual sink paths.
 inline void apply_tracing(ScenarioConfig& cfg, const std::string& run_label) {
-  const char* trace = std::getenv("TMPS_TRACE");
-  const bool traced = trace && *trace && std::string(trace) != "0";
-  if (!traced && !audit_run()) return;
+  cfg.broker = BrokerConfig::from_env(cfg.broker);
+  if (!cfg.broker.obs.tracing && !cfg.broker.obs.audit) return;
   cfg.run_label = run_label;
   static bool first = true;
   cfg.trace_append = !first;
   first = false;
-  if (audit_run()) cfg.audit = true;
-  if (!traced) return;
-  const std::string dir =
-      std::string(trace) == "1" ? "." : std::string(trace);
-  cfg.trace_path = dir + "/trace.jsonl";
-  cfg.metrics_path = dir + "/metrics.jsonl";
-  cfg.snapshot_path = dir + "/snapshots.jsonl";
 }
 
 /// Enforces the auditor's verdict after a run: clean prints one stderr line,

@@ -8,7 +8,6 @@
 
 #include "bench_json.h"
 #include "pubsub/workload.h"
-#include "routing/covering.h"
 #include "routing/overlay.h"
 #include "routing/routing_tables.h"
 
@@ -80,7 +79,7 @@ void BM_CoveringCheck(benchmark::State& state) {
   const Filter probe = workload_filter(WorkloadKind::Covered, 5, 0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sub_covered_on_link(rt, {9999, 1}, probe, Hop::of_broker(3)));
+        rt.sub_covered_on_link({9999, 1}, probe, Hop::of_broker(3)));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -94,7 +93,7 @@ void BM_UnquenchScan(benchmark::State& state) {
   root->forwarded_to.clear();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        unquenched_subs_on_link(rt, *root, Hop::of_broker(3)));
+        rt.unquenched_subs_on_link(*root, Hop::of_broker(3)));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -12,6 +12,10 @@
 #      movement-invariant auditor enabled, re-checked from the emitted JSONL
 #      files by tools/tmps_audit. Any invariant violation fails the leg.
 #      Bench JSON artifacts (BENCH_*.json) land in results/.
+#   5. a perf-smoke leg: micro_covering at a small table size. The binary
+#      exits nonzero on any covering-index/scan-oracle disagreement, and the
+#      leg additionally checks that the bench JSON artifact was emitted with
+#      speedup figures in it.
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -57,5 +61,14 @@ TMPS_AUDIT=1 TMPS_TRACE="${OBS_DIR}" TMPS_BENCH_OUT="${RESULTS}" \
   --snapshots "${OBS_DIR}/snapshots.jsonl" --quiet
 echo "bench artifacts:"
 ls -l "${RESULTS}"/BENCH_*.json
+
+echo "=== perf-smoke leg: covering index vs scan (micro_covering) ==="
+# Small table size: fast, but still fails the leg on index/scan divergence.
+TMPS_BENCH_OUT="${RESULTS}" ./build/bench/micro_covering 2000
+COVERING_JSON="${RESULTS}/BENCH_micro_covering.json"
+[[ -s "${COVERING_JSON}" ]] || {
+  echo "missing ${COVERING_JSON}"; exit 1; }
+grep -q '"speedup":' "${COVERING_JSON}" || {
+  echo "no speedup figures in ${COVERING_JSON}"; exit 1; }
 
 echo "=== ci.sh: all legs passed ==="

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <cassert>
 
-#include "routing/covering.h"
-
 namespace tmps {
 
 Broker::Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg)
-    : id_(id), overlay_(overlay), cfg_(cfg) {
+    : id_(id), overlay_(overlay), cfg_(std::move(cfg)) {
   assert(overlay_ && overlay_->contains(id_));
+  tables_.set_use_cover_index(cfg_.covering_index);
 }
 
 void Broker::set_observability(obs::Tracer* tracer,
@@ -157,161 +156,89 @@ void Broker::deliver_local(ClientId client, const Publication& pub) {
 
 // --- routing handlers ----------------------------------------------------------
 
-void Broker::forward_sub_on_link(SubEntry& entry, Hop link, TxnId cause,
-                                 Outputs& out) {
-  entry.forwarded_to.insert(link);
-  send(link.broker, SubscribeMsg{entry.sub}, cause, out);
-  if (cfg_.subscription_covering) {
-    for (SubEntry* t : strictly_covered_subs_on_link(tables_, entry.sub.id,
-                                                     entry.sub.filter, link)) {
-      t->forwarded_to.erase(link);
-      send(link.broker, UnsubscribeMsg{t->sub.id}, cause, out);
-      if (covering_retracts_) covering_retracts_->inc();
-      if (cause != kNoTxn) {
-        TMPS_EVENT(tracer_, cause, "covering:unsub",
-                   {{"broker", std::to_string(id_)},
-                    {"link", std::to_string(link.broker)},
-                    {"sub", to_string(t->sub.id)}});
+void Broker::apply_delta(const RoutingDelta& delta, TxnId cause, Outputs& out) {
+  for (const RoutingOp& op : delta.ops) {
+    switch (op.kind) {
+      case RoutingOp::Kind::kForwardSub: {
+        const SubEntry* e = tables_.find_sub(op.id);
+        if (!e) break;  // ops reference live entries; defensive only
+        send(op.link.broker, SubscribeMsg{e->sub}, cause, out);
+        if (op.induced) {
+          if (covering_unquenches_) covering_unquenches_->inc();
+          if (cause != kNoTxn) {
+            TMPS_EVENT(tracer_, cause, "covering:sub",
+                       {{"broker", std::to_string(id_)},
+                        {"link", std::to_string(op.link.broker)},
+                        {"sub", to_string(op.id)}});
+          }
+        }
+        break;
       }
-    }
-  }
-}
-
-void Broker::forward_adv_on_link(AdvEntry& entry, Hop link, TxnId cause,
-                                 Outputs& out) {
-  entry.forwarded_to.insert(link);
-  send(link.broker, AdvertiseMsg{entry.adv}, cause, out);
-  if (cfg_.advertisement_covering) {
-    for (AdvEntry* t : strictly_covered_advs_on_link(tables_, entry.adv.id,
-                                                     entry.adv.filter, link)) {
-      t->forwarded_to.erase(link);
-      send(link.broker, UnadvertiseMsg{t->adv.id}, cause, out);
-      if (covering_retracts_) covering_retracts_->inc();
-      if (cause != kNoTxn) {
-        TMPS_EVENT(tracer_, cause, "covering:unadv",
-                   {{"broker", std::to_string(id_)},
-                    {"link", std::to_string(link.broker)},
-                    {"adv", to_string(t->adv.id)}});
+      case RoutingOp::Kind::kRetractSub:
+        send(op.link.broker, UnsubscribeMsg{op.id}, cause, out);
+        if (op.induced) {
+          if (covering_retracts_) covering_retracts_->inc();
+          if (cause != kNoTxn) {
+            TMPS_EVENT(tracer_, cause, "covering:unsub",
+                       {{"broker", std::to_string(id_)},
+                        {"link", std::to_string(op.link.broker)},
+                        {"sub", to_string(op.id)}});
+          }
+        }
+        break;
+      case RoutingOp::Kind::kForwardAdv: {
+        const AdvEntry* e = tables_.find_adv(op.id);
+        if (!e) break;
+        send(op.link.broker, AdvertiseMsg{e->adv}, cause, out);
+        if (op.induced) {
+          if (covering_unquenches_) covering_unquenches_->inc();
+          if (cause != kNoTxn) {
+            TMPS_EVENT(tracer_, cause, "covering:adv",
+                       {{"broker", std::to_string(id_)},
+                        {"link", std::to_string(op.link.broker)},
+                        {"adv", to_string(op.id)}});
+          }
+        }
+        break;
       }
+      case RoutingOp::Kind::kRetractAdv:
+        send(op.link.broker, UnadvertiseMsg{op.id}, cause, out);
+        if (op.induced) {
+          if (covering_retracts_) covering_retracts_->inc();
+          if (cause != kNoTxn) {
+            TMPS_EVENT(tracer_, cause, "covering:unadv",
+                       {{"broker", std::to_string(id_)},
+                        {"link", std::to_string(op.link.broker)},
+                        {"adv", to_string(op.id)}});
+          }
+        }
+        break;
     }
   }
 }
 
 void Broker::do_subscribe(Hop from, const Subscription& sub, TxnId cause,
                           Outputs& out) {
-  SubEntry& entry = tables_.upsert_sub(sub, from);
-
-  // Forward towards every intersecting advertisement's last hop.
-  for (const AdvEntry* a : tables_.intersecting_advs(sub.filter)) {
-    const Hop link = a->lasthop;
-    if (!link.is_broker() || link == from) continue;
-    if (entry.forwarded_to.contains(link)) continue;
-    if (cfg_.subscription_covering &&
-        sub_covered_on_link(tables_, sub.id, sub.filter, link)) {
-      continue;  // quenched by a covering subscription on this link
-    }
-    forward_sub_on_link(entry, link, cause, out);
-  }
+  apply_delta(tables_.add_sub(sub, from, covering_policy()), cause, out);
 }
 
 void Broker::do_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
                             Outputs& out) {
-  SubEntry* entry = tables_.find_sub(id);
-  // Stale or duplicate unsubscriptions (possible under covering churn) are
-  // dropped: the entry is gone or now owned by a different direction.
-  if (!entry || entry->lasthop != from) return;
-
-  const auto links = entry->forwarded_to;
-  entry->forwarded_to.clear();  // stop counting as a coverer
-
-  for (const Hop& link : links) {
-    if (cfg_.subscription_covering) {
-      // Un-quench: subscriptions this one covered must take over *before*
-      // the unsubscription propagates, so publications keep flowing. The
-      // candidate set is computed up front; re-check coverage as the burst
-      // unfolds so nested candidates forward only their maximal antichain.
-      for (SubEntry* t : unquenched_subs_on_link(tables_, *entry, link)) {
-        if (sub_covered_on_link(tables_, t->sub.id, t->sub.filter, link)) {
-          continue;
-        }
-        if (covering_unquenches_) covering_unquenches_->inc();
-        if (cause != kNoTxn) {
-          TMPS_EVENT(tracer_, cause, "covering:sub",
-                     {{"broker", std::to_string(id_)},
-                      {"link", std::to_string(link.broker)},
-                      {"sub", to_string(t->sub.id)}});
-        }
-        forward_sub_on_link(*t, link, cause, out);
-      }
-    }
-    send(link.broker, UnsubscribeMsg{id}, cause, out);
-  }
-  tables_.erase_sub(id);
+  apply_delta(tables_.remove_sub(id, from, covering_policy()), cause, out);
 }
 
 void Broker::do_advertise(Hop from, const Advertisement& adv, TxnId cause,
                           Outputs& out) {
-  AdvEntry& entry = tables_.upsert_adv(adv, from);
-
-  // Advertisements flood to all neighbours except the one they came from.
+  std::vector<Hop> flood;
   for (const BrokerId n : overlay_->neighbors(id_)) {
-    const Hop link = Hop::of_broker(n);
-    if (link == from) continue;
-    if (entry.forwarded_to.contains(link)) continue;
-    if (cfg_.advertisement_covering &&
-        adv_covered_on_link(tables_, adv.id, adv.filter, link)) {
-      continue;
-    }
-    forward_adv_on_link(entry, link, cause, out);
+    flood.push_back(Hop::of_broker(n));
   }
-
-  // Subscriptions that intersect the new advertisement must now be forwarded
-  // towards it (over the link it arrived on).
-  if (from.is_broker()) {
-    for (auto& [sid, s] : tables_.prt()) {
-      if (s.shadow_only) continue;
-      if (s.lasthop == from || s.forwarded_to.contains(from)) continue;
-      if (!s.sub.filter.intersects_advertisement(adv.filter)) continue;
-      if (cfg_.subscription_covering &&
-          sub_covered_on_link(tables_, sid, s.sub.filter, from)) {
-        continue;
-      }
-      forward_sub_on_link(s, from, cause, out);
-    }
-  }
+  apply_delta(tables_.add_adv(adv, from, flood, covering_policy()), cause, out);
 }
 
 void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
                             Outputs& out) {
-  AdvEntry* entry = tables_.find_adv(id);
-  if (!entry || entry->lasthop != from) return;
-
-  const auto links = entry->forwarded_to;
-  entry->forwarded_to.clear();
-
-  for (const Hop& link : links) {
-    if (cfg_.advertisement_covering) {
-      for (AdvEntry* t : unquenched_advs_on_link(tables_, *entry, link)) {
-        if (adv_covered_on_link(tables_, t->adv.id, t->adv.filter, link)) {
-          continue;
-        }
-        if (covering_unquenches_) covering_unquenches_->inc();
-        if (cause != kNoTxn) {
-          TMPS_EVENT(tracer_, cause, "covering:adv",
-                     {{"broker", std::to_string(id_)},
-                      {"link", std::to_string(link.broker)},
-                      {"adv", to_string(t->adv.id)}});
-        }
-        forward_adv_on_link(*t, link, cause, out);
-      }
-    }
-    send(link.broker, UnadvertiseMsg{id}, cause, out);
-  }
-  // Subscription forwarding state that pointed towards this advertisement is
-  // left in place: the paper's routing consistency explicitly allows stale
-  // entries, and removing them here would require per-advertisement
-  // refcounts on every mark.
-  tables_.erase_adv(id);
+  apply_delta(tables_.remove_adv(id, from, covering_policy()), cause, out);
 }
 
 void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "broker/broker_config.h"
 #include "common/ids.h"
 #include "obs/introspect.h"
 #include "obs/metrics.h"
@@ -26,13 +27,6 @@
 #include "routing/routing_tables.h"
 
 namespace tmps {
-
-struct BrokerConfig {
-  /// Enable the subscription-covering optimization (per-link quench/retract).
-  bool subscription_covering = true;
-  /// Enable the advertisement-covering optimization.
-  bool advertisement_covering = true;
-};
 
 class Broker;
 
@@ -152,12 +146,16 @@ class Broker {
                       Outputs& out);
   void do_publish(Hop from, const Publication& pub, TxnId cause, Outputs& out);
 
-  /// Forwards `sub` over `link` (marking it), retracting strictly-covered
-  /// subscriptions when covering is enabled.
-  void forward_sub_on_link(SubEntry& entry, Hop link, TxnId cause,
-                           Outputs& out);
-  void forward_adv_on_link(AdvEntry& entry, Hop link, TxnId cause,
-                           Outputs& out);
+  /// The covering policy the routing-table mutation API should apply,
+  /// mirroring this broker's configuration.
+  CoveringPolicy covering_policy() const {
+    return {cfg_.subscription_covering, cfg_.advertisement_covering};
+  }
+
+  /// Turns a RoutingDelta's ordered ops into wire messages, counting
+  /// covering-induced retracts/un-quenches and tagging them onto the
+  /// movement trace of `cause`.
+  void apply_delta(const RoutingDelta& delta, TxnId cause, Outputs& out);
 
   void send(BrokerId to, Payload payload, TxnId cause, Outputs& out);
 

@@ -1,0 +1,73 @@
+// The one per-broker options struct: routing optimizations, the HTTP admin
+// plane and the observability toggles, consolidated from the previously
+// scattered BrokerConfig / AdminConfig / TMPS_* env parsing. Hosts
+// (sim/network, transports, Scenario) take a single BrokerConfig and thread
+// the relevant sections down.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace tmps {
+
+struct BrokerConfig {
+  /// Enable the subscription-covering optimization (per-link quench/retract).
+  bool subscription_covering = true;
+  /// Enable the advertisement-covering optimization.
+  bool advertisement_covering = true;
+  /// Serve covering/intersection queries from the covering index
+  /// (routing/covering_index.h); false falls back to the full-table scan
+  /// oracles (reference semantics, for A/B measurement and debugging).
+  bool covering_index = true;
+
+  /// Per-broker HTTP admin endpoints (/healthz, /metrics, /routing). Off by
+  /// default; hosts opt in. Loopback only.
+  struct Admin {
+    bool enabled = false;
+    /// Broker b listens on base_port + b; 0 = OS-assigned ephemeral ports
+    /// (read them back via admin_port_of).
+    std::uint16_t base_port = 0;
+  };
+  Admin admin;
+
+  /// Observability sinks and checks, settable programmatically or from the
+  /// environment via from_env().
+  struct Obs {
+    /// Record movement spans/events (implied by a non-empty trace_dir).
+    bool tracing = false;
+    /// Run the embedded movement-invariant auditor over every scenario.
+    bool audit = false;
+    /// Directory for trace.jsonl / metrics.jsonl / snapshots.jsonl; empty =
+    /// no file sinks.
+    std::string trace_dir;
+  };
+  Obs obs;
+
+  /// Layers the TMPS_TRACE / TMPS_AUDIT environment toggles on top of
+  /// `base`: TMPS_TRACE="1" traces into the working directory, any other
+  /// non-empty value is used as the output directory; TMPS_AUDIT enables the
+  /// auditor.
+  static BrokerConfig from_env(BrokerConfig base);
+  static BrokerConfig from_env() { return from_env(BrokerConfig{}); }
+};
+
+inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
+  const auto set = [](const char* name) {
+    const char* v = std::getenv(name);
+    return v && *v && std::string(v) != "0";
+  };
+  if (set("TMPS_AUDIT")) base.obs.audit = true;
+  if (const char* trace = std::getenv("TMPS_TRACE");
+      trace && *trace && std::string(trace) != "0") {
+    base.obs.tracing = true;
+    base.obs.trace_dir = std::string(trace) == "1" ? "." : trace;
+  }
+  return base;
+}
+
+/// Deprecated alias kept for one PR: the admin plane options moved into
+/// BrokerConfig::Admin.
+using AdminConfig = BrokerConfig::Admin;
+
+}  // namespace tmps

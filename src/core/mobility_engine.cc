@@ -483,15 +483,17 @@ void MobilityEngine::fix_prt_for_moved_adv(const Advertisement& adv,
                                    : toward(target);
   const ClientId mover = adv.id.client;
 
-  // Collect first: case 2 erases entries while we iterate.
+  // Collect first: case 2 erases entries while we iterate. The candidate
+  // set comes from the covering index (subs_intersecting) instead of a PRT
+  // scan — this hand-off runs once per moved advertisement per path broker,
+  // squarely on the movement hot path.
   std::vector<SubscriptionId> intersecting;
-  for (const auto& [sid, s] : rt.prt()) {
-    if (s.shadow_only) continue;
-    if (sid.client == mover) continue;  // the mover's own subscriptions have
-                                        // their own shadow reconfiguration
-    if (s.sub.filter.intersects_advertisement(adv.filter)) {
-      intersecting.push_back(sid);
-    }
+  for (const SubEntry* s : rt.subs_intersecting(adv.filter)) {
+    if (s->shadow_only) continue;
+    if (s->sub.id.client == mover) continue;  // the mover's own subscriptions
+                                              // have their own shadow
+                                              // reconfiguration
+    intersecting.push_back(s->sub.id);
   }
 
   for (const auto& sid : intersecting) {
@@ -500,11 +502,10 @@ void MobilityEngine::fix_prt_for_moved_adv(const Advertisement& adv,
     if (s->lasthop == suc) {
       // Case 2: the subscription came from the target direction; it is
       // satisfied closer to the new publisher position. Drop it here unless
-      // some other advertisement still needs it.
+      // some other advertisement still needs it (index-backed SRT probe).
       bool needed = false;
-      for (const auto& [aid, a] : rt.srt()) {
-        if (aid != adv.id &&
-            s->sub.filter.intersects_advertisement(a.adv.filter)) {
+      for (const AdvEntry* a : rt.intersecting_advs(s->sub.filter)) {
+        if (a->adv.id != adv.id) {
           needed = true;
           break;
         }

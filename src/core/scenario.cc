@@ -41,10 +41,28 @@ BrokerId Scenario::other_end(std::uint32_t k, BrokerId at) const {
 }
 
 void Scenario::build() {
+  // The consolidated BrokerConfig carries the observability toggles
+  // (programmatic or via BrokerConfig::from_env); the scenario-level sink
+  // paths remain as per-run overrides.
+  const BrokerConfig::Obs& obs = cfg_.broker.obs;
+  if (obs.audit) cfg_.audit = true;
+  if (!obs.trace_dir.empty()) {
+    if (cfg_.trace_path.empty()) {
+      cfg_.trace_path = obs.trace_dir + "/trace.jsonl";
+    }
+    if (cfg_.metrics_path.empty()) {
+      cfg_.metrics_path = obs.trace_dir + "/metrics.jsonl";
+    }
+    if (cfg_.snapshot_path.empty()) {
+      cfg_.snapshot_path = obs.trace_dir + "/snapshots.jsonl";
+    }
+  }
   net_ = std::make_unique<SimNetwork>(overlay_, cfg_.broker, cfg_.net);
   // The auditor reconstructs movement windows from spans, so auditing
   // implies tracing even when no trace file is requested.
-  if (!cfg_.trace_path.empty() || cfg_.audit) net_->tracer()->set_enabled(true);
+  if (!cfg_.trace_path.empty() || cfg_.audit || obs.tracing) {
+    net_->tracer()->set_enabled(true);
+  }
 
   for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
     auto engine =

@@ -34,6 +34,9 @@ namespace tmps {
 struct ScenarioConfig {
   // Network.
   std::optional<Overlay> overlay;  // default: Overlay::paper_default()
+  /// Per-broker options (covering, covering index, admin, observability).
+  /// broker.obs supplies defaults for the sink paths below; populate it via
+  /// BrokerConfig::from_env to honour TMPS_TRACE / TMPS_AUDIT.
   BrokerConfig broker;
   NetworkProfile net = NetworkProfile::lan();
   MobilityConfig mobility;

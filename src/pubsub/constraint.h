@@ -43,6 +43,22 @@ class Constraint {
     return !lo_ && !hi_ && exclusions_.empty() && !domain_;
   }
 
+  // --- canonical interval view ---------------------------------------------
+  // The normal form *is* an interval (plus exclusions); these accessors
+  // expose it so index structures (routing/covering_index.h) can file and
+  // range-probe constraints without re-deriving bounds from predicate lists.
+
+  /// Interval endpoints; empty optional = unbounded on that side. Exclusions
+  /// are not reflected (callers needing exactness verify with covers()).
+  const std::optional<Value>& lower_bound() const { return lo_; }
+  const std::optional<Value>& upper_bound() const { return hi_; }
+  bool lower_open() const { return lo_open_; }
+  bool upper_open() const { return hi_open_; }
+
+  /// The single value this constraint pins (x == v), when the interval is a
+  /// closed point; nullopt otherwise.
+  std::optional<Value> singleton_value() const { return singleton(); }
+
   std::string to_string() const;
 
  private:

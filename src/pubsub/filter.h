@@ -26,8 +26,17 @@ namespace tmps {
 
 class Filter {
  public:
+  class Builder;
+
   Filter() = default;
   Filter(std::initializer_list<Predicate> preds);
+
+  /// Fluent construction:
+  ///   Filter f = Filter::build().attr("class").eq("STOCK")
+  ///                             .attr("price").ge(10).lt(100);
+  /// The builder keeps a current attribute; each comparison conjoins one
+  /// predicate on it. Converts implicitly to Filter.
+  static Builder build();
 
   /// Conjoins another predicate. Returns false (and marks the filter
   /// unsatisfiable) if the conjunction admits no publication.
@@ -71,5 +80,40 @@ class Filter {
   std::map<std::string, Constraint> constraints_;
   bool satisfiable_ = true;
 };
+
+class Filter::Builder {
+ public:
+  /// Selects the attribute the following comparisons constrain. Stays
+  /// current until the next attr() call, so chained ops conjoin:
+  /// attr("x").ge(0).le(9) constrains x to [0, 9].
+  Builder& attr(std::string name) {
+    attr_ = std::move(name);
+    return *this;
+  }
+
+  Builder& eq(Value v) { return add(Op::kEq, std::move(v)); }
+  Builder& ne(Value v) { return add(Op::kNe, std::move(v)); }
+  Builder& lt(Value v) { return add(Op::kLt, std::move(v)); }
+  Builder& le(Value v) { return add(Op::kLe, std::move(v)); }
+  Builder& gt(Value v) { return add(Op::kGt, std::move(v)); }
+  Builder& ge(Value v) { return add(Op::kGe, std::move(v)); }
+  Builder& present() { return add(Op::kPresent, Value{}); }
+  Builder& prefix(std::string p) {
+    return add(Op::kPrefix, Value{std::move(p)});
+  }
+
+  Filter done() const { return filter_; }
+  operator Filter() const { return filter_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  Builder& add(Op op, Value v) {
+    filter_.add(Predicate{attr_, op, std::move(v)});
+    return *this;
+  }
+  std::string attr_;
+  Filter filter_;
+};
+
+inline Filter::Builder Filter::build() { return {}; }
 
 }  // namespace tmps

@@ -75,12 +75,10 @@ int covering_degree(WorkloadKind k) {
 
 Filter workload_filter(WorkloadKind k, int i, std::int64_t group) {
   const Interval iv = interval_of(k, i);
-  Filter f;
-  f.add(eq("class", "STOCK"));
-  f.add(eq("g", group));
-  f.add(ge("x", iv.lo));
-  f.add(le("x", iv.hi));
-  return f;
+  return Filter::build()
+      .attr("class").eq("STOCK")
+      .attr("g").eq(group)
+      .attr("x").ge(iv.lo).le(iv.hi);
 }
 
 Filter workload_filter_at(WorkloadKind k, int i, std::int64_t group,
@@ -127,13 +125,10 @@ std::vector<int> covered_indices(WorkloadKind k) {
 }
 
 Filter full_space_advertisement() {
-  Filter f;
-  f.add(eq("class", "STOCK"));
-  f.add(ge("g", std::int64_t{0}));
-  f.add(le("g", kMaxGroup));
-  f.add(ge("x", kSpaceLo));
-  f.add(le("x", kSpaceHi));
-  return f;
+  return Filter::build()
+      .attr("class").eq("STOCK")
+      .attr("g").ge(std::int64_t{0}).le(kMaxGroup)
+      .attr("x").ge(kSpaceLo).le(kSpaceHi);
 }
 
 Publication make_publication(PublicationId id, std::int64_t x,

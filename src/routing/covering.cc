@@ -2,88 +2,6 @@
 
 namespace tmps {
 
-bool sub_covered_on_link(const RoutingTables& rt, const SubscriptionId& self,
-                         const Filter& filter, Hop link) {
-  for (const auto& [id, e] : rt.prt()) {
-    if (id == self) continue;
-    if (!e.forwarded_to.contains(link)) continue;
-    if (e.sub.filter.covers(filter)) return true;
-  }
-  return false;
-}
-
-std::vector<SubEntry*> strictly_covered_subs_on_link(
-    RoutingTables& rt, const SubscriptionId& self, const Filter& filter,
-    Hop link) {
-  std::vector<SubEntry*> out;
-  for (auto& [id, e] : rt.prt()) {
-    if (id == self) continue;
-    if (!e.forwarded_to.contains(link)) continue;
-    if (filter.covers(e.sub.filter) && !e.sub.filter.covers(filter)) {
-      out.push_back(&e);
-    }
-  }
-  return out;
-}
-
-namespace {
-
-/// Does some advertisement whose last hop is `link` intersect `f`? If so,
-/// the routing protocol requires subscriptions matching `f` to be forwarded
-/// over `link` (that is where matching publications will come from).
-bool link_needed_for(const RoutingTables& rt, const Filter& f, Hop link) {
-  for (const auto& [id, a] : rt.srt()) {
-    if (a.lasthop == link && f.intersects_advertisement(a.adv.filter)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
-std::vector<SubEntry*> unquenched_subs_on_link(RoutingTables& rt,
-                                               const SubEntry& removed,
-                                               Hop link) {
-  std::vector<SubEntry*> out;
-  for (auto& [id, e] : rt.prt()) {
-    if (id == removed.sub.id) continue;
-    if (e.shadow_only) continue;  // not yet live at this broker
-    if (e.lasthop == link) continue;
-    if (e.forwarded_to.contains(link)) continue;
-    if (!removed.sub.filter.covers(e.sub.filter)) continue;
-    if (!link_needed_for(rt, e.sub.filter, link)) continue;
-    // A remaining forwarded subscription may still cover it.
-    if (sub_covered_on_link(rt, id, e.sub.filter, link)) continue;
-    out.push_back(&e);
-  }
-  return out;
-}
-
-bool adv_covered_on_link(const RoutingTables& rt, const AdvertisementId& self,
-                         const Filter& filter, Hop link) {
-  for (const auto& [id, e] : rt.srt()) {
-    if (id == self) continue;
-    if (!e.forwarded_to.contains(link)) continue;
-    if (e.adv.filter.covers(filter)) return true;
-  }
-  return false;
-}
-
-std::vector<AdvEntry*> strictly_covered_advs_on_link(
-    RoutingTables& rt, const AdvertisementId& self, const Filter& filter,
-    Hop link) {
-  std::vector<AdvEntry*> out;
-  for (auto& [id, e] : rt.srt()) {
-    if (id == self) continue;
-    if (!e.forwarded_to.contains(link)) continue;
-    if (filter.covers(e.adv.filter) && !e.adv.filter.covers(filter)) {
-      out.push_back(&e);
-    }
-  }
-  return out;
-}
-
 std::vector<std::string> audit_covering_invariants(
     const RoutingTables& rt, const std::vector<Hop>& links) {
   std::vector<std::string> out;
@@ -103,29 +21,13 @@ std::vector<std::string> audit_covering_invariants(
           }
         }
       } else if (e.lasthop != link &&
-                 link_needed_for(rt, e.sub.filter, link) &&
-                 !sub_covered_on_link(rt, id, e.sub.filter, link)) {
+                 rt.link_needed_for_scan(e.sub.filter, link) &&
+                 !rt.sub_covered_on_link_scan(id, e.sub.filter, link)) {
         // (2) quench completeness.
         out.push_back("link " + link.to_string() + ": sub " + to_string(id) +
                       " needs the link but is neither forwarded nor covered");
       }
     }
-  }
-  return out;
-}
-
-std::vector<AdvEntry*> unquenched_advs_on_link(RoutingTables& rt,
-                                               const AdvEntry& removed,
-                                               Hop link) {
-  std::vector<AdvEntry*> out;
-  for (auto& [id, e] : rt.srt()) {
-    if (id == removed.adv.id) continue;
-    if (e.shadow_only) continue;
-    if (e.lasthop == link) continue;
-    if (e.forwarded_to.contains(link)) continue;
-    if (!removed.adv.filter.covers(e.adv.filter)) continue;
-    if (adv_covered_on_link(rt, id, e.adv.filter, link)) continue;
-    out.push_back(&e);
   }
   return out;
 }

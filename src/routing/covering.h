@@ -15,6 +15,11 @@
 //     unsubscription propagates.
 // Mutual covering (equal filters) is broken by forwarding only the earliest
 // id, so 40 clients with identical subscriptions forward one representative.
+//
+// The decision procedures now live on RoutingTables itself, candidate-
+// accelerated by the covering index (routing/covering_index.h) with
+// full-scan `*_scan` oracles. The free functions below are deprecated
+// wrappers kept for one PR; call the RoutingTables methods directly.
 #pragma once
 
 #include <vector>
@@ -23,40 +28,46 @@
 
 namespace tmps {
 
-/// Is `filter` (of entry `self`) covered over `link` by another subscription
-/// already forwarded over `link`?
-bool sub_covered_on_link(const RoutingTables& rt, const SubscriptionId& self,
-                         const Filter& filter, Hop link);
+[[deprecated("use RoutingTables::sub_covered_on_link")]] inline bool
+sub_covered_on_link(const RoutingTables& rt, const SubscriptionId& self,
+                    const Filter& filter, Hop link) {
+  return rt.sub_covered_on_link(self, filter, link);
+}
 
-/// Subscriptions currently forwarded over `link` that `filter` strictly
-/// covers (covers but is not covered by) — the retraction set when `self`
-/// is newly forwarded over `link`.
-std::vector<SubEntry*> strictly_covered_subs_on_link(RoutingTables& rt,
-                                                     const SubscriptionId& self,
-                                                     const Filter& filter,
-                                                     Hop link);
+[[deprecated("use RoutingTables::strictly_covered_subs_on_link")]] inline std::
+    vector<SubEntry*>
+    strictly_covered_subs_on_link(RoutingTables& rt, const SubscriptionId& self,
+                                  const Filter& filter, Hop link) {
+  return rt.strictly_covered_subs_on_link(self, filter, link);
+}
 
-/// Subscriptions that were quenched over `link` (at least in part) by the
-/// subscription being removed and have no remaining coverer: they must be
-/// forwarded over `link` before the removal propagates. A candidate must
-/// also *need* the link, i.e. some advertisement in the SRT with last hop
-/// `link` intersects it.
-std::vector<SubEntry*> unquenched_subs_on_link(RoutingTables& rt,
-                                               const SubEntry& removed,
-                                               Hop link);
+[[deprecated("use RoutingTables::unquenched_subs_on_link")]] inline std::
+    vector<SubEntry*>
+    unquenched_subs_on_link(RoutingTables& rt, const SubEntry& removed,
+                            Hop link) {
+  return rt.unquenched_subs_on_link(removed, link);
+}
 
-/// Advertisement analogues.
-bool adv_covered_on_link(const RoutingTables& rt, const AdvertisementId& self,
-                         const Filter& filter, Hop link);
-std::vector<AdvEntry*> strictly_covered_advs_on_link(
-    RoutingTables& rt, const AdvertisementId& self, const Filter& filter,
-    Hop link);
-/// Advertisements quenched by the removed one over `link` with no remaining
-/// coverer. Advertisements are flooded, so every non-lasthop link qualifies
-/// as "needed".
-std::vector<AdvEntry*> unquenched_advs_on_link(RoutingTables& rt,
-                                               const AdvEntry& removed,
-                                               Hop link);
+[[deprecated("use RoutingTables::adv_covered_on_link")]] inline bool
+adv_covered_on_link(const RoutingTables& rt, const AdvertisementId& self,
+                    const Filter& filter, Hop link) {
+  return rt.adv_covered_on_link(self, filter, link);
+}
+
+[[deprecated("use RoutingTables::strictly_covered_advs_on_link")]] inline std::
+    vector<AdvEntry*>
+    strictly_covered_advs_on_link(RoutingTables& rt,
+                                  const AdvertisementId& self,
+                                  const Filter& filter, Hop link) {
+  return rt.strictly_covered_advs_on_link(self, filter, link);
+}
+
+[[deprecated("use RoutingTables::unquenched_advs_on_link")]] inline std::
+    vector<AdvEntry*>
+    unquenched_advs_on_link(RoutingTables& rt, const AdvEntry& removed,
+                            Hop link) {
+  return rt.unquenched_advs_on_link(removed, link);
+}
 
 /// Audits the covering invariants at one broker over the given links:
 ///  (1) antichain — no forwarded subscription is strictly covered by another
@@ -67,6 +78,8 @@ std::vector<AdvEntry*> unquenched_advs_on_link(RoutingTables& rt,
 /// Returns human-readable violation descriptions; empty means consistent.
 /// Only meaningful at quiesce points of covering-enabled static networks
 /// (in-flight operations and mobility shadow state legitimately break it).
+/// Deliberately runs on the scan oracles so it stays independent of the
+/// covering index it may be auditing.
 std::vector<std::string> audit_covering_invariants(
     const RoutingTables& rt, const std::vector<Hop>& links);
 

@@ -1,0 +1,148 @@
+#include "routing/covering_index.h"
+
+#include <algorithm>
+
+namespace tmps {
+
+namespace {
+
+void append(const std::vector<EntityId>& from, std::vector<EntityId>& out) {
+  out.insert(out.end(), from.begin(), from.end());
+}
+
+}  // namespace
+
+const std::string* CoveringIndex::pick_bucket(const Filter& filter,
+                                              Value& value) const {
+  // Unsatisfiable filters go to the rest list: they are covered by
+  // everything (Filter::covers returns true for any coverer), so they must
+  // be candidates of every probe.
+  if (!filter.satisfiable()) return nullptr;
+  const std::string* best_attr = nullptr;
+  std::size_t best_size = 0;
+  for (const auto& [attr, c] : filter.constraints()) {
+    const auto v = c.singleton_value();
+    if (!v) continue;
+    std::size_t sz = 0;
+    if (const auto pit = buckets_.find(attr); pit != buckets_.end()) {
+      if (const auto bit = pit->second.find(*v); bit != pit->second.end()) {
+        sz = bit->second.size();
+      }
+    }
+    if (!best_attr || sz < best_size) {
+      best_attr = &attr;
+      best_size = sz;
+      value = *v;
+    }
+  }
+  return best_attr;
+}
+
+void CoveringIndex::insert(const EntityId& id, const Filter& filter) {
+  Value v;
+  if (const std::string* attr = pick_bucket(filter, v)) {
+    buckets_[*attr][v].push_back(id);
+  } else {
+    rest_.push_back(id);
+  }
+  ++size_;
+}
+
+void CoveringIndex::erase(const EntityId& id, const Filter& filter) {
+  auto drop_one = [&](Posting& p) {
+    const auto it = std::find(p.begin(), p.end(), id);
+    if (it == p.end()) return false;
+    p.erase(it);
+    --size_;
+    return true;
+  };
+  // The entry may sit under ANY of its singleton attributes (the smallest-
+  // bucket choice at insert time depends on history), so try them all.
+  if (filter.satisfiable()) {
+    for (const auto& [attr, c] : filter.constraints()) {
+      const auto v = c.singleton_value();
+      if (!v) continue;
+      const auto pit = buckets_.find(attr);
+      if (pit == buckets_.end()) continue;
+      const auto bit = pit->second.find(*v);
+      if (bit == pit->second.end()) continue;
+      if (drop_one(bit->second)) {
+        if (bit->second.empty()) pit->second.erase(bit);
+        if (pit->second.empty()) buckets_.erase(pit);
+        return;
+      }
+    }
+  }
+  drop_one(rest_);
+}
+
+void CoveringIndex::range_probe(const PostingList& pl, const Constraint& c,
+                                std::vector<EntityId>& out) {
+  const auto& lo = c.lower_bound();
+  const auto& hi = c.upper_bound();
+  auto it = lo ? pl.lower_bound(*lo) : pl.begin();
+  const auto end = hi ? pl.upper_bound(*hi) : pl.end();
+  for (; it != end; ++it) append(it->second, out);
+}
+
+void CoveringIndex::coverer_candidates(const Filter& f,
+                                       std::vector<EntityId>& out) const {
+  if (!f.satisfiable()) {
+    // Everything covers an unsatisfiable filter.
+    all_ids(out);
+    return;
+  }
+  for (const auto& [attr, c] : f.constraints()) {
+    const auto v = c.singleton_value();
+    if (!v) continue;
+    const auto pit = buckets_.find(attr);
+    if (pit == buckets_.end()) continue;
+    const auto bit = pit->second.find(*v);
+    if (bit != pit->second.end()) append(bit->second, out);
+  }
+  append(rest_, out);
+}
+
+void CoveringIndex::covered_candidates(const Filter& f,
+                                       std::vector<EntityId>& out) const {
+  for (const auto& [attr, pl] : buckets_) {
+    const auto cit = f.constraints().find(attr);
+    if (cit == f.constraints().end()) {
+      // f does not constrain this attribute; entries filed here may still
+      // be covered by (or intersect) f, so the whole posting list counts.
+      for (const auto& [v, posting] : pl) append(posting, out);
+    } else {
+      range_probe(pl, cit->second, out);
+    }
+  }
+  append(rest_, out);
+}
+
+void CoveringIndex::sub_intersect_candidates(const Filter& adv,
+                                             std::vector<EntityId>& out) const {
+  for (const auto& [attr, pl] : buckets_) {
+    const auto cit = adv.constraints().find(attr);
+    // A subscription filed under `attr` constrains it; intersection with an
+    // advertisement that does not constrain `attr` is impossible
+    // (attrs(sub) ⊆ attrs(adv)), so the whole posting list is skipped.
+    if (cit == adv.constraints().end()) continue;
+    range_probe(pl, cit->second, out);
+  }
+  append(rest_, out);
+}
+
+void CoveringIndex::adv_intersect_candidates(const Filter& sub,
+                                             std::vector<EntityId>& out) const {
+  // Identical shape to covered_candidates: an advertisement may constrain
+  // attributes the subscription is silent on.
+  covered_candidates(sub, out);
+}
+
+void CoveringIndex::all_ids(std::vector<EntityId>& out) const {
+  for (const auto& [attr, pl] : buckets_) {
+    for (const auto& [v, posting] : pl) append(posting, out);
+  }
+  append(rest_, out);
+}
+
+}  // namespace tmps

@@ -1,0 +1,103 @@
+// Covering/subsumption pre-filter index over routing-table filters: the
+// second application of the two-stage candidate/verify design already used
+// for publication matching (match_index.h), here answering the covering
+// optimization's questions — "which existing entries could cover this
+// filter?", "which could it cover?", "which could intersect it?" — without
+// scanning the whole table (cf. Siena's covering poset and the per-attribute
+// predicate indexes of Fabret et al.).
+//
+// Filing: every filter with at least one equality-pinned attribute is filed
+// under ONE (attribute, value) key — adaptively the one whose bucket is
+// currently smallest — inside an ordered per-attribute posting list keyed by
+// value. Filters with no equality predicate (and unsatisfiable filters) fall
+// back to a rest list that every probe includes.
+//
+// Probes (each sound AND complete — a superset of the true answer, verified
+// by the caller with Filter::covers / intersects_advertisement):
+//   * coverer_candidates(F): entries G that might cover F. If G is filed
+//     under attribute a with value v then attrs(G) ∋ a and G's constraint on
+//     a is {v}; G ⊇ F forces attrs(G) ⊆ attrs(F) and F's constraint on a to
+//     be contained in {v}, i.e. F pins a = v too. So probing F's own
+//     singleton attributes by exact value (plus the rest list) misses
+//     nothing.
+//   * covered_candidates(F): entries G that F might cover. Now F's
+//     constraint on G's filing attribute a must CONTAIN {v} — but only when
+//     F constrains a at all; G may pin attributes F is silent on. Per
+//     attribute: range-scan F's interval over the posting list when F
+//     constrains it, take the whole posting list when it does not.
+//   * sub_intersect_candidates(A): subscription entries that might intersect
+//     advertisement filter A. A subscription filed under a must have
+//     attrs ∋ a, and intersection requires attrs(sub) ⊆ attrs(A) — so
+//     attributes A does not constrain are SKIPPED entirely, and constrained
+//     ones are range-scanned by A's interval.
+//   * adv_intersect_candidates(S): advertisement entries a subscription
+//     filter S might intersect. Same shape as covered_candidates: an
+//     advertisement may pin attributes S is silent on, so unconstrained
+//     attributes contribute their whole posting list.
+//
+// The index tracks table MEMBERSHIP only (maintained by RoutingTables'
+// upsert/erase/shadow-install paths); per-link forwarding state is checked
+// during verification, so direct forwarded_to mutation (broker, snapshot
+// restore, tests) can never desynchronize it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/filter.h"
+
+namespace tmps {
+
+class CoveringIndex {
+ public:
+  /// Files `id` under its filter. The same (id, filter) pair must be erased
+  /// with the identical filter before re-inserting a changed one.
+  void insert(const EntityId& id, const Filter& filter);
+  void erase(const EntityId& id, const Filter& filter);
+
+  /// Entries that might cover `f` (superset; may contain duplicates).
+  void coverer_candidates(const Filter& f, std::vector<EntityId>& out) const;
+  /// Entries `f` might cover.
+  void covered_candidates(const Filter& f, std::vector<EntityId>& out) const;
+  /// Subscription entries that might intersect advertisement filter `adv`.
+  void sub_intersect_candidates(const Filter& adv,
+                                std::vector<EntityId>& out) const;
+  /// Advertisement entries that subscription filter `sub` might intersect.
+  void adv_intersect_candidates(const Filter& sub,
+                                std::vector<EntityId>& out) const;
+
+  /// Every filed id (consistency checks).
+  void all_ids(std::vector<EntityId>& out) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t rest_count() const { return rest_.size(); }
+  std::size_t attribute_count() const { return buckets_.size(); }
+
+ private:
+  using Posting = std::vector<EntityId>;
+  // Ordered by value so interval probes are range scans; Value's total
+  // order (numerics before strings) makes cross-domain keys harmless —
+  // a probe interval only spans keys of its own domain.
+  using PostingList = std::map<Value, Posting>;
+
+  /// The (attribute, value) key to file `filter` under: among its
+  /// equality-pinned attributes, the one whose bucket is currently smallest
+  /// (ties broken by attribute order for determinism). Null attribute =
+  /// rest list.
+  const std::string* pick_bucket(const Filter& filter, Value& value) const;
+
+  /// Appends every posting of `pl` that a filter whose constraint interval
+  /// on this attribute is [lo, hi] could pin. Unbounded sides scan to the
+  /// list's ends; open bounds are kept (superset is fine).
+  static void range_probe(const PostingList& pl, const Constraint& c,
+                          std::vector<EntityId>& out);
+
+  std::map<std::string, PostingList> buckets_;
+  Posting rest_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tmps

@@ -1,0 +1,61 @@
+// The result type of RoutingTables' mutation API (add_sub/remove_sub/
+// add_adv/remove_adv): an ordered list of link operations the caller must
+// transmit, replacing the previous pattern where broker and mobility engine
+// each recomputed quench/retract/unquench sets from free functions
+// (routing/covering.h).
+//
+// Op order is significant and preserves the wire protocol's correctness
+// windows: an un-quenched subscription is forwarded BEFORE the
+// unsubscription that exposed it propagates (publications keep flowing), and
+// a newly forwarded subscription precedes the retractions of the entries it
+// strictly covers on that link.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "routing/hop.h"
+
+namespace tmps {
+
+struct RoutingOp {
+  enum class Kind : std::uint8_t {
+    kForwardSub,  // send Subscribe(id) over link
+    kRetractSub,  // send Unsubscribe(id) over link
+    kForwardAdv,  // send Advertise(id) over link
+    kRetractAdv,  // send Unadvertise(id) over link
+  };
+
+  Kind kind;
+  /// Subscription or advertisement id; the entry is live in the tables when
+  /// the op is emitted (removal ops emit the subject's retraction last).
+  EntityId id;
+  Hop link;
+  /// True when the op was induced by the covering optimization (a retract of
+  /// a strictly-covered entry, or an un-quench re-forward) rather than by
+  /// the subject operation itself — drives the covering metrics/trace tags.
+  bool induced = false;
+};
+
+struct RoutingDelta {
+  /// False when the mutation was dropped as stale (unknown id or an
+  /// unsubscribe/unadvertise arriving from a hop that no longer owns the
+  /// entry) — possible under covering churn; nothing must be sent.
+  bool applied = true;
+  std::vector<RoutingOp> ops;
+  /// Links where the subject was quenched (covered by an already-forwarded
+  /// entry); informational, nothing is transmitted for them.
+  std::vector<Hop> quenched;
+
+  bool empty() const { return ops.empty(); }
+};
+
+/// Which covering optimizations a mutation should apply — mirrors the
+/// broker's configuration.
+struct CoveringPolicy {
+  bool subs = true;
+  bool advs = true;
+};
+
+}  // namespace tmps

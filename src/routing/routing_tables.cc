@@ -6,11 +6,15 @@ namespace tmps {
 
 SubEntry& RoutingTables::upsert_sub(const Subscription& sub, Hop lasthop) {
   auto [it, inserted] = prt_.try_emplace(sub.id);
-  if (!inserted) index_.erase(sub.id, it->second.sub.filter);
+  if (!inserted) {
+    index_.erase(sub.id, it->second.sub.filter);
+    sub_cover_.erase(sub.id, it->second.sub.filter);
+  }
   it->second.sub = sub;
   it->second.lasthop = lasthop;
   if (inserted) it->second.shadow_only = false;
   index_.insert(sub.id, sub.filter);
+  sub_cover_.insert(sub.id, sub.filter);
   return it->second;
 }
 
@@ -28,14 +32,17 @@ void RoutingTables::erase_sub(const SubscriptionId& id) {
   auto it = prt_.find(id);
   if (it == prt_.end()) return;
   index_.erase(id, it->second.sub.filter);
+  sub_cover_.erase(id, it->second.sub.filter);
   prt_.erase(it);
 }
 
 AdvEntry& RoutingTables::upsert_adv(const Advertisement& adv, Hop lasthop) {
   auto [it, inserted] = srt_.try_emplace(adv.id);
+  if (!inserted) adv_cover_.erase(adv.id, it->second.adv.filter);
   it->second.adv = adv;
   it->second.lasthop = lasthop;
   if (inserted) it->second.shadow_only = false;
+  adv_cover_.insert(adv.id, adv.filter);
   return it->second;
 }
 
@@ -49,7 +56,12 @@ const AdvEntry* RoutingTables::find_adv(const AdvertisementId& id) const {
   return it == srt_.end() ? nullptr : &it->second;
 }
 
-void RoutingTables::erase_adv(const AdvertisementId& id) { srt_.erase(id); }
+void RoutingTables::erase_adv(const AdvertisementId& id) {
+  auto it = srt_.find(id);
+  if (it == srt_.end()) return;
+  adv_cover_.erase(id, it->second.adv.filter);
+  srt_.erase(it);
+}
 
 std::vector<Hop> RoutingTables::hops_for_publication(
     const Publication& pub) const {
@@ -97,7 +109,32 @@ std::vector<const SubEntry*> RoutingTables::matching_subs_scan(
   return out;
 }
 
+namespace {
+
+/// Deterministic output order for index-backed queries: candidate order
+/// depends on bucket layout, so verified results are sorted by id.
+void sort_ids(std::vector<EntityId>& ids) { std::sort(ids.begin(), ids.end()); }
+
+}  // namespace
+
 std::vector<const AdvEntry*> RoutingTables::intersecting_advs(
+    const Filter& sub) const {
+  if (!use_cover_index_) return intersecting_advs_scan(sub);
+  std::vector<EntityId> cands;
+  adv_cover_.adv_intersect_candidates(sub, cands);
+  sort_ids(cands);
+  std::vector<const AdvEntry*> out;
+  for (const auto& id : cands) {
+    const auto it = srt_.find(id);
+    if (it == srt_.end()) continue;
+    if (sub.intersects_advertisement(it->second.adv.filter)) {
+      out.push_back(&it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<const AdvEntry*> RoutingTables::intersecting_advs_scan(
     const Filter& sub) const {
   std::vector<const AdvEntry*> out;
   for (const auto& [id, e] : srt_) {
@@ -108,10 +145,468 @@ std::vector<const AdvEntry*> RoutingTables::intersecting_advs(
 
 std::vector<const SubEntry*> RoutingTables::subs_intersecting(
     const Filter& adv) const {
+  if (!use_cover_index_) return subs_intersecting_scan(adv);
+  std::vector<EntityId> cands;
+  sub_cover_.sub_intersect_candidates(adv, cands);
+  sort_ids(cands);
+  std::vector<const SubEntry*> out;
+  for (const auto& id : cands) {
+    const auto it = prt_.find(id);
+    if (it == prt_.end()) continue;
+    if (it->second.sub.filter.intersects_advertisement(adv)) {
+      out.push_back(&it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<const SubEntry*> RoutingTables::subs_intersecting_scan(
+    const Filter& adv) const {
   std::vector<const SubEntry*> out;
   for (const auto& [id, e] : prt_) {
     if (e.sub.filter.intersects_advertisement(adv)) out.push_back(&e);
   }
+  return out;
+}
+
+// --- covering queries ---------------------------------------------------------
+
+bool RoutingTables::sub_covered_on_link(const SubscriptionId& self,
+                                        const Filter& filter, Hop link) const {
+  if (!use_cover_index_) return sub_covered_on_link_scan(self, filter, link);
+  std::vector<EntityId> cands;
+  sub_cover_.coverer_candidates(filter, cands);
+  for (const auto& id : cands) {
+    if (id == self) continue;
+    const auto it = prt_.find(id);
+    if (it == prt_.end()) continue;
+    const SubEntry& e = it->second;
+    if (!e.forwarded_to.contains(link)) continue;
+    if (e.sub.filter.covers(filter)) return true;
+  }
+  return false;
+}
+
+bool RoutingTables::sub_covered_on_link_scan(const SubscriptionId& self,
+                                             const Filter& filter,
+                                             Hop link) const {
+  for (const auto& [id, e] : prt_) {
+    if (id == self) continue;
+    if (!e.forwarded_to.contains(link)) continue;
+    if (e.sub.filter.covers(filter)) return true;
+  }
+  return false;
+}
+
+std::vector<SubEntry*> RoutingTables::strictly_covered_subs_on_link(
+    const SubscriptionId& self, const Filter& filter, Hop link) {
+  if (!use_cover_index_) {
+    return strictly_covered_subs_on_link_scan(self, filter, link);
+  }
+  std::vector<EntityId> cands;
+  sub_cover_.covered_candidates(filter, cands);
+  sort_ids(cands);
+  std::vector<SubEntry*> out;
+  for (const auto& id : cands) {
+    if (id == self) continue;
+    SubEntry* e = find_sub(id);
+    if (!e || !e->forwarded_to.contains(link)) continue;
+    if (filter.covers(e->sub.filter) && !e->sub.filter.covers(filter)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<SubEntry*> RoutingTables::strictly_covered_subs_on_link_scan(
+    const SubscriptionId& self, const Filter& filter, Hop link) {
+  std::vector<SubEntry*> out;
+  for (auto& [id, e] : prt_) {
+    if (id == self) continue;
+    if (!e.forwarded_to.contains(link)) continue;
+    if (filter.covers(e.sub.filter) && !e.sub.filter.covers(filter)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::vector<SubEntry*> RoutingTables::unquenched_subs_on_link(
+    const SubEntry& removed, Hop link) {
+  if (!use_cover_index_) return unquenched_subs_on_link_scan(removed, link);
+  std::vector<EntityId> cands;
+  sub_cover_.covered_candidates(removed.sub.filter, cands);
+  sort_ids(cands);
+  std::vector<SubEntry*> out;
+  for (const auto& id : cands) {
+    if (id == removed.sub.id) continue;
+    SubEntry* e = find_sub(id);
+    if (!e) continue;
+    if (e->shadow_only) continue;  // not yet live at this broker
+    if (e->lasthop == link) continue;
+    if (e->forwarded_to.contains(link)) continue;
+    if (!removed.sub.filter.covers(e->sub.filter)) continue;
+    if (!link_needed_for(e->sub.filter, link)) continue;
+    // A remaining forwarded subscription may still cover it.
+    if (sub_covered_on_link(id, e->sub.filter, link)) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SubEntry*> RoutingTables::unquenched_subs_on_link_scan(
+    const SubEntry& removed, Hop link) {
+  std::vector<SubEntry*> out;
+  for (auto& [id, e] : prt_) {
+    if (id == removed.sub.id) continue;
+    if (e.shadow_only) continue;
+    if (e.lasthop == link) continue;
+    if (e.forwarded_to.contains(link)) continue;
+    if (!removed.sub.filter.covers(e.sub.filter)) continue;
+    if (!link_needed_for_scan(e.sub.filter, link)) continue;
+    if (sub_covered_on_link_scan(id, e.sub.filter, link)) continue;
+    out.push_back(&e);
+  }
+  return out;
+}
+
+bool RoutingTables::adv_covered_on_link(const AdvertisementId& self,
+                                        const Filter& filter, Hop link) const {
+  if (!use_cover_index_) return adv_covered_on_link_scan(self, filter, link);
+  std::vector<EntityId> cands;
+  adv_cover_.coverer_candidates(filter, cands);
+  for (const auto& id : cands) {
+    if (id == self) continue;
+    const auto it = srt_.find(id);
+    if (it == srt_.end()) continue;
+    const AdvEntry& e = it->second;
+    if (!e.forwarded_to.contains(link)) continue;
+    if (e.adv.filter.covers(filter)) return true;
+  }
+  return false;
+}
+
+bool RoutingTables::adv_covered_on_link_scan(const AdvertisementId& self,
+                                             const Filter& filter,
+                                             Hop link) const {
+  for (const auto& [id, e] : srt_) {
+    if (id == self) continue;
+    if (!e.forwarded_to.contains(link)) continue;
+    if (e.adv.filter.covers(filter)) return true;
+  }
+  return false;
+}
+
+std::vector<AdvEntry*> RoutingTables::strictly_covered_advs_on_link(
+    const AdvertisementId& self, const Filter& filter, Hop link) {
+  if (!use_cover_index_) {
+    return strictly_covered_advs_on_link_scan(self, filter, link);
+  }
+  std::vector<EntityId> cands;
+  adv_cover_.covered_candidates(filter, cands);
+  sort_ids(cands);
+  std::vector<AdvEntry*> out;
+  for (const auto& id : cands) {
+    if (id == self) continue;
+    AdvEntry* e = find_adv(id);
+    if (!e || !e->forwarded_to.contains(link)) continue;
+    if (filter.covers(e->adv.filter) && !e->adv.filter.covers(filter)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<AdvEntry*> RoutingTables::strictly_covered_advs_on_link_scan(
+    const AdvertisementId& self, const Filter& filter, Hop link) {
+  std::vector<AdvEntry*> out;
+  for (auto& [id, e] : srt_) {
+    if (id == self) continue;
+    if (!e.forwarded_to.contains(link)) continue;
+    if (filter.covers(e.adv.filter) && !e.adv.filter.covers(filter)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::vector<AdvEntry*> RoutingTables::unquenched_advs_on_link(
+    const AdvEntry& removed, Hop link) {
+  if (!use_cover_index_) return unquenched_advs_on_link_scan(removed, link);
+  std::vector<EntityId> cands;
+  adv_cover_.covered_candidates(removed.adv.filter, cands);
+  sort_ids(cands);
+  std::vector<AdvEntry*> out;
+  for (const auto& id : cands) {
+    if (id == removed.adv.id) continue;
+    AdvEntry* e = find_adv(id);
+    if (!e) continue;
+    if (e->shadow_only) continue;
+    if (e->lasthop == link) continue;
+    if (e->forwarded_to.contains(link)) continue;
+    if (!removed.adv.filter.covers(e->adv.filter)) continue;
+    if (adv_covered_on_link(id, e->adv.filter, link)) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<AdvEntry*> RoutingTables::unquenched_advs_on_link_scan(
+    const AdvEntry& removed, Hop link) {
+  std::vector<AdvEntry*> out;
+  for (auto& [id, e] : srt_) {
+    if (id == removed.adv.id) continue;
+    if (e.shadow_only) continue;
+    if (e.lasthop == link) continue;
+    if (e.forwarded_to.contains(link)) continue;
+    if (!removed.adv.filter.covers(e.adv.filter)) continue;
+    if (adv_covered_on_link_scan(id, e.adv.filter, link)) continue;
+    out.push_back(&e);
+  }
+  return out;
+}
+
+bool RoutingTables::link_needed_for(const Filter& f, Hop link) const {
+  if (!use_cover_index_) return link_needed_for_scan(f, link);
+  std::vector<EntityId> cands;
+  adv_cover_.adv_intersect_candidates(f, cands);
+  for (const auto& id : cands) {
+    const auto it = srt_.find(id);
+    if (it == srt_.end()) continue;
+    const AdvEntry& a = it->second;
+    if (a.lasthop == link && f.intersects_advertisement(a.adv.filter)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RoutingTables::link_needed_for_scan(const Filter& f, Hop link) const {
+  for (const auto& [id, a] : srt_) {
+    if (a.lasthop == link && f.intersects_advertisement(a.adv.filter)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- mutation API -------------------------------------------------------------
+
+void RoutingTables::forward_sub(SubEntry& entry, Hop link,
+                                const CoveringPolicy& policy, bool induced,
+                                RoutingDelta& d) {
+  entry.forwarded_to.insert(link);
+  d.ops.push_back({RoutingOp::Kind::kForwardSub, entry.sub.id, link, induced});
+  if (policy.subs) {
+    for (SubEntry* t :
+         strictly_covered_subs_on_link(entry.sub.id, entry.sub.filter, link)) {
+      t->forwarded_to.erase(link);
+      d.ops.push_back(
+          {RoutingOp::Kind::kRetractSub, t->sub.id, link, /*induced=*/true});
+    }
+  }
+}
+
+void RoutingTables::forward_adv(AdvEntry& entry, Hop link,
+                                const CoveringPolicy& policy, bool induced,
+                                RoutingDelta& d) {
+  entry.forwarded_to.insert(link);
+  d.ops.push_back({RoutingOp::Kind::kForwardAdv, entry.adv.id, link, induced});
+  if (policy.advs) {
+    for (AdvEntry* t :
+         strictly_covered_advs_on_link(entry.adv.id, entry.adv.filter, link)) {
+      t->forwarded_to.erase(link);
+      d.ops.push_back(
+          {RoutingOp::Kind::kRetractAdv, t->adv.id, link, /*induced=*/true});
+    }
+  }
+}
+
+RoutingDelta RoutingTables::add_sub(const Subscription& sub, Hop from,
+                                    const CoveringPolicy& policy) {
+  RoutingDelta d;
+  SubEntry& entry = upsert_sub(sub, from);
+  // Forward towards every intersecting advertisement's last hop.
+  for (const AdvEntry* a : intersecting_advs(sub.filter)) {
+    const Hop link = a->lasthop;
+    if (!link.is_broker() || link == from) continue;
+    if (entry.forwarded_to.contains(link)) continue;
+    if (policy.subs && sub_covered_on_link(sub.id, sub.filter, link)) {
+      if (std::find(d.quenched.begin(), d.quenched.end(), link) ==
+          d.quenched.end()) {
+        d.quenched.push_back(link);
+      }
+      continue;
+    }
+    forward_sub(entry, link, policy, /*induced=*/false, d);
+  }
+  return d;
+}
+
+RoutingDelta RoutingTables::remove_sub(const SubscriptionId& id, Hop from,
+                                       const CoveringPolicy& policy) {
+  RoutingDelta d;
+  SubEntry* entry = find_sub(id);
+  // Stale or duplicate unsubscriptions (possible under covering churn) are
+  // dropped: the entry is gone or now owned by a different direction.
+  if (!entry || entry->lasthop != from) {
+    d.applied = false;
+    return d;
+  }
+  std::vector<Hop> links(entry->forwarded_to.begin(),
+                         entry->forwarded_to.end());
+  std::sort(links.begin(), links.end());  // deterministic emission order
+  entry->forwarded_to.clear();            // stop counting as a coverer
+
+  for (const Hop& link : links) {
+    if (policy.subs) {
+      // Un-quench: subscriptions this one covered must take over *before*
+      // the unsubscription propagates, so publications keep flowing. The
+      // candidate set is computed up front; re-check coverage as the burst
+      // unfolds so nested candidates forward only their maximal antichain.
+      for (SubEntry* t : unquenched_subs_on_link(*entry, link)) {
+        if (sub_covered_on_link(t->sub.id, t->sub.filter, link)) continue;
+        forward_sub(*t, link, policy, /*induced=*/true, d);
+      }
+    }
+    d.ops.push_back({RoutingOp::Kind::kRetractSub, id, link, false});
+  }
+  erase_sub(id);
+  return d;
+}
+
+RoutingDelta RoutingTables::add_adv(const Advertisement& adv, Hop from,
+                                    const std::vector<Hop>& flood_links,
+                                    const CoveringPolicy& policy) {
+  RoutingDelta d;
+  AdvEntry& entry = upsert_adv(adv, from);
+
+  // Advertisements flood to all neighbours except the one they came from.
+  for (const Hop& link : flood_links) {
+    if (!link.is_broker() || link == from) continue;
+    if (entry.forwarded_to.contains(link)) continue;
+    if (policy.advs && adv_covered_on_link(adv.id, adv.filter, link)) {
+      if (std::find(d.quenched.begin(), d.quenched.end(), link) ==
+          d.quenched.end()) {
+        d.quenched.push_back(link);
+      }
+      continue;
+    }
+    forward_adv(entry, link, policy, /*induced=*/false, d);
+  }
+
+  // Subscriptions that intersect the new advertisement must now be forwarded
+  // towards it (over the link it arrived on).
+  if (from.is_broker()) {
+    std::vector<SubscriptionId> sids;
+    for (const SubEntry* s : subs_intersecting(adv.filter)) {
+      sids.push_back(s->sub.id);
+    }
+    for (const auto& sid : sids) {
+      SubEntry* s = find_sub(sid);
+      if (!s || s->shadow_only) continue;
+      if (s->lasthop == from || s->forwarded_to.contains(from)) continue;
+      if (policy.subs && sub_covered_on_link(sid, s->sub.filter, from)) {
+        continue;
+      }
+      forward_sub(*s, from, policy, /*induced=*/false, d);
+    }
+  }
+  return d;
+}
+
+RoutingDelta RoutingTables::remove_adv(const AdvertisementId& id, Hop from,
+                                       const CoveringPolicy& policy) {
+  RoutingDelta d;
+  AdvEntry* entry = find_adv(id);
+  if (!entry || entry->lasthop != from) {
+    d.applied = false;
+    return d;
+  }
+  std::vector<Hop> links(entry->forwarded_to.begin(),
+                         entry->forwarded_to.end());
+  std::sort(links.begin(), links.end());
+  entry->forwarded_to.clear();
+
+  for (const Hop& link : links) {
+    if (policy.advs) {
+      for (AdvEntry* t : unquenched_advs_on_link(*entry, link)) {
+        if (adv_covered_on_link(t->adv.id, t->adv.filter, link)) continue;
+        forward_adv(*t, link, policy, /*induced=*/true, d);
+      }
+    }
+    d.ops.push_back({RoutingOp::Kind::kRetractAdv, id, link, false});
+  }
+  // Subscription forwarding state that pointed towards this advertisement is
+  // left in place: the paper's routing consistency explicitly allows stale
+  // entries, and removing them here would require per-advertisement
+  // refcounts on every mark.
+  erase_adv(id);
+  return d;
+}
+
+// --- covering-index consistency -----------------------------------------------
+
+std::vector<std::string> RoutingTables::check_cover_index() const {
+  std::vector<std::string> out;
+  if (sub_cover_.size() != prt_.size()) {
+    out.push_back("sub cover index size " + std::to_string(sub_cover_.size()) +
+                  " != PRT size " + std::to_string(prt_.size()));
+  }
+  if (adv_cover_.size() != srt_.size()) {
+    out.push_back("adv cover index size " + std::to_string(adv_cover_.size()) +
+                  " != SRT size " + std::to_string(srt_.size()));
+  }
+  const auto contains = [](const std::vector<EntityId>& v, const EntityId& id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  };
+  std::vector<EntityId> ids;
+  for (const auto& [id, e] : prt_) {
+    ids.clear();
+    sub_cover_.coverer_candidates(e.sub.filter, ids);
+    if (!contains(ids, id)) {
+      out.push_back("PRT entry " + to_string(id) +
+                    " missing from its own coverer candidates");
+    }
+    ids.clear();
+    sub_cover_.covered_candidates(e.sub.filter, ids);
+    if (!contains(ids, id)) {
+      out.push_back("PRT entry " + to_string(id) +
+                    " missing from its own covered candidates");
+    }
+  }
+  for (const auto& [id, e] : srt_) {
+    ids.clear();
+    adv_cover_.coverer_candidates(e.adv.filter, ids);
+    if (!contains(ids, id)) {
+      out.push_back("SRT entry " + to_string(id) +
+                    " missing from its own coverer candidates");
+    }
+    ids.clear();
+    adv_cover_.covered_candidates(e.adv.filter, ids);
+    if (!contains(ids, id)) {
+      out.push_back("SRT entry " + to_string(id) +
+                    " missing from its own covered candidates");
+    }
+  }
+  const auto check_filings = [&out](const CoveringIndex& idx, const auto& table,
+                                    const char* name) {
+    std::vector<EntityId> filed;
+    idx.all_ids(filed);
+    std::sort(filed.begin(), filed.end());
+    for (std::size_t i = 0; i < filed.size(); ++i) {
+      if (i > 0 && filed[i] == filed[i - 1]) {
+        out.push_back(std::string(name) + " cover index files " +
+                      to_string(filed[i]) + " more than once");
+      }
+      if (!table.contains(filed[i])) {
+        out.push_back(std::string(name) + " cover index holds dangling id " +
+                      to_string(filed[i]));
+      }
+    }
+  };
+  check_filings(sub_cover_, prt_, "sub");
+  check_filings(adv_cover_, srt_, "adv");
   return out;
 }
 
@@ -123,6 +618,7 @@ void RoutingTables::install_sub_shadow(const Subscription& sub, Hop new_hop,
     it->second.lasthop = Hop::none();
     it->second.shadow_only = true;
     index_.insert(sub.id, sub.filter);
+    sub_cover_.insert(sub.id, sub.filter);
   }
   it->second.shadow_lasthop = new_hop;
   it->second.shadow_txn = txn;
@@ -135,6 +631,7 @@ void RoutingTables::install_adv_shadow(const Advertisement& adv, Hop new_hop,
     it->second.adv = adv;
     it->second.lasthop = Hop::none();
     it->second.shadow_only = true;
+    adv_cover_.insert(adv.id, adv.filter);
   }
   it->second.shadow_lasthop = new_hop;
   it->second.shadow_txn = txn;
@@ -173,7 +670,7 @@ void RoutingTables::abort_adv_shadow(const AdvertisementId& adv_id,
   if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
   e->shadow_lasthop.reset();
   e->shadow_txn = kNoTxn;
-  if (e->shadow_only) srt_.erase(adv_id);
+  if (e->shadow_only) erase_adv(adv_id);
 }
 
 bool RoutingTables::has_pending_shadows() const {

@@ -19,8 +19,10 @@
 #include "common/ids.h"
 #include "pubsub/publication.h"
 #include "pubsub/subscription.h"
+#include "routing/covering_index.h"
 #include "routing/hop.h"
 #include "routing/match_index.h"
+#include "routing/routing_delta.h"
 
 namespace tmps {
 
@@ -51,6 +53,35 @@ struct AdvEntry {
 
 class RoutingTables {
  public:
+  // --- mutation API ---------------------------------------------------------
+  // The cohesive entry points for routing-state changes: each applies the
+  // table mutation, runs the covering optimization per `policy`, and returns
+  // the ordered link operations the caller must transmit (see
+  // routing/routing_delta.h). Brokers and the mobility engine use these
+  // instead of recomputing cover sets from the free functions of
+  // routing/covering.h (now deprecated wrappers).
+
+  /// Upserts `sub` with last hop `from` and forwards it towards every
+  /// intersecting advertisement's last hop (unless quenched by covering).
+  RoutingDelta add_sub(const Subscription& sub, Hop from,
+                       const CoveringPolicy& policy = {});
+
+  /// Removes `sub` if `from` still owns it (else applied=false): emits
+  /// un-quench re-forwards before each link's retraction, then erases.
+  RoutingDelta remove_sub(const SubscriptionId& id, Hop from,
+                          const CoveringPolicy& policy = {});
+
+  /// Upserts `adv` and floods it over `flood_links` (the broker's neighbour
+  /// links; covering-quenched links are skipped), then re-forwards
+  /// intersecting subscriptions over the arrival link when `from` is a
+  /// broker.
+  RoutingDelta add_adv(const Advertisement& adv, Hop from,
+                       const std::vector<Hop>& flood_links,
+                       const CoveringPolicy& policy = {});
+
+  RoutingDelta remove_adv(const AdvertisementId& id, Hop from,
+                          const CoveringPolicy& policy = {});
+
   // --- PRT (subscriptions) ---
   SubEntry& upsert_sub(const Subscription& sub, Hop lasthop);
   SubEntry* find_sub(const SubscriptionId& id);
@@ -87,11 +118,74 @@ class RoutingTables {
 
   const SubMatchIndex& match_index() const { return index_; }
 
-  /// Advertisements a subscription filter intersects.
+  /// Advertisements a subscription filter intersects. Accelerated by the
+  /// covering index; results ordered by id.
   std::vector<const AdvEntry*> intersecting_advs(const Filter& sub) const;
+  std::vector<const AdvEntry*> intersecting_advs_scan(const Filter& sub) const;
 
   /// Subscriptions that intersect an advertisement filter.
   std::vector<const SubEntry*> subs_intersecting(const Filter& adv) const;
+  std::vector<const SubEntry*> subs_intersecting_scan(const Filter& adv) const;
+
+  // --- covering queries -----------------------------------------------------
+  // Index-backed (candidates from the CoveringIndex, verified exactly, output
+  // ordered by id) with full-scan reference oracles (`*_scan`, preserved for
+  // tests/benchmarks and as the executable specification). The scan oracles
+  // use only scan helpers internally, so they never touch the index.
+
+  /// Is `filter` (of entry `self`) covered over `link` by another
+  /// subscription already forwarded over `link`?
+  bool sub_covered_on_link(const SubscriptionId& self, const Filter& filter,
+                           Hop link) const;
+  bool sub_covered_on_link_scan(const SubscriptionId& self,
+                                const Filter& filter, Hop link) const;
+
+  /// Subscriptions currently forwarded over `link` that `filter` strictly
+  /// covers — the retraction set when `self` is newly forwarded there.
+  std::vector<SubEntry*> strictly_covered_subs_on_link(
+      const SubscriptionId& self, const Filter& filter, Hop link);
+  std::vector<SubEntry*> strictly_covered_subs_on_link_scan(
+      const SubscriptionId& self, const Filter& filter, Hop link);
+
+  /// Subscriptions quenched (at least in part) by `removed` over `link` with
+  /// no remaining coverer; they must be re-forwarded before the removal
+  /// propagates. A candidate must also need the link (some SRT entry with
+  /// last hop `link` intersects it).
+  std::vector<SubEntry*> unquenched_subs_on_link(const SubEntry& removed,
+                                                 Hop link);
+  std::vector<SubEntry*> unquenched_subs_on_link_scan(const SubEntry& removed,
+                                                      Hop link);
+
+  /// Advertisement analogues.
+  bool adv_covered_on_link(const AdvertisementId& self, const Filter& filter,
+                           Hop link) const;
+  bool adv_covered_on_link_scan(const AdvertisementId& self,
+                                const Filter& filter, Hop link) const;
+  std::vector<AdvEntry*> strictly_covered_advs_on_link(
+      const AdvertisementId& self, const Filter& filter, Hop link);
+  std::vector<AdvEntry*> strictly_covered_advs_on_link_scan(
+      const AdvertisementId& self, const Filter& filter, Hop link);
+  std::vector<AdvEntry*> unquenched_advs_on_link(const AdvEntry& removed,
+                                                 Hop link);
+  std::vector<AdvEntry*> unquenched_advs_on_link_scan(const AdvEntry& removed,
+                                                      Hop link);
+
+  /// Does some advertisement with last hop `link` intersect `f`? (Then
+  /// subscriptions matching `f` must be forwarded over `link`.)
+  bool link_needed_for(const Filter& f, Hop link) const;
+  bool link_needed_for_scan(const Filter& f, Hop link) const;
+
+  /// A/B switch: false routes the non-`_scan` queries above through the
+  /// full-table scans instead of the covering index (benchmarks, debugging).
+  void set_use_cover_index(bool on) { use_cover_index_ = on; }
+  bool use_cover_index() const { return use_cover_index_; }
+  const CoveringIndex& sub_cover_index() const { return sub_cover_; }
+  const CoveringIndex& adv_cover_index() const { return adv_cover_; }
+
+  /// Cross-checks the covering indexes against the tables: sizes agree, no
+  /// dangling or duplicate filings, and every entry is a candidate of its
+  /// own filter's probes. Returns violation descriptions; empty = consistent.
+  std::vector<std::string> check_cover_index() const;
 
   // --- movement-transaction shadow state ---
 
@@ -118,9 +212,23 @@ class RoutingTables {
   std::string debug_string() const;
 
  private:
+  /// Forwards `entry` over `link` into `d`, retracting the entries it
+  /// strictly covers there when the policy enables covering.
+  void forward_sub(SubEntry& entry, Hop link, const CoveringPolicy& policy,
+                   bool induced, RoutingDelta& d);
+  void forward_adv(AdvEntry& entry, Hop link, const CoveringPolicy& policy,
+                   bool induced, RoutingDelta& d);
+
   std::unordered_map<SubscriptionId, SubEntry> prt_;
   std::unordered_map<AdvertisementId, AdvEntry> srt_;
   SubMatchIndex index_;
+  // Covering/subsumption candidate indexes over PRT and SRT filters. They
+  // track table membership only (upsert/erase/shadow-install); per-link
+  // forwarding state is a verification-stage predicate, so direct
+  // forwarded_to mutation cannot desynchronize them.
+  CoveringIndex sub_cover_;
+  CoveringIndex adv_cover_;
+  bool use_cover_index_ = true;
 };
 
 }  // namespace tmps

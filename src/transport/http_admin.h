@@ -14,7 +14,7 @@
 // served at a time, Connection: close. It is an *admin* plane for probes and
 // scrapes, not a data plane, and binds 127.0.0.1 only (the overlay is a
 // trusted cluster fabric in the paper's model). Disabled by default; hosts
-// opt in via TcpTransport::AdminConfig.
+// opt in via BrokerConfig::Admin (broker/broker_config.h).
 #pragma once
 
 #include <atomic>

@@ -51,9 +51,8 @@ constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB sanity bound
 }  // namespace
 
 TcpTransport::TcpTransport(const Overlay& overlay, std::uint16_t base_port,
-                           BrokerConfig broker_cfg, MobilityConfig mobility_cfg,
-                           AdminConfig admin_cfg)
-    : overlay_(&overlay), base_port_(base_port), admin_cfg_(admin_cfg) {
+                           BrokerConfig broker_cfg, MobilityConfig mobility_cfg)
+    : overlay_(&overlay), base_port_(base_port), admin_cfg_(broker_cfg.admin) {
   tracer_.set_clock([this] { return now(); });
   frames_sent_ = &metrics_.counter("tcp_frames_sent_total");
   bytes_sent_ = &metrics_.counter("tcp_bytes_sent_total");

@@ -27,22 +27,14 @@
 
 namespace tmps {
 
-/// Per-broker HTTP admin endpoints (/healthz, /metrics, /routing). Off by
-/// default; hosts opt in. Loopback only.
-struct AdminConfig {
-  bool enabled = false;
-  /// Broker b listens on base_port + b; 0 = OS-assigned ephemeral ports
-  /// (read them back via admin_port_of).
-  std::uint16_t base_port = 0;
-};
-
 class TcpTransport final : public RuntimeEnv {
  public:
   /// Brokers listen on 127.0.0.1:base_port+broker_id. Pass base_port = 0 to
-  /// let the OS pick ephemeral ports (recommended for tests).
+  /// let the OS pick ephemeral ports (recommended for tests). The admin
+  /// plane is configured via broker_cfg.admin (BrokerConfig consolidates
+  /// what used to be a separate AdminConfig parameter).
   TcpTransport(const Overlay& overlay, std::uint16_t base_port = 0,
-               BrokerConfig broker_cfg = {}, MobilityConfig mobility_cfg = {},
-               AdminConfig admin_cfg = {});
+               BrokerConfig broker_cfg = {}, MobilityConfig mobility_cfg = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -118,7 +110,7 @@ class TcpTransport final : public RuntimeEnv {
 
   const Overlay* overlay_;
   std::uint16_t base_port_;
-  AdminConfig admin_cfg_;
+  BrokerConfig::Admin admin_cfg_;
   // Declared before nodes_: brokers/engines cache handles into these.
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;

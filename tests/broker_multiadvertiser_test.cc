@@ -129,12 +129,14 @@ TEST_F(MultiAdvertiser, ReadvertiseAfterUnadvertisePullsSubscriptionAgain) {
 TEST_F(MultiAdvertiser, PartialSpaceAdvertisersSplitTheSubscription) {
   // Advertiser 2 covers x in [0,4000], advertiser 3 covers [6000,10000];
   // a subscriber to [0,10000] reaches both, a subscriber to [0,1000] only 2.
-  Filter low{eq("class", "STOCK"), ge("g", std::int64_t{0}),
-             le("g", std::int64_t{10}), ge("x", std::int64_t{0}),
-             le("x", std::int64_t{4000})};
-  Filter high{eq("class", "STOCK"), ge("g", std::int64_t{0}),
-              le("g", std::int64_t{10}), ge("x", std::int64_t{6000}),
-              le("x", std::int64_t{10000})};
+  Filter low = Filter::build()
+                   .attr("class").eq("STOCK")
+                   .attr("g").ge(0).le(10)
+                   .attr("x").ge(0).le(4000);
+  Filter high = Filter::build()
+                    .attr("class").eq("STOCK")
+                    .attr("g").ge(0).le(10)
+                    .attr("x").ge(6000).le(10000);
   net_.run(2, [&](Broker& b) { return b.client_advertise(102, adv(102, low)); });
   net_.run(3, [&](Broker& b) {
     return b.client_advertise(103, adv(103, high));
@@ -145,8 +147,10 @@ TEST_F(MultiAdvertiser, PartialSpaceAdvertisersSplitTheSubscription) {
                               sub(204, workload_filter(WorkloadKind::Covered,
                                                        1)));  // full space
   });
-  Filter narrow{eq("class", "STOCK"), eq("g", std::int64_t{0}),
-                ge("x", std::int64_t{0}), le("x", std::int64_t{1000})};
+  Filter narrow = Filter::build()
+                      .attr("class").eq("STOCK")
+                      .attr("g").eq(0)
+                      .attr("x").ge(0).le(1000);
   net_.run(5, [&](Broker& b) {
     return b.client_subscribe(205, sub(205, narrow));
   });

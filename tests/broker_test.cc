@@ -17,7 +17,7 @@ Advertisement adv(ClientId c, std::uint32_t seq, Filter f) {
   return {{c, seq}, std::move(f)};
 }
 Filter range(std::int64_t lo, std::int64_t hi) {
-  return Filter{eq("class", "STOCK"), ge("x", lo), le("x", hi)};
+  return Filter::build().attr("class").eq("STOCK").attr("x").ge(lo).le(hi);
 }
 
 class BrokerChain : public ::testing::Test {
@@ -350,8 +350,8 @@ TEST_F(BrokerCovering, AdvertisementCoveringQuenchesAndRetracts) {
   });
   net.reset_count();
   net.run(1, [&](Broker& b) {
-    Filter wide{eq("class", "STOCK"), ge("x", std::int64_t{0}),
-                le("x", std::int64_t{1000})};
+    Filter wide = Filter::build().attr("class").eq("STOCK").attr("x").ge(0).le(
+        1000);
     return b.client_advertise(101, adv(101, 1, wide));
   });
   // Per link: advertise(101) + unadvertise(100) = 2 over 2 links.

@@ -157,8 +157,8 @@ TEST_F(ClientStubTest, ProfileBookkeeping) {
   const auto id1 = stub_.allocate_id();
   const auto id2 = stub_.allocate_id();
   EXPECT_NE(id1.seq, id2.seq);
-  stub_.remember_subscription({id1, Filter{ge("x", 1)}});
-  stub_.remember_advertisement({id2, Filter{ge("x", 0)}});
+  stub_.remember_subscription({id1, Filter::build().attr("x").ge(1)});
+  stub_.remember_advertisement({id2, Filter::build().attr("x").ge(0)});
   EXPECT_EQ(stub_.subscriptions().size(), 1u);
   EXPECT_EQ(stub_.advertisements().size(), 1u);
   EXPECT_TRUE(stub_.forget_subscription(id1));

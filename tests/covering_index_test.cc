@@ -1,0 +1,183 @@
+// Unit tests of the covering/subsumption candidate index in isolation:
+// filing rules (singleton bucket vs rest list, adaptive bucket choice),
+// erase symmetry, and soundness-as-superset of every probe against brute
+// force over a small filter zoo.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "routing/covering_index.h"
+
+namespace tmps {
+namespace {
+
+EntityId id(std::uint32_t seq) { return {1, seq}; }
+
+std::vector<EntityId> sorted(std::vector<EntityId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+bool contains_all(const std::vector<EntityId>& candidates,
+                  const std::vector<EntityId>& required) {
+  for (const EntityId& r : required) {
+    if (std::find(candidates.begin(), candidates.end(), r) ==
+        candidates.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CoveringIndexTest, FilesUnderEqualityAttribute) {
+  CoveringIndex ix;
+  ix.insert(id(1), Filter::build().attr("class").eq("STOCK").attr("x").ge(0));
+  EXPECT_EQ(ix.size(), 1u);
+  EXPECT_EQ(ix.rest_count(), 0u);
+  EXPECT_EQ(ix.attribute_count(), 1u);
+}
+
+TEST(CoveringIndexTest, NoEqualityFallsBackToRest) {
+  CoveringIndex ix;
+  ix.insert(id(1), Filter::build().attr("x").ge(0).le(10));
+  EXPECT_EQ(ix.size(), 1u);
+  EXPECT_EQ(ix.rest_count(), 1u);
+  EXPECT_EQ(ix.attribute_count(), 0u);
+}
+
+TEST(CoveringIndexTest, UnsatisfiableFilesInRest) {
+  // x = 1 ∧ x = 2 admits no publication; unsatisfiable filters are covered
+  // by everything, so they must appear in every probe — the rest list.
+  const Filter unsat = Filter::build().attr("x").eq(1).eq(2);
+  ASSERT_FALSE(unsat.satisfiable());
+  CoveringIndex ix;
+  ix.insert(id(1), unsat);
+  EXPECT_EQ(ix.rest_count(), 1u);
+}
+
+TEST(CoveringIndexTest, AdaptiveFilingPicksSmallestBucket) {
+  CoveringIndex ix;
+  // Crowd the ("a", 1) bucket...
+  for (std::uint32_t s = 1; s <= 3; ++s) {
+    ix.insert(id(s), Filter::build().attr("a").eq(1));
+  }
+  // ...then a filter pinning both a=1 and b=2 prefers the empty b-bucket.
+  ix.insert(id(4), Filter::build().attr("a").eq(1).attr("b").eq(2));
+  EXPECT_EQ(ix.attribute_count(), 2u);
+}
+
+TEST(CoveringIndexTest, EraseIsExactInverse) {
+  CoveringIndex ix;
+  const Filter f1 = Filter::build().attr("a").eq(1).attr("b").eq(2);
+  const Filter f2 = Filter::build().attr("x").ge(0);
+  ix.insert(id(1), f1);
+  ix.insert(id(2), f1);  // same filter, may land in a different bucket
+  ix.insert(id(3), f2);
+  ix.erase(id(1), f1);
+  ix.erase(id(2), f1);
+  ix.erase(id(3), f2);
+  EXPECT_EQ(ix.size(), 0u);
+  EXPECT_EQ(ix.rest_count(), 0u);
+  EXPECT_EQ(ix.attribute_count(), 0u);
+  std::vector<EntityId> ids;
+  ix.all_ids(ids);
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(CoveringIndexTest, AllIdsEnumeratesEveryFiling) {
+  CoveringIndex ix;
+  ix.insert(id(1), Filter::build().attr("a").eq(1));
+  ix.insert(id(2), Filter::build().attr("b").eq("s"));
+  ix.insert(id(3), Filter::build().attr("x").ge(0));
+  std::vector<EntityId> ids;
+  ix.all_ids(ids);
+  EXPECT_EQ(sorted(ids), (std::vector<EntityId>{id(1), id(2), id(3)}));
+}
+
+TEST(CoveringIndexTest, CovererProbeForUnsatQueryReturnsEverything) {
+  CoveringIndex ix;
+  ix.insert(id(1), Filter::build().attr("a").eq(1));
+  ix.insert(id(2), Filter::build().attr("x").ge(0));
+  const Filter unsat = Filter::build().attr("y").eq(1).eq(2);
+  std::vector<EntityId> out;
+  ix.coverer_candidates(unsat, out);
+  EXPECT_EQ(sorted(out), (std::vector<EntityId>{id(1), id(2)}));
+}
+
+TEST(CoveringIndexTest, IntersectProbeSkipsAttributesAdvDoesNotConstrain) {
+  CoveringIndex ix;
+  // A subscription pinning "a" cannot intersect an advertisement silent on
+  // "a" — its posting list must be skipped, not scanned.
+  ix.insert(id(1), Filter::build().attr("a").eq(1));
+  std::vector<EntityId> out;
+  ix.sub_intersect_candidates(Filter::build().attr("b").ge(0).le(9), out);
+  EXPECT_TRUE(out.empty());
+}
+
+// Brute-force completeness: over a zoo of filters with mixed attributes,
+// equalities, ranges, strings and an unsatisfiable member, every probe's
+// candidate set must be a superset of the true answer computed with the
+// exact filter relations.
+TEST(CoveringIndexTest, ProbesAreCompleteAgainstBruteForce) {
+  std::vector<Filter> zoo;
+  zoo.push_back(Filter::build().attr("class").eq("STOCK"));
+  zoo.push_back(Filter::build().attr("class").eq("STOCK").attr("x").ge(0).le(
+      100));
+  zoo.push_back(
+      Filter::build().attr("class").eq("STOCK").attr("x").ge(10).le(20));
+  zoo.push_back(Filter::build().attr("class").eq("STOCK").attr("x").eq(15));
+  zoo.push_back(Filter::build().attr("x").ge(0).le(50));
+  zoo.push_back(Filter::build().attr("x").gt(5).lt(25).attr("g").eq(3));
+  zoo.push_back(Filter::build().attr("g").ge(0).le(9));
+  zoo.push_back(Filter::build().attr("class").eq("BOND"));
+  zoo.push_back(Filter::build().attr("class").prefix("STO"));
+  zoo.push_back(Filter::build().attr("y").eq(1).eq(2));  // unsatisfiable
+  zoo.push_back(Filter::build().attr("class").present().attr("x").ge(0));
+
+  CoveringIndex ix;
+  for (std::uint32_t s = 0; s < zoo.size(); ++s) ix.insert(id(s + 1), zoo[s]);
+
+  for (std::uint32_t q = 0; q < zoo.size(); ++q) {
+    const Filter& query = zoo[q];
+
+    std::vector<EntityId> coverers, covered, sub_int, adv_int;
+    ix.coverer_candidates(query, coverers);
+    ix.covered_candidates(query, covered);
+    ix.sub_intersect_candidates(query, sub_int);
+    ix.adv_intersect_candidates(query, adv_int);
+
+    std::vector<EntityId> true_coverers, true_covered, true_sub_int,
+        true_adv_int;
+    for (std::uint32_t s = 0; s < zoo.size(); ++s) {
+      if (zoo[s].covers(query)) true_coverers.push_back(id(s + 1));
+      if (query.covers(zoo[s])) true_covered.push_back(id(s + 1));
+      // zoo[s] as subscription against `query` as advertisement:
+      if (zoo[s].intersects_advertisement(query)) {
+        true_sub_int.push_back(id(s + 1));
+      }
+      // `query` as subscription against zoo[s] as advertisement:
+      if (query.intersects_advertisement(zoo[s])) {
+        true_adv_int.push_back(id(s + 1));
+      }
+    }
+
+    EXPECT_TRUE(contains_all(coverers, true_coverers)) << "query " << q;
+    EXPECT_TRUE(contains_all(covered, true_covered)) << "query " << q;
+    EXPECT_TRUE(contains_all(sub_int, true_sub_int)) << "query " << q;
+    EXPECT_TRUE(contains_all(adv_int, true_adv_int)) << "query " << q;
+  }
+}
+
+TEST(CoveringIndexTest, NumericDomainsUnifyInOnePostingList) {
+  // Int 5 and Real 5.0 compare equal under Value's ordering, so an equality
+  // on either must find entries filed under the other.
+  CoveringIndex ix;
+  ix.insert(id(1), Filter::build().attr("x").eq(std::int64_t{5}));
+  std::vector<EntityId> out;
+  ix.coverer_candidates(Filter::build().attr("x").eq(5.0), out);
+  EXPECT_TRUE(contains_all(out, {id(1)}));
+}
+
+}  // namespace
+}  // namespace tmps

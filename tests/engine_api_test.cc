@@ -140,9 +140,10 @@ TEST(EngineApi, MoveWithMultipleSubsAndAdvs) {
     e.subscribe(5, workload_filter(WorkloadKind::Covered, 3), out);
     e.subscribe(5, workload_filter(WorkloadKind::Distinct, 7, 1), out);
     e.advertise(5,
-                Filter{eq("class", "STOCK"), ge("g", std::int64_t{5}),
-                       le("g", std::int64_t{5}), ge("x", std::int64_t{0}),
-                       le("x", std::int64_t{10000})},
+                Filter::build()
+                    .attr("class").eq("STOCK")
+                    .attr("g").ge(5).le(5)
+                    .attr("x").ge(0).le(10000),
                 out);
   });
   TxnId txn = kNoTxn;

@@ -24,6 +24,13 @@ BrokerConfig no_covering() {
   return bc;
 }
 
+BrokerConfig with_admin(std::uint16_t base_port = 0) {
+  BrokerConfig bc = no_covering();
+  bc.admin.enabled = true;
+  bc.admin.base_port = base_port;
+  return bc;
+}
+
 /// Blocking one-shot HTTP GET against 127.0.0.1:port; returns the raw
 /// response (status line + headers + body), empty on connect failure.
 std::string http_get(std::uint16_t port, const std::string& path) {
@@ -78,8 +85,7 @@ class HttpAdminTest : public ::testing::Test {
  protected:
   HttpAdminTest()
       : overlay_(Overlay::chain(3)),
-        net_(overlay_, 0, no_covering(), MobilityConfig{},
-             AdminConfig{.enabled = true}) {
+        net_(overlay_, 0, with_admin(), MobilityConfig{}) {
     started_ = net_.start();
   }
   ~HttpAdminTest() override { net_.stop(); }
@@ -180,8 +186,7 @@ TEST(HttpAdmin, FixedBasePortIsHonoured) {
   // base+b. Pick a high base to dodge collisions; skip if taken.
   const std::uint16_t base = 38650;
   const Overlay overlay = Overlay::chain(2);
-  TcpTransport net(overlay, 0, no_covering(), MobilityConfig{},
-                   AdminConfig{.enabled = true, .base_port = base});
+  TcpTransport net(overlay, 0, with_admin(base), MobilityConfig{});
   if (!net.start()) GTEST_SKIP() << "port range unavailable";
   EXPECT_EQ(net.admin_port_of(1), base + 1);
   EXPECT_EQ(net.admin_port_of(2), base + 2);

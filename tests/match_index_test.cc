@@ -23,7 +23,7 @@ TEST(MatchIndex, FilesEqualitySubsInBuckets) {
 
 TEST(MatchIndex, FiltersWithoutEqualityFallBackToScan) {
   SubMatchIndex idx;
-  idx.insert({1, 1}, Filter{ge("x", 0), le("x", 10)});
+  idx.insert({1, 1}, Filter::build().attr("x").ge(0).le(10));
   EXPECT_EQ(idx.indexed_count(), 0u);
   EXPECT_EQ(idx.scan_count(), 1u);
   std::vector<SubscriptionId> c;

@@ -8,7 +8,8 @@ namespace tmps {
 namespace {
 
 Subscription sub(std::uint32_t seq, std::int64_t lo, std::int64_t hi) {
-  return {{10, seq}, Filter{eq("class", "STOCK"), ge("x", lo), le("x", hi)}};
+  return {{10, seq},
+          Filter::build().attr("class").eq("STOCK").attr("x").ge(lo).le(hi)};
 }
 Advertisement adv(std::uint32_t seq) {
   return {{20, seq}, full_space_advertisement()};
@@ -136,7 +137,7 @@ TEST(RoutingTables, IntersectionQueries) {
   rt.upsert_sub(sub(1, 0, 100), Hop::of_broker(3));
   EXPECT_EQ(rt.intersecting_advs(sub(1, 0, 100).filter).size(), 1u);
   EXPECT_EQ(rt.subs_intersecting(adv(1).filter).size(), 1u);
-  Filter narrow{eq("class", "BOND")};
+  Filter narrow = Filter::build().attr("class").eq("BOND");
   EXPECT_TRUE(rt.intersecting_advs(narrow).empty());
 }
 
