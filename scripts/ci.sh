@@ -16,6 +16,11 @@
 #      exits nonzero on any covering-index/scan-oracle disagreement, and the
 #      leg additionally checks that the bench JSON artifact was emitted with
 #      speedup figures in it.
+#   6. a balancer-soak leg: ext_load_balance drives the load-balancing
+#      control plane over a Zipf-skewed placement — with and without
+#      background subscription churn — under the movement-invariant auditor.
+#      The binary gates on the 2x skew reduction, per-client move budgets
+#      (convergence) and delivery losses, and exits nonzero on any miss.
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -70,5 +75,13 @@ COVERING_JSON="${RESULTS}/BENCH_micro_covering.json"
   echo "missing ${COVERING_JSON}"; exit 1; }
 grep -q '"speedup":' "${COVERING_JSON}" || {
   echo "no speedup figures in ${COVERING_JSON}"; exit 1; }
+
+echo "=== balancer-soak leg: load balancing under churn (ext_load_balance) ==="
+TMPS_AUDIT=1 TMPS_BENCH_OUT="${RESULTS}" ./build/bench/ext_load_balance
+BALANCE_JSON="${RESULTS}/BENCH_ext_load_balance.json"
+[[ -s "${BALANCE_JSON}" ]] || {
+  echo "missing ${BALANCE_JSON}"; exit 1; }
+grep -q '"load_ratio":' "${BALANCE_JSON}" || {
+  echo "no load-skew figures in ${BALANCE_JSON}"; exit 1; }
 
 echo "=== ci.sh: all legs passed ==="

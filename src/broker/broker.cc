@@ -16,6 +16,7 @@ void Broker::set_observability(obs::Tracer* tracer,
   tracer_ = tracer;
   if (!metrics) {
     msgs_processed_ = covering_retracts_ = covering_unquenches_ = nullptr;
+    pubs_processed_ = deliveries_ = nullptr;
     return;
   }
   const obs::Labels labels = {{"broker", std::to_string(id_)}};
@@ -25,6 +26,11 @@ void Broker::set_observability(obs::Tracer* tracer,
                                          labels);
   covering_unquenches_ = &metrics->counter("broker_covering_unquenches_total",
                                            labels);
+  // Publication-load signals for the control plane (src/control): matching
+  // passes plus local fan-out, the work that concentrates where clients do.
+  pubs_processed_ = &metrics->counter("broker_publications_processed_total",
+                                      labels);
+  deliveries_ = &metrics->counter("broker_deliveries_total", labels);
 }
 
 MessageId Broker::next_message_id() {
@@ -150,6 +156,7 @@ void Broker::forward_unicast(const Message& msg, std::vector<Output>& out) {
 }
 
 void Broker::deliver_local(ClientId client, const Publication& pub) {
+  if (deliveries_) deliveries_->inc();
   if (control_ && control_->intercept_notification(client, pub)) return;
   if (notify_) notify_(client, pub);
 }
@@ -243,6 +250,7 @@ void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
 
 void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
                         Outputs& out) {
+  if (pubs_processed_) pubs_processed_->inc();
   for (const Hop& hop : tables_.hops_for_publication(pub)) {
     if (hop == from) continue;
     if (hop.is_broker()) {

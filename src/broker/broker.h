@@ -169,6 +169,8 @@ class Broker {
   obs::Counter* msgs_processed_ = nullptr;
   obs::Counter* covering_retracts_ = nullptr;
   obs::Counter* covering_unquenches_ = nullptr;
+  obs::Counter* pubs_processed_ = nullptr;
+  obs::Counter* deliveries_ = nullptr;
   std::uint64_t msg_seq_ = 0;
 };
 

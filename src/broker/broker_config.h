@@ -31,6 +31,50 @@ struct BrokerConfig {
   };
   Admin admin;
 
+  /// Mobility-driven load-balancing control plane (src/control). Like Admin
+  /// this is a host-level section: the host builds one Balancer over its
+  /// mobility engines when `enabled`. All times are in host seconds.
+  struct Control {
+    bool enabled = false;
+    /// Load-sampling / planning period of the control loop.
+    double sample_interval = 1.0;
+    /// First tick fires this long after start() (lets joins settle).
+    double start_delay = 0.0;
+    /// EWMA smoothing factor for the load signals (1 = raw samples).
+    double ewma_alpha = 0.3;
+    /// Hysteresis band on the max/mean load ratio: balancing engages at or
+    /// above `imbalance_high` and disengages at or below `imbalance_low`.
+    double imbalance_high = 1.5;
+    double imbalance_low = 1.15;
+    /// A client that completed a movement may not be selected again for this
+    /// long (anti-oscillation, with the hysteresis band).
+    double client_cooldown = 30.0;
+    /// Hard per-client migration budget per run; 0 = unlimited.
+    std::size_t max_moves_per_client = 2;
+    /// Concurrent movement transactions the balancer keeps in flight.
+    std::size_t max_inflight = 4;
+    /// Migration pairs selected per planning cycle.
+    std::size_t max_moves_per_cycle = 4;
+    /// Global pause after an aborted/rejected movement (3PC aborts and
+    /// FailureInjector runs must not turn into a retry storm).
+    double abort_backoff = 10.0;
+    /// Target-selection penalty per overlay hop between source and target,
+    /// in units of mean load (prefers short movement paths).
+    double path_penalty = 0.05;
+    /// Load-score weights: score = delivery_weight * delivery_rate
+    /// + pub_weight * transit_rate + msg_weight * msg_rate
+    /// + table_weight * (PRT+SRT size) + queue_weight * backlog_seconds.
+    /// Deliveries dominate by default: local fan-out is the load client
+    /// migration actually relocates, while publication transit through
+    /// overlay hubs is topology-bound and discounted.
+    double delivery_weight = 1.0;
+    double pub_weight = 0.25;
+    double msg_weight = 0.25;
+    double table_weight = 0.0;
+    double queue_weight = 50.0;
+  };
+  Control control;
+
   /// Observability sinks and checks, settable programmatically or from the
   /// environment via from_env().
   struct Obs {
@@ -58,6 +102,7 @@ inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
     return v && *v && std::string(v) != "0";
   };
   if (set("TMPS_AUDIT")) base.obs.audit = true;
+  if (set("TMPS_BALANCE")) base.control.enabled = true;
   if (const char* trace = std::getenv("TMPS_TRACE");
       trace && *trace && std::string(trace) != "0") {
     base.obs.tracing = true;
@@ -66,8 +111,8 @@ inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
   return base;
 }
 
-/// Deprecated alias kept for one PR: the admin plane options moved into
-/// BrokerConfig::Admin.
-using AdminConfig = BrokerConfig::Admin;
+/// The control-plane options travel with BrokerConfig so hosts thread one
+/// struct; src/control consumes this section.
+using ControlConfig = BrokerConfig::Control;
 
 }  // namespace tmps

@@ -1,0 +1,137 @@
+#include "control/balance_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace tmps::control {
+
+std::uint32_t BalancePolicy::moves_of(ClientId client) const {
+  const auto it = records_.find(client);
+  return it == records_.end() ? 0 : it->second.committed_moves;
+}
+
+void BalancePolicy::on_move_started(ClientId client) {
+  records_[client].moving = true;
+}
+
+void BalancePolicy::on_move_finished(ClientId client, bool committed,
+                                     double now) {
+  ClientRecord& r = records_[client];
+  r.moving = false;
+  if (committed) ++r.committed_moves;
+  // Aborted movements cool down too: the refusal cause (admission, timeout)
+  // is unlikely to clear before the next tick.
+  r.cooldown_until = now + cfg_.client_cooldown;
+}
+
+std::vector<MoveDecision> BalancePolicy::plan(
+    const std::map<BrokerId, BrokerLoad>& loads,
+    const std::vector<ClientInfo>& clients, double now) {
+  last_ = PlanDiagnostics{};
+  if (loads.empty()) {
+    engaged_ = false;
+    return {};
+  }
+
+  // Working copies the greedy loop adjusts after each pick.
+  std::map<BrokerId, double> score;
+  std::map<BrokerId, std::size_t> population;
+  double total = 0, maxv = 0;
+  for (const auto& [b, l] : loads) {
+    score[b] = l.score;
+    population[b] = l.clients;
+    total += l.score;
+    maxv = std::max(maxv, l.score);
+  }
+  const double mean = total / static_cast<double>(score.size());
+  last_.ratio = mean > 0 ? maxv / mean : 1.0;
+
+  // Hysteresis: engage at the high threshold, stay engaged until the ratio
+  // drops through the low one.
+  engaged_ = engaged_ ? last_.ratio > cfg_.imbalance_low
+                      : last_.ratio >= cfg_.imbalance_high;
+  last_.engaged = engaged_;
+  if (!engaged_ || mean <= 0) return {};
+
+  // Eligible candidates per broker (cooldown/budget/moving filtered here so
+  // suppressions are counted exactly once per plan).
+  std::map<BrokerId, std::vector<const ClientInfo*>> eligible;
+  for (const ClientInfo& c : clients) {
+    if (!c.movable) continue;
+    if (const auto it = records_.find(c.id); it != records_.end()) {
+      const ClientRecord& r = it->second;
+      if (r.moving) continue;
+      if (cfg_.max_moves_per_client > 0 &&
+          r.committed_moves >= cfg_.max_moves_per_client) {
+        continue;
+      }
+      if (r.cooldown_until > now) {
+        ++last_.cooldown_suppressed;
+        continue;
+      }
+    }
+    eligible[c.at].push_back(&c);
+  }
+
+  // Covered clients first (cannot widen the donor's routing tree), then
+  // smaller profiles (cheaper state hand-off), then id (determinism).
+  const auto prefer = [](const ClientInfo* a, const ClientInfo* b) {
+    if (a->covered != b->covered) return a->covered;
+    if (a->profile != b->profile) return a->profile < b->profile;
+    return a->id < b->id;
+  };
+
+  std::vector<MoveDecision> out;
+  while (out.size() < cfg_.max_moves_per_cycle) {
+    // Most loaded broker that still has an eligible client.
+    BrokerId donor = kNoBroker;
+    double donor_score = 0;
+    for (const auto& [b, s] : score) {
+      const auto it = eligible.find(b);
+      if (it == eligible.end() || it->second.empty()) continue;
+      if (donor == kNoBroker || s > donor_score) {
+        donor = b;
+        donor_score = s;
+      }
+    }
+    // Stop once the projected hotspot sits inside the hysteresis band —
+    // further moves would only churn clients for no ratio gain.
+    if (donor == kNoBroker || donor_score / mean <= cfg_.imbalance_low) break;
+
+    std::vector<const ClientInfo*>& cands = eligible[donor];
+    std::sort(cands.begin(), cands.end(), prefer);
+    const ClientInfo* pick = cands.front();
+
+    // Target: least projected load, discounted by overlay distance.
+    BrokerId target = kNoBroker;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [b, s] : score) {
+      if (b == donor) continue;
+      const double cost =
+          s / mean + cfg_.path_penalty *
+                         static_cast<double>(overlay_->distance(donor, b));
+      if (cost < best) {
+        best = cost;
+        target = b;
+      }
+    }
+    if (target == kNoBroker) break;
+
+    // Project the donor's load as shared evenly by its clients; refuse a
+    // move that would merely relocate the hotspot.
+    const auto pop = std::max<std::size_t>(population[donor], 1);
+    const double share = donor_score / static_cast<double>(pop);
+    if (score[target] + share >= donor_score) break;
+
+    score[donor] -= share;
+    score[target] += share;
+    population[donor] = pop - 1;
+    ++population[target];
+    cands.erase(cands.begin());
+    out.push_back({pick->id, donor, target});
+  }
+  return out;
+}
+
+}  // namespace tmps::control

@@ -1,0 +1,100 @@
+// Migration planning for the load balancer: given smoothed per-broker loads
+// and the hosted-client census, decide which clients to move where.
+//
+// The policy is deliberately conservative — mobility is transactional but
+// not free (a movement costs messages proportional to the overlay path,
+// Sec. 4.4 of the paper), so every selection mechanism here exists to avoid
+// wasted or oscillating migrations:
+//
+//   * hysteresis — balancing engages when max/mean load reaches
+//     `imbalance_high` and keeps planning until it falls to `imbalance_low`,
+//     so the system does not flap around a single threshold;
+//   * per-client cooldown — a client that just completed a movement is
+//     untouchable for `client_cooldown` seconds;
+//   * per-client budget — at most `max_moves_per_client` migrations per
+//     client per run (the convergence guarantee the bench asserts);
+//   * greedy donor draining — each cycle repeatedly picks the most loaded
+//     broker and moves one client off it, re-estimating loads after each
+//     pick, until the projected ratio is inside the hysteresis band or the
+//     cycle budget is spent;
+//   * candidate preference — covered clients first (their subscriptions are
+//     subsumed by another local subscription, so removing them cannot widen
+//     the donor's routing tree), then smaller profiles, then lower id
+//     (determinism);
+//   * target scoring — least-loaded wins, discounted by `path_penalty` per
+//     overlay hop from the donor (short movement paths cost fewer messages
+//     and commit faster).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "broker/broker_config.h"
+#include "common/ids.h"
+#include "control/load_estimator.h"
+#include "routing/overlay.h"
+
+namespace tmps::control {
+
+/// One hosted client as the policy sees it.
+struct ClientInfo {
+  ClientId id = kNoClient;
+  BrokerId at = kNoBroker;
+  /// Profile size (subscriptions + advertisements) — movement cost proxy.
+  std::size_t profile = 0;
+  /// Every subscription of this client is covered by another local
+  /// subscription (moving it cannot widen the donor's routing tree).
+  bool covered = false;
+  /// Client is in a movable state (Started/PauseOper) right now.
+  bool movable = false;
+};
+
+struct MoveDecision {
+  ClientId client = kNoClient;
+  BrokerId from = kNoBroker;
+  BrokerId to = kNoBroker;
+};
+
+/// What the last plan() saw — exported as gauges by the balancer.
+struct PlanDiagnostics {
+  double ratio = 1.0;       ///< max/mean smoothed load score
+  bool engaged = false;     ///< hysteresis state after this plan
+  std::uint64_t cooldown_suppressed = 0;  ///< candidates skipped (cooldown)
+};
+
+class BalancePolicy {
+ public:
+  BalancePolicy(ControlConfig cfg, const Overlay* overlay)
+      : cfg_(cfg), overlay_(overlay) {}
+
+  /// Plans up to `max_moves_per_cycle` migrations for the current loads.
+  /// Clients already moving (started, not finished) are never re-selected.
+  std::vector<MoveDecision> plan(const std::map<BrokerId, BrokerLoad>& loads,
+                                 const std::vector<ClientInfo>& clients,
+                                 double now);
+
+  /// Movement-lifecycle bookkeeping, driven by the balancer.
+  void on_move_started(ClientId client);
+  void on_move_finished(ClientId client, bool committed, double now);
+
+  bool engaged() const { return engaged_; }
+  const PlanDiagnostics& last_plan() const { return last_; }
+  /// Committed migrations of one client so far.
+  std::uint32_t moves_of(ClientId client) const;
+
+ private:
+  struct ClientRecord {
+    double cooldown_until = 0;
+    std::uint32_t committed_moves = 0;
+    bool moving = false;
+  };
+
+  ControlConfig cfg_;
+  const Overlay* overlay_;
+  bool engaged_ = false;
+  PlanDiagnostics last_;
+  std::map<ClientId, ClientRecord> records_;
+};
+
+}  // namespace tmps::control

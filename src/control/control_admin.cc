@@ -1,0 +1,29 @@
+#include "control/control_admin.h"
+
+#include <sstream>
+
+namespace tmps::control {
+
+std::string control_json(const Balancer& balancer) {
+  std::ostringstream os;
+  os << "{\"state\":" << balancer.state_json() << ",\"loads\":{";
+  bool first = true;
+  for (const auto& [b, l] : balancer.estimator().loads()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << b << "\":" << l.score;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void install_admin_routes(HttpAdminServer& server, const Balancer& balancer) {
+  server.add_route("/control", [&balancer] {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = control_json(balancer);
+    return resp;
+  });
+}
+
+}  // namespace tmps::control

@@ -1,0 +1,24 @@
+// HTTP admin surface of the balancer: a `/control` route for the per-host
+// HttpAdminServer (transport/http_admin.h) returning one JSON object with
+// the control loop's state and the smoothed per-broker load scores.
+//
+// The balancer's numeric series (imbalance ratio, movements initiated /
+// committed / aborted, cooldown suppressions) already land in the host's
+// MetricsRegistry, so any /metrics route serving that registry exposes them
+// in Prometheus form without extra wiring; this route adds the structured
+// at-a-glance view probes and tests want.
+#pragma once
+
+#include "control/balancer.h"
+#include "transport/http_admin.h"
+
+namespace tmps::control {
+
+/// Registers GET /control on `server`. Call before server.start(); the
+/// balancer must outlive the server.
+void install_admin_routes(HttpAdminServer& server, const Balancer& balancer);
+
+/// The /control response body (exposed for tests).
+std::string control_json(const Balancer& balancer);
+
+}  // namespace tmps::control

@@ -1,0 +1,46 @@
+#include "control/load_estimator.h"
+
+namespace tmps::control {
+
+void LoadEstimator::sample(double now,
+                           const std::map<BrokerId, BrokerSignals>& signals) {
+  const double dt = now - last_time_;
+  const bool first = samples_ == 0;
+  ++samples_;
+  if (first || dt <= 0) {
+    last_ = signals;
+    last_time_ = now;
+    return;
+  }
+  const double a = cfg_.ewma_alpha;
+  for (const auto& [b, sig] : signals) {
+    const BrokerSignals& prev = last_[b];  // value-initialized if unseen
+    const auto delta = [&](std::uint64_t cur, std::uint64_t old) {
+      return cur >= old ? static_cast<double>(cur - old) / dt : 0.0;
+    };
+    const double deliv_raw = delta(sig.deliveries, prev.deliveries);
+    const double transit_raw = delta(sig.pubs, prev.pubs);
+    const double msg_raw = delta(sig.msgs, prev.msgs);
+    BrokerLoad& l = loads_[b];
+    const bool seed = samples_ == 2;  // no smoothed history yet
+    l.delivery_rate =
+        seed ? deliv_raw : a * deliv_raw + (1 - a) * l.delivery_rate;
+    l.transit_rate =
+        seed ? transit_raw : a * transit_raw + (1 - a) * l.transit_rate;
+    l.pub_rate = l.delivery_rate + l.transit_rate;
+    l.msg_rate = seed ? msg_raw : a * msg_raw + (1 - a) * l.msg_rate;
+    l.backlog = seed ? sig.backlog_seconds
+                     : a * sig.backlog_seconds + (1 - a) * l.backlog;
+    l.table = sig.prt + sig.srt;
+    l.clients = sig.clients;
+    l.score = cfg_.delivery_weight * l.delivery_rate +
+              cfg_.pub_weight * l.transit_rate +
+              cfg_.msg_weight * l.msg_rate +
+              cfg_.table_weight * static_cast<double>(l.table) +
+              cfg_.queue_weight * l.backlog;
+  }
+  last_ = signals;
+  last_time_ = now;
+}
+
+}  // namespace tmps::control

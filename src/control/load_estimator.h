@@ -1,0 +1,77 @@
+// Per-broker load estimation for the mobility-driven load balancer.
+//
+// The estimator turns the raw cumulative signals already published by the
+// broker layer (obs::MetricsRegistry counters, routing-table sizes, queue
+// backlog) into EWMA-smoothed per-broker rates, and combines them into one
+// scalar load score per broker:
+//
+//   score = delivery_weight * delivery_rate   (local delivery fan-out/s —
+//                                              the load migration relocates)
+//         + pub_weight   * transit_rate       (matching passes/second,
+//                                              mostly topology-bound transit)
+//         + msg_weight   * msg_rate           (all broker messages/second)
+//         + table_weight * (|PRT| + |SRT|)    (routing-state footprint)
+//         + queue_weight * backlog_seconds    (processing queue depth)
+//
+// Delivery work dominates by default: moving a client relocates its fan-out
+// but not the publication transit flowing through overlay hubs, so transit
+// is discounted lest the policy chase load it cannot shift. The weights come
+// from BrokerConfig::Control so deployments can re-balance on routing-state
+// or queueing pressure instead. Smoothing plus the policy's hysteresis keep
+// one bursty sample from triggering migrations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "broker/broker_config.h"
+#include "common/ids.h"
+
+namespace tmps::control {
+
+/// Raw per-broker sample inputs: cumulative counters plus instantaneous
+/// sizes, gathered by the balancer from the engines and metrics registry.
+struct BrokerSignals {
+  std::uint64_t msgs = 0;        ///< messages processed (cumulative)
+  std::uint64_t pubs = 0;        ///< publication matching passes (cumulative)
+  std::uint64_t deliveries = 0;  ///< local deliveries (cumulative)
+  std::size_t prt = 0;           ///< PRT entries now
+  std::size_t srt = 0;           ///< SRT entries now
+  std::size_t clients = 0;       ///< hosted clients now
+  double backlog_seconds = 0;    ///< processing backlog now
+};
+
+/// Smoothed view of one broker, plus the combined score.
+struct BrokerLoad {
+  double delivery_rate = 0;  ///< EWMA local deliveries per second
+  double transit_rate = 0;   ///< EWMA publication matching passes per second
+  double pub_rate = 0;       ///< delivery_rate + transit_rate (combined)
+  double msg_rate = 0;       ///< EWMA messages per second
+  double backlog = 0;   ///< EWMA backlog seconds
+  std::size_t table = 0;
+  std::size_t clients = 0;
+  double score = 0;
+};
+
+class LoadEstimator {
+ public:
+  explicit LoadEstimator(ControlConfig cfg) : cfg_(cfg) {}
+
+  /// Folds one sample (taken at time `now`) into the smoothed loads. The
+  /// first sample only seeds the counter baselines — rates need a delta.
+  void sample(double now, const std::map<BrokerId, BrokerSignals>& signals);
+
+  /// Smoothed loads after the latest sample (empty until two samples).
+  const std::map<BrokerId, BrokerLoad>& loads() const { return loads_; }
+
+  bool ready() const { return samples_ >= 2; }
+
+ private:
+  ControlConfig cfg_;
+  double last_time_ = 0;
+  std::uint64_t samples_ = 0;
+  std::map<BrokerId, BrokerSignals> last_;
+  std::map<BrokerId, BrokerLoad> loads_;
+};
+
+}  // namespace tmps::control

@@ -33,6 +33,17 @@ const char* to_string(TargetCoordState s) {
   return "?";
 }
 
+const char* to_string(MoveRefusal r) {
+  switch (r) {
+    case MoveRefusal::None: return "none";
+    case MoveRefusal::UnknownClient: return "unknown-client";
+    case MoveRefusal::InvalidTarget: return "invalid-target";
+    case MoveRefusal::Busy: return "busy";
+    case MoveRefusal::NotRunning: return "not-running";
+  }
+  return "?";
+}
+
 MobilityEngine::MobilityEngine(Broker& broker, RuntimeEnv& env,
                                MobilityConfig cfg)
     : broker_(&broker), env_(&env), tracer_(env.tracer()), cfg_(cfg) {
@@ -139,16 +150,20 @@ void MobilityEngine::drain_commands(ClientStub& stub, Outputs& out) {
 
 // --- movement initiation (source side) ----------------------------------------
 
-TxnId MobilityEngine::initiate_move(ClientId client, BrokerId target,
-                                    Outputs& out) {
+MoveStart MobilityEngine::try_initiate_move(ClientId client, BrokerId target,
+                                            Outputs& out) {
   ClientStub* stub = find_client(client);
-  if (!stub || target == broker_->id() ||
-      !broker_->overlay().contains(target)) {
-    return kNoTxn;
+  if (!stub) return {kNoTxn, MoveRefusal::UnknownClient};
+  if (target == broker_->id() || !broker_->overlay().contains(target)) {
+    return {kNoTxn, MoveRefusal::InvalidTarget};
   }
   if (stub->state() != ClientState::Started &&
       stub->state() != ClientState::PauseOper) {
-    return kNoTxn;  // already moving or not yet running
+    // Distinguish "mid-movement" from "exists but never started / already
+    // dismantled": a balancer retries the former and drops the latter.
+    const bool moving = stub->state() == ClientState::PauseMove ||
+                        stub->state() == ClientState::PrepareStop;
+    return {kNoTxn, moving ? MoveRefusal::Busy : MoveRefusal::NotRunning};
   }
 
   const TxnId txn = next_txn_id();
@@ -207,7 +222,14 @@ TxnId MobilityEngine::initiate_move(ClientId client, BrokerId target,
   }
   if (cfg_.negotiate_timeout > 0) arm_source_timer(sm, cfg_.negotiate_timeout);
   source_moves_.emplace(txn, std::move(sm));
-  return txn;
+  return {txn, MoveRefusal::None};
+}
+
+std::vector<ClientId> MobilityEngine::client_ids() const {
+  std::vector<ClientId> ids;
+  ids.reserve(clients_.size());
+  for (const auto& [id, stub] : clients_) ids.push_back(id);
+  return ids;
 }
 
 // --- ControlHandler ------------------------------------------------------------
@@ -572,6 +594,17 @@ void MobilityEngine::on_ack(const MoveAckMsg& m, Outputs& out) {
   SourceMove& sm = it->second;
   ClientStub* stub = find_client(m.client);
   if (stub) {
+    // Commands issued between the prepare-time state snapshot and this ack
+    // queued into the lingering source stub; ship them to the (already
+    // started) target incarnation instead of dropping them with the stub.
+    std::vector<Publication> late = stub->take_commands();
+    if (!late.empty()) {
+      BufferedStateMsg bs;
+      bs.txn = m.txn;
+      bs.client = m.client;
+      bs.queued_commands = std::move(late);
+      broker_->send_unicast(sm.target, std::move(bs), m.txn, out);
+    }
     stub->clean();
     clients_.erase(m.client);
   }
@@ -901,13 +934,18 @@ void MobilityEngine::on_trad_reject(const TradRejectMsg& m, Outputs& out) {
 void MobilityEngine::on_buffered_state(const BufferedStateMsg& m,
                                        Outputs& out) {
   auto it = target_moves_.find(m.txn);
-  if (it == target_moves_.end() ||
-      it->second.state != TargetCoordState::Prepare) {
-    return;
-  }
+  if (it == target_moves_.end()) return;
   TargetMove& tm = it->second;
   ClientStub* stub = find_client(m.client);
   if (!stub) return;
+  if (tm.state == TargetCoordState::Commit) {
+    // Late commands the source absorbed between its prepare-time snapshot
+    // and our ack (reconfiguration path): replay them here.
+    for (const auto& cmd : m.queued_commands) stub->queue_command(cmd);
+    drain_commands(*stub, out);
+    return;
+  }
+  if (tm.state != TargetCoordState::Prepare) return;
   stub->merge_notifications(m.queued_notifications);
   stub->start();
   for (const auto& cmd : m.queued_commands) stub->queue_command(cmd);

@@ -48,6 +48,27 @@ enum class TargetCoordState { Init, Prepare, Abort, Commit };
 const char* to_string(SourceCoordState s);
 const char* to_string(TargetCoordState s);
 
+/// Why initiate_move refused to even start a transaction (local admission;
+/// distinct from a remote reject/abort, which starts and then resolves).
+enum class MoveRefusal {
+  None,          ///< the movement started
+  UnknownClient, ///< no such client hosted here
+  InvalidTarget, ///< target is this broker or not in the overlay
+  Busy,          ///< a movement transaction is already in flight
+  NotRunning,    ///< client exists but is not in a movable state
+};
+
+const char* to_string(MoveRefusal r);
+
+/// Result of a movement-initiation attempt: either a live transaction id or
+/// a typed refusal. Callers that only retry on Busy (the balancer, tests
+/// exercising concurrent moves) need the distinction kNoTxn used to erase.
+struct MoveStart {
+  TxnId txn = kNoTxn;
+  MoveRefusal refusal = MoveRefusal::None;
+  bool started() const { return txn != kNoTxn; }
+};
+
 struct MobilityConfig {
   MobilityProtocol protocol = MobilityProtocol::Reconfiguration;
   /// Target-side admission: refuse incoming clients (tests the reject path).
@@ -115,9 +136,18 @@ class MobilityEngine final : public ControlHandler {
   void publish(ClientId client, Publication pub, Outputs& out);
 
   /// Starts a movement transaction for a hosted client towards `target`.
-  /// Returns the transaction id, or kNoTxn if the client cannot move
-  /// (unknown, already moving, or target==this broker).
-  TxnId initiate_move(ClientId client, BrokerId target, Outputs& out);
+  /// Returns the transaction id plus a typed refusal when nothing started.
+  MoveStart try_initiate_move(ClientId client, BrokerId target, Outputs& out);
+
+  /// Convenience form of try_initiate_move for callers that only need the
+  /// transaction id (kNoTxn on any refusal).
+  TxnId initiate_move(ClientId client, BrokerId target, Outputs& out) {
+    return try_initiate_move(client, target, out).txn;
+  }
+
+  /// Ids of the clients hosted in this container (balancer candidate
+  /// enumeration; pair with find_client for the profile).
+  std::vector<ClientId> client_ids() const;
 
   // --- ControlHandler --------------------------------------------------------
 

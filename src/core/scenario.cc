@@ -70,30 +70,48 @@ void Scenario::build() {
     engine->set_transmit(
         [this, b](Broker::Outputs out) { net_->transmit(b, std::move(out)); });
     engine->set_delivery_sink(
-        [this](ClientId c, const Publication& pub, SimTime t) {
+        [this, b](ClientId c, const Publication& pub, SimTime t) {
           ++audit_.delivered;
           if (!seen_[c].insert(pub.id()).second) ++audit_.duplicates;
           if (cfg_.audit) auditor_.on_delivery(c, to_string(pub.id()), t);
-          stats().count_delivery(c);
+          stats().count_delivery(b, c);
         });
-    engine->set_move_callback(
-        [this](const MovementRecord& rec) { on_movement(rec); });
+    engine->set_move_callback([this](const MovementRecord& rec) {
+      on_movement(rec);
+      if (rec.committed) moved_clients_.insert(rec.client);
+      if (cfg_.movement_observer) cfg_.movement_observer(rec);
+    });
     engines_[b] = engine.get();
     engines_by_index_.push_back(std::move(engine));
   }
+  if (cfg_.post_engines) cfg_.post_engines(*this);
 }
 
 void Scenario::publish_tick(BrokerId b, ClientId id) {
+  // The balancer may migrate publishers (advertisement reconfiguration);
+  // follow the client so it keeps publishing from its current broker. Issuing
+  // the publish at the stale home would silently no-op.
+  if (!engines_[b]->find_client(id)) {
+    for (const auto& [nb, eng] : engines_) {
+      if (eng->find_client(id)) {
+        b = nb;
+        break;
+      }
+    }
+  }
   MobilityEngine& eng = *engines_[b];
-  std::uniform_int_distribution<std::int64_t> x(kSpaceLo, kSpaceHi);
-  const auto groups = static_cast<std::int64_t>((cfg_.total_clients + 9) / 10);
-  std::uniform_int_distribution<std::int64_t> g(0,
-                                                groups > 0 ? groups - 1 : 0);
-  Publication pub = make_publication({id, ++pub_seq_}, x(rng_), g(rng_));
-  published_.emplace_back(pub, net_->now());
-  Broker::Outputs out;
-  eng.publish(id, std::move(pub), out);
-  net_->transmit(b, std::move(out));
+  if (eng.find_client(id)) {
+    std::uniform_int_distribution<std::int64_t> x(kSpaceLo, kSpaceHi);
+    const auto groups =
+        static_cast<std::int64_t>((cfg_.total_clients + 9) / 10);
+    std::uniform_int_distribution<std::int64_t> g(
+        0, groups > 0 ? groups - 1 : 0);
+    Publication pub = make_publication({id, ++pub_seq_}, x(rng_), g(rng_));
+    published_.emplace_back(pub, net_->now());
+    Broker::Outputs out;
+    eng.publish(id, std::move(pub), out);
+    net_->transmit(b, std::move(out));
+  }
   if (net_->now() + cfg_.publish_interval < cfg_.duration) {
     net_->events().schedule_in(cfg_.publish_interval,
                                [this, b, id] { publish_tick(b, id); });
@@ -152,7 +170,14 @@ void Scenario::schedule_publishers() {
 void Scenario::churn_tick(BrokerId b, ClientId id, Filter f) {
   MobilityEngine& eng = *engines_[b];
   ClientStub* stub = eng.find_client(id);
-  if (stub) {
+  // Skip (don't abandon) the churn while the client is paused or mid-move —
+  // the balancer may migrate "stationary" clients, and profile churn during
+  // a movement transaction would race the state hand-off. A client that has
+  // completed a movement stops churning for good (even if a later movement
+  // returns it home): re-issuing the profile would retract the moved
+  // entries along the movement path and fail the orphan-state audit.
+  if (stub && stub->state() == ClientState::Started &&
+      !moved_clients_.contains(id)) {
     Broker::Outputs out;
     // Retract the current incarnation, re-subscribe a fresh one: the
     // "background pub/sub activity" of the paper's conclusions.
@@ -174,7 +199,8 @@ void Scenario::schedule_joins() {
   std::uniform_real_distribution<double> churn_stagger(
       0.0, std::max(cfg_.background_churn_interval, 1e-9));
   for (std::uint32_t k = 0; k < cfg_.total_clients; ++k) {
-    const BrokerId home = pair_of(k).first;
+    const BrokerId home =
+        cfg_.home_override ? cfg_.home_override(k) : pair_of(k).first;
     const double at = 0.05 + jitter(rng_);
     const ClientId id = subscriber_id(k);
     const Filter f = filter_of(k);

@@ -31,6 +31,8 @@
 
 namespace tmps {
 
+class Scenario;
+
 struct ScenarioConfig {
   // Network.
   std::optional<Overlay> overlay;  // default: Overlay::paper_default()
@@ -61,6 +63,10 @@ struct ScenarioConfig {
   /// Overrides which clients move: return true if client k moves. Takes
   /// precedence over `moving_clients`.
   std::function<bool(std::uint32_t)> mover_override;
+  /// Overrides the home (join) broker of client k; default is the first end
+  /// of the client's move pair. Skewed-placement experiments use this with
+  /// zipf_broker_placement to concentrate clients on a few brokers.
+  std::function<BrokerId(std::uint32_t)> home_override;
 
   // Publishers.
   std::vector<BrokerId> publisher_brokers = {6, 7, 10, 11};
@@ -105,6 +111,15 @@ struct ScenarioConfig {
   /// Called after the network and engines are built, before any events run.
   /// Tests use this to attach a FailureInjector or arm message faults.
   std::function<void(SimNetwork&)> post_build;
+
+  /// Called once the mobility engines exist (end of build, before events).
+  /// The load-balancing control plane (src/control) attaches here — it
+  /// layers *above* the engines, so the glue lives in the hook rather than
+  /// in the scenario itself.
+  std::function<void(Scenario&)> post_engines;
+  /// Observes every finished movement (after the scenario's own
+  /// bookkeeping). The balancer uses this to learn commit/abort outcomes.
+  std::function<void(const MovementRecord&)> movement_observer;
 };
 
 class Scenario {
@@ -121,6 +136,9 @@ class Scenario {
   SimNetwork& net() { return *net_; }
   Stats& stats() { return net_->stats(); }
   MobilityEngine& engine(BrokerId b) { return *engines_[b]; }
+  const std::map<BrokerId, MobilityEngine*>& engines() const {
+    return engines_;
+  }
   const ScenarioConfig& config() const { return cfg_; }
 
   /// Client ids are 1000 + k for subscriber k, 1 + p for publisher p.
@@ -192,6 +210,8 @@ class Scenario {
   std::unordered_map<ClientId, std::uint32_t> mover_index_;
   Audit audit_;
   std::unordered_map<ClientId, std::unordered_set<PublicationId>> seen_;
+  /// Clients with a committed movement: their background churn has ended.
+  std::unordered_set<ClientId> moved_clients_;
   std::mt19937_64 rng_;
   std::uint32_t pub_seq_ = 0;
   /// Publications issued after this sequence number are audited for loss

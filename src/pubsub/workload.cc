@@ -1,6 +1,8 @@
 #include "pubsub/workload.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <random>
 
 namespace tmps {
@@ -129,6 +131,32 @@ Filter full_space_advertisement() {
       .attr("class").eq("STOCK")
       .attr("g").ge(std::int64_t{0}).le(kMaxGroup)
       .attr("x").ge(kSpaceLo).le(kSpaceHi);
+}
+
+std::vector<BrokerId> zipf_broker_placement(std::uint32_t clients,
+                                            std::uint32_t brokers, double skew,
+                                            std::uint64_t seed) {
+  assert(brokers >= 1);
+  // Cumulative weights over broker ranks: weight(r) = 1/r^skew, broker 1
+  // carrying rank 1. Sampling by inverse CDF keeps the draw deterministic
+  // under a fixed seed regardless of library distribution internals.
+  std::vector<double> cum(brokers);
+  double total = 0;
+  for (std::uint32_t r = 0; r < brokers; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cum[r] = total;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, total);
+  std::vector<BrokerId> homes;
+  homes.reserve(clients);
+  for (std::uint32_t k = 0; k < clients; ++k) {
+    const double draw = u(rng);
+    const auto it = std::lower_bound(cum.begin(), cum.end(), draw);
+    const auto rank = static_cast<std::uint32_t>(it - cum.begin());
+    homes.push_back(static_cast<BrokerId>(std::min(rank, brokers - 1) + 1));
+  }
+  return homes;
 }
 
 Publication make_publication(PublicationId id, std::int64_t x,

@@ -63,6 +63,15 @@ std::vector<int> covered_indices(WorkloadKind k);
 /// (every workload subscription intersects it).
 Filter full_space_advertisement();
 
+/// Skewed client placement: assigns each of `clients` clients a home broker
+/// in 1..`brokers`, drawn from a Zipf-like distribution — broker rank r has
+/// weight 1/r^skew, with broker 1 the heaviest. skew=0 is uniform; the
+/// paper-scale load-balancing experiments use skew in [1, 2] so a handful
+/// of brokers hold most of the population. Deterministic in `seed`.
+std::vector<BrokerId> zipf_broker_placement(std::uint32_t clients,
+                                            std::uint32_t brokers, double skew,
+                                            std::uint64_t seed);
+
 /// A publication at point `x` of the content space, within covering family
 /// `group`.
 Publication make_publication(PublicationId id, std::int64_t x,

@@ -16,58 +16,18 @@
 // Mutual covering (equal filters) is broken by forwarding only the earliest
 // id, so 40 clients with identical subscriptions forward one representative.
 //
-// The decision procedures now live on RoutingTables itself, candidate-
+// The decision procedures live on RoutingTables itself, candidate-
 // accelerated by the covering index (routing/covering_index.h) with
-// full-scan `*_scan` oracles. The free functions below are deprecated
-// wrappers kept for one PR; call the RoutingTables methods directly.
+// full-scan `*_scan` oracles. (The free-function wrappers that used to
+// forward here were deprecated for one release and are now gone.)
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "routing/routing_tables.h"
 
 namespace tmps {
-
-[[deprecated("use RoutingTables::sub_covered_on_link")]] inline bool
-sub_covered_on_link(const RoutingTables& rt, const SubscriptionId& self,
-                    const Filter& filter, Hop link) {
-  return rt.sub_covered_on_link(self, filter, link);
-}
-
-[[deprecated("use RoutingTables::strictly_covered_subs_on_link")]] inline std::
-    vector<SubEntry*>
-    strictly_covered_subs_on_link(RoutingTables& rt, const SubscriptionId& self,
-                                  const Filter& filter, Hop link) {
-  return rt.strictly_covered_subs_on_link(self, filter, link);
-}
-
-[[deprecated("use RoutingTables::unquenched_subs_on_link")]] inline std::
-    vector<SubEntry*>
-    unquenched_subs_on_link(RoutingTables& rt, const SubEntry& removed,
-                            Hop link) {
-  return rt.unquenched_subs_on_link(removed, link);
-}
-
-[[deprecated("use RoutingTables::adv_covered_on_link")]] inline bool
-adv_covered_on_link(const RoutingTables& rt, const AdvertisementId& self,
-                    const Filter& filter, Hop link) {
-  return rt.adv_covered_on_link(self, filter, link);
-}
-
-[[deprecated("use RoutingTables::strictly_covered_advs_on_link")]] inline std::
-    vector<AdvEntry*>
-    strictly_covered_advs_on_link(RoutingTables& rt,
-                                  const AdvertisementId& self,
-                                  const Filter& filter, Hop link) {
-  return rt.strictly_covered_advs_on_link(self, filter, link);
-}
-
-[[deprecated("use RoutingTables::unquenched_advs_on_link")]] inline std::
-    vector<AdvEntry*>
-    unquenched_advs_on_link(RoutingTables& rt, const AdvEntry& removed,
-                            Hop link) {
-  return rt.unquenched_advs_on_link(removed, link);
-}
 
 /// Audits the covering invariants at one broker over the given links:
 ///  (1) antichain — no forwarded subscription is strictly covered by another

@@ -165,11 +165,13 @@ void SimNetwork::arrive(BrokerId from, BrokerId to, Message msg) {
   // (un)subscriptions/(un)advertisements pay covering checks, movement
   // control messages pay only relay/bookkeeping work.
   double proc = profile_.control_proc;
-  if (std::holds_alternative<PublishMsg>(msg.payload)) {
+  const bool is_pub = std::holds_alternative<PublishMsg>(msg.payload);
+  if (is_pub) {
     proc = profile_.pub_proc;
   } else if (!msg.is_control()) {
     proc = profile_.sub_proc;
   }
+  stats_.count_broker_message(to, is_pub);
   if (profile_.proc_per_entry > 0 && !msg.is_control()) {
     const auto entries = b.broker->tables().sub_count() +
                          b.broker->tables().adv_count();
@@ -206,6 +208,12 @@ void SimNetwork::process(BrokerId from, BrokerId to, Message msg) {
 double SimNetwork::broker_busy_seconds(BrokerId b) const {
   assert(b >= 1 && b < brokers_.size());
   return brokers_[b].busy_seconds;
+}
+
+double SimNetwork::broker_backlog_seconds(BrokerId b) const {
+  assert(b >= 1 && b < brokers_.size());
+  const double backlog = brokers_[b].next_free - events_.now();
+  return backlog > 0 ? backlog : 0.0;
 }
 
 void SimNetwork::snapshot_routing(std::vector<obs::BrokerSnapshot>& out,

@@ -137,6 +137,10 @@ class SimNetwork final : public RuntimeEnv {
   /// for the congestion analysis (busy / now = utilization).
   double broker_busy_seconds(BrokerId b) const;
 
+  /// Seconds of processing backlog queued at a broker right now (0 when
+  /// idle) — the queue-depth signal the load estimator samples.
+  double broker_backlog_seconds(BrokerId b) const;
+
  private:
   struct LinkState {
     double base_delay = 0;

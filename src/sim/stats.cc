@@ -64,6 +64,47 @@ void Stats::reset_traffic() {
   link_counts_.clear();
   type_counts_.clear();
   cause_counts_.clear();
+  deliveries_ = 0;
+  broker_msgs_.clear();
+  broker_pubs_.clear();
+  broker_deliveries_.clear();
+}
+
+void Stats::count_broker_message(BrokerId b, bool publication) {
+  ++broker_msgs_[b];
+  if (publication) ++broker_pubs_[b];
+}
+
+void Stats::count_delivery(BrokerId b, ClientId client) {
+  (void)client;
+  ++deliveries_;
+  ++broker_deliveries_[b];
+}
+
+std::map<BrokerId, std::uint64_t> Stats::broker_pub_loads() const {
+  std::map<BrokerId, std::uint64_t> loads = broker_pubs_;
+  for (const auto& [b, n] : broker_deliveries_) loads[b] += n;
+  return loads;
+}
+
+LoadSkew Stats::pub_load_skew(std::uint32_t brokers) const {
+  return load_skew(broker_pub_loads(), brokers);
+}
+
+LoadSkew load_skew(const std::map<BrokerId, std::uint64_t>& loads,
+                   std::uint32_t brokers) {
+  LoadSkew s;
+  if (brokers == 0) return s;
+  std::uint64_t total = 0;
+  for (const auto& [b, n] : loads) {
+    total += n;
+    if (static_cast<double>(n) > s.max) {
+      s.max = static_cast<double>(n);
+      s.argmax = b;
+    }
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(brokers);
+  return s;
 }
 
 void Stats::record_movement(MovementRecord rec) {

@@ -48,6 +48,23 @@ class Summary {
   std::array<std::uint64_t, obs::kNumBuckets> buckets_{};
 };
 
+/// Per-broker load distribution at a glance: the max/mean ratio is the
+/// imbalance figure the load-balancing control plane (src/control) drives
+/// down, and what the skewed-placement tests assert on. `mean` averages
+/// over all `brokers` brokers, including idle ones.
+struct LoadSkew {
+  double max = 0;
+  double mean = 0;
+  BrokerId argmax = kNoBroker;
+  /// max/mean; 1.0 for a perfectly even (or empty) distribution.
+  double ratio() const { return mean > 0 ? max / mean : 1.0; }
+};
+
+/// Skew of an absolute per-broker load map over brokers 1..`brokers`
+/// (brokers absent from the map count as zero load).
+LoadSkew load_skew(const std::map<BrokerId, std::uint64_t>& loads,
+                   std::uint32_t brokers);
+
 struct MovementRecord {
   TxnId txn = kNoTxn;
   ClientId client = kNoClient;
@@ -95,13 +112,36 @@ class Stats {
   /// Mean messages per committed movement in the window.
   double messages_per_movement(SimTime from = 0, SimTime to = 1e300) const;
 
-  // --- notifications (delivery auditing) ---
-  void count_delivery(ClientId client) { (void)client; ++deliveries_; }
+  // --- per-broker load (control-plane + skew assertions) ---
+
+  /// One message processed at broker `b`; `publication` marks a matching
+  /// pass (PublishMsg) as opposed to routing/control work.
+  void count_broker_message(BrokerId b, bool publication);
+  /// One local delivery at broker `b` to `client` (the fan-out work that
+  /// concentrates where clients concentrate).
+  void count_delivery(BrokerId b, ClientId client);
   std::uint64_t deliveries() const { return deliveries_; }
+
+  const std::map<BrokerId, std::uint64_t>& broker_messages() const {
+    return broker_msgs_;
+  }
+  /// Publication load per broker: publications processed + local
+  /// deliveries. The quantity whose max/mean ratio the balancer minimizes.
+  std::map<BrokerId, std::uint64_t> broker_pub_loads() const;
+  /// Local delivery load per broker — the client-serving fan-out work that
+  /// migration relocates (transit forwarding is topology-bound and stays).
+  const std::map<BrokerId, std::uint64_t>& broker_delivery_loads() const {
+    return broker_deliveries_;
+  }
+  /// load_skew over broker_pub_loads (brokers 1..`brokers`).
+  LoadSkew pub_load_skew(std::uint32_t brokers) const;
 
  private:
   std::uint64_t total_messages_ = 0;
   std::uint64_t deliveries_ = 0;
+  std::map<BrokerId, std::uint64_t> broker_msgs_;
+  std::map<BrokerId, std::uint64_t> broker_pubs_;
+  std::map<BrokerId, std::uint64_t> broker_deliveries_;
   std::map<std::pair<BrokerId, BrokerId>, std::uint64_t> link_counts_;
   std::map<std::string, std::uint64_t> type_counts_;
   std::map<TxnId, std::uint64_t> cause_counts_;

@@ -1,0 +1,266 @@
+// Unit tests for the control plane's estimator and planner (src/control):
+// rate computation and smoothing, hysteresis, candidate filtering
+// (cooldown, budget, in-flight), donor/target selection and the greedy
+// stop conditions.
+#include <gtest/gtest.h>
+
+#include "control/balance_policy.h"
+#include "control/load_estimator.h"
+#include "routing/overlay.h"
+
+namespace tmps::control {
+namespace {
+
+ControlConfig config() {
+  ControlConfig cfg;
+  cfg.enabled = true;
+  cfg.ewma_alpha = 1.0;  // raw rates unless a test opts into smoothing
+  cfg.imbalance_high = 1.5;
+  cfg.imbalance_low = 1.1;
+  cfg.client_cooldown = 30.0;
+  cfg.max_moves_per_client = 2;
+  cfg.max_moves_per_cycle = 4;
+  cfg.path_penalty = 0.05;
+  cfg.delivery_weight = 1.0;  // score = pub_rate only, easy to reason about
+  cfg.pub_weight = 1.0;
+  cfg.msg_weight = 0.0;
+  cfg.table_weight = 0.0;
+  cfg.queue_weight = 0.0;
+  return cfg;
+}
+
+BrokerSignals sig(std::uint64_t pubs, std::uint64_t deliveries,
+                  std::size_t clients) {
+  BrokerSignals s;
+  s.pubs = pubs;
+  s.deliveries = deliveries;
+  s.msgs = pubs;
+  s.clients = clients;
+  return s;
+}
+
+std::map<BrokerId, BrokerLoad> loads_of(
+    std::initializer_list<std::pair<BrokerId, double>> scores,
+    std::size_t clients_each = 4) {
+  std::map<BrokerId, BrokerLoad> loads;
+  for (const auto& [b, s] : scores) {
+    BrokerLoad l;
+    l.score = s;
+    l.pub_rate = s;
+    l.clients = clients_each;
+    loads[b] = l;
+  }
+  return loads;
+}
+
+ClientInfo client(ClientId id, BrokerId at, bool covered = false,
+                  std::size_t profile = 1) {
+  ClientInfo c;
+  c.id = id;
+  c.at = at;
+  c.profile = profile;
+  c.covered = covered;
+  c.movable = true;
+  return c;
+}
+
+TEST(LoadEstimator, FirstSampleOnlySeedsBaselines) {
+  LoadEstimator est(config());
+  est.sample(0.0, {{1, sig(100, 0, 2)}});
+  EXPECT_FALSE(est.ready());
+  EXPECT_TRUE(est.loads().empty());
+}
+
+TEST(LoadEstimator, ComputesRatesFromCounterDeltas) {
+  LoadEstimator est(config());
+  est.sample(0.0, {{1, sig(100, 50, 2)}, {2, sig(0, 0, 0)}});
+  est.sample(2.0, {{1, sig(140, 70, 2)}, {2, sig(10, 0, 0)}});
+  ASSERT_TRUE(est.ready());
+  // Broker 1: (40 pubs + 20 deliveries) / 2 s = 30/s.
+  EXPECT_DOUBLE_EQ(est.loads().at(1).pub_rate, 30.0);
+  EXPECT_DOUBLE_EQ(est.loads().at(1).score, 30.0);
+  EXPECT_DOUBLE_EQ(est.loads().at(2).pub_rate, 5.0);
+  EXPECT_EQ(est.loads().at(1).clients, 2u);
+}
+
+TEST(LoadEstimator, EwmaSmoothsRateSpikes) {
+  ControlConfig cfg = config();
+  cfg.ewma_alpha = 0.5;
+  LoadEstimator est(cfg);
+  est.sample(0.0, {{1, sig(0, 0, 1)}});
+  est.sample(1.0, {{1, sig(10, 0, 1)}});   // seeds smoothed rate at 10/s
+  est.sample(2.0, {{1, sig(110, 0, 1)}});  // raw spike to 100/s
+  // 0.5 * 100 + 0.5 * 10 = 55: the spike is damped.
+  EXPECT_DOUBLE_EQ(est.loads().at(1).pub_rate, 55.0);
+}
+
+TEST(LoadEstimator, ScoreCombinesWeightedSignals) {
+  ControlConfig cfg = config();
+  cfg.msg_weight = 0.5;
+  cfg.table_weight = 2.0;
+  cfg.queue_weight = 10.0;
+  LoadEstimator est(cfg);
+  BrokerSignals s0 = sig(0, 0, 1);
+  BrokerSignals s1 = sig(10, 0, 1);
+  s1.msgs = 20;
+  s1.prt = 3;
+  s1.srt = 1;
+  s1.backlog_seconds = 0.25;
+  est.sample(0.0, {{1, s0}});
+  est.sample(1.0, {{1, s1}});
+  // 10 pub/s + 0.5*20 msg/s + 2*(3+1) entries + 10*0.25 s backlog = 30.5.
+  EXPECT_DOUBLE_EQ(est.loads().at(1).score, 30.5);
+}
+
+TEST(BalancePolicy, BelowHighThresholdPlansNothing) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  // Ratio = 1.4 < 1.5: never engages.
+  const auto plan = policy.plan(loads_of({{1, 14.0}, {2, 6.0}}),
+                                {client(100, 1)}, 0.0);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(policy.engaged());
+  EXPECT_NEAR(policy.last_plan().ratio, 1.4, 1e-9);
+}
+
+TEST(BalancePolicy, HysteresisKeepsPlanningUntilLowThreshold) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  // Engage at ratio 1.6.
+  auto plan = policy.plan(loads_of({{1, 16.0}, {2, 4.0}}),
+                          {client(100, 1), client(101, 1)}, 0.0);
+  EXPECT_TRUE(policy.engaged());
+  EXPECT_FALSE(plan.empty());
+  // Ratio 1.2 is below high but above low: still engaged.
+  policy.plan(loads_of({{1, 12.0}, {2, 8.0}}), {client(102, 1)}, 1.0);
+  EXPECT_TRUE(policy.engaged());
+  // Ratio 1.05 <= low: disengages.
+  policy.plan(loads_of({{1, 10.5}, {2, 9.5}}), {client(103, 1)}, 2.0);
+  EXPECT_FALSE(policy.engaged());
+}
+
+TEST(BalancePolicy, MovesClientOffHottestBrokerToLeastLoaded) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  const auto plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 6.0}, {3, 3.0}}),
+                  {client(100, 1), client(200, 2)}, 0.0);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan[0].client, 100u);
+  EXPECT_EQ(plan[0].from, 1u);
+  EXPECT_EQ(plan[0].to, 3u);  // least loaded wins despite one extra hop
+}
+
+TEST(BalancePolicy, PathPenaltySteersToNearbyTarget) {
+  const Overlay overlay = Overlay::chain(10);
+  ControlConfig cfg = config();
+  cfg.path_penalty = 0.2;
+  BalancePolicy policy(cfg, &overlay);
+  // Broker 2 (1 hop) is slightly more loaded than broker 10 (9 hops); with
+  // a strong path penalty the near target wins.
+  const auto plan = policy.plan(
+      loads_of({{1, 40.0}, {2, 6.0}, {10, 4.0}}), {client(100, 1)}, 0.0);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan[0].to, 2u);
+}
+
+TEST(BalancePolicy, PrefersCoveredThenSmallerProfile) {
+  const Overlay overlay = Overlay::chain(4);
+  ControlConfig cfg = config();
+  cfg.max_moves_per_cycle = 1;
+  BalancePolicy policy(cfg, &overlay);
+  const std::vector<ClientInfo> clients = {
+      client(100, 1, /*covered=*/false, /*profile=*/1),
+      client(101, 1, /*covered=*/true, /*profile=*/5),
+      client(102, 1, /*covered=*/true, /*profile=*/2),
+  };
+  const auto plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 3.0}}), clients, 0.0);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].client, 102u);  // covered beats uncovered, then smaller
+}
+
+TEST(BalancePolicy, CooldownSuppressesRecentlyMovedClients) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  policy.on_move_started(100);
+  policy.on_move_finished(100, /*committed=*/true, /*now=*/10.0);
+  // At t=20 the client is still inside the 30 s cooldown.
+  auto plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 3.0}}), {client(100, 1)}, 20.0);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(policy.last_plan().cooldown_suppressed, 1u);
+  // After the cooldown the client is eligible again.
+  plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 3.0}}), {client(100, 1)}, 41.0);
+  EXPECT_EQ(plan.size(), 1u);
+  EXPECT_EQ(policy.last_plan().cooldown_suppressed, 0u);
+}
+
+TEST(BalancePolicy, PerClientBudgetIsHard) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  for (int i = 0; i < 2; ++i) {
+    policy.on_move_started(100);
+    policy.on_move_finished(100, true, 0.0);
+  }
+  EXPECT_EQ(policy.moves_of(100), 2u);
+  // Budget (2) exhausted: not even after cooldown.
+  const auto plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 3.0}}), {client(100, 1)}, 1e6);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(policy.last_plan().cooldown_suppressed, 0u);
+}
+
+TEST(BalancePolicy, InFlightClientsAreNotReselected) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  policy.on_move_started(100);
+  const auto plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 3.0}}), {client(100, 1)}, 0.0);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BalancePolicy, AbortedMoveCoolsDownWithoutSpendingBudget) {
+  const Overlay overlay = Overlay::chain(4);
+  BalancePolicy policy(config(), &overlay);
+  policy.on_move_started(100);
+  policy.on_move_finished(100, /*committed=*/false, /*now=*/0.0);
+  EXPECT_EQ(policy.moves_of(100), 0u);
+  const auto plan =
+      policy.plan(loads_of({{1, 30.0}, {2, 3.0}}), {client(100, 1)}, 10.0);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(policy.last_plan().cooldown_suppressed, 1u);
+}
+
+TEST(BalancePolicy, StopsWhenProjectedHotspotInsideBand) {
+  const Overlay overlay = Overlay::chain(4);
+  ControlConfig cfg = config();
+  cfg.max_moves_per_cycle = 10;
+  BalancePolicy policy(cfg, &overlay);
+  // Donor at 16 with 4 clients: each projected move shifts 4 units. After
+  // two moves the donor sits at 8 < mean * imbalance_low, so the greedy
+  // loop must stop well before the cycle budget.
+  std::vector<ClientInfo> clients;
+  for (ClientId id = 100; id < 104; ++id) clients.push_back(client(id, 1));
+  const auto plan =
+      policy.plan(loads_of({{1, 16.0}, {2, 4.0}}, /*clients_each=*/4),
+                  clients, 0.0);
+  EXPECT_GE(plan.size(), 1u);
+  EXPECT_LT(plan.size(), 4u);
+}
+
+TEST(BalancePolicy, NeverSwapsHotspotOntoTarget) {
+  const Overlay overlay = Overlay::chain(2);
+  ControlConfig cfg = config();
+  BalancePolicy policy(cfg, &overlay);
+  // Donor has ONE client carrying everything: moving it would relocate the
+  // whole hotspot to the target, so the policy must refuse.
+  const auto plan = policy.plan(
+      loads_of({{1, 30.0}, {2, 0.0}}, /*clients_each=*/1), {client(100, 1)},
+      0.0);
+  EXPECT_TRUE(plan.empty());
+}
+
+}  // namespace
+}  // namespace tmps::control

@@ -208,5 +208,57 @@ TEST(EngineApi, SourceMoveRecordsVisibleForIntrospection) {
   EXPECT_EQ(r.engines[2]->target_state(txn), TargetCoordState::Commit);
 }
 
+TEST(EngineApi, TryInitiateMoveReportsTypedRefusals) {
+  Rig r;
+  r.engines[0]->connect_client(5);
+  Broker::Outputs out;
+  EXPECT_EQ(r.engines[0]->try_initiate_move(99, 2, out).refusal,
+            MoveRefusal::UnknownClient);
+  EXPECT_EQ(r.engines[0]->try_initiate_move(5, 1, out).refusal,
+            MoveRefusal::InvalidTarget);  // target = self
+  EXPECT_EQ(r.engines[0]->try_initiate_move(5, 42, out).refusal,
+            MoveRefusal::InvalidTarget);  // not in overlay
+  EXPECT_TRUE(out.empty()) << "refusals must not emit messages";
+  EXPECT_FALSE(r.engines[0]->has_active_transactions());
+}
+
+TEST(EngineApi, ConcurrentMoveRequestsOnSameClientRefusedBusy) {
+  Rig r;
+  r.run_op(1, [](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(5);
+    e.subscribe(5, workload_filter(WorkloadKind::Covered, 1), out);
+  });
+
+  Broker::Outputs out;
+  const MoveStart first = r.engines[0]->try_initiate_move(5, 3, out);
+  ASSERT_TRUE(first.started());
+  EXPECT_EQ(first.refusal, MoveRefusal::None);
+
+  // Second request while the first transaction is still in flight: a typed
+  // Busy refusal (not a silent kNoTxn), no second transaction, no traffic.
+  Broker::Outputs out2;
+  const MoveStart second = r.engines[0]->try_initiate_move(5, 4, out2);
+  EXPECT_FALSE(second.started());
+  EXPECT_EQ(second.refusal, MoveRefusal::Busy);
+  EXPECT_TRUE(out2.empty());
+
+  r.net.transmit(1, std::move(out));
+  r.net.run();
+  // The first movement committed; the client is movable again at broker 3.
+  ASSERT_NE(r.engines[2]->find_client(5), nullptr);
+  r.run_op(3, [](MobilityEngine& e, Broker::Outputs& out3) {
+    EXPECT_TRUE(e.try_initiate_move(5, 4, out3).started());
+  });
+  EXPECT_NE(r.engines[3]->find_client(5), nullptr);
+}
+
+TEST(EngineApi, MoveRefusalNames) {
+  EXPECT_STREQ(to_string(MoveRefusal::None), "none");
+  EXPECT_STREQ(to_string(MoveRefusal::UnknownClient), "unknown-client");
+  EXPECT_STREQ(to_string(MoveRefusal::InvalidTarget), "invalid-target");
+  EXPECT_STREQ(to_string(MoveRefusal::Busy), "busy");
+  EXPECT_STREQ(to_string(MoveRefusal::NotRunning), "not-running");
+}
+
 }  // namespace
 }  // namespace tmps

@@ -125,9 +125,49 @@ TEST(Stats, ResetTrafficClearsCountsButKeepsMovements) {
 
 TEST(Stats, DeliveryCounter) {
   Stats s;
-  s.count_delivery(1);
-  s.count_delivery(2);
-  EXPECT_EQ(s.deliveries(), 2u);
+  s.count_delivery(3, 1);
+  s.count_delivery(3, 2);
+  s.count_delivery(5, 1);
+  EXPECT_EQ(s.deliveries(), 3u);
+}
+
+TEST(Stats, BrokerPubLoadsCombinePublicationsAndDeliveries) {
+  Stats s;
+  s.count_broker_message(1, /*publication=*/true);
+  s.count_broker_message(1, /*publication=*/false);  // routing msg: no load
+  s.count_broker_message(2, /*publication=*/true);
+  s.count_delivery(1, 1001);
+  s.count_delivery(1, 1002);
+  const auto loads = s.broker_pub_loads();
+  EXPECT_EQ(loads.at(1), 3u);  // 1 matching pass + 2 deliveries
+  EXPECT_EQ(loads.at(2), 1u);
+  EXPECT_EQ(s.broker_messages().at(1), 2u);
+}
+
+TEST(Stats, LoadSkewRatioAndArgmax) {
+  std::map<BrokerId, std::uint64_t> loads = {{1, 90}, {2, 10}};
+  // Mean over 4 brokers (two idle): (90+10+0+0)/4 = 25 -> ratio 3.6.
+  const LoadSkew skew = load_skew(loads, 4);
+  EXPECT_DOUBLE_EQ(skew.max, 90.0);
+  EXPECT_DOUBLE_EQ(skew.mean, 25.0);
+  EXPECT_EQ(skew.argmax, 1u);
+  EXPECT_NEAR(skew.ratio(), 3.6, 1e-9);
+}
+
+TEST(Stats, LoadSkewOfEmptyOrUniformIsOne) {
+  EXPECT_DOUBLE_EQ(load_skew({}, 4).ratio(), 1.0);
+  std::map<BrokerId, std::uint64_t> even = {{1, 5}, {2, 5}, {3, 5}};
+  EXPECT_DOUBLE_EQ(load_skew(even, 3).ratio(), 1.0);
+}
+
+TEST(Stats, ResetTrafficClearsBrokerLoads) {
+  Stats s;
+  s.count_broker_message(1, true);
+  s.count_delivery(1, 1001);
+  s.reset_traffic();
+  EXPECT_EQ(s.deliveries(), 0u);
+  EXPECT_TRUE(s.broker_messages().empty());
+  EXPECT_TRUE(s.broker_pub_loads().empty());
 }
 
 TEST(Summary, EmptySummaryIsZero) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 namespace tmps {
 namespace {
 
@@ -120,6 +122,38 @@ TEST(Workload, CoveringIndicesConsistent) {
       }
       EXPECT_TRUE(covered) << to_string(k) << " " << idx;
     }
+  }
+}
+
+TEST(Workload, ZipfPlacementDeterministicAndInRange) {
+  const auto a = zipf_broker_placement(200, 14, 1.5, 7);
+  const auto b = zipf_broker_placement(200, 14, 1.5, 7);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 200u);
+  for (const BrokerId h : a) {
+    EXPECT_GE(h, 1u);
+    EXPECT_LE(h, 14u);
+  }
+  EXPECT_NE(a, zipf_broker_placement(200, 14, 1.5, 8));
+}
+
+TEST(Workload, ZipfPlacementSkewsTowardLowRanks) {
+  const auto homes = zipf_broker_placement(400, 14, 1.5, 1);
+  std::map<BrokerId, int> count;
+  for (const BrokerId h : homes) ++count[h];
+  // Broker 1 carries rank 1: with skew 1.5 it should hold far more than the
+  // uniform share (400/14 ~ 29) and dominate the tail broker.
+  EXPECT_GT(count[1], 2 * 400 / 14);
+  EXPECT_GT(count[1], 4 * count[14]);
+}
+
+TEST(Workload, ZipfZeroSkewIsRoughlyUniform) {
+  const auto homes = zipf_broker_placement(1400, 14, 0.0, 3);
+  std::map<BrokerId, int> count;
+  for (const BrokerId h : homes) ++count[h];
+  for (BrokerId b = 1; b <= 14; ++b) {
+    EXPECT_GT(count[b], 100 / 2) << "broker " << b;
+    EXPECT_LT(count[b], 100 * 2) << "broker " << b;
   }
 }
 

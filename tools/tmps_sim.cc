@@ -7,12 +7,13 @@
 //   tmps_sim [--protocol reconfig|covering] [--workload covered|chained|
 //            tree|distinct|random] [--clients N] [--movers N]
 //            [--duration SECONDS] [--pause SECONDS] [--wan]
-//            [--no-covering-opt] [--seed N] [--csv]
+//            [--no-covering-opt] [--balance] [--seed N] [--csv]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "control/scenario_control.h"
 #include "core/scenario.h"
 
 using namespace tmps;
@@ -32,6 +33,7 @@ namespace {
       "  --pause SECONDS                pause between moves (default 10)\n"
       "  --wan                          PlanetLab-like network profile\n"
       "  --no-covering-opt              disable the covering optimization\n"
+      "  --balance                      run the load balancer (TMPS_BALANCE=1)\n"
       "  --seed N                       RNG seed (default 7)\n"
       "  --csv                          machine-readable one-line output\n",
       argv0);
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
       cfg.net = NetworkProfile::planetlab();
     } else if (arg == "--no-covering-opt") {
       covering_opt_forced_off = true;
+    } else if (arg == "--balance") {
+      cfg.broker.control.enabled = true;
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--csv") {
@@ -103,6 +107,10 @@ int main(int argc, char** argv) {
       !covering_opt_forced_off;
   cfg.broker.subscription_covering = covering_opt;
   cfg.broker.advertisement_covering = covering_opt;
+
+  // Env switches (TMPS_BALANCE / TMPS_TRACE / TMPS_AUDIT) on top of flags.
+  cfg.broker = BrokerConfig::from_env(cfg.broker);
+  const auto balancer = control::install_balancer(cfg);
 
   Scenario s(cfg);
   s.run();
@@ -144,5 +152,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.audit().mover_expected),
               static_cast<unsigned long long>(s.audit().stationary_losses),
               static_cast<unsigned long long>(s.audit().stationary_expected));
+  if (balancer->balancer) {
+    const auto& st = balancer->balancer->state();
+    std::printf("  balancer: ratio %.2f, movements %llu committed / %llu "
+                "aborted / %llu refused\n",
+                st.imbalance_ratio,
+                static_cast<unsigned long long>(st.committed),
+                static_cast<unsigned long long>(st.aborted),
+                static_cast<unsigned long long>(st.refused));
+  }
   return 0;
 }
