@@ -70,7 +70,32 @@ struct RunResult {
   std::uint64_t duplicates = 0;
   std::uint64_t mover_losses = 0;
   std::uint64_t mover_expected = 0;
+  /// Provenance-derived end-to-end delivery latency (publish at the origin
+  /// broker to delivery at the edge broker), reported twice from the same
+  /// samples: bucket-interpolated percentiles of the
+  /// pub_delivery_latency_seconds histogram, and the Stats Summary fed by
+  /// the broker latency sink. The pair must agree within log-bucket
+  /// quantization — a live cross-check that both pipelines see every sample.
+  std::uint64_t deliveries = 0;
+  double dlv_p50_ms = 0, dlv_p95_ms = 0, dlv_p99_ms = 0;
+  double dlv_sum_p50_ms = 0, dlv_sum_p95_ms = 0, dlv_sum_p99_ms = 0;
 };
+
+/// Fills the delivery-latency fields of `r` from a finished scenario.
+inline void fill_delivery_latency(Scenario& s, RunResult& r) {
+  for (const obs::MetricSample& ms : s.net().metrics()->snapshot()) {
+    if (ms.name == "pub_delivery_latency_seconds" && ms.labels.empty()) {
+      r.deliveries = ms.count;
+      r.dlv_p50_ms = obs::sample_percentile(ms, 0.50) * 1e3;
+      r.dlv_p95_ms = obs::sample_percentile(ms, 0.95) * 1e3;
+      r.dlv_p99_ms = obs::sample_percentile(ms, 0.99) * 1e3;
+    }
+  }
+  const Summary& d = s.stats().delivery_latency_summary();
+  r.dlv_sum_p50_ms = d.p50() * 1e3;
+  r.dlv_sum_p95_ms = d.p95() * 1e3;
+  r.dlv_sum_p99_ms = d.p99() * 1e3;
+}
 
 /// Wires the observability sinks when TMPS_TRACE is set: "1" writes
 /// trace.jsonl / metrics.jsonl into the working directory, any other value
@@ -124,6 +149,7 @@ inline RunResult run_scenario(ScenarioConfig cfg,
   r.duplicates = s.audit().duplicates;
   r.mover_losses = s.audit().mover_losses;
   r.mover_expected = s.audit().mover_expected;
+  fill_delivery_latency(s, r);
   return r;
 }
 
@@ -141,7 +167,14 @@ inline BenchJson::Row& result_fields(BenchJson::Row& row, const RunResult& r) {
       .field("total_messages", r.total_messages)
       .field("duplicates", r.duplicates)
       .field("mover_losses", r.mover_losses)
-      .field("mover_expected", r.mover_expected);
+      .field("mover_expected", r.mover_expected)
+      .field("deliveries", r.deliveries)
+      .field("dlv_p50_ms", r.dlv_p50_ms)
+      .field("dlv_p95_ms", r.dlv_p95_ms)
+      .field("dlv_p99_ms", r.dlv_p99_ms)
+      .field("dlv_sum_p50_ms", r.dlv_sum_p50_ms)
+      .field("dlv_sum_p95_ms", r.dlv_sum_p95_ms)
+      .field("dlv_sum_p99_ms", r.dlv_sum_p99_ms);
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

@@ -1,0 +1,136 @@
+// Provenance-overhead gate: the data-plane cost of publication provenance
+// *sampling* must be negligible.
+//
+// Two identically configured brokers process the same publish workload —
+// one with the trace-sampling rate at 0 (tags stamped, nothing sampled),
+// one at 1/64 (the recommended production rate) — with tracing disabled, as
+// in production. Both runs stamp tags, update the latency histograms and
+// record flight events; the only difference is the sampling decision and
+// the (tracer-off, short-circuited) event emission on sampled publications.
+// The gate fails (exit 1) when the sampled run is more than 2% slower,
+// using min-of-k timing to shave scheduler noise.
+//
+// Writes BENCH_obs_overhead_gate.json with both timings and the delta.
+// TMPS_GATE_PCT overrides the threshold (CI debugging).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "broker/broker.h"
+#include "obs/metrics.h"
+#include "pubsub/workload.h"
+#include "routing/overlay.h"
+
+namespace tmps {
+namespace {
+
+constexpr int kSubscribers = 200;
+constexpr int kPublishes = 20000;
+constexpr int kReps = 7;
+
+/// A broker hosting `kSubscribers` local subscriptions spread over the
+/// covered workload's families, with a neighbour advertising upstream —
+/// every publish runs a realistic matching pass plus local deliveries.
+struct Fixture {
+  Overlay overlay = Overlay::chain(2);
+  obs::MetricsRegistry metrics;
+  Broker broker;
+
+  explicit Fixture(std::uint32_t trace_rate)
+      : broker(1, &overlay, [trace_rate] {
+          BrokerConfig cfg;
+          cfg.obs.pub_provenance = true;
+          cfg.obs.pub_trace_rate = trace_rate;
+          return cfg;
+        }()) {
+    broker.set_observability(nullptr, &metrics);
+    broker.set_clock([] { return 0.25; });
+    Broker::Outputs out;
+    for (int g = 0; g < kSubscribers / 10; ++g) {
+      for (int i = 1; i <= 10; ++i) {
+        const ClientId c = 1000 + g * 10 + i;
+        const Subscription s{
+            {c, 1}, workload_filter_at(WorkloadKind::Covered, i, g, 7)};
+        broker.inject_subscribe(Hop::of_client(c), s, kNoTxn, out);
+      }
+    }
+    broker.inject_advertise(Hop::of_broker(2), {{1, 1},
+                                                full_space_advertisement()},
+                            kNoTxn, out);
+  }
+};
+
+/// Mean ns per publish over kPublishes, minimum of kReps repetitions.
+double min_ns_per_publish(Fixture& f) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < kPublishes; ++i) {
+      const Publication pub = make_publication(
+          {static_cast<ClientId>(1), static_cast<std::uint32_t>(i + 1)},
+          kSpaceLo + (i * 7919) % (kSpaceHi - kSpaceLo), i % 20);
+      Broker::Outputs out = f.broker.client_publish(1, pub);
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
+        kPublishes;
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace tmps
+
+int main() {
+  using namespace tmps;
+  double threshold_pct = 2.0;
+  if (const char* t = std::getenv("TMPS_GATE_PCT")) {
+    threshold_pct = std::atof(t);
+  }
+
+  Fixture off(0);    // provenance on, sampling off
+  Fixture on(64);    // provenance on, 1/64 sampling
+  min_ns_per_publish(off);  // warm-up pass (page-in, branch predictors)
+  min_ns_per_publish(on);
+  const double ns_off = min_ns_per_publish(off);
+  const double ns_on = min_ns_per_publish(on);
+  const double delta_ns = ns_on - ns_off;
+  const double delta_pct = delta_ns / ns_off * 100.0;
+
+  std::printf("provenance sampling overhead gate\n");
+  std::printf("  rate 0    : %8.1f ns/publish\n", ns_off);
+  std::printf("  rate 1/64 : %8.1f ns/publish\n", ns_on);
+  std::printf("  delta     : %+8.1f ns (%+.2f%%), threshold %.1f%%\n",
+              delta_ns, delta_pct, threshold_pct);
+
+  bench::BenchJson json("obs_overhead_gate");
+  json.config()
+      .field("subscribers", kSubscribers)
+      .field("publishes", kPublishes)
+      .field("reps", kReps)
+      .field("threshold_pct", threshold_pct);
+  json.add_row()
+      .field("ns_per_publish_rate0", ns_off)
+      .field("ns_per_publish_rate64", ns_on)
+      .field("delta_ns", delta_ns)
+      .field("delta_pct", delta_pct);
+
+  // Gate on the relative delta, with a small absolute floor so sub-ns jitter
+  // on very fast machines cannot trip a 2% threshold spuriously.
+  if (delta_pct > threshold_pct && delta_ns > 10.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: 1/64 provenance sampling costs %+.2f%% "
+                 "(> %.1f%%)\n",
+                 delta_pct, threshold_pct);
+    return 1;
+  }
+  std::printf("gate passed\n");
+  return 0;
+}

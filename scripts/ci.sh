@@ -21,12 +21,39 @@
 #      background subscription churn — under the movement-invariant auditor.
 #      The binary gates on the 2x skew reduction, per-client move budgets
 #      (convergence) and delivery losses, and exits nonzero on any miss.
+#   7. an observability-overhead gate: obs_overhead_gate times the broker
+#      publish path at provenance sample rate 0 vs 1/64 and fails if 1/64
+#      sampling costs more than 2% (override via TMPS_GATE_PCT).
+#
+# On any failed leg, flight-recorder dumps (flight_b*.jsonl) from the obs
+# sink directories are collected into results/flight/ for post-mortem.
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
+RESULTS="results"
+
+# Post-mortem context for a red run: any flight-recorder dump written by a
+# failing leg (movement abort, audit violation) is preserved as an artifact.
+collect_flight_dumps() {
+  local status=$?
+  if [[ ${status} -ne 0 ]]; then
+    mkdir -p "${RESULTS}/flight"
+    find "${RESULTS}" build build-asan build-tsan -name 'flight_b*.jsonl' \
+        -not -path "${RESULTS}/flight/*" 2>/dev/null |
+      while read -r dump; do
+        cp -f "${dump}" "${RESULTS}/flight/$(echo "${dump}" | tr / _)"
+      done
+    if compgen -G "${RESULTS}/flight/*" > /dev/null; then
+      echo "flight-recorder dumps collected in ${RESULTS}/flight/:"
+      ls -l "${RESULTS}/flight"
+    fi
+  fi
+  exit "${status}"
+}
+trap collect_flight_dumps EXIT
 
 run_suite() {
   local build_dir="$1"
@@ -56,7 +83,6 @@ run_suite build-tsan \
   -DTMPS_SANITIZE=thread
 
 echo "=== audit leg: fig09 under the movement-invariant auditor ==="
-RESULTS="results"
 OBS_DIR="${RESULTS}/fig09-obs"
 mkdir -p "${OBS_DIR}"
 TMPS_AUDIT=1 TMPS_TRACE="${OBS_DIR}" TMPS_BENCH_OUT="${RESULTS}" \
@@ -83,5 +109,15 @@ BALANCE_JSON="${RESULTS}/BENCH_ext_load_balance.json"
   echo "missing ${BALANCE_JSON}"; exit 1; }
 grep -q '"load_ratio":' "${BALANCE_JSON}" || {
   echo "no load-skew figures in ${BALANCE_JSON}"; exit 1; }
+
+echo "=== overhead gate: provenance sampling cost (obs_overhead_gate) ==="
+# Exits nonzero when 1/64 sampling slows the publish path by more than the
+# threshold (default 2%); the JSON artifact records the measured delta.
+TMPS_BENCH_OUT="${RESULTS}" ./build/bench/obs_overhead_gate
+GATE_JSON="${RESULTS}/BENCH_obs_overhead_gate.json"
+[[ -s "${GATE_JSON}" ]] || {
+  echo "missing ${GATE_JSON}"; exit 1; }
+grep -q '"delta_pct":' "${GATE_JSON}" || {
+  echo "no overhead figures in ${GATE_JSON}"; exit 1; }
 
 echo "=== ci.sh: all legs passed ==="

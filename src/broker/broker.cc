@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <fstream>
 
 namespace tmps {
+
+// The flight recorder stores the payload variant index directly as its
+// event kind; keep the two enumerations aligned.
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     obs::FlightKind::kAdvertise),
+                                 Payload>,
+              AdvertiseMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     obs::FlightKind::kPublish),
+                                 Payload>,
+              PublishMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     obs::FlightKind::kTradReject),
+                                 Payload>,
+              TradRejectMsg>);
+static_assert(static_cast<std::size_t>(obs::FlightKind::kTradReject) + 1 ==
+              std::variant_size_v<Payload>);
+
+namespace {
+
+/// Seconds with enough precision for sub-millisecond hop latencies
+/// (std::to_string's fixed six decimals would flatten them to 0).
+std::string fmt_secs(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
 
 Broker::Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg)
     : id_(id), overlay_(overlay), cfg_(std::move(cfg)) {
   assert(overlay_ && overlay_->contains(id_));
   tables_.set_use_cover_index(cfg_.covering_index);
+  if (cfg_.obs.flight_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(cfg_.obs.flight_capacity);
+  }
 }
 
 void Broker::set_observability(obs::Tracer* tracer,
@@ -17,9 +54,17 @@ void Broker::set_observability(obs::Tracer* tracer,
   if (!metrics) {
     msgs_processed_ = covering_retracts_ = covering_unquenches_ = nullptr;
     pubs_processed_ = deliveries_ = nullptr;
+    delivery_latency_ = delivery_latency_broker_ = nullptr;
     return;
   }
   const obs::Labels labels = {{"broker", std::to_string(id_)}};
+  if (cfg_.obs.pub_provenance) {
+    // Global + per-broker end-to-end delivery latency, fed from provenance
+    // tags at the delivering (edge) broker.
+    delivery_latency_ = &metrics->histogram("pub_delivery_latency_seconds");
+    delivery_latency_broker_ =
+        &metrics->histogram("broker_delivery_latency_seconds", labels);
+  }
   msgs_processed_ = &metrics->counter("broker_messages_processed_total",
                                       labels);
   covering_retracts_ = &metrics->counter("broker_covering_retracts_total",
@@ -82,6 +127,10 @@ Broker::Outputs Broker::client_unadvertise(ClientId client,
 Broker::Outputs Broker::client_publish(ClientId client, const Publication& pub,
                                        TxnId cause) {
   Outputs out;
+  if (flight_) {
+    flight_->record(obs::FlightKind::kClientOp, clock_ ? clock_() : 0.0, 0,
+                    cause, client);
+  }
   do_publish(Hop::of_client(client), pub, cause, out);
   return out;
 }
@@ -114,6 +163,10 @@ void Broker::inject_publish(Hop from, const Publication& pub, TxnId cause,
 Broker::Outputs Broker::on_message(BrokerId from, const Message& msg) {
   Outputs out;
   if (msgs_processed_) msgs_processed_->inc();
+  if (flight_) {
+    flight_->record(static_cast<obs::FlightKind>(msg.payload.index()),
+                    clock_ ? clock_() : 0.0, from, msg.cause, msg.id);
+  }
   const Hop from_hop = Hop::of_broker(from);
   if (const auto* p = std::get_if<AdvertiseMsg>(&msg.payload)) {
     do_advertise(from_hop, p->adv, msg.cause, out);
@@ -124,7 +177,8 @@ Broker::Outputs Broker::on_message(BrokerId from, const Message& msg) {
   } else if (const auto* p = std::get_if<UnsubscribeMsg>(&msg.payload)) {
     do_unsubscribe(from_hop, p->sub_id, msg.cause, out);
   } else if (const auto* p = std::get_if<PublishMsg>(&msg.payload)) {
-    do_publish(from_hop, p->pub, msg.cause, out);
+    do_publish(from_hop, p->pub, msg.cause, out,
+               msg.prov ? &*msg.prov : nullptr);
   } else if (control_) {
     control_->on_control(from, msg, out);
   } else if (msg.unicast_dest && *msg.unicast_dest != id_) {
@@ -156,9 +210,44 @@ void Broker::forward_unicast(const Message& msg, std::vector<Output>& out) {
 }
 
 void Broker::deliver_local(ClientId client, const Publication& pub) {
+  // Untagged path (buffered-state redelivery, tests): no latency to observe.
+  deliver_local(client, pub, nullptr, clock_ ? clock_() : 0.0);
+}
+
+void Broker::deliver_local(ClientId client, const Publication& pub,
+                           const obs::ProvenanceTag* tag, double now) {
   if (deliveries_) deliveries_->inc();
+  if (flight_) {
+    flight_->record(obs::FlightKind::kDeliver, now, 0, 0, client);
+  }
+  if (tag != nullptr) {
+    // End-to-end latency up to edge-broker arrival; publications intercepted
+    // for a moving client are counted here too (the buffering wait is
+    // movement latency, accounted by the movement records, not routing
+    // latency).
+    const double latency = now - tag->origin_time;
+    if (delivery_latency_) delivery_latency_->observe(latency);
+    if (delivery_latency_broker_) delivery_latency_broker_->observe(latency);
+    if (latency_sink_) latency_sink_(latency);
+    if (tag->sampled) {
+      TMPS_EVENT(tracer_, tag->trace, "pub:deliver",
+                 {{"broker", std::to_string(id_)},
+                  {"client", std::to_string(client)},
+                  {"pub", to_string(pub.id())},
+                  {"latency", fmt_secs(latency)},
+                  {"hops", std::to_string(tag->hops)}});
+    }
+  }
   if (control_ && control_->intercept_notification(client, pub)) return;
   if (notify_) notify_(client, pub);
+}
+
+void Broker::dump_flight(std::string_view reason) const {
+  if (!flight_ || cfg_.obs.trace_dir.empty()) return;
+  std::ofstream os(
+      cfg_.obs.trace_dir + "/flight_b" + std::to_string(id_) + ".jsonl",
+      std::ios::app);
+  if (os) flight_->write_jsonl(os, id_, reason);
 }
 
 // --- routing handlers ----------------------------------------------------------
@@ -249,14 +338,57 @@ void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
 }
 
 void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
-                        Outputs& out) {
+                        Outputs& out, const obs::ProvenanceTag* in_tag) {
   if (pubs_processed_) pubs_processed_->inc();
-  for (const Hop& hop : tables_.hops_for_publication(pub)) {
+  // Provenance: in-transit publications arrive tagged; origin publications
+  // (from a local client or injected by the mobility layer) are stamped
+  // here. Tags received from a peer are honoured even when this broker has
+  // provenance disabled, so a mixed fleet still measures end to end.
+  obs::ProvenanceTag origin_tag;
+  const obs::ProvenanceTag* tag = in_tag;
+  double now = 0.0;
+  if (cfg_.obs.pub_provenance || tag != nullptr) {
+    now = clock_ ? clock_() : 0.0;
+    if (tag == nullptr) {
+      origin_tag = obs::make_provenance(pub.id(), now, cfg_.obs.pub_trace_rate);
+      tag = &origin_tag;
+    }
+  }
+  const std::vector<Hop> hops = tables_.hops_for_publication(pub);
+  if (tag != nullptr && tag->sampled) {
+    std::size_t matched = 0;
+    for (const Hop& hop : hops) matched += hop != from ? 1 : 0;
+    TMPS_EVENT(tracer_, tag->trace, in_tag ? "pub:hop" : "pub:origin",
+               {{"broker", std::to_string(id_)},
+                {"pub", to_string(pub.id())},
+                {"hop", std::to_string(tag->hops)},
+                {"since_origin", fmt_secs(now - tag->origin_time)},
+                {"hop_latency", fmt_secs(now - tag->last_hop_time)},
+                {"matched", std::to_string(matched)},
+                {"prt_version", std::to_string(tables_.version())},
+                {"move_open",
+                 control_ != nullptr && control_->movement_window_open()
+                     ? "true"
+                     : "false"}});
+  }
+  // Forwarded copies carry the tag advanced by one hop.
+  std::optional<obs::ProvenanceTag> fwd;
+  if (tag != nullptr) {
+    fwd = *tag;
+    if (fwd->hops < 255) ++fwd->hops;
+    fwd->last_hop_time = now;
+  }
+  for (const Hop& hop : hops) {
     if (hop == from) continue;
     if (hop.is_broker()) {
-      send(hop.broker, PublishMsg{pub}, cause, out);
+      Message m;
+      m.id = next_message_id();
+      m.cause = cause;
+      m.prov = fwd;
+      m.payload = PublishMsg{pub};
+      out.emplace_back(hop.broker, std::move(m));
     } else if (hop.is_client()) {
-      deliver_local(hop.client, pub);
+      deliver_local(hop.client, pub, tag, now);
     }
   }
 }

@@ -17,10 +17,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "broker/broker_config.h"
 #include "common/ids.h"
+#include "obs/flight_recorder.h"
 #include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "pubsub/messages.h"
 #include "routing/overlay.h"
@@ -51,6 +55,11 @@ class ControlHandler {
   /// movement transactions — to a routing snapshot (obs/introspect.h).
   /// Default: nothing to add.
   virtual void snapshot_into(obs::BrokerSnapshot& snap) const { (void)snap; }
+
+  /// Does this broker currently participate in an in-flight movement
+  /// transaction? Publication provenance records the answer per hop, so
+  /// delivery-latency outliers can be attributed to movement windows.
+  virtual bool movement_window_open() const { return false; }
 };
 
 class Broker {
@@ -78,6 +87,28 @@ class Broker {
   /// movement's trace.
   void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
   obs::Tracer* tracer() { return tracer_; }
+
+  /// Installs the host clock (simulated or wall seconds). Publication
+  /// provenance and the flight recorder timestamp through this; without it
+  /// they record time 0.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Observes every provenance-derived end-to-end delivery latency, in
+  /// addition to the histograms. SimNetwork feeds Stats through this so the
+  /// bench summaries and the histograms see identical samples.
+  using DeliveryLatencySink = std::function<void(double)>;
+  void set_delivery_latency_sink(DeliveryLatencySink sink) {
+    latency_sink_ = std::move(sink);
+  }
+
+  /// The last-N event ring (null when cfg.obs.flight_capacity == 0).
+  obs::FlightRecorder* flight() { return flight_.get(); }
+  const obs::FlightRecorder* flight() const { return flight_.get(); }
+
+  /// Appends a flight-recorder dump to `trace_dir/flight_b<id>.jsonl` (no-op
+  /// without a recorder or trace_dir). Called on movement abort and audit
+  /// violation; `reason` labels the dump header.
+  void dump_flight(std::string_view reason) const;
 
   // --- operations by locally attached clients -----------------------------
 
@@ -144,7 +175,14 @@ class Broker {
                     Outputs& out);
   void do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
                       Outputs& out);
-  void do_publish(Hop from, const Publication& pub, TxnId cause, Outputs& out);
+  /// `in_tag` is the provenance carried by an in-transit PublishMsg; null
+  /// for origin publications (a fresh tag is stamped when provenance is on).
+  void do_publish(Hop from, const Publication& pub, TxnId cause, Outputs& out,
+                  const obs::ProvenanceTag* in_tag = nullptr);
+  /// Delivery with provenance: observes end-to-end latency when `tag` is
+  /// present (`now` is the host-clock time already read by do_publish).
+  void deliver_local(ClientId client, const Publication& pub,
+                     const obs::ProvenanceTag* tag, double now);
 
   /// The covering policy the routing-table mutation API should apply,
   /// mirroring this broker's configuration.
@@ -171,6 +209,13 @@ class Broker {
   obs::Counter* covering_unquenches_ = nullptr;
   obs::Counter* pubs_processed_ = nullptr;
   obs::Counter* deliveries_ = nullptr;
+  /// End-to-end delivery latency histograms (global + per-broker), fed from
+  /// provenance tags; null when metrics or provenance are off.
+  obs::Histogram* delivery_latency_ = nullptr;
+  obs::Histogram* delivery_latency_broker_ = nullptr;
+  std::function<double()> clock_;
+  DeliveryLatencySink latency_sink_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   std::uint64_t msg_seq_ = 0;
 };
 

@@ -85,13 +85,30 @@ struct BrokerConfig {
     /// Directory for trace.jsonl / metrics.jsonl / snapshots.jsonl; empty =
     /// no file sinks.
     std::string trace_dir;
+    /// Stamp publications with a ProvenanceTag at their origin broker and
+    /// observe end-to-end delivery latency histograms. Cheap (one hash +
+    /// clock read per publication), so on by default.
+    bool pub_provenance = true;
+    /// 1-in-N deterministic sampling of per-hop publication trace events
+    /// (pub:origin / pub:hop / pub:deliver); 0 = never, 1 = every
+    /// publication. Events additionally require the tracer to be enabled.
+    std::uint32_t pub_trace_rate = 0;
+    /// Per-broker flight-recorder ring size (last-N protocol+data events,
+    /// recorded regardless of sampling); 0 disables the recorder.
+    std::size_t flight_capacity = 256;
+    /// Cadence of windowed time-series snapshots taken by the host (GET
+    /// /timeseries, timeseries.jsonl); 0 disables ticking.
+    double timeseries_interval = 0.0;
+    /// Windows retained in the time-series ring.
+    std::size_t timeseries_capacity = 120;
   };
   Obs obs;
 
-  /// Layers the TMPS_TRACE / TMPS_AUDIT environment toggles on top of
-  /// `base`: TMPS_TRACE="1" traces into the working directory, any other
-  /// non-empty value is used as the output directory; TMPS_AUDIT enables the
-  /// auditor.
+  /// Layers the TMPS_TRACE / TMPS_AUDIT / TMPS_PUB_TRACE_RATE environment
+  /// toggles on top of `base`: TMPS_TRACE="1" traces into the working
+  /// directory, any other non-empty value is used as the output directory;
+  /// TMPS_AUDIT enables the auditor; TMPS_PUB_TRACE_RATE=N samples 1-in-N
+  /// publications for per-hop provenance events.
   static BrokerConfig from_env(BrokerConfig base);
   static BrokerConfig from_env() { return from_env(BrokerConfig{}); }
 };
@@ -107,6 +124,10 @@ inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
       trace && *trace && std::string(trace) != "0") {
     base.obs.tracing = true;
     base.obs.trace_dir = std::string(trace) == "1" ? "." : trace;
+  }
+  if (const char* rate = std::getenv("TMPS_PUB_TRACE_RATE"); rate && *rate) {
+    base.obs.pub_trace_rate =
+        static_cast<std::uint32_t>(std::strtoul(rate, nullptr, 10));
   }
   return base;
 }

@@ -703,6 +703,11 @@ void MobilityEngine::finish_source_move(SourceMove& sm, bool committed,
         .inc();
   }
 
+  if (!committed) {
+    // Post-mortem context for the abort: the source broker's last-N events.
+    broker_->dump_flight("movement-abort txn=" + std::to_string(sm.txn));
+  }
+
   env_->movement_finished(rec);
   if (move_cb_) move_cb_(rec);
 }

@@ -155,6 +155,12 @@ class MobilityEngine final : public ControlHandler {
                   std::vector<std::pair<BrokerId, Message>>& out) override;
   bool intercept_notification(ClientId client, const Publication& pub) override;
   void snapshot_into(obs::BrokerSnapshot& snap) const override;
+  /// Publication provenance marks hops taken while this broker coordinates
+  /// an in-flight movement (the latency the paper's Fig. 8 attributes to
+  /// reconfiguration windows).
+  bool movement_window_open() const override {
+    return has_active_transactions();
+  }
 
   // --- introspection (tests, global-state-graph checks) ---------------------
 

@@ -56,6 +56,9 @@ void Scenario::build() {
     if (cfg_.snapshot_path.empty()) {
       cfg_.snapshot_path = obs.trace_dir + "/snapshots.jsonl";
     }
+    if (cfg_.timeseries_path.empty() && obs.timeseries_interval > 0) {
+      cfg_.timeseries_path = obs.trace_dir + "/timeseries.jsonl";
+    }
   }
   net_ = std::make_unique<SimNetwork>(overlay_, cfg_.broker, cfg_.net);
   // The auditor reconstructs movement windows from spans, so auditing
@@ -253,11 +256,23 @@ void Scenario::on_movement(const MovementRecord& rec) {
                 net_->now() + cfg_.pause_between_moves);
 }
 
+void Scenario::timeseries_tick() {
+  net_->timeseries().tick(net_->now());
+  if (net_->now() + cfg_.broker.obs.timeseries_interval < cfg_.duration) {
+    net_->events().schedule_in(cfg_.broker.obs.timeseries_interval,
+                               [this] { timeseries_tick(); });
+  }
+}
+
 void Scenario::run() {
   build();
   if (cfg_.post_build) cfg_.post_build(*net_);
   schedule_publishers();
   schedule_joins();
+  if (cfg_.broker.obs.timeseries_interval > 0) {
+    // First tick establishes the baseline window at t=0.
+    net_->events().schedule_at(0.0, [this] { timeseries_tick(); });
+  }
   // Publications before this point may legitimately race join propagation;
   // everything later is audited for stationary loss.
   net_->events().schedule_at(cfg_.join_window + 2.0,
@@ -294,10 +309,19 @@ void Scenario::run_audit() {
     auditor_.set_outstanding(cause, n);
   }
   audit_report_ = auditor_.finish();
+  if (!audit_report_.clean()) {
+    // Post-mortem context: every broker's last-N protocol/data events.
+    for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
+      net_->broker(b).dump_flight("audit-violation");
+    }
+  }
 }
 
 void Scenario::dump_observability() {
-  if (cfg_.trace_path.empty() && cfg_.metrics_path.empty()) return;
+  if (cfg_.trace_path.empty() && cfg_.metrics_path.empty() &&
+      cfg_.timeseries_path.empty()) {
+    return;
+  }
   const auto mode = cfg_.trace_append ? std::ios::app : std::ios::trunc;
 
   if (!cfg_.trace_path.empty()) {
@@ -327,6 +351,12 @@ void Scenario::dump_observability() {
     }
     std::ofstream os(cfg_.metrics_path, mode);
     if (os) mr.write_jsonl(os, cfg_.run_label);
+  }
+
+  if (!cfg_.timeseries_path.empty() &&
+      net_->timeseries().window_count() > 0) {
+    std::ofstream os(cfg_.timeseries_path, mode);
+    if (os) net_->timeseries().write_ndjson(os);
   }
 }
 

@@ -95,6 +95,10 @@ struct ScenarioConfig {
   // a bench sweep can append multiple runs into one file.
   std::string trace_path;
   std::string metrics_path;
+  /// Windowed time-series sink (NDJSON, one object per window). Ticks run at
+  /// broker.obs.timeseries_interval; defaults to trace_dir/timeseries.jsonl
+  /// when a trace_dir is configured and the interval is positive.
+  std::string timeseries_path;
   std::string run_label;
   /// Append to existing files instead of truncating (multi-run sweeps).
   bool trace_append = false;
@@ -186,6 +190,7 @@ class Scenario {
 
  private:
   void build();
+  void timeseries_tick();
   void dump_observability();
   void schedule_joins();
   void schedule_publishers();

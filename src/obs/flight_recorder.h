@@ -1,0 +1,96 @@
+// Per-broker flight recorder: a fixed-size lock-free ring holding the last N
+// protocol and data events, recorded unconditionally (independent of trace
+// sampling) and dumped only when something goes wrong — movement abort,
+// audit violation — or on demand via GET /flight.
+//
+// This is the post-mortem context the movement-invariant auditor lacks: the
+// auditor can say *that* an invariant broke; the flight recorder says what
+// the broker was doing in the moments before.
+//
+// Concurrency: writers claim a slot with one fetch_add and publish it with a
+// per-slot sequence word (release store); readers validate the sequence
+// before and after copying and drop slots that were overwritten mid-read.
+// Every field is a relaxed atomic, so concurrent dump-while-recording is
+// data-race-free under TSan without any lock on the record path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tmps::obs {
+
+/// What happened. Values 0..14 mirror the Message payload variant order
+/// (pubsub/messages.h) so recording from on_message is a single index copy.
+enum class FlightKind : std::uint8_t {
+  kAdvertise = 0,
+  kUnadvertise = 1,
+  kSubscribe = 2,
+  kUnsubscribe = 3,
+  kPublish = 4,
+  kMoveNegotiate = 5,
+  kMoveApprove = 6,
+  kMoveReject = 7,
+  kMoveState = 8,
+  kMoveAck = 9,
+  kMoveAbort = 10,
+  kBufferedState = 11,
+  kTradMoveRequest = 12,
+  kTradReady = 13,
+  kTradReject = 14,
+  kDeliver = 15,    ///< local delivery to a client (detail = client id)
+  kClientOp = 16,   ///< local client operation (detail = client id)
+};
+
+std::string_view flight_kind_name(FlightKind k);
+
+class FlightRecorder {
+ public:
+  struct Event {
+    double time = 0;
+    FlightKind kind = FlightKind::kPublish;
+    std::uint32_t from = 0;  ///< peer broker the message arrived from; 0 local
+    std::uint64_t cause = 0;
+    std::uint64_t detail = 0;  ///< message id, client id — kind-dependent
+  };
+
+  /// `capacity` is rounded up to a power of two (cheap wrap); minimum 8.
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  void record(FlightKind kind, double time, std::uint32_t from,
+              std::uint64_t cause, std::uint64_t detail);
+
+  /// Consistent-slot copy of the buffered events, oldest first. Slots being
+  /// overwritten during the copy are skipped.
+  std::vector<Event> snapshot() const;
+
+  /// One JSON object per event plus a header line naming the broker and the
+  /// dump reason (NDJSON, matching the other obs sinks).
+  void write_jsonl(std::ostream& os, std::uint32_t broker,
+                   std::string_view reason) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written; otherwise 1 + the claim ticket of the writer.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> time_bits{0};
+    std::atomic<std::uint64_t> meta{0};  ///< kind | from<<8
+    std::atomic<std::uint64_t> cause{0};
+    std::atomic<std::uint64_t> detail{0};
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace tmps::obs

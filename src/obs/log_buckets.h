@@ -18,6 +18,10 @@ namespace tmps::obs {
 inline constexpr int kNumBuckets = 256;
 inline constexpr int kSubBucketsPerOctave = 4;
 inline constexpr double kBucketAnchor = 0x1p-30;
+// log2 of the anchor, hoisted so the hot-path observe does a single log2.
+// 2^-30 is a power of two, so this is exact (no rounding drift vs the old
+// per-call std::log2(kBucketAnchor)).
+inline constexpr double kBucketAnchorLog2 = -30.0;
 
 /// Bucket index for a value (values <= anchor, NaN and negatives -> 0).
 inline int bucket_index(double v) {
@@ -25,7 +29,7 @@ inline int bucket_index(double v) {
   // log2(v) - log2(anchor), not log2(v / anchor): the division overflows to
   // inf for v within ~2^30 of DBL_MAX, and casting inf to int is UB.
   const int i = static_cast<int>(std::floor(
-      kSubBucketsPerOctave * (std::log2(v) - std::log2(kBucketAnchor))));
+      kSubBucketsPerOctave * (std::log2(v) - kBucketAnchorLog2)));
   if (i < 0) return 0;
   if (i >= kNumBuckets) return kNumBuckets - 1;
   return i;

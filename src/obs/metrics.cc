@@ -75,11 +75,51 @@ std::size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  std::lock_guard lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case Kind::Counter: s.count = e.counter->value(); break;
+      case Kind::Gauge: s.value = e.gauge->value(); break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        s.count = h.count();
+        s.value = h.sum();
+        for (int i = 0; i < kNumBuckets; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n != 0) s.buckets.emplace_back(i, n);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double sample_percentile(const MetricSample& s, double q) {
+  std::uint64_t counts[kNumBuckets] = {};
+  std::uint64_t total = 0;
+  for (const auto& [i, n] : s.buckets) {
+    counts[i] = n;
+    total += n;
+  }
+  return percentile_from_counts(counts, total, q);
+}
+
 void MetricsRegistry::write_jsonl(std::ostream& os,
                                   std::string_view run) const {
-  std::lock_guard lock(mu_);
+  // Snapshot under the lock, format and write outside it: a slow ostream
+  // (HTTP scrape, cold disk) must not block hot-path find_or_create.
+  const std::vector<MetricSample> samples = snapshot();
   std::string line;
-  for (const auto& [key, e] : entries_) {
+  for (const MetricSample& e : samples) {
     line.clear();
     line += "{\"metric\":";
     append_json_string(line, e.name);
@@ -100,29 +140,26 @@ void MetricsRegistry::write_jsonl(std::ostream& os,
     switch (e.kind) {
       case Kind::Counter:
         line += ",\"type\":\"counter\",\"value\":";
-        append_json_number(line, e.counter->value());
+        append_json_number(line, e.count);
         break;
       case Kind::Gauge:
         line += ",\"type\":\"gauge\",\"value\":";
-        append_json_number(line, e.gauge->value());
+        append_json_number(line, e.value);
         break;
       case Kind::Histogram: {
-        const Histogram& h = *e.histogram;
         line += ",\"type\":\"histogram\",\"count\":";
-        append_json_number(line, h.count());
+        append_json_number(line, e.count);
         line += ",\"sum\":";
-        append_json_number(line, h.sum());
+        append_json_number(line, e.value);
         line += ",\"p50\":";
-        append_json_number(line, h.p50());
+        append_json_number(line, sample_percentile(e, 0.50));
         line += ",\"p95\":";
-        append_json_number(line, h.p95());
+        append_json_number(line, sample_percentile(e, 0.95));
         line += ",\"p99\":";
-        append_json_number(line, h.p99());
+        append_json_number(line, sample_percentile(e, 0.99));
         line += ",\"buckets\":[";
         bool first_b = true;
-        for (int i = 0; i < kNumBuckets; ++i) {
-          const std::uint64_t n = h.bucket_count(i);
-          if (n == 0) continue;
+        for (const auto& [i, n] : e.buckets) {
           if (!first_b) line += ',';
           first_b = false;
           line += '[';
@@ -183,12 +220,13 @@ std::string prom_number(double v) {
 }  // namespace
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  // Same lock discipline as write_jsonl: copy first, serialize after.
+  const std::vector<MetricSample> samples = snapshot();
   // TYPE comments must precede the first sample of each metric name; the
-  // map is keyed by name-then-labels, so names arrive grouped.
+  // registry map is keyed by name-then-labels, so names arrive grouped.
   std::string last_typed;
   std::string line;
-  for (const auto& [key, e] : entries_) {
+  for (const MetricSample& e : samples) {
     const char* type = e.kind == Kind::Counter ? "counter"
                        : e.kind == Kind::Gauge ? "gauge"
                                                : "histogram";
@@ -201,19 +239,16 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
       case Kind::Counter:
         line = e.name;
         append_prom_labels(line, e.labels);
-        line += ' ' + std::to_string(e.counter->value());
+        line += ' ' + std::to_string(e.count);
         break;
       case Kind::Gauge:
         line = e.name;
         append_prom_labels(line, e.labels);
-        line += ' ' + prom_number(e.gauge->value());
+        line += ' ' + prom_number(e.value);
         break;
       case Kind::Histogram: {
-        const Histogram& h = *e.histogram;
         std::uint64_t cum = 0;
-        for (int i = 0; i < kNumBuckets; ++i) {
-          const std::uint64_t n = h.bucket_count(i);
-          if (n == 0) continue;
+        for (const auto& [i, n] : e.buckets) {
           cum += n;
           line += e.name + "_bucket";
           append_prom_labels(line, e.labels, "le",
@@ -222,13 +257,13 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
         }
         line += e.name + "_bucket";
         append_prom_labels(line, e.labels, "le", "+Inf");
-        line += ' ' + std::to_string(h.count()) + '\n';
+        line += ' ' + std::to_string(e.count) + '\n';
         line += e.name + "_sum";
         append_prom_labels(line, e.labels);
-        line += ' ' + prom_number(h.sum()) + '\n';
+        line += ' ' + prom_number(e.value) + '\n';
         line += e.name + "_count";
         append_prom_labels(line, e.labels);
-        line += ' ' + std::to_string(h.count());
+        line += ' ' + std::to_string(e.count);
         break;
       }
     }

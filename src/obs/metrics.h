@@ -97,6 +97,20 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// Point-in-time copy of one metric, decoupled from the registry lock so
+/// formatting/serving can happen without blocking hot-path registration.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t count = 0;  ///< counter value, or histogram count
+  double value = 0.0;       ///< gauge value, or histogram sum
+  /// Non-empty histogram buckets as (bucket index, count), ascending.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -109,6 +123,12 @@ class MetricsRegistry {
   Counter& counter(std::string_view name, Labels labels = {});
   Gauge& gauge(std::string_view name, Labels labels = {});
   Histogram& histogram(std::string_view name, Labels labels = {});
+
+  /// Copies every registered metric (name/labels + current atomic values)
+  /// under the lock and returns; callers format, diff or serve the samples
+  /// without blocking registration. Samples arrive in registry (name, label)
+  /// order.
+  std::vector<MetricSample> snapshot() const;
 
   /// One JSON object per metric. `run` labels the emitting experiment so a
   /// multi-run bench can append into one file.
@@ -125,7 +145,7 @@ class MetricsRegistry {
   std::size_t size() const;
 
  private:
-  enum class Kind { Counter, Gauge, Histogram };
+  using Kind = MetricKind;
   struct Entry {
     std::string name;
     Labels labels;
@@ -141,5 +161,9 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
+
+/// Bucket-interpolated quantile over a histogram MetricSample (0 for
+/// counters/gauges/empty histograms).
+double sample_percentile(const MetricSample& s, double q);
 
 }  // namespace tmps::obs

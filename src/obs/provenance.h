@@ -1,0 +1,82 @@
+// Publication provenance: a compact tag stamped on a publication at its
+// origin broker and carried hop-by-hop through the overlay, so the data
+// plane the paper measures (end-to-end delivery latency, figs 8-13) can be
+// attributed per hop instead of observed only at the edges.
+//
+// The tag travels inside Message (pubsub/messages.h) and over the wire
+// (pubsub/codec.cc), so this header is deliberately free of any obs-library
+// dependency: tmps_pubsub includes it without linking tmps_obs.
+//
+// Sampling is deterministic: the trace id is a hash of the PublicationId,
+// and a publication is sampled iff `hash % rate == 0` — every broker (and
+// every rerun of a deterministic scenario) agrees on which publications are
+// traced, without coordination or per-message randomness. The per-hop trace
+// events are additionally gated on the host tracer being enabled, so the
+// always-on cost of a non-zero rate is one hash and one modulo at origin.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace tmps::obs {
+
+/// Publication trace ids live in the upper half of the TxnId space so they
+/// can share the Tracer (and trace_inspect waterfalls) with movement
+/// transactions without collision: movement TxnIds are small sequence
+/// numbers and never have the top bit set.
+inline constexpr std::uint64_t kPubTraceBit = 1ull << 63;
+
+/// splitmix64 finalizer: cheap, well-mixed, stable across platforms.
+inline constexpr std::uint64_t pub_hash(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Trace id of a publication (top bit forced on, see kPubTraceBit).
+inline constexpr std::uint64_t pub_trace_id(PublicationId id) {
+  return pub_hash(id.client * 0x100000001B3ull + id.seq) | kPubTraceBit;
+}
+
+/// Deterministic 1-in-`rate` sampling decision. rate == 0 never samples;
+/// rate == 1 samples everything.
+inline constexpr bool pub_sampled(std::uint64_t trace_id, std::uint32_t rate) {
+  return rate != 0 && (trace_id & ~kPubTraceBit) % rate == 0;
+}
+
+/// The provenance a publication carries through the overlay. ~26 bytes on
+/// the wire; stamped once at the origin broker, updated at each forwarding
+/// hop.
+struct ProvenanceTag {
+  /// Trace id (pub_trace_id of the publication).
+  std::uint64_t trace = 0;
+  /// Host-clock time at the origin broker (simulated or wall seconds);
+  /// end-to-end delivery latency is delivery time minus this.
+  double origin_time = 0.0;
+  /// Host-clock time of the previous forwarding hop, so each hop can report
+  /// its own queue+link+match share of the end-to-end latency.
+  double last_hop_time = 0.0;
+  /// Broker hops traversed so far (0 at the origin broker).
+  std::uint8_t hops = 0;
+  /// Whether this publication emits per-hop trace events (see pub_sampled).
+  bool sampled = false;
+
+  friend bool operator==(const ProvenanceTag&,
+                         const ProvenanceTag&) = default;
+};
+
+/// Stamps a fresh tag at the origin broker.
+inline ProvenanceTag make_provenance(PublicationId id, double now,
+                                     std::uint32_t sample_rate) {
+  ProvenanceTag t;
+  t.trace = pub_trace_id(id);
+  t.origin_time = now;
+  t.last_hop_time = now;
+  t.hops = 0;
+  t.sampled = pub_sampled(t.trace, sample_rate);
+  return t;
+}
+
+}  // namespace tmps::obs

@@ -1,0 +1,189 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "obs/jsonl.h"
+#include "obs/log_buckets.h"
+
+namespace tmps::obs {
+
+namespace {
+
+/// Same key scheme as the registry: name + sorted labels, unambiguous via
+/// control-character separators.
+std::string series_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+TimeSeriesRing::TimeSeriesRing(const MetricsRegistry* registry,
+                               std::size_t capacity)
+    : registry_(registry), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesRing::set_prefixes(std::vector<std::string> prefixes) {
+  std::lock_guard lock(mu_);
+  prefixes_ = std::move(prefixes);
+}
+
+bool TimeSeriesRing::selected(const std::string& name) const {
+  if (prefixes_.empty()) return true;
+  return std::any_of(prefixes_.begin(), prefixes_.end(),
+                     [&](const std::string& p) {
+                       return name.compare(0, p.size(), p) == 0;
+                     });
+}
+
+void TimeSeriesRing::tick(double now) {
+  const std::vector<MetricSample> samples = registry_->snapshot();
+  std::lock_guard lock(mu_);
+
+  TimeWindow win;
+  win.t0 = last_tick_;
+  win.t1 = now;
+  std::map<std::string, PrevSeries> next;
+
+  for (const MetricSample& s : samples) {
+    if (!selected(s.name)) continue;
+    const std::string key = series_key(s.name, s.labels);
+    const auto prev_it = prev_.find(key);
+    const PrevSeries* prev =
+        prev_it == prev_.end() ? nullptr : &prev_it->second;
+
+    PrevSeries cur;
+    TimePoint pt;
+    pt.name = s.name;
+    pt.labels = s.labels;
+    pt.kind = s.kind;
+    switch (s.kind) {
+      case MetricKind::Counter:
+        cur.count = s.count;
+        pt.delta = s.count - (prev ? prev->count : 0);
+        break;
+      case MetricKind::Gauge:
+        pt.value = s.value;
+        break;
+      case MetricKind::Histogram: {
+        cur.count = s.count;
+        cur.sum = s.value;
+        cur.buckets = s.buckets;
+        pt.delta = s.count - (prev ? prev->count : 0);
+        pt.value = s.value - (prev ? prev->sum : 0.0);
+        // Windowed percentiles from the bucket deltas.
+        if (pt.delta > 0) {
+          std::uint64_t counts[kNumBuckets] = {};
+          std::uint64_t total = 0;
+          for (const auto& [i, n] : s.buckets) counts[i] = n;
+          if (prev) {
+            for (const auto& [i, n] : prev->buckets) counts[i] -= n;
+          }
+          for (int i = 0; i < kNumBuckets; ++i) total += counts[i];
+          pt.p50 = percentile_from_counts(counts, total, 0.50);
+          pt.p95 = percentile_from_counts(counts, total, 0.95);
+          pt.p99 = percentile_from_counts(counts, total, 0.99);
+        }
+        break;
+      }
+    }
+    next[key] = std::move(cur);
+    if (have_baseline_) win.points.push_back(std::move(pt));
+  }
+
+  prev_ = std::move(next);
+  if (have_baseline_) {
+    windows_.push_back(std::move(win));
+    while (windows_.size() > capacity_) windows_.pop_front();
+  }
+  have_baseline_ = true;
+  last_tick_ = now;
+}
+
+std::vector<TimeWindow> TimeSeriesRing::windows() const {
+  std::lock_guard lock(mu_);
+  return {windows_.begin(), windows_.end()};
+}
+
+std::size_t TimeSeriesRing::window_count() const {
+  std::lock_guard lock(mu_);
+  return windows_.size();
+}
+
+void TimeSeriesRing::write_ndjson(std::ostream& os) const {
+  const std::vector<TimeWindow> wins = windows();
+  std::string line;
+  for (const TimeWindow& w : wins) {
+    line.clear();
+    line += "{\"t0\":";
+    append_json_number(line, w.t0);
+    line += ",\"t1\":";
+    append_json_number(line, w.t1);
+    line += ",\"series\":[";
+    const double dt = w.t1 - w.t0;
+    bool first = true;
+    for (const TimePoint& p : w.points) {
+      if (!first) line += ',';
+      first = false;
+      line += "{\"name\":";
+      append_json_string(line, p.name);
+      line += ",\"labels\":{";
+      bool first_l = true;
+      for (const auto& [k, v] : p.labels) {
+        if (!first_l) line += ',';
+        first_l = false;
+        append_json_string(line, k);
+        line += ':';
+        append_json_string(line, v);
+      }
+      line += "},\"kind\":\"";
+      line += kind_name(p.kind);
+      line += '"';
+      switch (p.kind) {
+        case MetricKind::Counter:
+          line += ",\"delta\":";
+          append_json_number(line, p.delta);
+          line += ",\"rate\":";
+          append_json_number(line, dt > 0 ? p.delta / dt : 0.0);
+          break;
+        case MetricKind::Gauge:
+          line += ",\"value\":";
+          append_json_number(line, p.value);
+          break;
+        case MetricKind::Histogram:
+          line += ",\"delta\":";
+          append_json_number(line, p.delta);
+          line += ",\"rate\":";
+          append_json_number(line, dt > 0 ? p.delta / dt : 0.0);
+          line += ",\"sum\":";
+          append_json_number(line, p.value);
+          line += ",\"p50\":";
+          append_json_number(line, p.p50);
+          line += ",\"p95\":";
+          append_json_number(line, p.p95);
+          line += ",\"p99\":";
+          append_json_number(line, p.p99);
+          break;
+      }
+      line += '}';
+    }
+    line += "]}\n";
+    os << line;
+  }
+}
+
+}  // namespace tmps::obs

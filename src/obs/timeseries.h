@@ -1,0 +1,87 @@
+// Windowed time-series over the metrics registry: a bounded ring of
+// fixed-cadence windows, each holding per-series deltas (counters,
+// histogram counts and windowed bucket percentiles) and gauge levels.
+//
+// The cumulative counters in MetricsRegistry answer "how much since start";
+// operators watching a live system (tools/tmps_top, GET /timeseries) need
+// "how much per second right now". The host ticks the ring on its own
+// cadence (simulated or wall clock); each tick snapshots the registry,
+// diffs against the previous snapshot, and appends one window. Serving and
+// ticking are serialized by a mutex — neither is hot-path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tmps::obs {
+
+struct TimePoint {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::Counter;
+  /// Counter/histogram-count increment within the window; gauges: 0.
+  std::uint64_t delta = 0;
+  /// Gauge level at the end of the window; histograms: sum increment.
+  double value = 0.0;
+  /// Windowed quantiles from the histogram bucket deltas (0 when no
+  /// observations fell in the window).
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+struct TimeWindow {
+  double t0 = 0;
+  double t1 = 0;
+  std::vector<TimePoint> points;
+};
+
+class TimeSeriesRing {
+ public:
+  /// Keeps the most recent `capacity` windows over `registry` (borrowed;
+  /// must outlive the ring).
+  explicit TimeSeriesRing(const MetricsRegistry* registry,
+                          std::size_t capacity = 120);
+
+  /// Restricts windows to series whose name starts with one of `prefixes`
+  /// (empty = keep everything). Applies to future ticks.
+  void set_prefixes(std::vector<std::string> prefixes);
+
+  /// Closes the window [last tick, now) and appends it. The first call only
+  /// establishes the baseline snapshot and records no window.
+  void tick(double now);
+
+  /// Copy of the buffered windows, oldest first.
+  std::vector<TimeWindow> windows() const;
+  std::size_t window_count() const;
+
+  /// One JSON object per window (NDJSON; the GET /timeseries body):
+  /// {"t0":..,"t1":..,"series":[{"name":..,"labels":{..},"kind":..,
+  ///  "delta":..,"rate":..,...},..]}
+  void write_ndjson(std::ostream& os) const;
+
+ private:
+  struct PrevSeries {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<std::pair<int, std::uint64_t>> buckets;
+  };
+
+  bool selected(const std::string& name) const;
+
+  const MetricsRegistry* registry_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::string> prefixes_;
+  bool have_baseline_ = false;
+  double last_tick_ = 0;
+  std::map<std::string, PrevSeries> prev_;
+  std::deque<TimeWindow> windows_;
+};
+
+}  // namespace tmps::obs

@@ -488,8 +488,19 @@ std::string encode_message(const Message& m) {
   Writer w;
   w.u64(m.id);
   w.u64(m.cause);
-  w.u8(m.unicast_dest ? 1 : 0);
+  // One flag byte: bit 0 = unicast_dest present, bit 1 = provenance present.
+  std::uint8_t flags = 0;
+  if (m.unicast_dest) flags |= 1;
+  if (m.prov) flags |= 2;
+  w.u8(flags);
   if (m.unicast_dest) w.u32(*m.unicast_dest);
+  if (m.prov) {
+    w.u64(m.prov->trace);
+    w.f64(m.prov->origin_time);
+    w.f64(m.prov->last_hop_time);
+    w.u8(m.prov->hops);
+    w.u8(m.prov->sampled ? 1 : 0);
+  }
   std::visit(PayloadEncoder{w}, m.payload);
   return w.take();
 }
@@ -497,12 +508,24 @@ std::string encode_message(const Message& m) {
 std::optional<Message> decode_message(std::string_view bytes) {
   Reader r(bytes);
   Message m;
-  std::uint8_t has_dest;
-  if (!r.u64(m.id) || !r.u64(m.cause) || !r.u8(has_dest)) return std::nullopt;
-  if (has_dest) {
+  std::uint8_t flags;
+  if (!r.u64(m.id) || !r.u64(m.cause) || !r.u8(flags)) return std::nullopt;
+  if (flags & ~std::uint8_t{3}) return std::nullopt;  // unknown flag bits
+  if (flags & 1) {
     BrokerId dest;
     if (!r.u32(dest)) return std::nullopt;
     m.unicast_dest = dest;
+  }
+  if (flags & 2) {
+    obs::ProvenanceTag tag;
+    std::uint8_t hops, sampled;
+    if (!r.u64(tag.trace) || !r.f64(tag.origin_time) ||
+        !r.f64(tag.last_hop_time) || !r.u8(hops) || !r.u8(sampled)) {
+      return std::nullopt;
+    }
+    tag.hops = hops;
+    tag.sampled = sampled != 0;
+    m.prov = tag;
   }
   if (!decode_payload(r, m.payload)) return std::nullopt;
   if (!r.at_end()) return std::nullopt;  // trailing garbage

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/provenance.h"
 #include "pubsub/publication.h"
 #include "pubsub/subscription.h"
 
@@ -182,6 +183,10 @@ struct Message {
   /// Set for unicast (movement-protocol) messages; routing messages leave it
   /// empty and are routed content-based.
   std::optional<BrokerId> unicast_dest;
+  /// Publication provenance (PublishMsg only, when the sending broker has
+  /// provenance enabled): origin timestamp + hop count + deterministic
+  /// sample bit, updated at every forwarding hop (obs/provenance.h).
+  std::optional<obs::ProvenanceTag> prov;
   Payload payload;
 
   /// Name of the payload alternative, for tracing and metrics.

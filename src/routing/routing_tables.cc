@@ -5,6 +5,7 @@
 namespace tmps {
 
 SubEntry& RoutingTables::upsert_sub(const Subscription& sub, Hop lasthop) {
+  ++version_;
   auto [it, inserted] = prt_.try_emplace(sub.id);
   if (!inserted) {
     index_.erase(sub.id, it->second.sub.filter);
@@ -31,12 +32,14 @@ const SubEntry* RoutingTables::find_sub(const SubscriptionId& id) const {
 void RoutingTables::erase_sub(const SubscriptionId& id) {
   auto it = prt_.find(id);
   if (it == prt_.end()) return;
+  ++version_;
   index_.erase(id, it->second.sub.filter);
   sub_cover_.erase(id, it->second.sub.filter);
   prt_.erase(it);
 }
 
 AdvEntry& RoutingTables::upsert_adv(const Advertisement& adv, Hop lasthop) {
+  ++version_;
   auto [it, inserted] = srt_.try_emplace(adv.id);
   if (!inserted) adv_cover_.erase(adv.id, it->second.adv.filter);
   it->second.adv = adv;
@@ -59,6 +62,7 @@ const AdvEntry* RoutingTables::find_adv(const AdvertisementId& id) const {
 void RoutingTables::erase_adv(const AdvertisementId& id) {
   auto it = srt_.find(id);
   if (it == srt_.end()) return;
+  ++version_;
   adv_cover_.erase(id, it->second.adv.filter);
   srt_.erase(it);
 }
@@ -612,6 +616,7 @@ std::vector<std::string> RoutingTables::check_cover_index() const {
 
 void RoutingTables::install_sub_shadow(const Subscription& sub, Hop new_hop,
                                        TxnId txn) {
+  ++version_;
   auto [it, inserted] = prt_.try_emplace(sub.id);
   if (inserted) {
     it->second.sub = sub;
@@ -626,6 +631,7 @@ void RoutingTables::install_sub_shadow(const Subscription& sub, Hop new_hop,
 
 void RoutingTables::install_adv_shadow(const Advertisement& adv, Hop new_hop,
                                        TxnId txn) {
+  ++version_;
   auto [it, inserted] = srt_.try_emplace(adv.id);
   if (inserted) {
     it->second.adv = adv;
@@ -640,6 +646,7 @@ void RoutingTables::install_adv_shadow(const Advertisement& adv, Hop new_hop,
 void RoutingTables::commit_shadow(const SubscriptionId& sub_id, TxnId txn) {
   auto* e = find_sub(sub_id);
   if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  ++version_;
   e->lasthop = *e->shadow_lasthop;
   e->shadow_lasthop.reset();
   e->shadow_txn = kNoTxn;
@@ -650,6 +657,7 @@ void RoutingTables::commit_adv_shadow(const AdvertisementId& adv_id,
                                       TxnId txn) {
   auto* e = find_adv(adv_id);
   if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  ++version_;
   e->lasthop = *e->shadow_lasthop;
   e->shadow_lasthop.reset();
   e->shadow_txn = kNoTxn;
@@ -659,6 +667,7 @@ void RoutingTables::commit_adv_shadow(const AdvertisementId& adv_id,
 void RoutingTables::abort_shadow(const SubscriptionId& sub_id, TxnId txn) {
   auto* e = find_sub(sub_id);
   if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  ++version_;
   e->shadow_lasthop.reset();
   e->shadow_txn = kNoTxn;
   if (e->shadow_only) erase_sub(sub_id);
@@ -668,6 +677,7 @@ void RoutingTables::abort_adv_shadow(const AdvertisementId& adv_id,
                                      TxnId txn) {
   auto* e = find_adv(adv_id);
   if (!e || !e->shadow_lasthop || e->shadow_txn != txn) return;
+  ++version_;
   e->shadow_lasthop.reset();
   e->shadow_txn = kNoTxn;
   if (e->shadow_only) erase_adv(adv_id);

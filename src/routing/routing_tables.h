@@ -209,6 +209,12 @@ class RoutingTables {
   std::size_t sub_count() const { return prt_.size(); }
   std::size_t adv_count() const { return srt_.size(); }
 
+  /// Monotonic routing-state version: bumped on every PRT/SRT mutation
+  /// (upsert, erase, shadow install/commit/abort). Per-hop publication
+  /// provenance records this, so a latency spike can be correlated with the
+  /// reconfiguration activity around it.
+  std::uint64_t version() const { return version_; }
+
   std::string debug_string() const;
 
  private:
@@ -229,6 +235,7 @@ class RoutingTables {
   CoveringIndex sub_cover_;
   CoveringIndex adv_cover_;
   bool use_cover_index_ = true;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace tmps

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 #include "sim/runtime_env.h"
 #include "sim/stats.h"
@@ -88,6 +89,11 @@ class SimNetwork final : public RuntimeEnv {
   EventQueue& events() { return events_; }
   Stats& stats() { return stats_; }
   std::mt19937_64& rng() { return rng_; }
+
+  /// Windowed time-series over this run's metrics registry. The scenario
+  /// driver schedules the ticks (cfg.obs.timeseries_interval) and writes the
+  /// NDJSON sink after the run.
+  obs::TimeSeriesRing& timeseries() { return timeseries_; }
 
   // --- RuntimeEnv ---
   SimTime now() const override { return events_.now(); }
@@ -169,6 +175,7 @@ class SimNetwork final : public RuntimeEnv {
   // outlive the registry/tracer they cache handles into.
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::TimeSeriesRing timeseries_{&metrics_};
   obs::Counter* msgs_sent_ = nullptr;
   obs::Counter* msgs_dropped_ = nullptr;
   obs::Histogram* link_wait_ = nullptr;

@@ -9,6 +9,10 @@
 //                  exposition format
 //   GET /routing   the broker's live routing snapshot (introspect.h) as
 //                  JSONL — the same line format tools/tmps_audit consumes
+//   GET /flight    the broker's flight-recorder ring (last-N protocol/data
+//                  events) as NDJSON; 404 when the recorder is disabled
+//   GET /timeseries the host's windowed metrics time-series as NDJSON (one
+//                  object per window) — what tools/tmps_top renders
 //
 // The server is deliberately small: exact-path GET routing, one connection
 // served at a time, Connection: close. It is an *admin* plane for probes and

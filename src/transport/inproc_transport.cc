@@ -16,6 +16,7 @@ InprocTransport::InprocTransport(const Overlay& overlay,
     auto node = std::make_unique<Node>();
     node->broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
     node->broker->set_observability(&tracer_, &metrics_);
+    node->broker->set_clock([this] { return now(); });
     node->engine =
         std::make_unique<MobilityEngine>(*node->broker, *this, mobility_cfg);
     node->engine->set_transmit(

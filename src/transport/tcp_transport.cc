@@ -52,7 +52,10 @@ constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB sanity bound
 
 TcpTransport::TcpTransport(const Overlay& overlay, std::uint16_t base_port,
                            BrokerConfig broker_cfg, MobilityConfig mobility_cfg)
-    : overlay_(&overlay), base_port_(base_port), admin_cfg_(broker_cfg.admin) {
+    : overlay_(&overlay),
+      base_port_(base_port),
+      admin_cfg_(broker_cfg.admin),
+      obs_cfg_(broker_cfg.obs) {
   tracer_.set_clock([this] { return now(); });
   frames_sent_ = &metrics_.counter("tcp_frames_sent_total");
   bytes_sent_ = &metrics_.counter("tcp_bytes_sent_total");
@@ -64,6 +67,11 @@ TcpTransport::TcpTransport(const Overlay& overlay, std::uint16_t base_port,
     auto node = std::make_unique<Node>();
     node->broker = std::make_unique<Broker>(b, overlay_, broker_cfg);
     node->broker->set_observability(&tracer_, &metrics_);
+    node->broker->set_clock([this] { return now(); });
+    node->broker->set_delivery_latency_sink([this](double s) {
+      std::lock_guard lock(stats_mu_);
+      stats_.record_delivery_latency(s);
+    });
     node->engine =
         std::make_unique<MobilityEngine>(*node->broker, *this, mobility_cfg);
     node->engine->set_transmit([this, b](Broker::Outputs out) {
@@ -142,7 +150,17 @@ bool TcpTransport::start() {
   }
 
   timer_thread_ = std::thread([this] { timer_loop(); });
+  if (obs_cfg_.timeseries_interval > 0) {
+    timeseries_.tick(now());  // baseline window
+    schedule(obs_cfg_.timeseries_interval, [this] { timeseries_tick(); });
+  }
   return true;
+}
+
+void TcpTransport::timeseries_tick() {
+  if (!running_.load()) return;
+  timeseries_.tick(now());
+  schedule(obs_cfg_.timeseries_interval, [this] { timeseries_tick(); });
 }
 
 obs::BrokerSnapshot TcpTransport::snapshot_one(BrokerId b) {
@@ -188,6 +206,18 @@ bool TcpTransport::start_admin() {
     });
     node.admin->add_route("/routing", [this, b]() -> HttpResponse {
       return {200, "application/x-ndjson", snapshot_one(b).to_jsonl() + "\n"};
+    });
+    node.admin->add_route("/flight", [b, &node]() -> HttpResponse {
+      const obs::FlightRecorder* fr = node.broker->flight();
+      if (!fr) return {404, "text/plain", "flight recorder disabled\n"};
+      std::ostringstream os;
+      fr->write_jsonl(os, b, "http");
+      return {200, "application/x-ndjson", os.str()};
+    });
+    node.admin->add_route("/timeseries", [this]() -> HttpResponse {
+      std::ostringstream os;
+      timeseries_.write_ndjson(os);
+      return {200, "application/x-ndjson", os.str()};
     });
     const std::uint16_t port =
         admin_cfg_.base_port == 0

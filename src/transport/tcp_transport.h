@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/mobility_engine.h"
+#include "obs/timeseries.h"
 #include "sim/runtime_env.h"
 #include "transport/http_admin.h"
 
@@ -64,6 +65,11 @@ class TcpTransport final : public RuntimeEnv {
   /// Frames that arrived but failed to decode (corruption canary).
   std::uint64_t decode_failures() const { return decode_failures_.load(); }
 
+  /// Windowed time-series over the shared metrics registry. Ticked on the
+  /// timer thread every broker_cfg.obs.timeseries_interval seconds (when
+  /// positive) and served as NDJSON at GET /timeseries.
+  obs::TimeSeriesRing& timeseries() { return timeseries_; }
+
   /// Flushes buffered trace records and a metrics snapshot to JSONL files
   /// (appending). Either path may be empty to skip that sink.
   void dump_observability(const std::string& trace_path,
@@ -98,6 +104,7 @@ class TcpTransport final : public RuntimeEnv {
 
   obs::BrokerSnapshot snapshot_one(BrokerId b);
   bool start_admin();
+  void timeseries_tick();
 
   bool connect_links();
   void accept_loop(BrokerId b);
@@ -111,9 +118,11 @@ class TcpTransport final : public RuntimeEnv {
   const Overlay* overlay_;
   std::uint16_t base_port_;
   BrokerConfig::Admin admin_cfg_;
+  BrokerConfig::Obs obs_cfg_;
   // Declared before nodes_: brokers/engines cache handles into these.
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::TimeSeriesRing timeseries_{&metrics_};
   obs::Counter* frames_sent_ = nullptr;
   obs::Counter* bytes_sent_ = nullptr;
   obs::Counter* frames_received_ = nullptr;

@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "obs/provenance.h"
 #include "pubsub/workload.h"
 
 namespace tmps {
@@ -147,6 +148,50 @@ TEST(Codec, EveryPayloadAlternativeRoundTrips) {
     ASSERT_TRUE(back.has_value()) << m.type_name();
     EXPECT_EQ(back->type_name(), m.type_name());
     EXPECT_EQ(back->unicast_dest, m.unicast_dest);
+  }
+}
+
+TEST(Codec, ProvenanceTagRoundTrips) {
+  Message m;
+  m.id = 12;
+  m.payload = PublishMsg{make_publication({42, 7}, 100, 0)};
+  obs::ProvenanceTag tag;
+  tag.trace = obs::pub_trace_id({42, 7});
+  tag.origin_time = 1.5;
+  tag.last_hop_time = 1.75;
+  tag.hops = 3;
+  tag.sampled = true;
+  m.prov = tag;
+  const Message back = round_trip(m);
+  ASSERT_TRUE(back.prov.has_value());
+  EXPECT_EQ(*back.prov, tag);
+  // Absent stays absent — no phantom tag on the decode side.
+  m.prov.reset();
+  EXPECT_FALSE(round_trip(m).prov.has_value());
+}
+
+TEST(Codec, UnknownHeaderFlagBitsRejected) {
+  Message m;
+  m.id = 1;
+  m.payload = PublishMsg{make_publication({1, 1}, 5, 0)};
+  std::string bytes = encode_message(m);
+  // The flag byte follows the two u64 header fields; setting a bit the
+  // decoder doesn't know must reject the frame, not silently misparse.
+  bytes[16] = static_cast<char>(bytes[16] | 0x40);
+  EXPECT_EQ(decode_message(bytes), std::nullopt);
+}
+
+TEST(Codec, TruncatedProvenanceRejected) {
+  Message m;
+  m.id = 1;
+  m.payload = PublishMsg{make_publication({1, 1}, 5, 0)};
+  m.prov = obs::make_provenance({1, 1}, 2.0, 1);
+  const std::string bytes = encode_message(m);
+  ASSERT_TRUE(decode_message(bytes).has_value());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_EQ(decode_message(std::string_view(bytes).substr(0, cut)),
+              std::nullopt)
+        << "prefix of length " << cut << " must not decode";
   }
 }
 

@@ -1,6 +1,7 @@
 // Per-broker HTTP admin endpoints on the TCP transport: /healthz, /metrics
-// (Prometheus text) and /routing (snapshot JSONL), loopback-only and off by
-// default.
+// (Prometheus text), /routing (snapshot JSONL), /flight (flight-recorder
+// dump) and /timeseries (windowed metrics), loopback-only and off by
+// default. Includes the TSan scrape-under-load race test.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -8,7 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/introspect.h"
 #include "pubsub/workload.h"
@@ -179,6 +184,105 @@ TEST_F(HttpAdminTest, UnknownPathIs404AndWrongMethodIs405) {
   }
   ::close(fd);
   EXPECT_NE(out.find("HTTP/1.1 405"), std::string::npos) << out;
+}
+
+TEST_F(HttpAdminTest, FlightEndpointDumpsRecentEvents) {
+  ASSERT_TRUE(started_);
+  net_.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(600);
+    e.advertise(600, full_space_advertisement(), out);
+  });
+  net_.run_on(3, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(500);
+    e.subscribe(500, workload_filter(WorkloadKind::Covered, 2), out);
+  });
+  net_.drain();
+
+  const std::string resp = http_get(net_.admin_port_of(2), "/flight");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("application/x-ndjson"), std::string::npos) << resp;
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("\"flight\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"broker\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"reason\":\"http\""), std::string::npos) << body;
+  // The mid-chain broker forwarded both control messages.
+  EXPECT_NE(body.find("\"kind\":\"adv\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"kind\":\"sub\""), std::string::npos) << body;
+}
+
+TEST(HttpAdmin, TimeseriesEndpointServesWindows) {
+  const Overlay overlay = Overlay::chain(2);
+  BrokerConfig bc = with_admin();
+  bc.obs.timeseries_interval = 0.1;
+  TcpTransport net(overlay, 0, bc, MobilityConfig{});
+  ASSERT_TRUE(net.start());
+  net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(600);
+    e.advertise(600, full_space_advertisement(), out);
+  });
+  net.drain();
+  // Let the timer thread close at least one window past the baseline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+
+  const std::string resp = http_get(net.admin_port_of(1), "/timeseries");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("application/x-ndjson"), std::string::npos) << resp;
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("\"series\":["), std::string::npos) << body;
+  EXPECT_NE(body.find("broker_messages_processed_total"), std::string::npos)
+      << body;
+  net.stop();
+}
+
+// TSan target (see scripts/ci.sh): admin scrapes race against broker
+// threads recording metrics/flight events and the timer thread ticking the
+// time-series ring. Any locking mistake in the snapshot paths shows up here.
+TEST(HttpAdmin, ConcurrentScrapesDuringTrafficAreRaceFree) {
+  constexpr ClientId kPublisher = 600;
+  constexpr ClientId kSubscriber = 500;
+  const Overlay overlay = Overlay::chain(3);
+  BrokerConfig bc = with_admin();
+  bc.obs.timeseries_interval = 0.05;
+  TcpTransport net(overlay, 0, bc, MobilityConfig{});
+  ASSERT_TRUE(net.start());
+  net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(kPublisher);
+    e.advertise(kPublisher, full_space_advertisement(), out);
+  });
+  net.run_on(3, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(kSubscriber);
+    e.subscribe(kSubscriber, workload_filter(WorkloadKind::Covered, 2), out);
+  });
+  net.drain();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scrapers;
+  for (BrokerId b = 1; b <= 3; ++b) {
+    scrapers.emplace_back([&net, &stop, b] {
+      const std::uint16_t port = net.admin_port_of(b);
+      int i = 0;
+      while (!stop.load()) {
+        const char* path = i % 3 == 0   ? "/metrics"
+                           : i % 3 == 1 ? "/timeseries"
+                                        : "/flight";
+        const std::string resp = http_get(port, path);
+        EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos)
+            << "broker " << b << " " << path;
+        ++i;
+      }
+    });
+  }
+  for (std::uint32_t seq = 1; seq <= 40; ++seq) {
+    const Publication p = make_publication({kPublisher, seq}, 100, 0);
+    net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+      e.publish(kPublisher, Publication(p), out);
+    });
+  }
+  net.drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& t : scrapers) t.join();
+  net.stop();
 }
 
 TEST(HttpAdmin, FixedBasePortIsHonoured) {

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -131,6 +133,78 @@ TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
                    static_cast<double>(kThreads) * kIters);
   EXPECT_EQ(mr.histogram("shared_hist").count(),
             static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(LogBuckets, HoistedAnchorLog2MatchesTheRealThing) {
+  // kBucketAnchorLog2 replaces a per-observe std::log2(kBucketAnchor); the
+  // anchor is a power of two, so the hoisted constant must be bit-exact.
+  EXPECT_DOUBLE_EQ(obs::kBucketAnchorLog2, std::log2(kBucketAnchor));
+}
+
+TEST(MetricsRegistry, SnapshotAndSamplePercentileMatchLiveObjects) {
+  MetricsRegistry mr;
+  mr.counter("c_total").inc(9);
+  mr.gauge("g").set(-1.5);
+  obs::Histogram& h = mr.histogram("h");
+  for (int i = 0; i < 50; ++i) h.observe(0.020);
+  const std::vector<obs::MetricSample> samples = mr.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  for (const obs::MetricSample& s : samples) {
+    if (s.name == "c_total") {
+      EXPECT_EQ(s.kind, obs::MetricKind::Counter);
+      EXPECT_EQ(s.count, 9u);
+    } else if (s.name == "g") {
+      EXPECT_EQ(s.kind, obs::MetricKind::Gauge);
+      EXPECT_DOUBLE_EQ(s.value, -1.5);
+    } else {
+      EXPECT_EQ(s.kind, obs::MetricKind::Histogram);
+      EXPECT_EQ(s.count, 50u);
+      ASSERT_EQ(s.buckets.size(), 1u);
+      EXPECT_DOUBLE_EQ(obs::sample_percentile(s, 0.5), h.p50());
+      EXPECT_DOUBLE_EQ(obs::sample_percentile(s, 0.99), h.p99());
+    }
+  }
+}
+
+TEST(MetricsRegistry, GoldenPrometheusExposition) {
+  MetricsRegistry mr;
+  // Registration order deliberately differs from output order: the registry
+  // map sorts by name (then labels), which is what groups the # TYPE lines.
+  mr.counter("pubs_total").inc(7);
+  mr.counter("msgs_total", {{"broker", "2"}}).inc(4);
+  mr.counter("msgs_total", {{"broker", "1"}}).inc(3);
+  mr.gauge("queue_depth").set(2.5);
+  obs::Histogram& h = mr.histogram("lat_seconds", {{"broker", "1"}});
+  h.observe(0.125);
+  h.observe(0.125);
+  h.observe(0.5);
+
+  // The le edges come from the same bucket grid the histogram uses; the
+  // golden pins the surrounding exposition structure, not the grid itself.
+  const auto le = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", bucket_upper(bucket_index(v)));
+    return std::string(buf);
+  };
+  ASSERT_NE(bucket_index(0.125), bucket_index(0.5));
+
+  const std::string expected =
+      "# TYPE lat_seconds histogram\n"
+      "lat_seconds_bucket{broker=\"1\",le=\"" + le(0.125) + "\"} 2\n"
+      "lat_seconds_bucket{broker=\"1\",le=\"" + le(0.5) + "\"} 3\n"
+      "lat_seconds_bucket{broker=\"1\",le=\"+Inf\"} 3\n"
+      "lat_seconds_sum{broker=\"1\"} 0.75\n"
+      "lat_seconds_count{broker=\"1\"} 3\n"
+      "# TYPE msgs_total counter\n"
+      "msgs_total{broker=\"1\"} 3\n"
+      "msgs_total{broker=\"2\"} 4\n"
+      "# TYPE pubs_total counter\n"
+      "pubs_total 7\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth 2.5\n";
+  std::ostringstream os;
+  mr.write_prometheus(os);
+  EXPECT_EQ(os.str(), expected);
 }
 
 TEST(MetricsRegistry, WriteJsonlEmitsEveryMetric) {

@@ -1,0 +1,173 @@
+// The windowed time-series ring: baseline tick, counter deltas/rates,
+// gauge values, histogram windowed percentiles, capacity eviction, prefix
+// selection, NDJSON serialization, and the scenario sink end-to-end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace tmps {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricsRegistry;
+using obs::TimeSeriesRing;
+using obs::TimeWindow;
+
+const obs::TimePoint* find_point(const TimeWindow& w, const std::string& name) {
+  for (const obs::TimePoint& p : w.points) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+TEST(TimeSeries, FirstTickIsBaselineOnly) {
+  MetricsRegistry mr;
+  mr.counter("c_total").inc(10);
+  TimeSeriesRing ring(&mr);
+  ring.tick(1.0);
+  EXPECT_EQ(ring.window_count(), 0u);  // baseline establishes `prev` only
+  mr.counter("c_total").inc(5);
+  ring.tick(2.0);
+  const auto wins = ring.windows();
+  ASSERT_EQ(wins.size(), 1u);
+  EXPECT_DOUBLE_EQ(wins[0].t0, 1.0);
+  EXPECT_DOUBLE_EQ(wins[0].t1, 2.0);
+  const obs::TimePoint* p = find_point(wins[0], "c_total");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, MetricKind::Counter);
+  // The window delta is the 5 new increments, not the absolute 15.
+  EXPECT_DOUBLE_EQ(p->delta, 5.0);
+}
+
+TEST(TimeSeries, HistogramWindowedPercentilesUseOnlyWindowSamples) {
+  MetricsRegistry mr;
+  obs::Histogram& h = mr.histogram("lat_seconds");
+  TimeSeriesRing ring(&mr);
+  // Window 1: fast samples only.
+  ring.tick(0.0);
+  for (int i = 0; i < 100; ++i) h.observe(0.001);
+  ring.tick(1.0);
+  // Window 2: slow samples only — its p50 must reflect 0.1 s, not the 0.001 s
+  // bulk accumulated before the window.
+  for (int i = 0; i < 100; ++i) h.observe(0.1);
+  ring.tick(2.0);
+
+  const auto wins = ring.windows();
+  ASSERT_EQ(wins.size(), 2u);
+  const obs::TimePoint* w1 = find_point(wins[0], "lat_seconds");
+  const obs::TimePoint* w2 = find_point(wins[1], "lat_seconds");
+  ASSERT_NE(w1, nullptr);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_DOUBLE_EQ(w1->delta, 100.0);
+  EXPECT_DOUBLE_EQ(w2->delta, 100.0);
+  EXPECT_NEAR(w1->p50, 0.001, 0.001 * 0.2);
+  EXPECT_NEAR(w2->p50, 0.1, 0.1 * 0.2);
+}
+
+TEST(TimeSeries, GaugesReportAbsoluteValues) {
+  MetricsRegistry mr;
+  obs::Gauge& g = mr.gauge("depth");
+  TimeSeriesRing ring(&mr);
+  ring.tick(0.0);
+  g.set(7.5);
+  ring.tick(1.0);
+  const auto wins = ring.windows();
+  ASSERT_EQ(wins.size(), 1u);
+  const obs::TimePoint* p = find_point(wins[0], "depth");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, MetricKind::Gauge);
+  EXPECT_DOUBLE_EQ(p->value, 7.5);
+}
+
+TEST(TimeSeries, CapacityEvictsOldestWindows) {
+  MetricsRegistry mr;
+  mr.counter("c_total");
+  TimeSeriesRing ring(&mr, /*capacity=*/3);
+  for (int t = 0; t <= 10; ++t) ring.tick(t);
+  const auto wins = ring.windows();
+  ASSERT_EQ(wins.size(), 3u);
+  EXPECT_DOUBLE_EQ(wins.front().t0, 7.0);
+  EXPECT_DOUBLE_EQ(wins.back().t1, 10.0);
+}
+
+TEST(TimeSeries, PrefixSelectionFiltersSeries) {
+  MetricsRegistry mr;
+  mr.counter("broker_messages_total").inc();
+  mr.counter("sim_messages_total").inc();
+  TimeSeriesRing ring(&mr);
+  ring.set_prefixes({"broker_"});
+  ring.tick(0.0);
+  mr.counter("broker_messages_total").inc();
+  mr.counter("sim_messages_total").inc();
+  ring.tick(1.0);
+  const auto wins = ring.windows();
+  ASSERT_EQ(wins.size(), 1u);
+  EXPECT_NE(find_point(wins[0], "broker_messages_total"), nullptr);
+  EXPECT_EQ(find_point(wins[0], "sim_messages_total"), nullptr);
+}
+
+TEST(TimeSeries, NdjsonCarriesRatesAndPercentiles) {
+  MetricsRegistry mr;
+  obs::Counter& c = mr.counter("msgs_total", {{"broker", "1"}});
+  obs::Histogram& h = mr.histogram("lat_seconds");
+  TimeSeriesRing ring(&mr);
+  ring.tick(0.0);
+  c.inc(20);
+  h.observe(0.01);
+  ring.tick(2.0);
+
+  std::ostringstream os;
+  ring.write_ndjson(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"t0\":0"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"t1\":2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"msgs_total\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"broker\":\"1\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"kind\":\"counter\""), std::string::npos) << out;
+  // 20 increments over a 2 s window = rate 10/s.
+  EXPECT_NE(out.find("\"rate\":10"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"kind\":\"histogram\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"p50\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"p99\":"), std::string::npos) << out;
+  // Exactly one window line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(TimeSeriesScenario, ScenarioWritesTimeseriesSink) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "tmps_timeseries_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ScenarioConfig cfg;
+  cfg.total_clients = 20;
+  cfg.moving_clients = 2;
+  cfg.duration = 30.0;
+  cfg.warmup = 0.0;
+  cfg.broker.obs.timeseries_interval = 5.0;
+  cfg.timeseries_path = dir + "/timeseries.jsonl";
+  Scenario s(cfg);
+  s.run();
+
+  EXPECT_GT(s.net().timeseries().window_count(), 2u);
+  std::ifstream is(cfg.timeseries_path);
+  ASSERT_TRUE(is.good());
+  std::string first;
+  std::getline(is, first);
+  EXPECT_NE(first.find("\"series\":["), std::string::npos) << first;
+  EXPECT_NE(first.find("broker_publications_processed_total"),
+            std::string::npos)
+      << first;
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tmps

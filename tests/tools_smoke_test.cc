@@ -5,14 +5,18 @@
 // TMPS_AUDIT_BIN).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/scenario.h"
 #include "obs/introspect.h"
 #include "obs/trace.h"
+#include "pubsub/workload.h"
+#include "transport/tcp_transport.h"
 
 namespace tmps {
 namespace {
@@ -85,6 +89,42 @@ TEST_F(ToolsSmoke, AuditCliIsGreenOnCleanRun) {
                              *dir_ + "/audit.out", out);
   EXPECT_EQ(rc, 0) << out;
   EXPECT_NE(out.find("0 violation(s)"), std::string::npos) << out;
+}
+
+TEST(ToolsSmokeTop, TopPollsLiveAdminEndpoints) {
+  // A real TCP transport with admin + timeseries on, then one tmps_top
+  // --once round against every broker's endpoint.
+  const Overlay overlay = Overlay::chain(2);
+  BrokerConfig bc;
+  bc.subscription_covering = false;
+  bc.advertisement_covering = false;
+  bc.admin.enabled = true;
+  bc.obs.timeseries_interval = 0.1;
+  TcpTransport net(overlay, 0, bc, MobilityConfig{});
+  ASSERT_TRUE(net.start());
+  net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(600);
+    e.advertise(600, full_space_advertisement(), out);
+  });
+  net.drain();
+  // Give the timer thread a chance to close at least one window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::string cmd = std::string(TMPS_TOP_BIN) + " --once";
+  for (BrokerId b = 1; b <= 2; ++b) {
+    cmd += " 127.0.0.1:" + std::to_string(net.admin_port_of(b));
+  }
+  const std::string dir = ::testing::TempDir();
+  std::string out;
+  const int rc = run_capture(cmd, dir + "/top.out", out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("BROKER"), std::string::npos) << out;
+  EXPECT_EQ(out.find("unreachable"), std::string::npos) << out;
+  net.stop();
+
+  // With every endpoint down, --once must exit non-zero.
+  const int rc_down = run_capture(cmd, dir + "/top_down.out", out);
+  EXPECT_EQ(rc_down, 1) << out;
 }
 
 TEST_F(ToolsSmoke, AuditCliFlagsDoctoredSnapshots) {

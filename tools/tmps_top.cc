@@ -1,0 +1,211 @@
+// tmps_top — a `top`-style live view over broker admin endpoints.
+//
+// Polls each given endpoint's GET /healthz (liveness, hosted clients,
+// in-flight movement transactions) and GET /timeseries (the host's windowed
+// metrics ring) and renders one line per broker: publication and delivery
+// rates plus windowed delivery-latency percentiles from the per-broker
+// provenance histograms.
+//
+// Usage:
+//   tmps_top [--once] [--interval SECONDS] HOST:PORT [HOST:PORT ...]
+//
+// Each HOST:PORT is one broker's admin endpoint (TcpTransport assigns one
+// per broker). --once polls a single round and exits (scripting / smoke
+// tests); the default is a 2-second refresh loop. Exits nonzero when every
+// endpoint is unreachable.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string spec;  // original HOST:PORT for display
+};
+
+/// Blocking loopback HTTP/1.0-style GET; returns the response body, empty on
+/// any failure.
+std::string http_get(const Endpoint& ep, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: " + ep.host +
+                          "\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t k = ::recv(fd, buf, sizeof(buf), 0);
+    if (k <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(k));
+  }
+  ::close(fd);
+  const auto hdr_end = resp.find("\r\n\r\n");
+  return hdr_end == std::string::npos ? std::string{}
+                                      : resp.substr(hdr_end + 4);
+}
+
+/// First number following `"key":` in `s`, or `fallback`.
+double json_num(const std::string& s, const std::string& key,
+                double fallback = 0.0) {
+  const auto pos = s.find("\"" + key + "\":");
+  if (pos == std::string::npos) return fallback;
+  return std::strtod(s.c_str() + pos + key.size() + 3, nullptr);
+}
+
+struct BrokerRow {
+  bool alive = false;
+  long broker = 0;
+  long clients = 0;
+  long txns = 0;
+  double pub_rate = 0, dlv_rate = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  bool have_rates = false;
+};
+
+/// Series objects of the latest /timeseries window, split at `{"name":`.
+std::vector<std::string> latest_window_series(const std::string& body) {
+  // Last non-empty line is the most recent window.
+  auto end = body.find_last_not_of('\n');
+  if (end == std::string::npos) return {};
+  auto start = body.rfind('\n', end);
+  const std::string line =
+      body.substr(start == std::string::npos ? 0 : start + 1, end - start);
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = line.find("{\"name\":", pos)) != std::string::npos) {
+    const std::size_t next = line.find("{\"name\":", pos + 1);
+    out.push_back(line.substr(pos, next == std::string::npos ? std::string::npos
+                                                             : next - pos));
+    pos += 1;
+  }
+  return out;
+}
+
+bool series_is(const std::string& chunk, const std::string& name,
+               long broker) {
+  if (chunk.find("\"" + name + "\"") == std::string::npos) return false;
+  return chunk.find("\"broker\":\"" + std::to_string(broker) + "\"") !=
+         std::string::npos;
+}
+
+BrokerRow poll(const Endpoint& ep) {
+  BrokerRow row;
+  const std::string health = http_get(ep, "/healthz");
+  if (health.empty()) return row;
+  row.alive = true;
+  row.broker = static_cast<long>(json_num(health, "broker"));
+  row.clients = static_cast<long>(json_num(health, "hosted_clients"));
+  row.txns = static_cast<long>(json_num(health, "in_flight_txns"));
+
+  const std::string ts = http_get(ep, "/timeseries");
+  for (const std::string& s : latest_window_series(ts)) {
+    if (series_is(s, "broker_publications_processed_total", row.broker)) {
+      row.pub_rate = json_num(s, "rate");
+      row.have_rates = true;
+    } else if (series_is(s, "broker_deliveries_total", row.broker)) {
+      row.dlv_rate = json_num(s, "rate");
+      row.have_rates = true;
+    } else if (series_is(s, "broker_delivery_latency_seconds", row.broker)) {
+      row.p50_ms = json_num(s, "p50") * 1e3;
+      row.p95_ms = json_num(s, "p95") * 1e3;
+      row.p99_ms = json_num(s, "p99") * 1e3;
+      row.have_rates = true;
+    }
+  }
+  return row;
+}
+
+void render(const std::vector<Endpoint>& eps,
+            const std::vector<BrokerRow>& rows, bool once) {
+  if (!once) std::printf("\033[2J\033[H");
+  std::printf("tmps_top — %zu endpoint(s)\n", eps.size());
+  std::printf("%-21s %6s %7s %5s %8s %8s %7s %7s %7s\n", "ENDPOINT", "BROKER",
+              "CLIENTS", "TXNS", "PUB/S", "DLV/S", "P50ms", "P95ms", "P99ms");
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const BrokerRow& r = rows[i];
+    if (!r.alive) {
+      std::printf("%-21s %s\n", eps[i].spec.c_str(), "unreachable");
+      continue;
+    }
+    if (r.have_rates) {
+      std::printf("%-21s %6ld %7ld %5ld %8.1f %8.1f %7.2f %7.2f %7.2f\n",
+                  eps[i].spec.c_str(), r.broker, r.clients, r.txns, r.pub_rate,
+                  r.dlv_rate, r.p50_ms, r.p95_ms, r.p99_ms);
+    } else {
+      // Timeseries ring disabled (or no window yet): liveness columns only.
+      std::printf("%-21s %6ld %7ld %5ld %8s %8s %7s %7s %7s\n",
+                  eps[i].spec.c_str(), r.broker, r.clients, r.txns, "-", "-",
+                  "-", "-", "-");
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  double interval = 2.0;
+  std::vector<Endpoint> eps;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval = std::atof(argv[++i]);
+    } else {
+      const auto colon = arg.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad endpoint '%s' (want HOST:PORT)\n",
+                     arg.c_str());
+        return 2;
+      }
+      Endpoint ep;
+      ep.host = arg.substr(0, colon);
+      ep.port = static_cast<std::uint16_t>(std::atoi(arg.c_str() + colon + 1));
+      ep.spec = arg;
+      eps.push_back(std::move(ep));
+    }
+  }
+  if (eps.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: tmps_top [--once] [--interval SECONDS] HOST:PORT ...\n");
+    return 2;
+  }
+
+  for (;;) {
+    std::vector<BrokerRow> rows;
+    bool any_alive = false;
+    for (const Endpoint& ep : eps) {
+      rows.push_back(poll(ep));
+      any_alive = any_alive || rows.back().alive;
+    }
+    render(eps, rows, once);
+    if (once) return any_alive ? 0 : 1;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+}
