@@ -19,6 +19,11 @@ int main() {
   print_header("Ablations — protocol variants",
                "design-choice ablations (not a paper figure)");
   static BenchJson json = json_out("ablation_protocol_variants");
+  // Sections vary topology and population per row; the config records the
+  // shared paper-default schedule the variants start from.
+  scenario_config_fields(
+      json.config(),
+      paper_config(MobilityProtocol::Traditional, WorkloadKind::Covered));
 
   // --- (1) covering on/off under the traditional protocol -------------------
   std::printf("[1] traditional protocol, covering optimization on/off "

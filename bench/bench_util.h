@@ -153,10 +153,39 @@ inline RunResult run_scenario(ScenarioConfig cfg,
   return r;
 }
 
+/// Appends the scenario parameters a regression diff must match on to a
+/// bench's config object: topology size, population, schedule, seed. Call
+/// with the bench's *template* config — per-row sweep axes (client count,
+/// topology size, ...) belong in the rows, where tmps_benchdiff keys on
+/// them. The moving-clients default (-1 = everyone) is reported as the
+/// client count.
+inline BenchJson::Row& scenario_config_fields(BenchJson::Row& row,
+                                              const ScenarioConfig& cfg) {
+  const std::uint32_t movers =
+      cfg.moving_clients == static_cast<std::uint32_t>(-1)
+          ? cfg.total_clients
+          : cfg.moving_clients;
+  return row
+      .field("brokers",
+             cfg.overlay ? cfg.overlay->broker_count()
+                         : Overlay::paper_default().broker_count())
+      .field("clients", cfg.total_clients)
+      .field("moving_clients", movers)
+      .field("pause_s", cfg.pause_between_moves)
+      .field("publish_interval_s", cfg.publish_interval)
+      .field("duration_s", cfg.duration)
+      .field("warmup_s", cfg.warmup)
+      .field("seed", cfg.seed);
+}
+
 /// Appends the standard result columns of a RunResult to a JSON row (after
-/// the caller's own x-axis fields).
+/// the caller's own x-axis fields). `samples` is the committed-movement
+/// count behind the lat_* percentiles — tmps_benchdiff treats rows with few
+/// samples as advisory (a single-movement quick run has p50 == p99 == max,
+/// which says nothing about regressions).
 inline BenchJson::Row& result_fields(BenchJson::Row& row, const RunResult& r) {
-  return row.field("lat_mean_ms", r.latency_ms)
+  return row.field("samples", r.movements)
+      .field("lat_mean_ms", r.latency_ms)
       .field("lat_p50_ms", r.latency_p50_ms)
       .field("lat_p95_ms", r.latency_p95_ms)
       .field("lat_p99_ms", r.latency_p99_ms)

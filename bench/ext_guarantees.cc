@@ -20,6 +20,13 @@ int main() {
                "Sec. 3.4 atomicity/consistency, measured");
 
   BenchJson json = json_out("ext_guarantees");
+  {
+    ScenarioConfig tpl =
+        paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered);
+    tpl.publish_interval = 0.25;
+    scenario_config_fields(json.config(), tpl)
+        .field("movers", "covering roots (k mod 10 == 0)");
+  }
   std::printf("%9s %9s | %18s %20s | %10s\n", "workload", "protocol",
               "mover loss", "stationary loss", "duplicates");
   for (auto wl : {WorkloadKind::Covered, WorkloadKind::Tree,

@@ -24,6 +24,13 @@ int main() {
                "the paper)");
 
   BenchJson json = json_out("ext_publisher_mobility");
+  {
+    ScenarioConfig tpl =
+        paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered);
+    tpl.moving_clients = 100;
+    scenario_config_fields(json.config(), tpl)
+        .field("movers_are_publishers", true);
+  }
   std::printf("%9s %7s %9s | %12s %12s | %10s %11s\n", "workload", "cover°",
               "protocol", "lat mean(ms)", "lat max(ms)", "msgs/move",
               "movements");

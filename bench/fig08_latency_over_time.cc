@@ -23,10 +23,12 @@ int main() {
                "Fig. 8(a) reconfiguration protocol, Fig. 8(b) covering "
                "protocol");
   BenchJson json = json_out("fig08_latency_over_time");
-  json.config()
-      .field("workload", "covered")
-      .field("clients", 400)
-      .field("warmup_s", 0.0);
+  {
+    ScenarioConfig tpl =
+        paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered);
+    tpl.warmup = 0;  // this figure *shows* the setup phase
+    scenario_config_fields(json.config(), tpl).field("workload", "covered");
+  }
 
   for (auto proto :
        {MobilityProtocol::Reconfiguration, MobilityProtocol::Traditional}) {

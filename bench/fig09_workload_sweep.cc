@@ -20,6 +20,9 @@ int main() {
                "Fig. 9(a) movement latency, Fig. 9(b) message load");
 
   BenchJson json = json_out("fig09_workload_sweep");
+  scenario_config_fields(
+      json.config(),
+      paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered));
   std::printf("%9s %7s %9s | %12s %8s %8s %8s %12s | %10s %11s\n", "workload",
               "cover°", "protocol", "lat mean(ms)", "p50", "p95", "p99",
               "lat max(ms)", "msgs/move", "movements");

@@ -14,6 +14,11 @@ int main() {
                "Fig. 10(a) movement latency, Fig. 10(b) message load");
 
   BenchJson json = json_out("fig10_client_count");
+  // Client count is the sweep axis: rows carry it, the config holds the
+  // shared schedule/topology.
+  scenario_config_fields(
+      json.config(),
+      paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered));
   std::printf("%8s %9s | %12s %12s | %10s %11s\n", "clients", "protocol",
               "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
   for (std::uint32_t n = 400; n <= 1000; n += 200) {

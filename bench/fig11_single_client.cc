@@ -18,6 +18,12 @@ int main() {
                "Fig. 11(a) movement latency, Fig. 11(b) message load");
 
   BenchJson json = json_out("fig11_single_client");
+  {
+    ScenarioConfig tpl =
+        paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered);
+    tpl.moving_clients = 1;
+    scenario_config_fields(json.config(), tpl).field("workload", "covered");
+  }
   std::printf("%9s | %12s %12s | %10s %11s\n", "protocol", "lat mean(ms)",
               "lat max(ms)", "msgs/move", "movements");
   for (auto proto :

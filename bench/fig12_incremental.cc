@@ -71,6 +71,11 @@ int main() {
                "Fig. 12(a) movement latency, Fig. 12(b) message load");
 
   BenchJson json = json_out("fig12_incremental");
+  // Mover count is the sweep axis: rows carry it.
+  scenario_config_fields(
+      json.config(),
+      paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered))
+      .field("workload", "mixed");
   std::printf("%7s %9s | %12s %12s | %10s %11s\n", "movers", "protocol",
               "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
   for (std::uint32_t count = 10; count <= 60; count += 10) {

@@ -18,6 +18,11 @@ int main() {
                "Fig. 13(a) movement latency, Fig. 13(b) message load");
 
   BenchJson json = json_out("fig13_topology_size");
+  // Topology size is the sweep axis: rows carry it.
+  scenario_config_fields(
+      json.config(),
+      paper_config(MobilityProtocol::Reconfiguration, WorkloadKind::Covered))
+      .field("workload", "covered");
   std::printf("%8s %9s | %12s %12s | %10s %11s\n", "brokers", "protocol",
               "lat mean(ms)", "lat max(ms)", "msgs/move", "movements");
   for (std::uint32_t n = 14; n <= 26; n += 2) {

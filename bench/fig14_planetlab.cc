@@ -32,6 +32,10 @@ int main() {
                "workload, Fig. 14(d) message load");
 
   BenchJson json = json_out("fig14_planetlab");
+  scenario_config_fields(json.config(),
+                         wan_config(MobilityProtocol::Reconfiguration,
+                                    WorkloadKind::Covered))
+      .field("net_profile", "planetlab");
 
   // (a) + (b): latency over time, covered workload.
   for (auto proto :

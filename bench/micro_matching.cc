@@ -195,6 +195,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   tmps::bench::BenchJson json("micro_matching", "benchmark");
+  json.config()
+      .field("workload", "covered")
+      .field("reporter", "google-benchmark");
   tmps::JsonRowReporter reporter(json);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -1,17 +1,32 @@
-// Provenance-overhead gate: the data-plane cost of publication provenance
-// *sampling* must be negligible.
+// Observability-overhead gate: the data-plane cost of publication
+// provenance *sampling* and of the stage profiler must be negligible.
 //
-// Two identically configured brokers process the same publish workload —
-// one with the trace-sampling rate at 0 (tags stamped, nothing sampled),
-// one at 1/64 (the recommended production rate) — with tracing disabled, as
-// in production. Both runs stamp tags, update the latency histograms and
-// record flight events; the only difference is the sampling decision and
-// the (tracer-off, short-circuited) event emission on sampled publications.
-// The gate fails (exit 1) when the sampled run is more than 2% slower,
-// using min-of-k timing to shave scheduler noise.
+// ONE broker processes the same publish workload under four observability
+// phases, reconfigured at runtime between passes:
 //
-// Writes BENCH_obs_overhead_gate.json with both timings and the delta.
-// TMPS_GATE_PCT overrides the threshold (CI debugging).
+//   base      provenance stamped, nothing sampled, no profiler
+//   prov64    provenance sampled at 1/64 (recommended production rate)
+//   prof_off  stage profiler constructed but disabled (runtime toggle off)
+//   prof_on   stage profiler at the default 1-in-16 root sampling rate
+//
+// A single instance matters: separate per-phase brokers were observed to
+// differ by ±10% from heap/cache layout luck alone, drowning the effects
+// being gated. Repetitions are also *interleaved* — every rep times each
+// phase once before the next rep starts — so the min-of-k for every phase
+// is drawn from the same quiet periods of the machine.
+//
+// Gates (relative to base, each with a small absolute ns floor so sub-ns
+// jitter on fast machines cannot trip a percentage threshold):
+//
+//   prov64   <= 2% slower   (TMPS_GATE_PCT overrides)
+//   prof_off <= 1% slower   (TMPS_GATE_PROF_OFF_PCT overrides)
+//   prof_on  <= 3% slower   (TMPS_GATE_PROF_PCT overrides)
+//
+// A final profiled pass also reports publish-path attribution (the
+// residual "other" share) into the bench JSON, advisory here — the hard
+// <5% bound is asserted by profiler_test's end-to-end case.
+//
+// Writes BENCH_obs_overhead_gate.json with all timings and deltas.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -23,6 +38,7 @@
 #include "bench_json.h"
 #include "broker/broker.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "pubsub/workload.h"
 #include "routing/overlay.h"
 
@@ -32,6 +48,7 @@ namespace {
 constexpr int kSubscribers = 200;
 constexpr int kPublishes = 20000;
 constexpr int kReps = 7;
+constexpr std::uint32_t kProfileRate = 16;
 
 /// A broker hosting `kSubscribers` local subscriptions spread over the
 /// covered workload's families, with a neighbour advertising upstream —
@@ -41,11 +58,11 @@ struct Fixture {
   obs::MetricsRegistry metrics;
   Broker broker;
 
-  explicit Fixture(std::uint32_t trace_rate)
-      : broker(1, &overlay, [trace_rate] {
+  Fixture()
+      : broker(1, &overlay, [] {
           BrokerConfig cfg;
           cfg.obs.pub_provenance = true;
-          cfg.obs.pub_trace_rate = trace_rate;
+          cfg.obs.pub_trace_rate = 0;
           return cfg;
         }()) {
     broker.set_observability(nullptr, &metrics);
@@ -65,24 +82,47 @@ struct Fixture {
   }
 };
 
-/// Mean ns per publish over kPublishes, minimum of kReps repetitions.
-double min_ns_per_publish(Fixture& f) {
+/// Mean ns per publish over one pass of kPublishes.
+double one_pass_ns(Fixture& f) {
   using clock = std::chrono::steady_clock;
-  double best = 1e300;
-  for (int rep = 0; rep < kReps; ++rep) {
-    const auto t0 = clock::now();
-    for (int i = 0; i < kPublishes; ++i) {
-      const Publication pub = make_publication(
-          {static_cast<ClientId>(1), static_cast<std::uint32_t>(i + 1)},
-          kSpaceLo + (i * 7919) % (kSpaceHi - kSpaceLo), i % 20);
-      Broker::Outputs out = f.broker.client_publish(1, pub);
-    }
-    const double ns =
-        std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
-        kPublishes;
-    best = std::min(best, ns);
+  const auto t0 = clock::now();
+  for (int i = 0; i < kPublishes; ++i) {
+    const Publication pub = make_publication(
+        {static_cast<ClientId>(1), static_cast<std::uint32_t>(i + 1)},
+        kSpaceLo + (i * 7919) % (kSpaceHi - kSpaceLo), i % 20);
+    Broker::Outputs out = f.broker.client_publish(1, pub);
   }
-  return best;
+  return std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
+         kPublishes;
+}
+
+enum Phase { kBase = 0, kProv64, kProfOff, kProfOn, kPhaseCount };
+
+void configure_phase(Fixture& f, int phase) {
+  switch (phase) {
+    case kBase:
+      f.broker.disable_profiling();
+      f.broker.set_provenance_rate(0);
+      break;
+    case kProv64:
+      f.broker.disable_profiling();
+      f.broker.set_provenance_rate(64);
+      break;
+    case kProfOff:
+      f.broker.enable_profiling(kProfileRate);
+      f.broker.profiler()->set_enabled(false);
+      f.broker.set_provenance_rate(0);
+      break;
+    case kProfOn:
+      f.broker.enable_profiling(kProfileRate);
+      f.broker.set_provenance_rate(0);
+      break;
+  }
+}
+
+double env_pct(const char* name, double dflt) {
+  if (const char* t = std::getenv(name)) return std::atof(t);
+  return dflt;
 }
 
 }  // namespace
@@ -90,47 +130,92 @@ double min_ns_per_publish(Fixture& f) {
 
 int main() {
   using namespace tmps;
-  double threshold_pct = 2.0;
-  if (const char* t = std::getenv("TMPS_GATE_PCT")) {
-    threshold_pct = std::atof(t);
+  const double prov_pct = env_pct("TMPS_GATE_PCT", 2.0);
+  const double prof_off_pct = env_pct("TMPS_GATE_PROF_OFF_PCT", 1.0);
+  const double prof_on_pct = env_pct("TMPS_GATE_PROF_PCT", 3.0);
+
+  Fixture f;
+
+  // Warm-up pass per phase (page-in, branch predictors), then interleaved
+  // min-of-k: rep r times every phase before rep r+1 starts.
+  for (int p = 0; p < kPhaseCount; ++p) {
+    configure_phase(f, p);
+    one_pass_ns(f);
+  }
+  double best[kPhaseCount];
+  std::fill(best, best + kPhaseCount, 1e300);
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int p = 0; p < kPhaseCount; ++p) {
+      configure_phase(f, p);
+      best[p] = std::min(best[p], one_pass_ns(f));
+    }
+  }
+  const double ns_base = best[kBase], ns_prov = best[kProv64];
+  const double ns_prof_off = best[kProfOff], ns_prof_on = best[kProfOn];
+
+  struct Gate {
+    const char* name;
+    double ns;
+    double threshold_pct;
+  };
+  const Gate gates[] = {
+      {"provenance 1/64", ns_prov, prov_pct},
+      {"profiler disabled", ns_prof_off, prof_off_pct},
+      {"profiler 1/16", ns_prof_on, prof_on_pct},
+  };
+
+  std::printf("observability overhead gate (interleaved min-of-%d)\n", kReps);
+  std::printf("  base              : %8.1f ns/publish\n", ns_base);
+  bool failed = false;
+  for (const Gate& g : gates) {
+    const double delta_ns = g.ns - ns_base;
+    const double delta_pct = delta_ns / ns_base * 100.0;
+    std::printf(
+        "  %-18s: %8.1f ns/publish  %+7.1f ns (%+.2f%%), limit %.1f%%\n",
+        g.name, g.ns, delta_ns, delta_pct, g.threshold_pct);
+    if (delta_pct > g.threshold_pct && delta_ns > 10.0) {
+      std::fprintf(stderr, "GATE FAILED: %s costs %+.2f%% (> %.1f%%)\n",
+                   g.name, delta_pct, g.threshold_pct);
+      failed = true;
+    }
   }
 
-  Fixture off(0);    // provenance on, sampling off
-  Fixture on(64);    // provenance on, 1/64 sampling
-  min_ns_per_publish(off);  // warm-up pass (page-in, branch predictors)
-  min_ns_per_publish(on);
-  const double ns_off = min_ns_per_publish(off);
-  const double ns_on = min_ns_per_publish(on);
-  const double delta_ns = ns_on - ns_off;
-  const double delta_pct = delta_ns / ns_off * 100.0;
-
-  std::printf("provenance sampling overhead gate\n");
-  std::printf("  rate 0    : %8.1f ns/publish\n", ns_off);
-  std::printf("  rate 1/64 : %8.1f ns/publish\n", ns_on);
-  std::printf("  delta     : %+8.1f ns (%+.2f%%), threshold %.1f%%\n",
-              delta_ns, delta_pct, threshold_pct);
+  // Attribution report from a final profiled pass (advisory; the hard
+  // bound lives in profiler_test's end-to-end case).
+  configure_phase(f, kProfOn);
+  one_pass_ns(f);
+  obs::StageProfiler* prof = f.broker.profiler();
+  prof->flush(&f.metrics);
+  const double residual = prof->residual_share(obs::Stage::kPublish);
+  const auto sampled = prof->calls(obs::Stage::kPublish);
+  std::printf(
+      "  attribution       : %.1f%% of publish path named "
+      "(%llu sampled walks, residual %.2f%%)\n",
+      (1.0 - residual) * 100.0, static_cast<unsigned long long>(sampled),
+      residual * 100.0);
 
   bench::BenchJson json("obs_overhead_gate");
   json.config()
       .field("subscribers", kSubscribers)
       .field("publishes", kPublishes)
       .field("reps", kReps)
-      .field("threshold_pct", threshold_pct);
+      .field("profile_rate", static_cast<double>(kProfileRate))
+      .field("threshold_pct", prov_pct)
+      .field("prof_off_threshold_pct", prof_off_pct)
+      .field("prof_on_threshold_pct", prof_on_pct);
   json.add_row()
-      .field("ns_per_publish_rate0", ns_off)
-      .field("ns_per_publish_rate64", ns_on)
-      .field("delta_ns", delta_ns)
-      .field("delta_pct", delta_pct);
+      .field("ns_per_publish_rate0", ns_base)
+      .field("ns_per_publish_rate64", ns_prov)
+      .field("ns_per_publish_prof_off", ns_prof_off)
+      .field("ns_per_publish_prof_on", ns_prof_on)
+      .field("delta_ns", ns_prov - ns_base)
+      .field("delta_pct", (ns_prov - ns_base) / ns_base * 100.0)
+      .field("prof_off_delta_pct", (ns_prof_off - ns_base) / ns_base * 100.0)
+      .field("prof_on_delta_pct", (ns_prof_on - ns_base) / ns_base * 100.0)
+      .field("publish_residual_share", residual)
+      .field("profiled_walks", static_cast<double>(sampled));
 
-  // Gate on the relative delta, with a small absolute floor so sub-ns jitter
-  // on very fast machines cannot trip a 2% threshold spuriously.
-  if (delta_pct > threshold_pct && delta_ns > 10.0) {
-    std::fprintf(stderr,
-                 "GATE FAILED: 1/64 provenance sampling costs %+.2f%% "
-                 "(> %.1f%%)\n",
-                 delta_pct, threshold_pct);
-    return 1;
-  }
+  if (failed) return 1;
   std::printf("gate passed\n");
   return 0;
 }

@@ -23,7 +23,16 @@
 #      (convergence) and delivery losses, and exits nonzero on any miss.
 #   7. an observability-overhead gate: obs_overhead_gate times the broker
 #      publish path at provenance sample rate 0 vs 1/64 and fails if 1/64
-#      sampling costs more than 2% (override via TMPS_GATE_PCT).
+#      sampling costs more than 2% (override via TMPS_GATE_PCT); the same
+#      binary gates the stage profiler at <1% compiled-in-but-disabled and
+#      <3% enabled at 1/16 sampling (TMPS_GATE_PROF_OFF_PCT /
+#      TMPS_GATE_PROF_PCT).
+#   8. a perf-regression leg: tools/tmps_benchdiff compares the bench JSON
+#      from legs 4 (fig09) plus a fresh fig11 run against the committed
+#      baselines in results/baselines/. The simulation metrics are
+#      deterministic per seed, so any drift is a real behavior change;
+#      wall-clock metrics stay advisory. Refresh the baselines after an
+#      intentional change with scripts/run_all.sh --update-baselines.
 #
 # On any failed leg, flight-recorder dumps (flight_b*.jsonl) from the obs
 # sink directories are collected into results/flight/ for post-mortem.
@@ -119,5 +128,14 @@ GATE_JSON="${RESULTS}/BENCH_obs_overhead_gate.json"
   echo "missing ${GATE_JSON}"; exit 1; }
 grep -q '"delta_pct":' "${GATE_JSON}" || {
   echo "no overhead figures in ${GATE_JSON}"; exit 1; }
+
+echo "=== regression leg: bench results vs committed baselines ==="
+# fig09's JSON is reused from the audit leg; fig11 (single mover, the
+# paper's latency-floor figure) runs fresh. Both are deterministic per
+# seed, so tmps_benchdiff fails the leg on any gated-metric drift.
+TMPS_BENCH_OUT="${RESULTS}" ./build/bench/fig11_single_client
+./build/tools/tmps_benchdiff --baselines "${RESULTS}/baselines" \
+  "${RESULTS}/BENCH_fig09_workload_sweep.json" \
+  "${RESULTS}/BENCH_fig11_single_client.json"
 
 echo "=== ci.sh: all legs passed ==="

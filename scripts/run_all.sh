@@ -1,18 +1,29 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every figure — the full reproduction pipeline.
-#   scripts/run_all.sh [--full]    (--full runs the paper-scale 1000 s experiments)
+#   scripts/run_all.sh [--full] [--update-baselines]
+#     --full              run the paper-scale 1000 s experiments
+#     --update-baselines  after the run, refresh results/baselines/ with the
+#                         bench JSON the perf-regression leg diffs against
+#                         (do this only after an *intentional* behavior
+#                         change, and commit the result)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--full" ]]; then
-  export TMPS_FULL=1
-fi
+UPDATE_BASELINES=0
+for arg in "$@"; do
+  case "${arg}" in
+    --full) export TMPS_FULL=1 ;;
+    --update-baselines) UPDATE_BASELINES=1 ;;
+    *) echo "unknown option: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
 mkdir -p results
+export TMPS_BENCH_OUT=results
 for b in build/bench/*; do
   if [[ -f "$b" && -x "$b" ]]; then
     name="$(basename "$b")"
@@ -20,4 +31,21 @@ for b in build/bench/*; do
     "$b" | tee "results/$name.txt"
   fi
 done
-echo "done; per-figure outputs in results/"
+echo "done; per-figure outputs in results/ (JSON artifacts: BENCH_*.json)"
+
+if [[ "${UPDATE_BASELINES}" -eq 1 ]]; then
+  # The baselines are quick-mode runs: that is what scripts/ci.sh compares
+  # against. Refuse to overwrite them with full-mode output — the config
+  # mismatch would fail every subsequent CI regression leg.
+  if [[ "${TMPS_FULL:-0}" == "1" ]]; then
+    echo "--update-baselines refuses to run with --full: CI diffs quick-mode"
+    echo "runs, so baselines must be quick-mode too."
+    exit 2
+  fi
+  mkdir -p results/baselines
+  for f in results/BENCH_fig09_workload_sweep.json \
+           results/BENCH_fig11_single_client.json; do
+    cp -v "$f" results/baselines/
+  done
+  echo "baselines refreshed; review the diff and commit results/baselines/"
+fi

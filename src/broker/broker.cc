@@ -46,6 +46,20 @@ Broker::Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg)
   if (cfg_.obs.flight_capacity > 0) {
     flight_ = std::make_unique<obs::FlightRecorder>(cfg_.obs.flight_capacity);
   }
+  if (cfg_.obs.profile) enable_profiling(cfg_.obs.profile_rate);
+}
+
+void Broker::enable_profiling(std::uint32_t rate) {
+  if (!prof_) {
+    prof_ = std::make_unique<obs::StageProfiler>(std::to_string(id_), rate);
+    tables_.set_profiler(prof_.get());
+  }
+  prof_->set_enabled(true);
+}
+
+void Broker::disable_profiling() {
+  tables_.set_profiler(nullptr);
+  prof_.reset();
 }
 
 void Broker::set_observability(obs::Tracer* tracer,
@@ -180,6 +194,7 @@ Broker::Outputs Broker::on_message(BrokerId from, const Message& msg) {
     do_publish(from_hop, p->pub, msg.cause, out,
                msg.prov ? &*msg.prov : nullptr);
   } else if (control_) {
+    TMPS_PROF_STAGE(prof_.get(), obs::Stage::kControl);
     control_->on_control(from, msg, out);
   } else if (msg.unicast_dest && *msg.unicast_dest != id_) {
     // No mobility layer attached: act as a plain relay for unicasts.
@@ -216,6 +231,7 @@ void Broker::deliver_local(ClientId client, const Publication& pub) {
 
 void Broker::deliver_local(ClientId client, const Publication& pub,
                            const obs::ProvenanceTag* tag, double now) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kDeliver);
   if (deliveries_) deliveries_->inc();
   if (flight_) {
     flight_->record(obs::FlightKind::kDeliver, now, 0, 0, client);
@@ -253,6 +269,7 @@ void Broker::dump_flight(std::string_view reason) const {
 // --- routing handlers ----------------------------------------------------------
 
 void Broker::apply_delta(const RoutingDelta& delta, TxnId cause, Outputs& out) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kDeltaApply);
   for (const RoutingOp& op : delta.ops) {
     switch (op.kind) {
       case RoutingOp::Kind::kForwardSub: {
@@ -315,16 +332,19 @@ void Broker::apply_delta(const RoutingDelta& delta, TxnId cause, Outputs& out) {
 
 void Broker::do_subscribe(Hop from, const Subscription& sub, TxnId cause,
                           Outputs& out) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
   apply_delta(tables_.add_sub(sub, from, covering_policy()), cause, out);
 }
 
 void Broker::do_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
                             Outputs& out) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
   apply_delta(tables_.remove_sub(id, from, covering_policy()), cause, out);
 }
 
 void Broker::do_advertise(Hop from, const Advertisement& adv, TxnId cause,
                           Outputs& out) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
   std::vector<Hop> flood;
   for (const BrokerId n : overlay_->neighbors(id_)) {
     flood.push_back(Hop::of_broker(n));
@@ -334,11 +354,15 @@ void Broker::do_advertise(Hop from, const Advertisement& adv, TxnId cause,
 
 void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
                             Outputs& out) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
   apply_delta(tables_.remove_adv(id, from, covering_policy()), cause, out);
 }
 
 void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
                         Outputs& out, const obs::ProvenanceTag* in_tag) {
+  // Root probe of the publish path: every stage below nests under it, so
+  // its self time is exactly the unattributed ("other") publish-path cost.
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kPublish);
   if (pubs_processed_) pubs_processed_->inc();
   // Provenance: in-transit publications arrive tagged; origin publications
   // (from a local client or injected by the mobility layer) are stamped
@@ -378,9 +402,14 @@ void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
     if (fwd->hops < 255) ++fwd->hops;
     fwd->last_hop_time = now;
   }
+  // Fan-out carries its own stage so hop-dispatch glue (branching, message
+  // construction bookkeeping) is attributed rather than left in the
+  // publish root's residual.
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kFanout);
   for (const Hop& hop : hops) {
     if (hop == from) continue;
     if (hop.is_broker()) {
+      TMPS_PROF_STAGE(prof_.get(), obs::Stage::kEnqueue);
       Message m;
       m.id = next_message_id();
       m.cause = cause;

@@ -24,6 +24,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
 #include "pubsub/messages.h"
@@ -104,6 +105,27 @@ class Broker {
   /// The last-N event ring (null when cfg.obs.flight_capacity == 0).
   obs::FlightRecorder* flight() { return flight_.get(); }
   const obs::FlightRecorder* flight() const { return flight_.get(); }
+
+  /// The publish-path stage profiler (null when cfg.obs.profile is off).
+  /// Hosts flush it into the metrics registry and serve GET /profile.
+  obs::StageProfiler* profiler() { return prof_.get(); }
+  const obs::StageProfiler* profiler() const { return prof_.get(); }
+
+  /// Runtime profiling toggles. enable_profiling constructs the profiler at
+  /// the given 1-in-N root sampling rate (or re-enables an existing one —
+  /// the rate of a live profiler is not changed); disable_profiling tears
+  /// it down and probes revert to null checks. Not thread-safe against
+  /// concurrent probing: only call while no other thread is in this broker
+  /// (sim drivers, benches, setup code).
+  void enable_profiling(std::uint32_t rate);
+  void disable_profiling();
+
+  /// Runtime override of the provenance sampling rate (1-in-N publications
+  /// carry a traced tag; 0 stamps tags without sampling). Benches use this
+  /// to compare sampling costs on one broker instance.
+  void set_provenance_rate(std::uint32_t rate) {
+    cfg_.obs.pub_trace_rate = rate;
+  }
 
   /// Appends a flight-recorder dump to `trace_dir/flight_b<id>.jsonl` (no-op
   /// without a recorder or trace_dir). Called on movement abort and audit
@@ -216,6 +238,7 @@ class Broker {
   std::function<double()> clock_;
   DeliveryLatencySink latency_sink_;
   std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::StageProfiler> prof_;
   std::uint64_t msg_seq_ = 0;
 };
 

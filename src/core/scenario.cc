@@ -59,6 +59,9 @@ void Scenario::build() {
     if (cfg_.timeseries_path.empty() && obs.timeseries_interval > 0) {
       cfg_.timeseries_path = obs.trace_dir + "/timeseries.jsonl";
     }
+    if (cfg_.profile_path.empty() && obs.profile) {
+      cfg_.profile_path = obs.trace_dir + "/profile.ndjson";
+    }
   }
   net_ = std::make_unique<SimNetwork>(overlay_, cfg_.broker, cfg_.net);
   // The auditor reconstructs movement windows from spans, so auditing
@@ -256,7 +259,16 @@ void Scenario::on_movement(const MovementRecord& rec) {
                 net_->now() + cfg_.pause_between_moves);
 }
 
+void Scenario::flush_profilers() {
+  for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
+    if (obs::StageProfiler* prof = net_->broker(b).profiler()) {
+      prof->flush(net_->metrics());
+    }
+  }
+}
+
 void Scenario::timeseries_tick() {
+  flush_profilers();  // stage histograms land in the same windows
   net_->timeseries().tick(net_->now());
   if (net_->now() + cfg_.broker.obs.timeseries_interval < cfg_.duration) {
     net_->events().schedule_in(cfg_.broker.obs.timeseries_interval,
@@ -319,10 +331,22 @@ void Scenario::run_audit() {
 
 void Scenario::dump_observability() {
   if (cfg_.trace_path.empty() && cfg_.metrics_path.empty() &&
-      cfg_.timeseries_path.empty()) {
+      cfg_.timeseries_path.empty() && cfg_.profile_path.empty()) {
     return;
   }
+  flush_profilers();
   const auto mode = cfg_.trace_append ? std::ios::app : std::ios::trunc;
+
+  if (!cfg_.profile_path.empty()) {
+    std::ofstream os(cfg_.profile_path, mode);
+    std::ofstream cos(cfg_.profile_path + ".collapsed", mode);
+    for (BrokerId b = 1; b <= overlay_.broker_count(); ++b) {
+      if (const obs::StageProfiler* prof = net_->broker(b).profiler()) {
+        if (os) prof->write_ndjson(os);
+        if (cos) prof->write_collapsed(cos);
+      }
+    }
+  }
 
   if (!cfg_.trace_path.empty()) {
     obs::Tracer& tracer = *net_->tracer();

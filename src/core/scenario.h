@@ -99,6 +99,10 @@ struct ScenarioConfig {
   /// broker.obs.timeseries_interval; defaults to trace_dir/timeseries.jsonl
   /// when a trace_dir is configured and the interval is positive.
   std::string timeseries_path;
+  /// Stage-profiler sink: per-broker stage rows land in `profile_path`
+  /// (NDJSON) and collapsed stacks in `profile_path + ".collapsed"`.
+  /// Defaults to trace_dir/profile.ndjson when broker.obs.profile is on.
+  std::string profile_path;
   std::string run_label;
   /// Append to existing files instead of truncating (multi-run sweeps).
   bool trace_append = false;
@@ -191,6 +195,7 @@ class Scenario {
  private:
   void build();
   void timeseries_tick();
+  void flush_profilers();
   void dump_observability();
   void schedule_joins();
   void schedule_publishers();

@@ -6,6 +6,24 @@
 
 namespace tmps::obs {
 
+void Histogram::merge(
+    const std::vector<std::pair<int, std::uint64_t>>& bucket_deltas,
+    double sum_delta) {
+  std::uint64_t n = 0;
+  for (const auto& [i, d] : bucket_deltas) {
+    if (i < 0 || i >= kNumBuckets || d == 0) continue;
+    buckets_[i].fetch_add(d, std::memory_order_relaxed);
+    n += d;
+  }
+  if (n != 0) count_.fetch_add(n, std::memory_order_relaxed);
+  if (sum_delta != 0.0) {
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + sum_delta,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
 double Histogram::percentile(double q) const {
   std::uint64_t counts[kNumBuckets];
   std::uint64_t total = 0;

@@ -85,6 +85,13 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Bulk-merge pre-bucketed observations (e.g. a profiler slab flush):
+  /// adds `n` to bucket `i` for every (i, n) pair, bumps the count by the
+  /// pair total and the sum by `sum_delta`. Same relaxed-atomic discipline
+  /// as observe(), so merging concurrently with recording is safe.
+  void merge(const std::vector<std::pair<int, std::uint64_t>>& bucket_deltas,
+             double sum_delta);
+
   /// Bucket-interpolated quantile (see log_buckets.h for error bounds).
   double percentile(double q) const;
   double p50() const { return percentile(0.50); }

@@ -1,0 +1,408 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define TMPS_PROF_HAVE_RDTSC 1
+#endif
+
+#include "obs/metrics.h"
+
+namespace tmps::obs {
+
+namespace {
+
+std::atomic<StageProfiler::TickFn> g_clock_override{nullptr};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Probe timestamps are raw TSC ticks on x86-64 (~3x cheaper than a
+// steady_clock read, and the walk cost is clock-dominated), converted to ns
+// at record time with a factor calibrated once per process against
+// steady_clock. Elsewhere, and under a test clock override, ticks are ns
+// and the factor is 1.
+double g_calibrated_ns_per_tick = 1.0;
+std::once_flag g_calibrate_once;
+
+void calibrate_ticks() {
+#ifdef TMPS_PROF_HAVE_RDTSC
+  const std::uint64_t t0 = steady_now_ns();
+  const std::uint64_t c0 = __rdtsc();
+  // ~1 ms window: calibration error well under the scheduler noise any
+  // wall-clock profile carries anyway.
+  while (steady_now_ns() - t0 < 1000000) {
+  }
+  const std::uint64_t t1 = steady_now_ns();
+  const std::uint64_t c1 = __rdtsc();
+  if (c1 > c0) {
+    g_calibrated_ns_per_tick =
+        static_cast<double>(t1 - t0) / static_cast<double>(c1 - c0);
+  }
+#endif
+}
+
+inline std::uint64_t probe_ticks() {
+  if (StageProfiler::TickFn f =
+          g_clock_override.load(std::memory_order_relaxed)) {
+    return f();
+  }
+#ifdef TMPS_PROF_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return steady_now_ns();
+#endif
+}
+
+inline double ns_per_tick() {
+  return g_clock_override.load(std::memory_order_relaxed) != nullptr
+             ? 1.0
+             : g_calibrated_ns_per_tick;
+}
+
+// The probe currently timing on this thread (null outside sampled walks).
+// Global — not per profiler — so the common "am I inside a sampled walk?"
+// check is one TLS load, no slab lookup.
+thread_local StageProbe* t_current = nullptr;
+
+// The unsampled root probe currently suppressing its walk on this thread
+// (null when no walk, or the walk is sampled). Nested probes under it stay
+// inactive instead of rolling their own sampling dice — otherwise inner
+// stages would be sampled more often than roots and per-stage shares would
+// skew.
+thread_local StageProbe* t_suppressor = nullptr;
+
+// Root-sampling xorshift state. Seeded with a fixed constant: the sequence
+// is deterministic per thread, and profiler output never feeds back into
+// simulation results, so cross-thread correlation is harmless.
+thread_local std::uint64_t t_rng = 0x9e3779b97f4a7c15ULL;
+
+// (profiler id -> slab) cache so sampled roots skip the profiler mutex.
+// Keyed by the process-unique profiler id: a destroyed profiler's id is
+// never reused, so a stale entry can never match (it is only dead weight
+// until evicted). Linear scan — a thread touches few profilers.
+struct SlabCacheEntry {
+  std::uint64_t id;
+  detail::StageSlab* slab;
+};
+thread_local std::vector<SlabCacheEntry> t_slab_cache;
+constexpr std::size_t kSlabCacheCap = 128;
+
+std::atomic<std::uint64_t> g_next_profiler_id{1};
+
+std::uint32_t pow2_mask(std::uint32_t rate) {
+  if (rate <= 1) return 0;
+  std::uint32_t m = 1;
+  while (m < rate && m < (1u << 30)) m <<= 1;
+  return m - 1;
+}
+
+int self_ns_bucket(std::uint64_t self_ns) {
+  return bucket_index(static_cast<double>(self_ns) * 1e-9);
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kPublish: return "publish";
+    case Stage::kDecode: return "decode";
+    case Stage::kMatch: return "match";
+    case Stage::kCoverProbe: return "cover_probe";
+    case Stage::kDeltaApply: return "delta_apply";
+    case Stage::kEncode: return "encode";
+    case Stage::kEnqueue: return "enqueue";
+    case Stage::kDeliver: return "deliver";
+    case Stage::kFanout: return "fanout";
+    case Stage::kRouteUpdate: return "route_update";
+    case Stage::kControl: return "control";
+  }
+  return "unknown";
+}
+
+/// Cached MetricsRegistry references, resolved on first flush with a
+/// registry so later flushes are lock-free on the registry side.
+struct StageProfiler::StageMetrics {
+  MetricsRegistry* reg = nullptr;
+  struct PerStage {
+    Counter* calls = nullptr;
+    Counter* self_ns = nullptr;
+    Histogram* self_seconds = nullptr;
+  };
+  std::array<PerStage, kStageCount> stages{};
+};
+
+void StageProfiler::set_clock_for_test(TickFn fn) {
+  g_clock_override.store(fn, std::memory_order_relaxed);
+}
+
+std::uint64_t StageProfiler::now_ns() {
+  if (TickFn f = g_clock_override.load(std::memory_order_relaxed)) return f();
+  return steady_now_ns();
+}
+
+StageProfiler::StageProfiler(std::string broker, std::uint32_t sample_rate)
+    : broker_(std::move(broker)),
+      id_(g_next_profiler_id.fetch_add(1, std::memory_order_relaxed)),
+      sample_mask_(pow2_mask(sample_rate)) {
+  std::call_once(g_calibrate_once, calibrate_ticks);
+  paths_.push_back(PathInfo{});  // id 0: root sentinel
+}
+
+StageProfiler::~StageProfiler() = default;
+
+detail::StageSlab* StageProfiler::slab_for_current_thread() {
+  for (const SlabCacheEntry& e : t_slab_cache) {
+    if (e.id == id_) return e.slab;
+  }
+  detail::StageSlab* slab = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    SlabEntry& entry = slabs_[std::this_thread::get_id()];
+    if (!entry.slab) entry.slab = std::make_unique<detail::StageSlab>();
+    slab = entry.slab.get();
+  }
+  if (t_slab_cache.size() >= kSlabCacheCap) {
+    t_slab_cache.erase(t_slab_cache.begin());
+  }
+  t_slab_cache.push_back(SlabCacheEntry{id_, slab});
+  return slab;
+}
+
+bool StageProfiler::sample_hit() {
+  if (sample_mask_ == 0) return true;
+  std::uint64_t s = t_rng;
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  t_rng = s;
+  return (s & sample_mask_) == 0;
+}
+
+std::uint16_t StageProfiler::intern_path(std::uint16_t parent, Stage s) {
+  const std::size_t key =
+      static_cast<std::size_t>(parent) * kStageCount +
+      static_cast<std::size_t>(s);
+  const std::uint16_t cached =
+      path_lookup_[key].load(std::memory_order_acquire);
+  if (cached != 0) return static_cast<std::uint16_t>(cached - 1);
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint16_t again = path_lookup_[key].load(std::memory_order_relaxed);
+  if (again != 0) return static_cast<std::uint16_t>(again - 1);
+  if (paths_.size() >= detail::StageSlab::kMaxPaths) return 0;  // clamp: root
+  const auto id = static_cast<std::uint16_t>(paths_.size());
+  paths_.push_back(PathInfo{parent, s});
+  path_lookup_[key].store(static_cast<std::uint16_t>(id + 1),
+                          std::memory_order_release);
+  return id;
+}
+
+void StageProbe::begin(StageProfiler* prof, Stage stage) {
+  StageProbe* cur = t_current;
+  std::uint16_t parent_path = 0;
+  detail::StageSlab* slab;
+  if (cur != nullptr) {
+    // Nested probe: timed iff it belongs to the same profiler as the walk
+    // in progress. A different profiler's probe under a foreign root stays
+    // inactive — attributing its time across books would corrupt both.
+    if (cur->prof_ != prof) return;
+    slab = cur->slab_;
+    parent_ = cur;
+    parent_path = cur->path_;
+  } else {
+    if (t_suppressor != nullptr) return;  // walk declined at its root
+    if (!prof->sample_hit()) {
+      t_suppressor = this;
+      suppressing_ = true;
+      return;
+    }
+    slab = prof->slab_for_current_thread();
+  }
+  // Timestamp before the remaining bookkeeping: probe machinery is charged
+  // to this probe's own window (and, via the parent's child_ticks, excluded
+  // from the parent's self time), so the residual "other" bucket of an
+  // outer stage measures unprobed code, not the profiler itself.
+  start_ticks_ = probe_ticks();
+  prof_ = prof;
+  slab_ = slab;
+  stage_ = stage;
+  path_ = prof->intern_path(parent_path, stage);
+  t_current = this;
+}
+
+void StageProbe::finish() {
+  const std::uint64_t end = probe_ticks();
+  const std::uint64_t elapsed_t = end > start_ticks_ ? end - start_ticks_ : 0;
+  const std::uint64_t self_t =
+      elapsed_t > child_ticks_ ? elapsed_t - child_ticks_ : 0;
+  const double f = ns_per_tick();
+  const auto elapsed =
+      static_cast<std::uint64_t>(static_cast<double>(elapsed_t) * f);
+  const auto self = static_cast<std::uint64_t>(static_cast<double>(self_t) * f);
+  auto& st = slab_->stages[static_cast<std::size_t>(stage_)];
+  st.count.fetch_add(1, std::memory_order_relaxed);
+  st.total_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  st.self_ns.fetch_add(self, std::memory_order_relaxed);
+  st.hist[self_ns_bucket(self)].fetch_add(1, std::memory_order_relaxed);
+  slab_->path_self_ns[path_].fetch_add(self, std::memory_order_relaxed);
+  slab_->path_count[path_].fetch_add(1, std::memory_order_relaxed);
+  t_current = parent_;
+  if (parent_ != nullptr) {
+    // Charge the parent for this probe's full footprint — window plus the
+    // recording above (a second clock read) — so probe machinery cannot
+    // leak into the parent's self time. The recording tail is charged to
+    // nobody's self (under a fake test clock it is zero, so the exact
+    // self-partition property still holds in tests).
+    parent_->child_ticks_ += probe_ticks() - start_ticks_;
+  }
+}
+
+void StageProbe::end_suppression() {
+  if (t_suppressor == this) t_suppressor = nullptr;
+}
+
+void StageProfiler::flush_one_locked(detail::StageSlab& slab,
+                                     detail::StageTotals& shadow,
+                                     MetricsRegistry* reg) {
+  for (int si = 0; si < kStageCount; ++si) {
+    auto& cur = slab.stages[si];
+    auto& old = shadow.stages[si];
+    const std::uint64_t count = cur.count.load(std::memory_order_relaxed);
+    const std::uint64_t total = cur.total_ns.load(std::memory_order_relaxed);
+    const std::uint64_t self = cur.self_ns.load(std::memory_order_relaxed);
+    const std::uint64_t d_count = count - old.count;
+    const std::uint64_t d_total = total - old.total_ns;
+    const std::uint64_t d_self = self - old.self_ns;
+    if (d_count == 0 && d_total == 0) continue;
+    old.count = count;
+    old.total_ns = total;
+    old.self_ns = self;
+    auto& agg = aggregate_.stages[si];
+    agg.count += d_count;
+    agg.total_ns += d_total;
+    agg.self_ns += d_self;
+    std::vector<std::pair<int, std::uint64_t>> bucket_deltas;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t h = cur.hist[b].load(std::memory_order_relaxed);
+      const std::uint64_t d = h - old.hist[b];
+      if (d == 0) continue;
+      old.hist[b] = h;
+      agg.hist[b] += d;
+      bucket_deltas.emplace_back(b, d);
+    }
+    if (reg != nullptr) {
+      auto& m = metrics_->stages[si];
+      m.calls->inc(d_count);
+      m.self_ns->inc(d_self);
+      m.self_seconds->merge(bucket_deltas,
+                            static_cast<double>(d_self) * 1e-9);
+    }
+  }
+  for (int p = 0; p < detail::StageSlab::kMaxPaths; ++p) {
+    const std::uint64_t s = slab.path_self_ns[p].load(std::memory_order_relaxed);
+    const std::uint64_t c = slab.path_count[p].load(std::memory_order_relaxed);
+    aggregate_.path_self_ns[p] += s - shadow.path_self_ns[p];
+    aggregate_.path_count[p] += c - shadow.path_count[p];
+    shadow.path_self_ns[p] = s;
+    shadow.path_count[p] = c;
+  }
+}
+
+void StageProfiler::flush(MetricsRegistry* reg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (reg != nullptr && (!metrics_ || metrics_->reg != reg)) {
+    metrics_ = std::make_unique<StageMetrics>();
+    metrics_->reg = reg;
+    for (int si = 0; si < kStageCount; ++si) {
+      const Labels labels = {{"broker", broker_},
+                             {"stage", stage_name(static_cast<Stage>(si))}};
+      auto& m = metrics_->stages[si];
+      m.calls = &reg->counter("tmps_stage_calls_total", labels);
+      m.self_ns = &reg->counter("tmps_stage_self_ns_total", labels);
+      m.self_seconds = &reg->histogram("tmps_stage_self_seconds", labels);
+    }
+  }
+  for (auto& [tid, entry] : slabs_) {
+    (void)tid;
+    flush_one_locked(*entry.slab, entry.shadow, reg);
+  }
+}
+
+std::uint64_t StageProfiler::calls(Stage s) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aggregate_.stages[static_cast<std::size_t>(s)].count;
+}
+
+std::uint64_t StageProfiler::total_ns(Stage s) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aggregate_.stages[static_cast<std::size_t>(s)].total_ns;
+}
+
+std::uint64_t StageProfiler::self_ns(Stage s) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aggregate_.stages[static_cast<std::size_t>(s)].self_ns;
+}
+
+double StageProfiler::residual_share(Stage s) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto& st = aggregate_.stages[static_cast<std::size_t>(s)];
+  if (st.total_ns == 0) return 0.0;
+  return static_cast<double>(st.self_ns) / static_cast<double>(st.total_ns);
+}
+
+void StageProfiler::write_ndjson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t all_self = 0;
+  for (const auto& st : aggregate_.stages) all_self += st.self_ns;
+  for (int si = 0; si < kStageCount; ++si) {
+    const auto& st = aggregate_.stages[si];
+    if (st.count == 0) continue;
+    const double p50 =
+        percentile_from_counts(st.hist.data(), st.count, 0.50) * 1e9;
+    const double p95 =
+        percentile_from_counts(st.hist.data(), st.count, 0.95) * 1e9;
+    const double p99 =
+        percentile_from_counts(st.hist.data(), st.count, 0.99) * 1e9;
+    os << "{\"broker\":\"" << broker_ << "\",\"stage\":\""
+       << stage_name(static_cast<Stage>(si)) << "\",\"calls\":" << st.count
+       << ",\"total_ns\":" << st.total_ns << ",\"self_ns\":" << st.self_ns
+       << ",\"self_p50_ns\":" << p50 << ",\"self_p95_ns\":" << p95
+       << ",\"self_p99_ns\":" << p99 << ",\"share_self\":"
+       << (all_self ? static_cast<double>(st.self_ns) /
+                          static_cast<double>(all_self)
+                    : 0.0)
+       << ",\"residual_share\":"
+       << (st.total_ns ? static_cast<double>(st.self_ns) /
+                             static_cast<double>(st.total_ns)
+                       : 0.0)
+       << ",\"sample_rate\":" << (sample_mask_ + 1) << "}\n";
+  }
+}
+
+void StageProfiler::write_collapsed(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t p = 1; p < paths_.size(); ++p) {
+    if (aggregate_.path_count[p] == 0) continue;
+    // Rebuild root;...;leaf by walking parent links.
+    std::vector<const char*> names;
+    for (std::uint16_t id = static_cast<std::uint16_t>(p); id != 0;
+         id = paths_[id].parent) {
+      names.push_back(stage_name(paths_[id].stage));
+    }
+    os << broker_;
+    for (auto it = names.rbegin(); it != names.rend(); ++it) {
+      os << ';' << *it;
+    }
+    os << ' ' << aggregate_.path_self_ns[p] << '\n';
+  }
+}
+
+}  // namespace tmps::obs

@@ -1,0 +1,247 @@
+// Publish-path stage profiler: low-overhead RAII probes attributing broker
+// wall time to named pipeline stages (decode, match, covering probe, delta
+// apply, encode, enqueue, deliver, ...).
+//
+// Design constraints, in order:
+//   1. ~zero cost when off. Hosts only construct a StageProfiler when
+//      BrokerConfig::obs.profile is set, so the disabled path is a null
+//      check in the TMPS_PROF_STAGE macro.
+//   2. Bounded cost when on. The publish path is ~2 µs; unconditional
+//      clock reads on every probe would not fit the <3% gate. Probes are
+//      therefore *sampled at the root*: 1-in-N outermost probes run with
+//      full timing, and every probe nested under a sampled root is timed
+//      too (so nested attribution stays exact within a sampled walk).
+//      Unsampled roots cost one xorshift step and *suppress* their walk —
+//      probes nested under them cost one thread-local load and compare
+//      rather than rolling their own dice (which would skew per-stage
+//      shares: inner stages would be sampled more often than roots).
+//   3. Thread safety without hot-path locks. Counters live in per-thread
+//      slabs of relaxed atomics (single writer: the probing thread);
+//      flush() diffs each slab against a shadow copy and merges the deltas
+//      into the profiler aggregate and, optionally, MetricsRegistry
+//      histograms — so /metrics, /timeseries and tmps_top pick stages up
+//      with no extra wiring.
+//
+// Accounting model: a probe records *inclusive* time (total_ns) and
+// *exclusive* time (self_ns = elapsed minus time spent in nested probes).
+// Within one sampled walk the self times of all probes sum exactly to the
+// root's inclusive time, which makes the residual "other" bucket of a stage
+// directly measurable as self(root)/total(root). Probes also intern their
+// stage path (root;child;...;leaf) so write_collapsed() can emit
+// flamegraph.pl-compatible collapsed stacks.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log_buckets.h"
+
+namespace tmps::obs {
+
+class MetricsRegistry;
+
+/// Pipeline stages. Keep in sync with stage_name(); docs/OBSERVABILITY.md
+/// carries the catalog.
+enum class Stage : std::uint8_t {
+  kPublish = 0,  ///< outer publish-path span (self time = unattributed rest)
+  kDecode,       ///< wire decode (transport reader)
+  kMatch,        ///< SRT/PRT match: hops_for_publication
+  kCoverProbe,   ///< covering-index / scan-oracle queries
+  kDeltaApply,   ///< RoutingDelta application
+  kEncode,       ///< wire encode (codec)
+  kEnqueue,      ///< output-message construction / socket write
+  kDeliver,      ///< local client delivery callbacks
+  kFanout,       ///< publish fan-out loop (hop dispatch glue)
+  kRouteUpdate,  ///< subscribe/unsubscribe/advertise/unadvertise handling
+  kControl,      ///< mobility-protocol and other control handling
+};
+inline constexpr int kStageCount = 11;
+
+const char* stage_name(Stage s);
+
+namespace detail {
+
+/// Per-(profiler, thread) accumulation slab. All counters are relaxed
+/// atomics with a single writer (the probing thread); flush() reads them
+/// from any thread.
+struct StageSlab {
+  struct PerStage {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> self_ns{0};
+    /// Self-time distribution on the shared log-bucket (seconds) grid.
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> hist{};
+  };
+  std::array<PerStage, kStageCount> stages{};
+
+  /// Interned stage-path accounting for collapsed-stack output.
+  static constexpr int kMaxPaths = 64;
+  std::array<std::atomic<std::uint64_t>, kMaxPaths> path_self_ns{};
+  std::array<std::atomic<std::uint64_t>, kMaxPaths> path_count{};
+};
+
+/// Plain (non-atomic) mirror of a slab used both as the flush shadow and as
+/// the profiler-level aggregate.
+struct StageTotals {
+  struct PerStage {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+    std::array<std::uint64_t, kNumBuckets> hist{};
+  };
+  std::array<PerStage, kStageCount> stages{};
+  std::array<std::uint64_t, StageSlab::kMaxPaths> path_self_ns{};
+  std::array<std::uint64_t, StageSlab::kMaxPaths> path_count{};
+};
+
+}  // namespace detail
+
+class StageProbe;
+
+class StageProfiler {
+ public:
+  /// `broker` labels every exported metric/row; `sample_rate` is the 1-in-N
+  /// root-probe sampling rate (rounded up to a power of two; <=1 samples
+  /// every root).
+  explicit StageProfiler(std::string broker, std::uint32_t sample_rate = 16);
+  ~StageProfiler();
+  StageProfiler(const StageProfiler&) = delete;
+  StageProfiler& operator=(const StageProfiler&) = delete;
+
+  const std::string& broker() const { return broker_; }
+  std::uint32_t sample_rate() const { return sample_mask_ + 1; }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Diffs every thread slab against its shadow and merges the deltas into
+  /// the profiler aggregate; with a registry, also into
+  /// `tmps_stage_calls_total` / `tmps_stage_self_ns_total` counters and the
+  /// `tmps_stage_self_seconds{broker,stage}` histogram. Safe to call from
+  /// any thread, concurrently with probing.
+  void flush(MetricsRegistry* reg = nullptr);
+
+  /// One JSON object per stage with nonzero calls (flush first):
+  /// {"broker","stage","calls","total_ns","self_ns","self_p50_ns",
+  ///  "self_p95_ns","self_p99_ns","share_self","residual_share",
+  ///  "sample_rate"}. share_self is this stage's fraction of all attributed
+  /// (self) time; residual_share is self/total for the stage — for an
+  /// outermost stage like "publish" this is the unattributed "other"
+  /// fraction of the publish path.
+  void write_ndjson(std::ostream& os) const;
+
+  /// flamegraph.pl collapsed-stack format, one interned stage path per
+  /// line: `broker;publish;match 123456` (value = accumulated self ns).
+  void write_collapsed(std::ostream& os) const;
+
+  /// Aggregate readbacks for tests and gates (flush first).
+  std::uint64_t calls(Stage s) const;
+  std::uint64_t total_ns(Stage s) const;
+  std::uint64_t self_ns(Stage s) const;
+  /// self/total for `s`; 0 when the stage never ran.
+  double residual_share(Stage s) const;
+
+  /// Test hook: replace the probe clock for every profiler in the process
+  /// (nullptr restores the real clock). Override ticks are taken as ns
+  /// verbatim (the tick->ns calibration factor becomes 1).
+  using TickFn = std::uint64_t (*)();
+  static void set_clock_for_test(TickFn fn);
+  static std::uint64_t now_ns();
+
+ private:
+  friend class StageProbe;
+
+  detail::StageSlab* slab_for_current_thread();
+  bool sample_hit();
+  std::uint16_t intern_path(std::uint16_t parent, Stage s);
+  void flush_one_locked(detail::StageSlab& slab, detail::StageTotals& shadow,
+                        MetricsRegistry* reg);
+
+  const std::string broker_;
+  const std::uint64_t id_;  ///< process-unique, never reused (TLS cache key)
+  std::uint32_t sample_mask_ = 0;  ///< pow2(rate) - 1; 0 = sample every root
+  std::atomic<bool> enabled_{true};
+
+  /// parent-path × stage -> interned id (+1; 0 = not yet interned). Written
+  /// under mu_, read with a relaxed load on the probe path.
+  std::array<std::atomic<std::uint16_t>,
+             detail::StageSlab::kMaxPaths * kStageCount>
+      path_lookup_{};
+
+  struct PathInfo {
+    std::uint16_t parent = 0;
+    Stage stage = Stage::kPublish;
+  };
+
+  struct SlabEntry {
+    std::unique_ptr<detail::StageSlab> slab;
+    detail::StageTotals shadow;  ///< flushed-so-far marks (flusher-owned)
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, SlabEntry> slabs_;
+  std::vector<PathInfo> paths_;      ///< [0] is the root sentinel
+  detail::StageTotals aggregate_;    ///< sum of all flushed deltas
+  struct StageMetrics;
+  std::unique_ptr<StageMetrics> metrics_;  ///< cached registry references
+};
+
+/// RAII stage probe. Constructed inactive when `prof` is null/disabled or
+/// the walk is not sampled; otherwise records on destruction.
+class StageProbe {
+ public:
+  StageProbe(StageProfiler* prof, Stage stage) {
+    if (prof != nullptr && prof->enabled()) begin(prof, stage);
+  }
+  ~StageProbe() {
+    if (prof_ != nullptr) {
+      finish();
+    } else if (suppressing_) {
+      end_suppression();
+    }
+  }
+  StageProbe(const StageProbe&) = delete;
+  StageProbe& operator=(const StageProbe&) = delete;
+
+  /// True when this probe is actually timing (sampled walk).
+  bool active() const { return prof_ != nullptr; }
+
+ private:
+  void begin(StageProfiler* prof, Stage stage);
+  void finish();
+  void end_suppression();
+
+  StageProfiler* prof_ = nullptr;
+  detail::StageSlab* slab_ = nullptr;
+  StageProbe* parent_ = nullptr;
+  /// Raw clock ticks (TSC on x86-64, ns elsewhere / under a test clock);
+  /// converted to ns with the calibrated factor when recording.
+  std::uint64_t start_ticks_ = 0;
+  std::uint64_t child_ticks_ = 0;
+  std::uint16_t path_ = 0;
+  Stage stage_ = Stage::kPublish;
+  /// This probe is an unsampled root: nested probes stay inactive until it
+  /// goes out of scope.
+  bool suppressing_ = false;
+};
+
+// Scoped stage probe over a `StageProfiler*` expression (null => no-op).
+// Mirrors the TMPS_SPAN null-check idiom from obs/trace.h.
+#define TMPS_PROF_CAT2(a, b) a##b
+#define TMPS_PROF_CAT(a, b) TMPS_PROF_CAT2(a, b)
+#define TMPS_PROF_STAGE(prof, stage)                 \
+  ::tmps::obs::StageProbe TMPS_PROF_CAT(tmps_prof_, __LINE__) { \
+    (prof), (stage)                                  \
+  }
+
+}  // namespace tmps::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
+
 namespace tmps {
 
 SubEntry& RoutingTables::upsert_sub(const Subscription& sub, Hop lasthop) {
@@ -69,6 +71,7 @@ void RoutingTables::erase_adv(const AdvertisementId& id) {
 
 std::vector<Hop> RoutingTables::hops_for_publication(
     const Publication& pub) const {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kMatch);
   std::vector<Hop> hops;
   std::vector<SubscriptionId> cands;
   index_.candidates(pub, cands);
@@ -123,6 +126,7 @@ void sort_ids(std::vector<EntityId>& ids) { std::sort(ids.begin(), ids.end()); }
 
 std::vector<const AdvEntry*> RoutingTables::intersecting_advs(
     const Filter& sub) const {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kCoverProbe);
   if (!use_cover_index_) return intersecting_advs_scan(sub);
   std::vector<EntityId> cands;
   adv_cover_.adv_intersect_candidates(sub, cands);
@@ -149,6 +153,7 @@ std::vector<const AdvEntry*> RoutingTables::intersecting_advs_scan(
 
 std::vector<const SubEntry*> RoutingTables::subs_intersecting(
     const Filter& adv) const {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kCoverProbe);
   if (!use_cover_index_) return subs_intersecting_scan(adv);
   std::vector<EntityId> cands;
   sub_cover_.sub_intersect_candidates(adv, cands);
@@ -177,6 +182,7 @@ std::vector<const SubEntry*> RoutingTables::subs_intersecting_scan(
 
 bool RoutingTables::sub_covered_on_link(const SubscriptionId& self,
                                         const Filter& filter, Hop link) const {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kCoverProbe);
   if (!use_cover_index_) return sub_covered_on_link_scan(self, filter, link);
   std::vector<EntityId> cands;
   sub_cover_.coverer_candidates(filter, cands);
@@ -204,6 +210,7 @@ bool RoutingTables::sub_covered_on_link_scan(const SubscriptionId& self,
 
 std::vector<SubEntry*> RoutingTables::strictly_covered_subs_on_link(
     const SubscriptionId& self, const Filter& filter, Hop link) {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kCoverProbe);
   if (!use_cover_index_) {
     return strictly_covered_subs_on_link_scan(self, filter, link);
   }
@@ -276,6 +283,7 @@ std::vector<SubEntry*> RoutingTables::unquenched_subs_on_link_scan(
 
 bool RoutingTables::adv_covered_on_link(const AdvertisementId& self,
                                         const Filter& filter, Hop link) const {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kCoverProbe);
   if (!use_cover_index_) return adv_covered_on_link_scan(self, filter, link);
   std::vector<EntityId> cands;
   adv_cover_.coverer_candidates(filter, cands);
@@ -303,6 +311,7 @@ bool RoutingTables::adv_covered_on_link_scan(const AdvertisementId& self,
 
 std::vector<AdvEntry*> RoutingTables::strictly_covered_advs_on_link(
     const AdvertisementId& self, const Filter& filter, Hop link) {
+  TMPS_PROF_STAGE(prof_, obs::Stage::kCoverProbe);
   if (!use_cover_index_) {
     return strictly_covered_advs_on_link_scan(self, filter, link);
   }

@@ -24,6 +24,10 @@
 #include "routing/match_index.h"
 #include "routing/routing_delta.h"
 
+namespace tmps::obs {
+class StageProfiler;
+}  // namespace tmps::obs
+
 namespace tmps {
 
 struct SubEntry {
@@ -179,6 +183,11 @@ class RoutingTables {
   /// full-table scans instead of the covering index (benchmarks, debugging).
   void set_use_cover_index(bool on) { use_cover_index_ = on; }
   bool use_cover_index() const { return use_cover_index_; }
+
+  /// Optional stage profiler (the owning broker's): publication matching
+  /// records under Stage::kMatch, covering/intersection queries under
+  /// Stage::kCoverProbe. Null = no probes.
+  void set_profiler(obs::StageProfiler* prof) { prof_ = prof; }
   const CoveringIndex& sub_cover_index() const { return sub_cover_; }
   const CoveringIndex& adv_cover_index() const { return adv_cover_; }
 
@@ -235,6 +244,7 @@ class RoutingTables {
   CoveringIndex sub_cover_;
   CoveringIndex adv_cover_;
   bool use_cover_index_ = true;
+  obs::StageProfiler* prof_ = nullptr;
   std::uint64_t version_ = 0;
 };
 

@@ -157,8 +157,17 @@ bool TcpTransport::start() {
   return true;
 }
 
+void TcpTransport::flush_profilers() {
+  for (BrokerId b = 1; b < nodes_.size(); ++b) {
+    if (obs::StageProfiler* prof = nodes_[b]->broker->profiler()) {
+      prof->flush(&metrics_);
+    }
+  }
+}
+
 void TcpTransport::timeseries_tick() {
   if (!running_.load()) return;
+  flush_profilers();  // stage histograms land in the same windows
   timeseries_.tick(now());
   schedule(obs_cfg_.timeseries_interval, [this] { timeseries_tick(); });
 }
@@ -200,9 +209,27 @@ bool TcpTransport::start_admin() {
       return {200, "application/json", os.str()};
     });
     node.admin->add_route("/metrics", [this]() -> HttpResponse {
+      flush_profilers();
       std::ostringstream os;
       metrics_.write_prometheus(os);
       return {200, "text/plain; version=0.0.4; charset=utf-8", os.str()};
+    });
+    node.admin->add_route("/profile", [this, &node]() -> HttpResponse {
+      obs::StageProfiler* prof = node.broker->profiler();
+      if (!prof) return {404, "text/plain", "profiler disabled\n"};
+      prof->flush(&metrics_);
+      std::ostringstream os;
+      prof->write_ndjson(os);
+      return {200, "application/x-ndjson", os.str()};
+    });
+    node.admin->add_route("/profile/collapsed",
+                          [this, &node]() -> HttpResponse {
+      obs::StageProfiler* prof = node.broker->profiler();
+      if (!prof) return {404, "text/plain", "profiler disabled\n"};
+      prof->flush(&metrics_);
+      std::ostringstream os;
+      prof->write_collapsed(os);
+      return {200, "text/plain", os.str()};
     });
     node.admin->add_route("/routing", [this, b]() -> HttpResponse {
       return {200, "application/x-ndjson", snapshot_one(b).to_jsonl() + "\n"};
@@ -292,7 +319,12 @@ void TcpTransport::reader_loop(BrokerId self, BrokerId peer, int fd) {
 
     std::uint32_t from = 0;
     std::memcpy(&from, frame.data(), 4);
-    const auto msg = decode_message(std::string_view(frame).substr(4));
+    std::optional<Message> msg;
+    {
+      TMPS_PROF_STAGE(nodes_[self]->broker->profiler(),
+                      obs::Stage::kDecode);
+      msg = decode_message(std::string_view(frame).substr(4));
+    }
     if (from != peer || !msg) {
       ++decode_failures_;
       decode_failures_metric_->inc();
@@ -328,15 +360,20 @@ void TcpTransport::send_frame(BrokerId from, BrokerId to, const Message& msg) {
   }
   in_flight_.fetch_add(1, std::memory_order_relaxed);
 
-  const std::string body = encode_message(msg);
-  const std::uint32_t len = static_cast<std::uint32_t>(body.size()) + 4;
+  obs::StageProfiler* prof = nodes_[from]->broker->profiler();
   std::string frame;
-  frame.reserve(4 + len);
-  frame.append(reinterpret_cast<const char*>(&len), 4);
-  const std::uint32_t from32 = from;
-  frame.append(reinterpret_cast<const char*>(&from32), 4);
-  frame.append(body);
+  {
+    TMPS_PROF_STAGE(prof, obs::Stage::kEncode);
+    const std::string body = encode_message(msg);
+    const std::uint32_t len = static_cast<std::uint32_t>(body.size()) + 4;
+    frame.reserve(4 + len);
+    frame.append(reinterpret_cast<const char*>(&len), 4);
+    const std::uint32_t from32 = from;
+    frame.append(reinterpret_cast<const char*>(&from32), 4);
+    frame.append(body);
+  }
 
+  TMPS_PROF_STAGE(prof, obs::Stage::kEnqueue);
   Node& node = *nodes_[from];
   std::lock_guard lock(node.peers_mu);
   auto it = node.peer_fd.find(to);

@@ -105,6 +105,9 @@ class TcpTransport final : public RuntimeEnv {
   obs::BrokerSnapshot snapshot_one(BrokerId b);
   bool start_admin();
   void timeseries_tick();
+  /// Drains every broker's stage-profiler slabs into the metrics registry
+  /// (no-op when profiling is off). Called before any metrics export.
+  void flush_profilers();
 
   bool connect_links();
   void accept_loop(BrokerId b);

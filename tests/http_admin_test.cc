@@ -234,15 +234,69 @@ TEST(HttpAdmin, TimeseriesEndpointServesWindows) {
   net.stop();
 }
 
+TEST(HttpAdmin, ProfileEndpointsServeStageRows) {
+  const Overlay overlay = Overlay::chain(2);
+  BrokerConfig bc = with_admin();
+  bc.obs.profile = true;
+  bc.obs.profile_rate = 1;  // sample every walk: publications below are few
+  TcpTransport net(overlay, 0, bc, MobilityConfig{});
+  ASSERT_TRUE(net.start());
+  net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(600);
+    e.advertise(600, full_space_advertisement(), out);
+  });
+  net.run_on(2, [&](MobilityEngine& e, Broker::Outputs& out) {
+    e.connect_client(500);
+    e.subscribe(500, workload_filter(WorkloadKind::Covered, 2), out);
+  });
+  net.drain();
+  for (std::uint32_t seq = 1; seq <= 20; ++seq) {
+    const Publication p = make_publication({600, seq}, 100, 0);
+    net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+      e.publish(600, Publication(p), out);
+    });
+  }
+  net.drain();
+
+  const std::string resp = http_get(net.admin_port_of(1), "/profile");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("application/x-ndjson"), std::string::npos) << resp;
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("\"stage\":\"publish\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"stage\":\"match\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"self_ns\":"), std::string::npos) << body;
+
+  const std::string collapsed =
+      http_get(net.admin_port_of(1), "/profile/collapsed");
+  EXPECT_NE(collapsed.find("HTTP/1.1 200"), std::string::npos) << collapsed;
+  const std::string stacks = body_of(collapsed);
+  EXPECT_NE(stacks.find("publish;match "), std::string::npos) << stacks;
+  net.stop();
+
+  // Without profiling configured, the routes answer 404, not garbage.
+  TcpTransport off(overlay, 0, with_admin(), MobilityConfig{});
+  ASSERT_TRUE(off.start());
+  EXPECT_NE(http_get(off.admin_port_of(1), "/profile").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_get(off.admin_port_of(1), "/profile/collapsed")
+                .find("HTTP/1.1 404"),
+            std::string::npos);
+  off.stop();
+}
+
 // TSan target (see scripts/ci.sh): admin scrapes race against broker
 // threads recording metrics/flight events and the timer thread ticking the
-// time-series ring. Any locking mistake in the snapshot paths shows up here.
+// time-series ring (plus, with profiling on, broker threads writing stage
+// slabs that the scrape-triggered flush reads). Any locking mistake in the
+// snapshot paths shows up here.
 TEST(HttpAdmin, ConcurrentScrapesDuringTrafficAreRaceFree) {
   constexpr ClientId kPublisher = 600;
   constexpr ClientId kSubscriber = 500;
   const Overlay overlay = Overlay::chain(3);
   BrokerConfig bc = with_admin();
   bc.obs.timeseries_interval = 0.05;
+  bc.obs.profile = true;
+  bc.obs.profile_rate = 1;
   TcpTransport net(overlay, 0, bc, MobilityConfig{});
   ASSERT_TRUE(net.start());
   net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
@@ -262,9 +316,10 @@ TEST(HttpAdmin, ConcurrentScrapesDuringTrafficAreRaceFree) {
       const std::uint16_t port = net.admin_port_of(b);
       int i = 0;
       while (!stop.load()) {
-        const char* path = i % 3 == 0   ? "/metrics"
-                           : i % 3 == 1 ? "/timeseries"
-                                        : "/flight";
+        const char* path = i % 4 == 0   ? "/metrics"
+                           : i % 4 == 1 ? "/timeseries"
+                           : i % 4 == 2 ? "/flight"
+                                        : "/profile";
         const std::string resp = http_get(port, path);
         EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos)
             << "broker " << b << " " << path;

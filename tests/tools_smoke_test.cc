@@ -100,17 +100,25 @@ TEST(ToolsSmokeTop, TopPollsLiveAdminEndpoints) {
   bc.advertisement_covering = false;
   bc.admin.enabled = true;
   bc.obs.timeseries_interval = 0.1;
+  bc.obs.profile = true;  // --stages pane reads GET /profile
+  bc.obs.profile_rate = 1;
   TcpTransport net(overlay, 0, bc, MobilityConfig{});
   ASSERT_TRUE(net.start());
   net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
     e.connect_client(600);
     e.advertise(600, full_space_advertisement(), out);
   });
+  for (std::uint32_t seq = 1; seq <= 10; ++seq) {
+    const Publication p = make_publication({600, seq}, 100, 0);
+    net.run_on(1, [&](MobilityEngine& e, Broker::Outputs& out) {
+      e.publish(600, Publication(p), out);
+    });
+  }
   net.drain();
   // Give the timer thread a chance to close at least one window.
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
 
-  std::string cmd = std::string(TMPS_TOP_BIN) + " --once";
+  std::string cmd = std::string(TMPS_TOP_BIN) + " --once --stages";
   for (BrokerId b = 1; b <= 2; ++b) {
     cmd += " 127.0.0.1:" + std::to_string(net.admin_port_of(b));
   }
@@ -120,11 +128,86 @@ TEST(ToolsSmokeTop, TopPollsLiveAdminEndpoints) {
   EXPECT_EQ(rc, 0) << out;
   EXPECT_NE(out.find("BROKER"), std::string::npos) << out;
   EXPECT_EQ(out.find("unreachable"), std::string::npos) << out;
+  // The stage pane lists broker 1's hot stages; matching ran once per
+  // publication so it always clears the pane's share cutoff here.
+  EXPECT_NE(out.find("STAGES"), std::string::npos) << out;
+  EXPECT_NE(out.find("match"), std::string::npos) << out;
   net.stop();
 
   // With every endpoint down, --once must exit non-zero.
   const int rc_down = run_capture(cmd, dir + "/top_down.out", out);
   EXPECT_EQ(rc_down, 1) << out;
+}
+
+/// Writes a minimal bench-JSON artifact in the shape bench_json.h emits.
+/// `samples` controls whether the latency percentiles are considered
+/// powered; `seed` lands in the config block (a mismatch axis).
+std::string write_bench_json(const std::string& path, double lat_p95_ms,
+                             int samples, int seed) {
+  std::ofstream os(path);
+  os << "{\"bench\":\"synthetic\",\"mode\":\"quick\",\"config\":{\"seed\":"
+     << seed << "},\"rows\":[\n"
+     << "{\"protocol\":\"reconfig\",\"samples\":" << samples
+     << ",\"lat_p95_ms\":" << lat_p95_ms
+     << ",\"movements\":" << samples << ",\"duplicates\":0}\n]}";
+  return path;
+}
+
+TEST(ToolsSmokeBenchdiff, CleanDiffExitsZero) {
+  const std::string dir = ::testing::TempDir();
+  const auto base = write_bench_json(dir + "/bd_base.json", 100.0, 100, 7);
+  const auto cur = write_bench_json(dir + "/bd_same.json", 100.0, 100, 7);
+  std::string out;
+  const int rc = run_capture(
+      std::string(TMPS_BENCHDIFF_BIN) + " " + base + " " + cur,
+      dir + "/bd_same.out", out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("clean"), std::string::npos) << out;
+}
+
+TEST(ToolsSmokeBenchdiff, TenPercentLatencyRegressionFails) {
+  const std::string dir = ::testing::TempDir();
+  const auto base = write_bench_json(dir + "/bd_base2.json", 100.0, 100, 7);
+  const auto cur = write_bench_json(dir + "/bd_reg.json", 110.0, 100, 7);
+  std::string out;
+  const int rc = run_capture(
+      std::string(TMPS_BENCHDIFF_BIN) + " " + base + " " + cur,
+      dir + "/bd_reg.out", out);
+  EXPECT_EQ(rc, 1) << out;
+  EXPECT_NE(out.find("REGRESSION"), std::string::npos) << out;
+  EXPECT_NE(out.find("lat_p95_ms"), std::string::npos) << out;
+}
+
+TEST(ToolsSmokeBenchdiff, UnderpoweredLatencyRowIsAdvisoryOnly) {
+  // One movement: p95 == the single sample; a big delta proves nothing,
+  // so the row is reported but must not fail the diff.
+  const std::string dir = ::testing::TempDir();
+  const auto base = write_bench_json(dir + "/bd_base3.json", 100.0, 1, 7);
+  const auto cur = write_bench_json(dir + "/bd_weak.json", 150.0, 1, 7);
+  std::string out;
+  const int rc = run_capture(
+      std::string(TMPS_BENCHDIFF_BIN) + " " + base + " " + cur,
+      dir + "/bd_weak.out", out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("advisory"), std::string::npos) << out;
+  EXPECT_NE(out.find("underpowered"), std::string::npos) << out;
+}
+
+TEST(ToolsSmokeBenchdiff, ConfigMismatchRefusesToCompare) {
+  const std::string dir = ::testing::TempDir();
+  const auto base = write_bench_json(dir + "/bd_base4.json", 100.0, 100, 7);
+  const auto cur = write_bench_json(dir + "/bd_seed.json", 100.0, 100, 8);
+  std::string out;
+  const int rc = run_capture(
+      std::string(TMPS_BENCHDIFF_BIN) + " " + base + " " + cur,
+      dir + "/bd_seed.out", out);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("mismatch"), std::string::npos) << out;
+  // --force overrides the refusal; identical metrics then diff clean.
+  const int rc_forced = run_capture(
+      std::string(TMPS_BENCHDIFF_BIN) + " --force " + base + " " + cur,
+      dir + "/bd_seed_forced.out", out);
+  EXPECT_EQ(rc_forced, 0) << out;
 }
 
 TEST_F(ToolsSmoke, AuditCliFlagsDoctoredSnapshots) {

@@ -1,0 +1,380 @@
+// tmps_benchdiff — the perf-regression observatory's comparator.
+//
+// Diffs BENCH_*.json files (bench_json.h shape) metric by metric and exits
+// nonzero when a gated metric regressed beyond its noise floor, so a CI leg
+// can hold the line against committed baselines:
+//
+//   tmps_benchdiff BASELINE.json CURRENT.json
+//   tmps_benchdiff --baselines DIR CURRENT.json...   (baseline = DIR/<name>)
+//
+// Rows are keyed by their identity fields (every string field plus the
+// known sweep axes like clients/brokers/hops), so sweeps pair up row by row
+// regardless of order. Each metric carries a direction and a noise floor:
+//
+//   * simulation metrics (lat_*_ms, dlv_*_ms, msgs_per_movement, message
+//     and loss counts) run on the simulated clock and are deterministic per
+//     seed — they gate, with small floors for log-bucket interpolation;
+//   * wall-clock metrics (ns_per_*, real/cpu time, speedups, shares) vary
+//     with the machine — reported as advisory, never failing;
+//   * loss/duplicate counts gate with a zero floor: any increase fails.
+//
+// Latency percentiles of a row whose `samples` count is below
+// --min-samples (default 20) are advisory too: a single-movement quick run
+// has p50 == p99 == max, which says nothing about a regression.
+//
+// The two files must agree on mode and config (the run parameters recorded
+// by the bench); a mismatch is a usage error (exit 2) unless --force, so a
+// quick-mode run is never judged against a full-mode baseline.
+//
+// Exit: 0 clean, 1 regression, 2 usage/parse/config-mismatch.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_read.h"
+
+namespace {
+
+using tmps::obs::JsonObject;
+using Flat = JsonObject::Flat;
+
+struct BenchFile {
+  std::string path;
+  std::string bench;
+  std::string mode;
+  Flat config;
+  std::vector<Flat> rows;
+};
+
+std::optional<BenchFile> load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "tmps_benchdiff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream joined;
+  std::string line;
+  while (std::getline(is, line)) joined << line;
+  const auto obj = tmps::obs::parse_json_line(joined.str());
+  if (!obj) {
+    std::fprintf(stderr, "tmps_benchdiff: %s: malformed JSON\n", path.c_str());
+    return std::nullopt;
+  }
+  BenchFile f;
+  f.path = path;
+  f.bench = obj->str("bench");
+  f.mode = obj->str("mode");
+  if (auto it = obj->objects.find("config"); it != obj->objects.end()) {
+    f.config = it->second;
+  }
+  if (auto it = obj->object_arrays.find("rows");
+      it != obj->object_arrays.end()) {
+    f.rows = it->second;
+  }
+  return f;
+}
+
+bool is_number(const std::string& s) {
+  if (s.empty() || s == "true" || s == "false" || s == "null") return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Numeric fields that are sweep axes (row identity), not metrics.
+const char* const kAxisKeys[] = {
+    "clients",    "movers",     "brokers",       "hops",
+    "subs",       "queries",    "t0_s",          "t1_s",
+    "pause_s",    "seed",       "churn_interval", "churn_interval_s",
+    "sub_proc_ms", "rate",      "family",        "iterations_requested",
+};
+
+bool is_axis(const std::string& key) {
+  for (const char* a : kAxisKeys) {
+    if (key == a) return true;
+  }
+  return false;
+}
+
+/// The identity of a row: every string/bool field plus the known axes.
+std::string row_key(const Flat& row) {
+  std::string key;
+  for (const auto& [k, v] : row) {
+    if (!is_number(v) || is_axis(k)) {
+      key += k;
+      key += '=';
+      key += v;
+      key += ';';
+    }
+  }
+  return key;
+}
+
+bool has_suffix(const std::string& s, const char* suf) {
+  const std::size_t n = std::strlen(suf);
+  return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+}
+bool has_prefix(const std::string& s, const char* pre) {
+  return s.rfind(pre, 0) == 0;
+}
+
+enum class Direction { kHigherIsWorse, kLowerIsWorse, kAnyChange };
+
+struct Rule {
+  Direction dir = Direction::kHigherIsWorse;
+  double rel_floor = 0.02;  ///< ignore |delta| below this fraction of base
+  double abs_floor = 0.0;   ///< ...and below this absolute amount
+  bool advisory = false;    ///< report but never fail
+};
+
+/// Metric classification. Wall-clock metrics never gate — only the
+/// deterministic simulation outputs hold the line.
+Rule rule_for(const std::string& key) {
+  // Wall-clock / machine-dependent: advisory.
+  if (has_prefix(key, "ns_per_") || has_suffix(key, "_us") ||
+      key == "real_time" || key == "cpu_time" || key == "items_per_second" ||
+      key == "iterations" || key == "speedup" || has_suffix(key, "_pct") ||
+      has_suffix(key, "_share") || key == "profiled_walks") {
+    return {Direction::kHigherIsWorse, 0.10, 0.0, true};
+  }
+  // Spread of a latency population: advisory (informative, noisy).
+  if (has_suffix(key, "_stddev_ms")) {
+    return {Direction::kHigherIsWorse, 0.10, 0.0, true};
+  }
+  // Violation counts: any increase is a failure.
+  if (key == "duplicates" || has_suffix(key, "_losses")) {
+    return {Direction::kHigherIsWorse, 0.0, 0.0, false};
+  }
+  // Throughput-ish: losing work is the regression.
+  if (key == "movements" || key == "deliveries" || key == "samples" ||
+      has_suffix(key, "_committed") || has_suffix(key, "_expected")) {
+    return {Direction::kLowerIsWorse, 0.02, 0.999, false};
+  }
+  // Latency / message-cost metrics (simulated clock: deterministic).
+  if (has_prefix(key, "lat_") || has_prefix(key, "dlv_")) {
+    return {Direction::kHigherIsWorse, 0.02, 0.01, false};
+  }
+  if (key == "msgs_per_movement") {
+    return {Direction::kHigherIsWorse, 0.02, 0.5, false};
+  }
+  if (key == "total_messages") {
+    return {Direction::kHigherIsWorse, 0.02, 10.0, false};
+  }
+  // Load-balance ratios and anything unrecognised: gate gently in both
+  // directions — an unexplained change in a deterministic output deserves
+  // a look, but new metric columns should not hard-fail old baselines.
+  return {Direction::kAnyChange, 0.05, 0.01, true};
+}
+
+struct Options {
+  double min_samples = 20;
+  bool force = false;
+  bool verbose = false;
+};
+
+struct Counters {
+  int gated_regressions = 0;
+  int advisories = 0;
+  int metrics_compared = 0;
+};
+
+void diff_rows(const std::string& key, const Flat& base, const Flat& cur,
+               const Options& opt, Counters& c) {
+  // Population sizes behind the percentile metrics: movement latencies
+  // (lat_*) are computed over `samples` movements, delivery latencies
+  // (dlv_*) over `deliveries` publications. Rows that omit the count are
+  // assumed well-powered.
+  const auto population = [&](const char* field) {
+    auto it = cur.find(field);
+    return it != cur.end() ? std::strtod(it->second.c_str(), nullptr) : 1e18;
+  };
+  const double lat_samples = population("samples");
+  const double dlv_samples = population("deliveries");
+  for (const auto& [k, bv] : base) {
+    if (!is_number(bv) || is_axis(k)) continue;
+    auto it = cur.find(k);
+    if (it == cur.end()) {
+      std::printf("  [advisory] %s%s: metric missing in current run\n",
+                  key.c_str(), k.c_str());
+      ++c.advisories;
+      continue;
+    }
+    if (!is_number(it->second)) continue;
+    const double b = std::strtod(bv.c_str(), nullptr);
+    const double v = std::strtod(it->second.c_str(), nullptr);
+    ++c.metrics_compared;
+    Rule rule = rule_for(k);
+    // Percentiles from an underpowered population say nothing — advisory.
+    const double samples = has_prefix(k, "dlv_") ? dlv_samples : lat_samples;
+    const bool underpowered = (has_prefix(k, "lat_") || has_prefix(k, "dlv_")) &&
+                              samples < opt.min_samples;
+    if (underpowered) rule.advisory = true;
+    const double delta = v - b;
+    const double rel = b != 0.0 ? std::fabs(delta) / std::fabs(b)
+                                : (delta == 0.0 ? 0.0 : 1e18);
+    const bool beyond_floor =
+        rel > rule.rel_floor && std::fabs(delta) > rule.abs_floor;
+    if (!beyond_floor) {
+      if (opt.verbose) {
+        std::printf("  [ok]       %s%s: %g -> %g\n", key.c_str(), k.c_str(),
+                    b, v);
+      }
+      continue;
+    }
+    const bool worse = rule.dir == Direction::kAnyChange ||
+                       (rule.dir == Direction::kHigherIsWorse ? delta > 0
+                                                              : delta < 0);
+    if (!worse) {
+      if (opt.verbose) {
+        std::printf("  [improved] %s%s: %g -> %g (%+.1f%%)\n", key.c_str(),
+                    k.c_str(), b, v, b != 0 ? delta / b * 100.0 : 0.0);
+      }
+      continue;
+    }
+    const char* tag = rule.advisory ? "[advisory]" : "[REGRESSION]";
+    std::printf("  %s %s%s: %g -> %g (%+.1f%%)%s\n", tag, key.c_str(),
+                k.c_str(), b, v, b != 0 ? delta / b * 100.0 : 0.0,
+                underpowered ? "  (underpowered: samples < min)" : "");
+    if (rule.advisory) {
+      ++c.advisories;
+    } else {
+      ++c.gated_regressions;
+    }
+  }
+}
+
+/// Diffs one (baseline, current) pair. Returns exit code contribution.
+int diff_files(const BenchFile& base, const BenchFile& cur,
+               const Options& opt, Counters& c) {
+  std::printf("%s: %s vs %s\n", cur.bench.c_str(), base.path.c_str(),
+              cur.path.c_str());
+  if (!opt.force && (base.mode != cur.mode || base.config != cur.config)) {
+    std::fprintf(stderr,
+                 "tmps_benchdiff: %s: config/mode mismatch (baseline mode "
+                 "'%s', current '%s') — results are not comparable; rerun "
+                 "with matching parameters or pass --force\n",
+                 cur.bench.c_str(), base.mode.c_str(), cur.mode.c_str());
+    for (const auto& [k, v] : base.config) {
+      auto it = cur.config.find(k);
+      if (it == cur.config.end() || it->second != v) {
+        std::fprintf(stderr, "  config %s: baseline %s, current %s\n",
+                     k.c_str(), v.c_str(),
+                     it == cur.config.end() ? "<missing>" : it->second.c_str());
+      }
+    }
+    for (const auto& [k, v] : cur.config) {
+      if (!base.config.count(k)) {
+        std::fprintf(stderr, "  config %s: baseline <missing>, current %s\n",
+                     k.c_str(), v.c_str());
+      }
+    }
+    return 2;
+  }
+
+  std::map<std::string, const Flat*> base_rows;
+  for (const Flat& r : base.rows) base_rows[row_key(r)] = &r;
+  std::set<std::string> seen;
+  int rc = 0;
+  for (const Flat& r : cur.rows) {
+    const std::string key = row_key(r);
+    seen.insert(key);
+    auto it = base_rows.find(key);
+    if (it == base_rows.end()) {
+      std::printf("  [advisory] new row not in baseline: %s\n", key.c_str());
+      ++c.advisories;
+      continue;
+    }
+    diff_rows(key, *it->second, r, opt, c);
+  }
+  for (const auto& [key, row] : base_rows) {
+    (void)row;
+    if (!seen.count(key)) {
+      std::printf("  [REGRESSION] baseline row missing from current run: %s\n",
+                  key.c_str());
+      ++c.gated_regressions;
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tmps_benchdiff [options] BASELINE.json CURRENT.json\n"
+      "       tmps_benchdiff [options] --baselines DIR CURRENT.json...\n"
+      "options:\n"
+      "  --baselines DIR   compare each CURRENT against DIR/<basename>\n"
+      "  --min-samples N   lat/dlv percentiles gate only with >= N samples "
+      "(default 20)\n"
+      "  --force           diff despite config/mode mismatch\n"
+      "  --verbose         also print unchanged/improved metrics\n"
+      "exit: 0 clean, 1 regression, 2 usage/parse/config mismatch\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string baselines_dir;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--baselines" && i + 1 < argc) {
+      baselines_dir = argv[++i];
+    } else if (a == "--min-samples" && i + 1 < argc) {
+      opt.min_samples = std::atof(argv[++i]);
+    } else if (a == "--force") {
+      opt.force = true;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--help" || a[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> pairs;  // baseline, current
+  if (!baselines_dir.empty()) {
+    if (files.empty()) return usage();
+    for (const std::string& f : files) {
+      pairs.emplace_back(baselines_dir + "/" + basename_of(f), f);
+    }
+  } else {
+    if (files.size() != 2) return usage();
+    pairs.emplace_back(files[0], files[1]);
+  }
+
+  Counters c;
+  int rc = 0;
+  for (const auto& [bpath, cpath] : pairs) {
+    const auto base = load(bpath);
+    const auto cur = load(cpath);
+    if (!base || !cur) return 2;
+    const int r = diff_files(*base, *cur, opt, c);
+    rc = std::max(rc, r);
+  }
+  if (c.gated_regressions > 0) rc = std::max(rc, 1);
+  std::printf(
+      "benchdiff: %d metrics compared, %d regression(s), %d advisory note(s)"
+      " -> %s\n",
+      c.metrics_compared, c.gated_regressions, c.advisories,
+      rc == 0 ? "clean" : rc == 1 ? "REGRESSED" : "NOT COMPARABLE");
+  return rc;
+}

@@ -6,8 +6,13 @@
 // rates plus windowed delivery-latency percentiles from the per-broker
 // provenance histograms.
 //
+// With --stages it also polls GET /profile (the stage profiler's NDJSON
+// dump) and renders a per-broker pane of the hottest publish-path stages by
+// self-time share. Brokers running without the profiler show "profiler
+// off" — the pane degrades, the table does not.
+//
 // Usage:
-//   tmps_top [--once] [--interval SECONDS] HOST:PORT [HOST:PORT ...]
+//   tmps_top [--once] [--stages] [--interval SECONDS] HOST:PORT [...]
 //
 // Each HOST:PORT is one broker's admin endpoint (TcpTransport assigns one
 // per broker). --once polls a single round and exits (scripting / smoke
@@ -18,7 +23,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,6 +118,45 @@ bool series_is(const std::string& chunk, const std::string& name,
          std::string::npos;
 }
 
+/// One stage row of a broker's /profile dump, reduced to what the pane
+/// shows: self-time share of the walk and the self-latency tail.
+struct StageRow {
+  std::string stage;
+  double share = 0;    // share_self: fraction of all recorded self time
+  double p95_us = 0;   // self_p95_ns / 1e3
+  std::uint64_t calls = 0;
+};
+
+/// Parses the /profile NDJSON body into stage rows sorted hottest-first.
+/// Empty when the profiler is off (404 body) or the dump has no rows yet.
+std::vector<StageRow> parse_stage_rows(const std::string& body) {
+  std::vector<StageRow> rows;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eol = body.find('\n', pos);
+    const std::string line =
+        body.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    pos = eol == std::string::npos ? body.size() : eol + 1;
+    const auto tag = line.find("\"stage\":\"");
+    if (tag == std::string::npos) continue;
+    const std::size_t name_at = tag + 9;
+    const std::size_t name_end = line.find('"', name_at);
+    if (name_end == std::string::npos) continue;
+    StageRow r;
+    r.stage = line.substr(name_at, name_end - name_at);
+    r.share = json_num(line, "share_self");
+    r.p95_us = json_num(line, "self_p95_ns") / 1e3;
+    r.calls = static_cast<std::uint64_t>(json_num(line, "calls"));
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const StageRow& a, const StageRow& b) {
+              return a.share > b.share;
+            });
+  return rows;
+}
+
 BrokerRow poll(const Endpoint& ep) {
   BrokerRow row;
   const std::string health = http_get(ep, "/healthz");
@@ -164,16 +210,47 @@ void render(const std::vector<Endpoint>& eps,
   std::fflush(stdout);
 }
 
+/// The --stages pane: per broker, the hottest stages by self-time share.
+void render_stages(const std::vector<Endpoint>& eps,
+                   const std::vector<BrokerRow>& rows) {
+  std::printf("\nSTAGES (self-time share of the profiled walks, p95 self "
+              "latency)\n");
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    if (!rows[i].alive) continue;
+    const std::string body = http_get(eps[i], "/profile");
+    const std::vector<StageRow> stages = parse_stage_rows(body);
+    std::printf("  B%-4ld", rows[i].broker);
+    if (stages.empty()) {
+      std::printf(" profiler off\n");
+      continue;
+    }
+    int shown = 0;
+    for (const StageRow& s : stages) {
+      if (shown == 5) break;
+      if (s.share < 0.005) break;  // tail stages below half a percent
+      std::printf("  %s %4.1f%% (p95 %.1fus, %llu calls)", s.stage.c_str(),
+                  s.share * 100.0, s.p95_us,
+                  static_cast<unsigned long long>(s.calls));
+      ++shown;
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool once = false;
+  bool stages = false;
   double interval = 2.0;
   std::vector<Endpoint> eps;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--once") {
       once = true;
+    } else if (arg == "--stages") {
+      stages = true;
     } else if (arg == "--interval" && i + 1 < argc) {
       interval = std::atof(argv[++i]);
     } else {
@@ -193,7 +270,8 @@ int main(int argc, char** argv) {
   if (eps.empty()) {
     std::fprintf(
         stderr,
-        "usage: tmps_top [--once] [--interval SECONDS] HOST:PORT ...\n");
+        "usage: tmps_top [--once] [--stages] [--interval SECONDS] "
+        "HOST:PORT ...\n");
     return 2;
   }
 
@@ -205,6 +283,7 @@ int main(int argc, char** argv) {
       any_alive = any_alive || rows.back().alive;
     }
     render(eps, rows, once);
+    if (stages && any_alive) render_stages(eps, rows);
     if (once) return any_alive ? 0 : 1;
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
   }
