@@ -37,7 +37,7 @@ void BM_PublicationMatching(benchmark::State& state) {
   std::uint32_t seq = 0;
   for (auto _ : state) {
     const Publication p = make_publication({1, ++seq}, x(rng), g(rng));
-    benchmark::DoNotOptimize(rt.hops_for_publication(p));
+    benchmark::DoNotOptimize(rt.match(p).links);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -12,10 +12,11 @@
 #      movement-invariant auditor enabled, re-checked from the emitted JSONL
 #      files by tools/tmps_audit. Any invariant violation fails the leg.
 #      Bench JSON artifacts (BENCH_*.json) land in results/.
-#   5. a perf-smoke leg: micro_covering at a small table size. The binary
-#      exits nonzero on any covering-index/scan-oracle disagreement, and the
-#      leg additionally checks that the bench JSON artifact was emitted with
-#      speedup figures in it.
+#   5. perf-smoke legs: micro_covering at a small table size and
+#      micro_forwarding at the 100k-subscription gate size. Each binary
+#      exits nonzero on any index/scan-oracle disagreement (micro_forwarding
+#      additionally gates on a >=10x match speedup), and the legs check that
+#      the bench JSON artifacts were emitted with speedup figures in them.
 #   6. a balancer-soak leg: ext_load_balance drives the load-balancing
 #      control plane over a Zipf-skewed placement — with and without
 #      background subscription churn — under the movement-invariant auditor.
@@ -111,6 +112,17 @@ COVERING_JSON="${RESULTS}/BENCH_micro_covering.json"
 grep -q '"speedup":' "${COVERING_JSON}" || {
   echo "no speedup figures in ${COVERING_JSON}"; exit 1; }
 
+echo "=== perf-smoke leg: forwarding core vs scan (micro_forwarding) ==="
+# Gate size: every timed publication is cross-checked against the
+# match_scan oracle (exit 1 on divergence), and the counting index must
+# beat the scan by >=10x at 100k subscriptions.
+TMPS_BENCH_OUT="${RESULTS}" ./build/bench/micro_forwarding 100000
+FORWARDING_JSON="${RESULTS}/BENCH_micro_forwarding.json"
+[[ -s "${FORWARDING_JSON}" ]] || {
+  echo "missing ${FORWARDING_JSON}"; exit 1; }
+grep -q '"speedup":' "${FORWARDING_JSON}" || {
+  echo "no speedup figures in ${FORWARDING_JSON}"; exit 1; }
+
 echo "=== balancer-soak leg: load balancing under churn (ext_load_balance) ==="
 TMPS_AUDIT=1 TMPS_BENCH_OUT="${RESULTS}" ./build/bench/ext_load_balance
 BALANCE_JSON="${RESULTS}/BENCH_ext_load_balance.json"
@@ -136,6 +148,7 @@ echo "=== regression leg: bench results vs committed baselines ==="
 TMPS_BENCH_OUT="${RESULTS}" ./build/bench/fig11_single_client
 ./build/tools/tmps_benchdiff --baselines "${RESULTS}/baselines" \
   "${RESULTS}/BENCH_fig09_workload_sweep.json" \
-  "${RESULTS}/BENCH_fig11_single_client.json"
+  "${RESULTS}/BENCH_fig11_single_client.json" \
+  "${RESULTS}/BENCH_micro_forwarding.json"
 
 echo "=== ci.sh: all legs passed ==="

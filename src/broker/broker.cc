@@ -43,6 +43,7 @@ Broker::Broker(BrokerId id, const Overlay* overlay, BrokerConfig cfg)
     : id_(id), overlay_(overlay), cfg_(std::move(cfg)) {
   assert(overlay_ && overlay_->contains(id_));
   tables_.set_use_cover_index(cfg_.covering_index);
+  tables_.set_use_forward_index(cfg_.forwarding_index);
   if (cfg_.obs.flight_capacity > 0) {
     flight_ = std::make_unique<obs::FlightRecorder>(cfg_.obs.flight_capacity);
   }
@@ -170,6 +171,28 @@ void Broker::inject_unadvertise(Hop from, const AdvertisementId& id,
 void Broker::inject_publish(Hop from, const Publication& pub, TxnId cause,
                             std::vector<Output>& out) {
   do_publish(from, pub, cause, out);
+}
+
+std::vector<Hop> Broker::flood_links() const {
+  std::vector<Hop> flood;
+  for (const BrokerId n : overlay_->neighbors(id_)) {
+    flood.push_back(Hop::of_broker(n));
+  }
+  return flood;
+}
+
+void Broker::inject_batch(std::vector<RoutingMutation> muts, TxnId cause,
+                          std::vector<Output>& out) {
+  TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
+  for (RoutingMutation& m : muts) {
+    if (m.kind == RoutingMutation::Kind::kAddAdv && m.flood_links.empty()) {
+      m.flood_links = flood_links();
+    }
+  }
+  for (const RoutingDelta& d :
+       tables_.apply_batch(muts, covering_policy())) {
+    apply_delta(d, cause, out);
+  }
 }
 
 // --- network input -----------------------------------------------------------
@@ -333,29 +356,33 @@ void Broker::apply_delta(const RoutingDelta& delta, TxnId cause, Outputs& out) {
 void Broker::do_subscribe(Hop from, const Subscription& sub, TxnId cause,
                           Outputs& out) {
   TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
-  apply_delta(tables_.add_sub(sub, from, covering_policy()), cause, out);
+  apply_delta(tables_.apply(RoutingMutation::add_sub(sub, from),
+                            covering_policy()),
+              cause, out);
 }
 
 void Broker::do_unsubscribe(Hop from, const SubscriptionId& id, TxnId cause,
                             Outputs& out) {
   TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
-  apply_delta(tables_.remove_sub(id, from, covering_policy()), cause, out);
+  apply_delta(tables_.apply(RoutingMutation::remove_sub(id, from),
+                            covering_policy()),
+              cause, out);
 }
 
 void Broker::do_advertise(Hop from, const Advertisement& adv, TxnId cause,
                           Outputs& out) {
   TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
-  std::vector<Hop> flood;
-  for (const BrokerId n : overlay_->neighbors(id_)) {
-    flood.push_back(Hop::of_broker(n));
-  }
-  apply_delta(tables_.add_adv(adv, from, flood, covering_policy()), cause, out);
+  apply_delta(tables_.apply(RoutingMutation::add_adv(adv, from, flood_links()),
+                            covering_policy()),
+              cause, out);
 }
 
 void Broker::do_unadvertise(Hop from, const AdvertisementId& id, TxnId cause,
                             Outputs& out) {
   TMPS_PROF_STAGE(prof_.get(), obs::Stage::kRouteUpdate);
-  apply_delta(tables_.remove_adv(id, from, covering_policy()), cause, out);
+  apply_delta(tables_.apply(RoutingMutation::remove_adv(id, from),
+                            covering_policy()),
+              cause, out);
 }
 
 void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
@@ -378,18 +405,20 @@ void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
       tag = &origin_tag;
     }
   }
-  const std::vector<Hop> hops = tables_.hops_for_publication(pub);
+  // One matching pass answers everything: forwarding links, the matched
+  // count (provenance, metrics and the load estimator share this single
+  // definition — matching PRT entries, not a recount of distinct hops) and
+  // the PRT version the match was computed against.
+  const MatchResult mr = tables_.match(pub);
   if (tag != nullptr && tag->sampled) {
-    std::size_t matched = 0;
-    for (const Hop& hop : hops) matched += hop != from ? 1 : 0;
     TMPS_EVENT(tracer_, tag->trace, in_tag ? "pub:hop" : "pub:origin",
                {{"broker", std::to_string(id_)},
                 {"pub", to_string(pub.id())},
                 {"hop", std::to_string(tag->hops)},
                 {"since_origin", fmt_secs(now - tag->origin_time)},
                 {"hop_latency", fmt_secs(now - tag->last_hop_time)},
-                {"matched", std::to_string(matched)},
-                {"prt_version", std::to_string(tables_.version())},
+                {"matched", std::to_string(mr.matched)},
+                {"prt_version", std::to_string(mr.version)},
                 {"move_open",
                  control_ != nullptr && control_->movement_window_open()
                      ? "true"
@@ -406,7 +435,7 @@ void Broker::do_publish(Hop from, const Publication& pub, TxnId cause,
   // construction bookkeeping) is attributed rather than left in the
   // publish root's residual.
   TMPS_PROF_STAGE(prof_.get(), obs::Stage::kFanout);
-  for (const Hop& hop : hops) {
+  for (const Hop& hop : mr.links) {
     if (hop == from) continue;
     if (hop.is_broker()) {
       TMPS_PROF_STAGE(prof_.get(), obs::Stage::kEnqueue);

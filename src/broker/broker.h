@@ -174,6 +174,14 @@ class Broker {
   void inject_publish(Hop from, const Publication& pub, TxnId cause,
                       std::vector<Output>& out);
 
+  /// Applies a burst of routing mutations in one forwarding-index batch
+  /// (RoutingTables::apply_batch) and transmits every resulting delta. Used
+  /// by the mobility engine's hand-off paths, where a whole client profile
+  /// is retracted or re-issued at once; kAddAdv mutations with empty
+  /// flood_links are flooded over this broker's overlay neighbours.
+  void inject_batch(std::vector<RoutingMutation> muts, TxnId cause,
+                    std::vector<Output>& out);
+
   /// Delivers a publication to a local client, honouring the control
   /// handler's interception (buffering for moving clients).
   void deliver_local(ClientId client, const Publication& pub);
@@ -211,6 +219,9 @@ class Broker {
   CoveringPolicy covering_policy() const {
     return {cfg_.subscription_covering, cfg_.advertisement_covering};
   }
+
+  /// This broker's overlay neighbour links (advertisement flooding set).
+  std::vector<Hop> flood_links() const;
 
   /// Turns a RoutingDelta's ordered ops into wire messages, counting
   /// covering-induced retracts/un-quenches and tagging them onto the

@@ -20,6 +20,10 @@ struct BrokerConfig {
   /// (routing/covering_index.h); false falls back to the full-table scan
   /// oracles (reference semantics, for A/B measurement and debugging).
   bool covering_index = true;
+  /// Serve publication matching (RoutingTables::match) from the counting
+  /// forwarding index (routing/forwarding_index.h); false falls back to the
+  /// full-PRT scan oracle.
+  bool forwarding_index = true;
 
   /// Per-broker HTTP admin endpoints (/healthz, /metrics, /routing). Off by
   /// default; hosts opt in. Loopback only.

@@ -107,6 +107,10 @@ std::vector<ClientInfo> Balancer::gather_clients() const {
 }
 
 void Balancer::execute(const std::vector<MoveDecision>& plan) {
+  // Each movement's profile retraction / re-issue lands on the engine's
+  // Broker::inject_batch hand-off paths, so a plan's routing bursts are
+  // applied as coalesced forwarding-index batches (RoutingTables::
+  // apply_batch) rather than per-entry.
   for (const MoveDecision& d : plan) {
     if (inflight_.size() >= cfg_.max_inflight) break;
     MobilityEngine* engine = engines_.at(d.from);

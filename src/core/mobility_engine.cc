@@ -211,13 +211,20 @@ MoveStart MobilityEngine::try_initiate_move(ClientId client, BrokerId target,
     m.advs = stub->advertisements();
     m.next_seq = stub->next_seq();
 
+    // The whole profile retracts as one batch: the covering cascade is
+    // computed per mutation as before, but forwarding-index maintenance is
+    // coalesced across the burst (RoutingTables::apply_batch).
     const Hop ch = client_hop(client);
+    std::vector<RoutingMutation> muts;
+    muts.reserve(stub->subscriptions().size() +
+                 stub->advertisements().size());
     for (const auto& s : stub->subscriptions()) {
-      broker_->inject_unsubscribe(ch, s.id, txn, out);
+      muts.push_back(RoutingMutation::remove_sub(s.id, ch));
     }
     for (const auto& a : stub->advertisements()) {
-      broker_->inject_unadvertise(ch, a.id, txn, out);
+      muts.push_back(RoutingMutation::remove_adv(a.id, ch));
     }
+    broker_->inject_batch(std::move(muts), txn, out);
     broker_->send_unicast(target, std::move(m), txn, out);
   }
   if (cfg_.negotiate_timeout > 0) arm_source_timer(sm, cfg_.negotiate_timeout);
@@ -386,6 +393,9 @@ void MobilityEngine::install_shadows(const MoveApproveMsg& m) {
   const Hop new_hop = (self == m.target)
                           ? Hop::of_client(m.client)
                           : toward(m.target);
+  // Shadow installs for fresh entries file into the forwarding index; batch
+  // the whole profile's worth.
+  RoutingTables::MutationBatch batch(broker_->tables());
   for (const auto& s : m.subs) {
     broker_->tables().install_sub_shadow(s, new_hop, m.txn);
   }
@@ -670,6 +680,9 @@ void MobilityEngine::on_abort_hop(BrokerId from, const Message& msg,
 
 void MobilityEngine::abort_shadows_here(const MoveAbortMsg& m) {
   RoutingTables& rt = broker_->tables();
+  // Aborting shadow-only entries erases them from the forwarding index too;
+  // coalesce the burst.
+  RoutingTables::MutationBatch batch(rt);
   for (const auto& id : m.sub_ids) rt.abort_shadow(id, m.txn);
   for (const auto& id : m.adv_ids) rt.abort_adv_shadow(id, m.txn);
 }
@@ -854,16 +867,19 @@ void MobilityEngine::on_trad_request(const TradMoveRequestMsg& m,
   // incarnations — the end-to-end propagation (and, with covering enabled,
   // its quench/retract cascades) is the cost the paper measures.
   const Hop ch = Hop::of_client(m.client);
+  std::vector<RoutingMutation> muts;
+  muts.reserve(m.advs.size() + m.subs.size());
   for (const auto& a : m.advs) {
     Advertisement na{ref.allocate_id(), a.filter};
     ref.remember_advertisement(na);
-    broker_->inject_advertise(ch, na, m.txn, out);
+    muts.push_back(RoutingMutation::add_adv(na, ch));
   }
   for (const auto& s : m.subs) {
     Subscription ns{ref.allocate_id(), s.filter};
     ref.remember_subscription(ns);
-    broker_->inject_subscribe(ch, ns, m.txn, out);
+    muts.push_back(RoutingMutation::add_sub(ns, ch));
   }
+  broker_->inject_batch(std::move(muts), m.txn, out);
 
   TradReadyMsg rdy;
   rdy.txn = m.txn;
@@ -924,12 +940,16 @@ void MobilityEngine::on_trad_reject(const TradRejectMsg& m, Outputs& out) {
     // The source already retracted the client's profile when the movement
     // started; the end-to-end protocol must re-issue everything to undo.
     const Hop ch = client_hop(m.client);
+    std::vector<RoutingMutation> muts;
+    muts.reserve(stub->advertisements().size() +
+                 stub->subscriptions().size());
     for (const auto& a : stub->advertisements()) {
-      broker_->inject_advertise(ch, a, m.txn, out);
+      muts.push_back(RoutingMutation::add_adv(a, ch));
     }
     for (const auto& s : stub->subscriptions()) {
-      broker_->inject_subscribe(ch, s, m.txn, out);
+      muts.push_back(RoutingMutation::add_sub(s, ch));
     }
+    broker_->inject_batch(std::move(muts), m.txn, out);
     stub->resume_from_reject();
     drain_commands(*stub, out);
   }

@@ -53,7 +53,7 @@ class MetricsRegistry;
 enum class Stage : std::uint8_t {
   kPublish = 0,  ///< outer publish-path span (self time = unattributed rest)
   kDecode,       ///< wire decode (transport reader)
-  kMatch,        ///< SRT/PRT match: hops_for_publication
+  kMatch,        ///< PRT match: RoutingTables::match (counting index + verify)
   kCoverProbe,   ///< covering-index / scan-oracle queries
   kDeltaApply,   ///< RoutingDelta application
   kEncode,       ///< wire encode (codec)

@@ -1,0 +1,390 @@
+#include "routing/forwarding_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tmps {
+
+namespace {
+
+// Swap-removes one occurrence of `slot` from `slots`.
+void erase_slot(std::vector<std::uint32_t>& slots, std::uint32_t slot) {
+  const auto it = std::find(slots.begin(), slots.end(), slot);
+  if (it == slots.end()) return;
+  *it = slots.back();
+  slots.pop_back();
+}
+
+}  // namespace
+
+void ForwardingIndex::insert(const SubscriptionId& id, const Filter& filter) {
+  if (batch_depth_ > 0) {
+    pending_.push_back({/*is_insert=*/true, id, filter});
+    return;
+  }
+  do_insert(id, filter);
+}
+
+void ForwardingIndex::erase(const SubscriptionId& id) {
+  if (batch_depth_ > 0) {
+    pending_.push_back({/*is_insert=*/false, id, Filter{}});
+    return;
+  }
+  do_erase(id);
+}
+
+void ForwardingIndex::end_batch() {
+  if (batch_depth_ == 0) return;
+  if (--batch_depth_ > 0) return;
+  // Per-id coalescing: only an id's final queued state is filed. No queries
+  // depend on intermediate states (the batch brackets a mutation burst), so
+  // an erase-then-reinsert of a moving client's profile files each id once.
+  std::unordered_map<SubscriptionId, std::size_t> last;
+  for (std::size_t i = 0; i < pending_.size(); ++i) last[pending_[i].id] = i;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (last[pending_[i].id] != i) continue;
+    const Pending& p = pending_[i];
+    if (p.is_insert) {
+      do_insert(p.id, p.filter);
+    } else {
+      do_erase(p.id);
+    }
+  }
+  pending_.clear();
+}
+
+void ForwardingIndex::do_insert(const SubscriptionId& id,
+                                const Filter& filter) {
+  do_erase(id);  // re-filing an id replaces its previous filing
+
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(recs_.size());
+    recs_.emplace_back();
+  }
+  Rec& r = recs_[slot];
+  r.id = id;
+  r.filings.clear();
+  r.epoch = 0;
+  r.hits = 0;
+  slot_of_.emplace(id, slot);
+
+  if (!filter.satisfiable()) {
+    r.where = Where::kNowhere;
+    r.slots = 0;
+    ++unsat_;
+    return;
+  }
+  if (filter.empty()) {
+    r.where = Where::kAlways;
+    r.slots = 0;
+    always_.push_back(slot);
+    return;
+  }
+
+  // Anchor: one slot in the adaptively-smallest equality bucket among the
+  // filter's singleton-pinned attributes (ties by attribute order — the
+  // constraints map iterates in order).
+  const std::string* best_attr = nullptr;
+  Value best_value;
+  std::size_t best_size = 0;
+  for (const auto& [attr, c] : filter.constraints()) {
+    const auto v = c.singleton_value();
+    if (!v) continue;
+    std::size_t sz = 0;
+    if (const auto ait = eq_.find(attr); ait != eq_.end()) {
+      if (const auto vit = ait->second.find(*v); vit != ait->second.end()) {
+        sz = vit->second.size();
+      }
+    }
+    if (best_attr == nullptr || sz < best_size) {
+      best_attr = &attr;
+      best_value = *v;
+      best_size = sz;
+    }
+  }
+  if (best_attr != nullptr) {
+    eq_[*best_attr][best_value].push_back(slot);
+    r.where = Where::kAnchor;
+    r.slots = 1;
+    r.filings.push_back({Filing::Kind::kEq, false, *best_attr, best_value});
+    ++anchored_;
+    return;
+  }
+
+  // Counting: one slot per interval bound (or per bound-free presence
+  // requirement) of each constrained attribute.
+  r.where = Where::kCounting;
+  std::uint16_t slots = 0;
+  for (const auto& [attr, c] : filter.constraints()) {
+    bool bounded = false;
+    if (c.lower_bound()) {
+      BoundPosting& bp = lower_[attr][*c.lower_bound()];
+      (c.lower_open() ? bp.open : bp.closed).push_back(slot);
+      r.filings.push_back(
+          {Filing::Kind::kLower, c.lower_open(), attr, *c.lower_bound()});
+      ++slots;
+      bounded = true;
+    }
+    if (c.upper_bound()) {
+      BoundPosting& bp = upper_[attr][*c.upper_bound()];
+      (c.upper_open() ? bp.open : bp.closed).push_back(slot);
+      r.filings.push_back(
+          {Filing::Kind::kUpper, c.upper_open(), attr, *c.upper_bound()});
+      ++slots;
+      bounded = true;
+    }
+    if (!bounded) {
+      // isPresent / exclusions-only / domain-only: any value of the
+      // attribute satisfies the slot (exactness restored at verification).
+      present_[attr].push_back(slot);
+      r.filings.push_back({Filing::Kind::kPresent, false, attr, Value{}});
+      ++slots;
+    }
+  }
+  r.slots = slots;  // >= 1: the filter is non-empty
+  ++counting_;
+}
+
+void ForwardingIndex::do_erase(const SubscriptionId& id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return;
+  const std::uint32_t slot = it->second;
+  Rec& r = recs_[slot];
+  switch (r.where) {
+    case Where::kNowhere:
+      --unsat_;
+      break;
+    case Where::kAlways:
+      erase_slot(always_, slot);
+      break;
+    case Where::kAnchor:
+      --anchored_;
+      break;
+    case Where::kCounting:
+      --counting_;
+      break;
+  }
+  for (const Filing& f : r.filings) {
+    switch (f.kind) {
+      case Filing::Kind::kEq: {
+        const auto ait = eq_.find(f.attr);
+        if (ait == eq_.end()) break;
+        const auto vit = ait->second.find(f.value);
+        if (vit == ait->second.end()) break;
+        erase_slot(vit->second, slot);
+        if (vit->second.empty()) ait->second.erase(vit);
+        if (ait->second.empty()) eq_.erase(ait);
+        break;
+      }
+      case Filing::Kind::kLower:
+      case Filing::Kind::kUpper: {
+        auto& lists = f.kind == Filing::Kind::kLower ? lower_ : upper_;
+        const auto ait = lists.find(f.attr);
+        if (ait == lists.end()) break;
+        const auto vit = ait->second.find(f.value);
+        if (vit == ait->second.end()) break;
+        erase_slot(f.open ? vit->second.open : vit->second.closed, slot);
+        if (vit->second.empty()) ait->second.erase(vit);
+        if (ait->second.empty()) lists.erase(ait);
+        break;
+      }
+      case Filing::Kind::kPresent: {
+        const auto ait = present_.find(f.attr);
+        if (ait == present_.end()) break;
+        erase_slot(ait->second, slot);
+        if (ait->second.empty()) present_.erase(ait);
+        break;
+      }
+    }
+  }
+  r.filings.clear();
+  r.where = Where::kNowhere;
+  r.slots = 0;
+  slot_of_.erase(it);
+  free_.push_back(slot);
+}
+
+void ForwardingIndex::hit(std::uint32_t slot,
+                          std::vector<SubscriptionId>& out) const {
+  const Rec& r = recs_[slot];
+  if (r.epoch != epoch_) {
+    r.epoch = epoch_;
+    r.hits = 0;
+  }
+  if (++r.hits == r.slots) out.push_back(r.id);
+}
+
+void ForwardingIndex::candidates(const Publication& pub,
+                                 std::vector<SubscriptionId>& out) const {
+  ++epoch_;
+  for (const auto& [attr, v] : pub.attrs()) {
+    if (const auto ait = eq_.find(attr); ait != eq_.end()) {
+      if (const auto vit = ait->second.find(v); vit != ait->second.end()) {
+        for (const std::uint32_t s : vit->second) hit(s, out);
+      }
+    }
+    if (const auto ait = lower_.find(attr); ait != lower_.end()) {
+      // Lower bounds lo <= v satisfy v >= lo; lo == v only when closed.
+      for (auto bit = ait->second.begin();
+           bit != ait->second.end() && !(v < bit->first); ++bit) {
+        for (const std::uint32_t s : bit->second.closed) hit(s, out);
+        if (bit->first < v) {
+          for (const std::uint32_t s : bit->second.open) hit(s, out);
+        }
+      }
+    }
+    if (const auto ait = upper_.find(attr); ait != upper_.end()) {
+      // Upper bounds hi >= v satisfy v <= hi; hi == v only when closed.
+      for (auto bit = ait->second.lower_bound(v); bit != ait->second.end();
+           ++bit) {
+        for (const std::uint32_t s : bit->second.closed) hit(s, out);
+        if (v < bit->first) {
+          for (const std::uint32_t s : bit->second.open) hit(s, out);
+        }
+      }
+    }
+    if (const auto ait = present_.find(attr); ait != present_.end()) {
+      for (const std::uint32_t s : ait->second) hit(s, out);
+    }
+  }
+  for (const std::uint32_t s : always_) out.push_back(recs_[s].id);
+
+  if (!pending_.empty()) {
+    // Open batch: the postings are stale, so the probe above can miss ids
+    // whose insert is still queued. Conservatively append every
+    // pending-insert id not already emitted (duplicate-free so callers can
+    // count verified matches). Cold path: batches bracket mutation bursts,
+    // not queries.
+    std::unordered_set<SubscriptionId> seen(out.begin(), out.end());
+    for (const Pending& p : pending_) {
+      if (p.is_insert && seen.insert(p.id).second) out.push_back(p.id);
+    }
+  }
+}
+
+void ForwardingIndex::all_ids(std::vector<SubscriptionId>& out) const {
+  out.reserve(out.size() + slot_of_.size());
+  for (const auto& [id, slot] : slot_of_) out.push_back(id);
+}
+
+std::vector<std::string> ForwardingIndex::check() const {
+  std::vector<std::string> out;
+  if (batch_depth_ > 0 || !pending_.empty()) {
+    out.push_back("forward index checked with an open mutation batch (" +
+                  std::to_string(pending_.size()) + " pending ops)");
+    return out;
+  }
+  // Every live rec's filings must be present, and the slot target must equal
+  // the filing count (one slot per filing by construction).
+  std::size_t expected_postings = 0;
+  for (const auto& [id, slot] : slot_of_) {
+    if (slot >= recs_.size()) {
+      out.push_back("slot of " + to_string(id) + " out of range");
+      continue;
+    }
+    const Rec& r = recs_[slot];
+    if (!(r.id == id)) {
+      out.push_back("rec of " + to_string(id) + " holds id " +
+                    to_string(r.id));
+    }
+    const std::uint16_t want_slots =
+        r.where == Where::kAnchor || r.where == Where::kCounting
+            ? static_cast<std::uint16_t>(r.filings.size())
+            : 0;
+    if (r.slots != want_slots) {
+      out.push_back("rec of " + to_string(id) + " slot target " +
+                    std::to_string(r.slots) + " != filing count " +
+                    std::to_string(want_slots));
+    }
+    if (r.where == Where::kAlways) {
+      if (std::count(always_.begin(), always_.end(), slot) != 1) {
+        out.push_back("always-matching rec of " + to_string(id) +
+                      " not filed exactly once in the always list");
+      }
+      ++expected_postings;  // counted below as one always posting
+    }
+    expected_postings += r.filings.size();
+    for (const Filing& f : r.filings) {
+      const auto holds = [&](const Slots& slots) {
+        return std::count(slots.begin(), slots.end(), slot) == 1;
+      };
+      bool ok = false;
+      switch (f.kind) {
+        case Filing::Kind::kEq: {
+          const auto ait = eq_.find(f.attr);
+          if (ait != eq_.end()) {
+            const auto vit = ait->second.find(f.value);
+            ok = vit != ait->second.end() && holds(vit->second);
+          }
+          break;
+        }
+        case Filing::Kind::kLower:
+        case Filing::Kind::kUpper: {
+          const auto& lists = f.kind == Filing::Kind::kLower ? lower_ : upper_;
+          const auto ait = lists.find(f.attr);
+          if (ait != lists.end()) {
+            const auto vit = ait->second.find(f.value);
+            ok = vit != ait->second.end() &&
+                 holds(f.open ? vit->second.open : vit->second.closed);
+          }
+          break;
+        }
+        case Filing::Kind::kPresent: {
+          const auto ait = present_.find(f.attr);
+          ok = ait != present_.end() && holds(ait->second);
+          break;
+        }
+      }
+      if (!ok) {
+        out.push_back("filing of " + to_string(id) + " on attribute '" +
+                      f.attr + "' missing from its posting list");
+      }
+    }
+  }
+  // No posting may reference a dead or foreign slot, and the total posting
+  // count must equal the filings accounted above (no stray entries).
+  std::size_t total_postings = 0;
+  const auto sweep = [&](const Slots& slots, const char* what) {
+    total_postings += slots.size();
+    for (const std::uint32_t s : slots) {
+      const auto it = s < recs_.size() ? slot_of_.find(recs_[s].id)
+                                       : slot_of_.end();
+      if (it == slot_of_.end() || it->second != s) {
+        out.push_back(std::string(what) + " posting references dead slot " +
+                      std::to_string(s));
+      }
+    }
+  };
+  for (const auto& [attr, el] : eq_) {
+    for (const auto& [v, slots] : el) sweep(slots, "equality");
+  }
+  for (const auto& [attr, bl] : lower_) {
+    for (const auto& [v, bp] : bl) {
+      sweep(bp.closed, "lower-bound");
+      sweep(bp.open, "lower-bound");
+    }
+  }
+  for (const auto& [attr, bl] : upper_) {
+    for (const auto& [v, bp] : bl) {
+      sweep(bp.closed, "upper-bound");
+      sweep(bp.open, "upper-bound");
+    }
+  }
+  for (const auto& [attr, slots] : present_) sweep(slots, "presence");
+  sweep(always_, "always");
+  if (total_postings != expected_postings) {
+    out.push_back("posting entries " + std::to_string(total_postings) +
+                  " != recorded filings " +
+                  std::to_string(expected_postings));
+  }
+  if (anchored_ + counting_ + always_.size() + unsat_ != slot_of_.size()) {
+    out.push_back("filing-class counters do not sum to the table size");
+  }
+  return out;
+}
+
+}  // namespace tmps

@@ -1,0 +1,170 @@
+// Counting-algorithm publication matcher over the PRT: the third application
+// of the two-stage candidate/verify design (match_index.h was the first,
+// covering_index.h the second), now implementing the full per-attribute
+// predicate-index scheme of Fabret et al. / Siena that the PADRES forwarding
+// layer builds on. This is the data structure behind
+// RoutingTables::match() — candidate discovery is O(postings touched by the
+// publication's own attributes), not O(subscriptions).
+//
+// Filing. Each filter is assigned a number of *slots* (constraints that a
+// probing publication must satisfy) and filed into per-attribute posting
+// lists:
+//   * unsatisfiable filters are tracked but filed nowhere — never candidates;
+//   * the empty filter matches every publication: an always list appended to
+//     every probe;
+//   * a filter with at least one equality-pinned attribute is ANCHORED: one
+//     slot in a single (attribute, value) equality bucket — adaptively the
+//     attribute whose bucket is currently smallest (low-selectivity
+//     attributes such as a constant "class" stop attracting entries once
+//     they grow), exactly the SubMatchIndex/CoveringIndex filing rule;
+//   * otherwise the filter takes COUNTING slots, one per interval bound of
+//     each constrained attribute: the lower bound files into an ordered
+//     lower-bound posting list, the upper bound into an upper-bound list,
+//     and a bound-free constraint (isPresent / exclusions-only) into a
+//     presence list. A publication satisfies the filter only if it hits
+//     every slot, detected with per-filter satisfied-constraint counters.
+//
+// Probe. candidates(pub) bumps an epoch and, for each (attribute, value) of
+// the publication, hits: the equality bucket at exactly that value; every
+// lower-bound posting with bound <= value (== only for closed bounds); every
+// upper-bound posting with bound >= value (== only for closed bounds); the
+// whole presence list. A hit lazily epoch-resets the filter's counter and
+// emits the filter when the counter reaches its slot target. Each filing can
+// be hit at most once per probe (publication attributes are unique), so
+// counters never overshoot and ids are emitted at most once.
+//
+// Completeness (superset guarantee — callers verify with Filter::matches):
+// if a publication truly matches a filter, then for every constrained
+// attribute its value lies in the constraint interval, so every bound slot
+// is hit; an anchored filter's pinned value is carried verbatim by the
+// publication, so its equality slot is hit (Value's total order unifies
+// Int 5 with Real 5.0 under the std::map key lookup). Exclusions and domain
+// pins are deliberately ignored at this stage — they only widen the
+// candidate set, never narrow it below the true matches.
+//
+// Like the covering index, this index tracks table MEMBERSHIP only; last
+// hops, shadow hops and forwarded_to are verification-stage state, so raw
+// mutation of them cannot desynchronize the index.
+//
+// Batching. begin_batch()/end_batch() queue insert/erase mutations and
+// coalesce them per id on flush (only the final state of an id is filed) —
+// mobility hand-off and balancer bursts erase-and-reinsert whole client
+// profiles, and amortizing that churn is RoutingTables::apply_batch's job.
+// While a batch is open the postings are stale; candidates() compensates by
+// conservatively appending every pending-insert id (still a verified
+// superset), so a stray query inside a batch stays correct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/filter.h"
+#include "pubsub/publication.h"
+
+namespace tmps {
+
+class ForwardingIndex {
+ public:
+  /// Files `id` under `filter`. Re-inserting an id re-files it (the previous
+  /// filing is erased first); no prior erase needed.
+  void insert(const SubscriptionId& id, const Filter& filter);
+
+  /// Removes `id`'s filing. The filter is not needed — filings are recorded
+  /// per entry. Unknown ids are ignored.
+  void erase(const SubscriptionId& id);
+
+  /// Appends all candidate ids for `pub`: a duplicate-free superset of the
+  /// subscriptions whose filter matches it.
+  void candidates(const Publication& pub,
+                  std::vector<SubscriptionId>& out) const;
+
+  /// Open/close a mutation batch (nestable). Inside a batch, insert/erase
+  /// are queued; the outermost end_batch() flushes them with per-id
+  /// coalescing, so erase-then-reinsert churn files each id once.
+  void begin_batch() { ++batch_depth_; }
+  void end_batch();
+  bool in_batch() const { return batch_depth_ > 0; }
+
+  /// Filed ids, including unsatisfiable and always-matching ones. Pending
+  /// batch mutations are not reflected until flush.
+  std::size_t size() const { return slot_of_.size(); }
+  std::size_t anchored_count() const { return anchored_; }
+  std::size_t counting_count() const { return counting_; }
+  std::size_t always_count() const { return always_.size(); }
+  std::size_t unsat_count() const { return unsat_; }
+
+  /// Every filed id (consistency checks).
+  void all_ids(std::vector<SubscriptionId>& out) const;
+
+  /// Structural self-check: every rec's filings are present exactly once in
+  /// the posting structures, no posting refers to a dead rec, slot targets
+  /// match filing counts, and no batch is left open. Returns violation
+  /// descriptions; empty = consistent.
+  std::vector<std::string> check() const;
+
+ private:
+  enum class Where : std::uint8_t { kNowhere, kAlways, kAnchor, kCounting };
+
+  struct Filing {
+    enum class Kind : std::uint8_t { kEq, kLower, kUpper, kPresent };
+    Kind kind;
+    bool open = false;  // open interval bound (kLower/kUpper)
+    std::string attr;
+    Value value;  // unused for kPresent
+  };
+
+  struct Rec {
+    SubscriptionId id;
+    Where where = Where::kNowhere;
+    std::uint16_t slots = 0;  // counter target; 0 for kNowhere/kAlways
+    std::vector<Filing> filings;
+    // Per-probe scratch: lazily epoch-reset satisfied-constraint counter
+    // (mutable so candidates() stays const; single-threaded like the rest
+    // of the routing layer).
+    mutable std::uint64_t epoch = 0;
+    mutable std::uint16_t hits = 0;
+  };
+
+  /// Postings reference recs by dense slot index (stable across unrelated
+  /// mutations via a free list).
+  using Slots = std::vector<std::uint32_t>;
+  struct BoundPosting {
+    Slots closed, open;
+    bool empty() const { return closed.empty() && open.empty(); }
+  };
+  // Ordered by value so bound probes are range scans; Value's total order
+  // (numerics before strings) keeps cross-domain keys harmless — extra hits
+  // are verified away.
+  using EqList = std::map<Value, Slots>;
+  using BoundList = std::map<Value, BoundPosting>;
+
+  void do_insert(const SubscriptionId& id, const Filter& filter);
+  void do_erase(const SubscriptionId& id);
+  void hit(std::uint32_t slot, std::vector<SubscriptionId>& out) const;
+
+  std::unordered_map<std::string, EqList> eq_;
+  std::unordered_map<std::string, BoundList> lower_, upper_;
+  std::unordered_map<std::string, Slots> present_;
+  Slots always_;
+
+  std::vector<Rec> recs_;
+  Slots free_;
+  std::unordered_map<SubscriptionId, std::uint32_t> slot_of_;
+  std::size_t anchored_ = 0, counting_ = 0, unsat_ = 0;
+  mutable std::uint64_t epoch_ = 0;
+
+  struct Pending {
+    bool is_insert;
+    SubscriptionId id;
+    Filter filter;  // empty for erases
+  };
+  std::vector<Pending> pending_;
+  int batch_depth_ = 0;
+};
+
+}  // namespace tmps

@@ -10,13 +10,12 @@ SubEntry& RoutingTables::upsert_sub(const Subscription& sub, Hop lasthop) {
   ++version_;
   auto [it, inserted] = prt_.try_emplace(sub.id);
   if (!inserted) {
-    index_.erase(sub.id, it->second.sub.filter);
     sub_cover_.erase(sub.id, it->second.sub.filter);
   }
   it->second.sub = sub;
   it->second.lasthop = lasthop;
   if (inserted) it->second.shadow_only = false;
-  index_.insert(sub.id, sub.filter);
+  fwd_.insert(sub.id, sub.filter);  // re-files on upsert
   sub_cover_.insert(sub.id, sub.filter);
   return it->second;
 }
@@ -35,7 +34,7 @@ void RoutingTables::erase_sub(const SubscriptionId& id) {
   auto it = prt_.find(id);
   if (it == prt_.end()) return;
   ++version_;
-  index_.erase(id, it->second.sub.filter);
+  fwd_.erase(id);
   sub_cover_.erase(id, it->second.sub.filter);
   prt_.erase(it);
 }
@@ -69,35 +68,58 @@ void RoutingTables::erase_adv(const AdvertisementId& id) {
   srt_.erase(it);
 }
 
-std::vector<Hop> RoutingTables::hops_for_publication(
-    const Publication& pub) const {
+void RoutingTables::collect_match(const SubEntry& e, const Publication& pub,
+                                  MatchResult& r) {
+  if (!e.sub.filter.matches(pub)) return;
+  ++r.matched;
+  // Shadow-only entries have no live primary hop; skip Hop::none().
+  if (!e.shadow_only && !e.lasthop.is_none()) r.links.push_back(e.lasthop);
+  if (e.shadow_lasthop && !e.shadow_lasthop->is_none()) {
+    r.links.push_back(*e.shadow_lasthop);
+  }
+}
+
+namespace {
+
+/// Canonical link order: sorted and deduplicated, so fan-out is
+/// deterministic regardless of the candidate order the index produced.
+void finalize_links(std::vector<Hop>& links) {
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+}
+
+}  // namespace
+
+MatchResult RoutingTables::match(const Publication& pub) const {
   TMPS_PROF_STAGE(prof_, obs::Stage::kMatch);
-  std::vector<Hop> hops;
-  std::vector<SubscriptionId> cands;
-  index_.candidates(pub, cands);
-  for (const auto& id : cands) {
+  if (!use_forward_index_) return match_scan(pub);
+  MatchResult r;
+  r.version = version_;
+  match_scratch_.clear();
+  fwd_.candidates(pub, match_scratch_);
+  for (const auto& id : match_scratch_) {
     const auto it = prt_.find(id);
     if (it == prt_.end()) continue;
-    const SubEntry& e = it->second;
-    if (!e.sub.filter.matches(pub)) continue;
-    // Shadow-only entries have no live primary hop; skip Hop::none().
-    if (!e.shadow_only && !e.lasthop.is_none() &&
-        std::find(hops.begin(), hops.end(), e.lasthop) == hops.end()) {
-      hops.push_back(e.lasthop);
-    }
-    if (e.shadow_lasthop && !e.shadow_lasthop->is_none() &&
-        std::find(hops.begin(), hops.end(), *e.shadow_lasthop) == hops.end()) {
-      hops.push_back(*e.shadow_lasthop);
-    }
+    collect_match(it->second, pub, r);
   }
-  return hops;
+  finalize_links(r.links);
+  return r;
+}
+
+MatchResult RoutingTables::match_scan(const Publication& pub) const {
+  MatchResult r;
+  r.version = version_;
+  for (const auto& [id, e] : prt_) collect_match(e, pub, r);
+  finalize_links(r.links);
+  return r;
 }
 
 std::vector<const SubEntry*> RoutingTables::matching_subs(
     const Publication& pub) const {
+  if (!use_forward_index_) return matching_subs_scan(pub);
   std::vector<const SubEntry*> out;
   std::vector<SubscriptionId> cands;
-  index_.candidates(pub, cands);
+  fwd_.candidates(pub, cands);
   for (const auto& id : cands) {
     const auto it = prt_.find(id);
     if (it != prt_.end() && it->second.sub.filter.matches(pub)) {
@@ -558,6 +580,36 @@ RoutingDelta RoutingTables::remove_adv(const AdvertisementId& id, Hop from,
   return d;
 }
 
+RoutingDelta RoutingTables::dispatch(const RoutingMutation& m,
+                                     const CoveringPolicy& policy) {
+  switch (m.kind) {
+    case RoutingMutation::Kind::kAddSub:
+      return add_sub(m.sub, m.from, policy);
+    case RoutingMutation::Kind::kRemoveSub:
+      return remove_sub(m.id, m.from, policy);
+    case RoutingMutation::Kind::kAddAdv:
+      return add_adv(m.adv, m.from, m.flood_links, policy);
+    case RoutingMutation::Kind::kRemoveAdv:
+      return remove_adv(m.id, m.from, policy);
+  }
+  return {};  // unreachable
+}
+
+RoutingDelta RoutingTables::apply(const RoutingMutation& m,
+                                  const CoveringPolicy& policy) {
+  MutationBatch scope(*this);
+  return dispatch(m, policy);
+}
+
+std::vector<RoutingDelta> RoutingTables::apply_batch(
+    const std::vector<RoutingMutation>& muts, const CoveringPolicy& policy) {
+  MutationBatch scope(*this);
+  std::vector<RoutingDelta> out;
+  out.reserve(muts.size());
+  for (const RoutingMutation& m : muts) out.push_back(dispatch(m, policy));
+  return out;
+}
+
 // --- covering-index consistency -----------------------------------------------
 
 std::vector<std::string> RoutingTables::check_cover_index() const {
@@ -623,6 +675,65 @@ std::vector<std::string> RoutingTables::check_cover_index() const {
   return out;
 }
 
+std::vector<std::string> RoutingTables::check_forward_index() const {
+  // The index's own structural invariants first (filings present exactly
+  // once, no dead postings, slot targets consistent).
+  std::vector<std::string> out = fwd_.check();
+  if (fwd_.size() != prt_.size()) {
+    out.push_back("forward index size " + std::to_string(fwd_.size()) +
+                  " != PRT size " + std::to_string(prt_.size()));
+  }
+  std::vector<SubscriptionId> filed;
+  fwd_.all_ids(filed);
+  std::sort(filed.begin(), filed.end());
+  for (std::size_t i = 0; i < filed.size(); ++i) {
+    if (i > 0 && filed[i] == filed[i - 1]) {
+      out.push_back("forward index files " + to_string(filed[i]) +
+                    " more than once");
+    }
+    if (!prt_.contains(filed[i])) {
+      out.push_back("forward index holds dangling id " + to_string(filed[i]));
+    }
+  }
+  // Self-candidacy: probe with a witness publication drawn from the entry's
+  // own filter (one satisfying value per constrained attribute, when one is
+  // directly constructible from the interval view); the entry must be among
+  // the candidates. Entries whose witness is not constructible (open bounds
+  // only) are covered by the equivalence property test instead.
+  std::vector<SubscriptionId> cands;
+  for (const auto& [id, e] : prt_) {
+    const Filter& f = e.sub.filter;
+    if (!f.satisfiable()) continue;
+    Publication w;
+    bool constructible = true;
+    for (const auto& [attr, c] : f.constraints()) {
+      if (const auto s = c.singleton_value(); s && c.satisfies(*s)) {
+        w.set(attr, *s);
+      } else if (c.lower_bound() && !c.lower_open() &&
+                 c.satisfies(*c.lower_bound())) {
+        w.set(attr, *c.lower_bound());
+      } else if (c.upper_bound() && !c.upper_open() &&
+                 c.satisfies(*c.upper_bound())) {
+        w.set(attr, *c.upper_bound());
+      } else if (c.unconstrained()) {
+        w.set(attr, Value{0});
+      } else {
+        constructible = false;
+        break;
+      }
+    }
+    if (!constructible || !f.matches(w)) continue;
+    cands.clear();
+    fwd_.candidates(w, cands);
+    if (std::find(cands.begin(), cands.end(), id) == cands.end()) {
+      out.push_back("PRT entry " + to_string(id) +
+                    " missing from the candidates of its own witness "
+                    "publication");
+    }
+  }
+  return out;
+}
+
 void RoutingTables::install_sub_shadow(const Subscription& sub, Hop new_hop,
                                        TxnId txn) {
   ++version_;
@@ -631,7 +742,7 @@ void RoutingTables::install_sub_shadow(const Subscription& sub, Hop new_hop,
     it->second.sub = sub;
     it->second.lasthop = Hop::none();
     it->second.shadow_only = true;
-    index_.insert(sub.id, sub.filter);
+    fwd_.insert(sub.id, sub.filter);
     sub_cover_.insert(sub.id, sub.filter);
   }
   it->second.shadow_lasthop = new_hop;

@@ -20,8 +20,8 @@
 #include "pubsub/publication.h"
 #include "pubsub/subscription.h"
 #include "routing/covering_index.h"
+#include "routing/forwarding_index.h"
 #include "routing/hop.h"
-#include "routing/match_index.h"
 #include "routing/routing_delta.h"
 
 namespace tmps::obs {
@@ -55,6 +55,25 @@ struct AdvEntry {
   bool shadow_only = false;
 };
 
+/// The answer of RoutingTables::match(): everything the publish path needs
+/// from one matching pass, so provenance, metrics and the fan-out loop agree
+/// on a single definition.
+struct MatchResult {
+  /// Distinct forwarding hops, sorted (canonical order — fan-out and the
+  /// simulator's message emission become deterministic regardless of index
+  /// bucket layout). Includes shadow hops of in-flight movements; excludes
+  /// Hop::none() and the primary hop of shadow-only entries.
+  std::vector<Hop> links;
+  /// PRT entries whose filter matches the publication (shadow-only entries
+  /// included — they are real table entries awaiting commit). THE matched
+  /// count: provenance tags, metrics and the control-plane load estimator
+  /// all read this one definition.
+  std::size_t matched = 0;
+  /// RoutingTables::version() at match time, stamped into per-hop
+  /// provenance so latency spikes correlate with reconfiguration activity.
+  std::uint64_t version = 0;
+};
+
 class RoutingTables {
  public:
   // --- mutation API ---------------------------------------------------------
@@ -86,6 +105,34 @@ class RoutingTables {
   RoutingDelta remove_adv(const AdvertisementId& id, Hop from,
                           const CoveringPolicy& policy = {});
 
+  /// Applies one reified mutation (routing/routing_delta.h) — implemented as
+  /// a one-element batch, so the forwarding-index maintenance goes through
+  /// the same coalescing path as bursts.
+  RoutingDelta apply(const RoutingMutation& m, const CoveringPolicy& policy = {});
+
+  /// Applies a mutation burst under one forwarding-index batch: deltas are
+  /// computed per mutation in order (covering semantics are identical to
+  /// sequential apply calls), but index re-filing is coalesced per id — the
+  /// amortization mobility hand-off and balancer plans rely on. Returns one
+  /// delta per mutation, in order.
+  std::vector<RoutingDelta> apply_batch(const std::vector<RoutingMutation>& muts,
+                                        const CoveringPolicy& policy = {});
+
+  /// Brackets direct mutation calls (upsert/erase/shadow install, or the
+  /// four delta entry points) in a forwarding-index batch. Nestable.
+  class MutationBatch {
+   public:
+    explicit MutationBatch(RoutingTables& rt) : rt_(&rt) {
+      rt_->fwd_.begin_batch();
+    }
+    ~MutationBatch() { rt_->fwd_.end_batch(); }
+    MutationBatch(const MutationBatch&) = delete;
+    MutationBatch& operator=(const MutationBatch&) = delete;
+
+   private:
+    RoutingTables* rt_;
+  };
+
   // --- PRT (subscriptions) ---
   SubEntry& upsert_sub(const Subscription& sub, Hop lasthop);
   SubEntry* find_sub(const SubscriptionId& id);
@@ -107,20 +154,36 @@ class RoutingTables {
   }
   std::unordered_map<AdvertisementId, AdvEntry>& srt() { return srt_; }
 
-  /// Subscriptions a publication must be delivered towards. Returns the set
-  /// of distinct hops, including shadow hops of in-flight movements (both
-  /// configurations receive traffic until resolution).
-  std::vector<Hop> hops_for_publication(const Publication& pub) const;
+  // --- publication matching -------------------------------------------------
+
+  /// The matching pass of the publish path: forwarding links (including
+  /// shadow hops of in-flight movements — both configurations receive
+  /// traffic until resolution), the matched-subscription count and the PRT
+  /// version, in one result. Candidates come from the counting forwarding
+  /// index and are verified exactly, so cost is O(matched + candidate
+  /// overshoot), not O(subscriptions).
+  MatchResult match(const Publication& pub) const;
+
+  /// Reference implementation of match() (full PRT scan) — the executable
+  /// specification, used by tests, benchmarks and the A/B switch.
+  MatchResult match_scan(const Publication& pub) const;
+
+  /// Deprecated pre-MatchResult entry point; links only, in match()'s
+  /// canonical sorted order.
+  [[deprecated("use match(): links + matched count + PRT version")]]
+  std::vector<Hop> hops_for_publication(const Publication& pub) const {
+    return match(pub).links;
+  }
 
   /// Entries whose filter matches the publication (primary view only).
-  /// Accelerated by the equality-predicate index.
+  /// Accelerated by the counting forwarding index.
   std::vector<const SubEntry*> matching_subs(const Publication& pub) const;
 
   /// Reference implementation of matching_subs (full scan); used by tests
   /// and benchmarks to validate and measure the index.
   std::vector<const SubEntry*> matching_subs_scan(const Publication& pub) const;
 
-  const SubMatchIndex& match_index() const { return index_; }
+  const ForwardingIndex& forward_index() const { return fwd_; }
 
   /// Advertisements a subscription filter intersects. Accelerated by the
   /// covering index; results ordered by id.
@@ -184,6 +247,12 @@ class RoutingTables {
   void set_use_cover_index(bool on) { use_cover_index_ = on; }
   bool use_cover_index() const { return use_cover_index_; }
 
+  /// A/B switch for publication matching: false routes match() and
+  /// matching_subs through the full-PRT scans instead of the forwarding
+  /// index.
+  void set_use_forward_index(bool on) { use_forward_index_ = on; }
+  bool use_forward_index() const { return use_forward_index_; }
+
   /// Optional stage profiler (the owning broker's): publication matching
   /// records under Stage::kMatch, covering/intersection queries under
   /// Stage::kCoverProbe. Null = no probes.
@@ -195,6 +264,13 @@ class RoutingTables {
   /// dangling or duplicate filings, and every entry is a candidate of its
   /// own filter's probes. Returns violation descriptions; empty = consistent.
   std::vector<std::string> check_cover_index() const;
+
+  /// Cross-checks the forwarding index against the PRT: sizes agree, no
+  /// dangling/duplicate filings, the index's own structural invariants hold,
+  /// and every entry is a candidate for a witness publication drawn from its
+  /// own filter (when one is constructible). Exactness — match() ≡
+  /// match_scan() — is the property test's job.
+  std::vector<std::string> check_forward_index() const;
 
   // --- movement-transaction shadow state ---
 
@@ -234,9 +310,19 @@ class RoutingTables {
   void forward_adv(AdvEntry& entry, Hop link, const CoveringPolicy& policy,
                    bool induced, RoutingDelta& d);
 
+  /// Dispatches a reified mutation to the matching entry point.
+  RoutingDelta dispatch(const RoutingMutation& m, const CoveringPolicy& policy);
+
+  /// Folds `e` into `r` when its filter matches `pub` (shared by match and
+  /// match_scan, so index and oracle use the same collection rules).
+  static void collect_match(const SubEntry& e, const Publication& pub,
+                            MatchResult& r);
+
   std::unordered_map<SubscriptionId, SubEntry> prt_;
   std::unordered_map<AdvertisementId, AdvEntry> srt_;
-  SubMatchIndex index_;
+  // Counting-algorithm publication matcher over PRT filters (membership
+  // only, like the covering indexes below).
+  ForwardingIndex fwd_;
   // Covering/subsumption candidate indexes over PRT and SRT filters. They
   // track table membership only (upsert/erase/shadow-install); per-link
   // forwarding state is a verification-stage predicate, so direct
@@ -244,8 +330,11 @@ class RoutingTables {
   CoveringIndex sub_cover_;
   CoveringIndex adv_cover_;
   bool use_cover_index_ = true;
+  bool use_forward_index_ = true;
   obs::StageProfiler* prof_ = nullptr;
   std::uint64_t version_ = 0;
+  /// Candidate scratch reused across match() calls (single-threaded).
+  mutable std::vector<SubscriptionId> match_scratch_;
 };
 
 }  // namespace tmps

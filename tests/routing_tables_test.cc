@@ -30,24 +30,25 @@ TEST(RoutingTables, UpsertAndFind) {
   EXPECT_EQ(rt.find_sub({10, 1}), nullptr);
 }
 
-TEST(RoutingTables, HopsForPublicationDedups) {
+TEST(RoutingTables, MatchDedupsLinks) {
   RoutingTables rt;
   rt.upsert_sub(sub(1, 0, 100), Hop::of_broker(2));
   rt.upsert_sub(sub(2, 0, 50), Hop::of_broker(2));
   rt.upsert_sub(sub(3, 0, 50), Hop::of_broker(4));
-  const auto hops =
-      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
-                                                   {"x", 25}}});
-  EXPECT_EQ(hops.size(), 2u);
+  const auto mr = rt.match(Publication{{1, 1}, {{"class", "STOCK"},
+                                                {"x", 25}}});
+  EXPECT_EQ(mr.links.size(), 2u);
+  EXPECT_EQ(mr.matched, 3u);  // every matching entry counted, links deduped
+  EXPECT_EQ(mr.version, rt.version());
 }
 
-TEST(RoutingTables, HopsSkipNonMatching) {
+TEST(RoutingTables, MatchSkipsNonMatching) {
   RoutingTables rt;
   rt.upsert_sub(sub(1, 0, 10), Hop::of_broker(2));
-  const auto hops =
-      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
-                                                   {"x", 25}}});
-  EXPECT_TRUE(hops.empty());
+  const auto mr = rt.match(Publication{{1, 1}, {{"class", "STOCK"},
+                                                {"x", 25}}});
+  EXPECT_TRUE(mr.links.empty());
+  EXPECT_EQ(mr.matched, 0u);
 }
 
 TEST(RoutingTables, ShadowInstallCommit) {
@@ -56,9 +57,8 @@ TEST(RoutingTables, ShadowInstallCommit) {
   rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), /*txn=*/77);
 
   // Both hops are live while the transaction is in flight.
-  const auto hops =
-      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
-                                                   {"x", 25}}});
+  const auto hops = rt.match(Publication{{1, 1}, {{"class", "STOCK"},
+                                                  {"x", 25}}}).links;
   EXPECT_EQ(hops.size(), 2u);
   EXPECT_TRUE(rt.has_pending_shadows());
 
@@ -112,11 +112,11 @@ TEST(RoutingTables, CommitWithWrongTxnIsNoop) {
 TEST(RoutingTables, ShadowOnlyEntryDoesNotRouteViaPrimary) {
   RoutingTables rt;
   rt.install_sub_shadow(sub(1, 0, 100), Hop::of_broker(5), 77);
-  const auto hops =
-      rt.hops_for_publication(Publication{{1, 1}, {{"class", "STOCK"},
-                                                   {"x", 25}}});
-  ASSERT_EQ(hops.size(), 1u);
-  EXPECT_EQ(hops[0], Hop::of_broker(5));
+  const auto mr = rt.match(Publication{{1, 1}, {{"class", "STOCK"},
+                                                {"x", 25}}});
+  ASSERT_EQ(mr.links.size(), 1u);
+  EXPECT_EQ(mr.links[0], Hop::of_broker(5));
+  EXPECT_EQ(mr.matched, 1u);  // shadow-only entries still count as matched
 }
 
 TEST(RoutingTables, AdvShadowLifecycle) {

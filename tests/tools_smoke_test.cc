@@ -128,10 +128,12 @@ TEST(ToolsSmokeTop, TopPollsLiveAdminEndpoints) {
   EXPECT_EQ(rc, 0) << out;
   EXPECT_NE(out.find("BROKER"), std::string::npos) << out;
   EXPECT_EQ(out.find("unreachable"), std::string::npos) << out;
-  // The stage pane lists broker 1's hot stages; matching ran once per
-  // publication so it always clears the pane's share cutoff here.
+  // The stage pane lists broker 1's hot stages. Matching is index-backed
+  // and falls below the pane's half-percent share cutoff on a table this
+  // small, so assert on the route-update stage (the advertise/flood work),
+  // which dominates this workload's profiled walks.
   EXPECT_NE(out.find("STAGES"), std::string::npos) << out;
-  EXPECT_NE(out.find("match"), std::string::npos) << out;
+  EXPECT_NE(out.find("route_update"), std::string::npos) << out;
   net.stop();
 
   // With every endpoint down, --once must exit non-zero.
