@@ -22,13 +22,19 @@
 #      background subscription churn — under the movement-invariant auditor.
 #      The binary gates on the 2x skew reduction, per-client move budgets
 #      (convergence) and delivery losses, and exits nonzero on any miss.
-#   7. an observability-overhead gate: obs_overhead_gate times the broker
+#   7. a chaos leg: ext_self_heal crash-restarts source, target and
+#      intermediate brokers at every movement phase (all coordinator
+#      timeouts disabled) and gates on the anti-entropy repair loop
+#      converging auditor-clean — run under the ASan build so the
+#      crash/repair paths also get lifetime checking, with a repair-off
+#      negative control that must show damage.
+#   8. an observability-overhead gate: obs_overhead_gate times the broker
 #      publish path at provenance sample rate 0 vs 1/64 and fails if 1/64
 #      sampling costs more than 2% (override via TMPS_GATE_PCT); the same
 #      binary gates the stage profiler at <1% compiled-in-but-disabled and
 #      <3% enabled at 1/16 sampling (TMPS_GATE_PROF_OFF_PCT /
 #      TMPS_GATE_PROF_PCT).
-#   8. a perf-regression leg: tools/tmps_benchdiff compares the bench JSON
+#   9. a perf-regression leg: tools/tmps_benchdiff compares the bench JSON
 #      from legs 4 (fig09) plus a fresh fig11 run against the committed
 #      baselines in results/baselines/. The simulation metrics are
 #      deterministic per seed, so any drift is a real behavior change;
@@ -130,6 +136,29 @@ BALANCE_JSON="${RESULTS}/BENCH_ext_load_balance.json"
   echo "missing ${BALANCE_JSON}"; exit 1; }
 grep -q '"load_ratio":' "${BALANCE_JSON}" || {
   echo "no load-skew figures in ${BALANCE_JSON}"; exit 1; }
+
+echo "=== chaos leg: crash-restart self-healing (ext_self_heal, ASan) ==="
+# Phase-targeted crashes mid-movement with coordinator timeouts disabled:
+# the repair sweeps are the only healer, and the binary exits nonzero if the
+# repair-on run is not auditor-clean (or the repair-off control shows no
+# damage). The ASan build doubles as a lifetime check on the repair paths.
+HEAL_OBS="${RESULTS}/extsh-obs"
+mkdir -p "${HEAL_OBS}"
+TMPS_AUDIT=1 TMPS_TRACE="${HEAL_OBS}" TMPS_BENCH_OUT="${RESULTS}" \
+  ./build-asan/bench/ext_self_heal
+HEAL_JSON="${RESULTS}/BENCH_ext_self_heal.json"
+[[ -s "${HEAL_JSON}" ]] || {
+  echo "missing ${HEAL_JSON}"; exit 1; }
+grep -q '"repair_ops_total":' "${HEAL_JSON}" || {
+  echo "no repair figures in ${HEAL_JSON}"; exit 1; }
+# Second opinion from the file-driven CLI, with the per-broker repair-round
+# table. The trace holds both runs, and the repair-off control *must* carry
+# violations — a clean exit here means the negative control proved nothing
+# (the repair-on run's cleanliness is gated inside the binary).
+if ./build/tools/tmps_audit "${HEAL_OBS}/trace.jsonl" --repair-rounds; then
+  echo "repair-off control left no attributed violations in the trace"
+  exit 1
+fi
 
 echo "=== overhead gate: provenance sampling cost (obs_overhead_gate) ==="
 # Exits nonzero when 1/64 sampling slows the publish path by more than the

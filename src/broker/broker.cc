@@ -24,7 +24,12 @@ static_assert(std::is_same_v<std::variant_alternative_t<
                                      obs::FlightKind::kTradReject),
                                  Payload>,
               TradRejectMsg>);
-static_assert(static_cast<std::size_t>(obs::FlightKind::kTradReject) + 1 ==
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     obs::FlightKind::kRepairVerdict),
+                                 Payload>,
+              RepairVerdictMsg>);
+static_assert(static_cast<std::size_t>(obs::FlightKind::kRepairVerdict) + 1 ==
               std::variant_size_v<Payload>);
 
 namespace {

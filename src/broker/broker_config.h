@@ -79,6 +79,34 @@ struct BrokerConfig {
   };
   Control control;
 
+  /// Anti-entropy repair loop (src/repair): each broker periodically sweeps
+  /// its routing/transaction state for invariants the movement protocol says
+  /// should hold, exchanges forwarding digests with its overlay neighbours,
+  /// and emits corrective routing ops. Host-level section like Control: the
+  /// host builds one RepairEngine per broker when `enabled`. Times are in
+  /// host seconds.
+  struct Repair {
+    bool enabled = false;
+    /// Period of the local invariant sweep (and digest exchange).
+    double sweep_interval = 2.0;
+    /// First sweep fires this long after start() (lets joins settle).
+    double start_delay = 0.0;
+    /// Shadow/parked transaction state younger than this is considered
+    /// legitimately in flight and left alone. Must comfortably exceed the
+    /// longest healthy movement hand-off.
+    double stale_after = 5.0;
+    /// Destructive repairs (orphan retraction) only fire after the suspicion
+    /// persisted this many consecutive sweeps; additive repairs (re-issuing
+    /// a missing forward) are idempotent and fire immediately.
+    std::uint32_t confirm_rounds = 2;
+    /// Send neighbour digests every Nth sweep; 0 disables digest exchange.
+    std::uint32_t digest_every = 1;
+    /// Reconcile quench state: re-issue subscriptions/advertisements that
+    /// should be forwarded on a link but are not (covering-safe mobility).
+    bool reconcile_quench = true;
+  };
+  Repair repair;
+
   /// Observability sinks and checks, settable programmatically or from the
   /// environment via from_env().
   struct Obs {
@@ -120,7 +148,8 @@ struct BrokerConfig {
   /// TMPS_PROFILE environment toggles on top of `base`: TMPS_TRACE="1" traces into the working
   /// directory, any other non-empty value is used as the output directory;
   /// TMPS_AUDIT enables the auditor; TMPS_PUB_TRACE_RATE=N samples 1-in-N
-  /// publications for per-hop provenance events.
+  /// publications for per-hop provenance events; TMPS_REPAIR enables the
+  /// anti-entropy repair loop.
   static BrokerConfig from_env(BrokerConfig base);
   static BrokerConfig from_env() { return from_env(BrokerConfig{}); }
 };
@@ -132,6 +161,7 @@ inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
   };
   if (set("TMPS_AUDIT")) base.obs.audit = true;
   if (set("TMPS_BALANCE")) base.control.enabled = true;
+  if (set("TMPS_REPAIR")) base.repair.enabled = true;
   if (const char* trace = std::getenv("TMPS_TRACE");
       trace && *trace && std::string(trace) != "0") {
     base.obs.tracing = true;
@@ -156,5 +186,9 @@ inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
 /// The control-plane options travel with BrokerConfig so hosts thread one
 /// struct; src/control consumes this section.
 using ControlConfig = BrokerConfig::Control;
+
+/// The repair-loop options travel the same way; src/repair consumes this
+/// section.
+using RepairConfig = BrokerConfig::Repair;
 
 }  // namespace tmps

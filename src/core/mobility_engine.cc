@@ -279,6 +279,12 @@ void MobilityEngine::on_control(BrokerId from, const Message& msg,
     on_trad_reject(*p, out);
   } else if (const auto* p = std::get_if<BufferedStateMsg>(&msg.payload)) {
     on_buffered_state(*p, out);
+  } else if (const auto* p = std::get_if<RepairProbeMsg>(&msg.payload)) {
+    on_repair_probe(*p, msg.cause, out);
+  } else if (std::holds_alternative<RepairDigestMsg>(msg.payload) ||
+             std::holds_alternative<RepairRequestMsg>(msg.payload) ||
+             std::holds_alternative<RepairVerdictMsg>(msg.payload)) {
+    if (repair_) repair_->on_repair(from, msg, out);
   }
 }
 
@@ -357,6 +363,7 @@ void MobilityEngine::on_negotiate(const MoveNegotiateMsg& m, TxnId cause,
   tm.txn = m.txn;
   tm.client = m.client;
   tm.source = m.source;
+  tm.start = env_->now();
   tm.state = TargetCoordState::Prepare;
   for (const auto& s : m.subs) tm.sub_ids.push_back(s.id);
   for (const auto& a : m.advs) tm.adv_ids.push_back(a.id);
@@ -759,13 +766,7 @@ void MobilityEngine::source_timeout(TxnId txn, SourceCoordState expected) {
     finish_source_move(sm, /*committed=*/false, out);
   } else if (expected == SourceCoordState::Prepare && sm.pending_state) {
     // Ack lost or slow: retransmit the (idempotent) state message.
-    Message wire;
-    wire.id = broker_->next_message_id();
-    wire.cause = sm.txn;
-    wire.unicast_dest = sm.target;
-    wire.payload = *sm.pending_state;
-    out.emplace_back(broker_->overlay().next_hop(broker_->id(), sm.target),
-                     std::move(wire));
+    retransmit_pending_state(sm, out);
     arm_source_timer(sm, cfg_.prepare_timeout);
   }
   if (transmit_ && !out.empty()) transmit_(std::move(out));
@@ -856,6 +857,7 @@ void MobilityEngine::on_trad_request(const TradMoveRequestMsg& m,
   tm.txn = m.txn;
   tm.client = m.client;
   tm.source = m.source;
+  tm.start = env_->now();
   tm.state = TargetCoordState::Prepare;
   // Target-side work of the traditional protocol: re-issuing the profile
   // (and its covering cascade) until the buffered state arrives.
@@ -978,6 +980,234 @@ void MobilityEngine::on_buffered_state(const BufferedStateMsg& m,
   tm.state = TargetCoordState::Commit;
   TMPS_SPAN_END(tracer_, tm.span, {{"outcome", "commit"}});
   tm.span = obs::kNoSpan;
+}
+
+// --- anti-entropy repair ---------------------------------------------------------
+
+RepairVerdictMsg MobilityEngine::resolve_txn(TxnId txn) const {
+  RepairVerdictMsg v;
+  v.txn = txn;
+  v.source = broker_->id();
+  auto it = source_moves_.find(txn);
+  if (it == source_moves_.end()) {
+    // No coordinator record: the transaction never started here (or this is
+    // not its coordinator). Nothing can ever commit it, so residual state
+    // elsewhere is safe to unwind.
+    v.verdict = RepairVerdict::Aborted;
+    return v;
+  }
+  const SourceMove& sm = it->second;
+  v.target = sm.target;
+  v.client = sm.client;
+  switch (sm.state) {
+    case SourceCoordState::Init:
+    case SourceCoordState::Wait:
+    case SourceCoordState::Prepare:
+      // Prepare is past the commit point (the source already committed its
+      // shadows); the retransmission path, not a verdict, resolves it.
+      v.verdict = RepairVerdict::InFlight;
+      break;
+    case SourceCoordState::Commit:
+      v.verdict = RepairVerdict::Committed;
+      break;
+    case SourceCoordState::Abort:
+      v.verdict = RepairVerdict::Aborted;
+      break;
+  }
+  return v;
+}
+
+void MobilityEngine::retransmit_pending_state(const SourceMove& sm,
+                                              Outputs& out) {
+  Message wire;
+  wire.id = broker_->next_message_id();
+  wire.cause = sm.txn;
+  wire.unicast_dest = sm.target;
+  wire.payload = *sm.pending_state;
+  out.emplace_back(broker_->overlay().next_hop(broker_->id(), sm.target),
+                   std::move(wire));
+}
+
+void MobilityEngine::on_repair_probe(const RepairProbeMsg& p, TxnId cause,
+                                     Outputs& out) {
+  RepairVerdictMsg v = resolve_txn(p.txn);
+  // A coordinator parked past its commit point holds the idempotent state
+  // message; the probe doubles as a retransmission request, re-driving the
+  // lost commit leg end-to-end (the target re-acks when it lands).
+  auto it = source_moves_.find(p.txn);
+  if (it != source_moves_.end() &&
+      it->second.state == SourceCoordState::Prepare &&
+      it->second.pending_state) {
+    retransmit_pending_state(it->second, out);
+  }
+  TMPS_EVENT(tracer_, p.txn, "repair:probe",
+             {{"broker", std::to_string(broker_->id())},
+              {"asker", std::to_string(p.asker)},
+              {"verdict", to_string(v.verdict)}});
+  if (p.asker != kNoBroker && p.asker != broker_->id()) {
+    broker_->send_unicast(p.asker, std::move(v), cause, out);
+  }
+}
+
+void MobilityEngine::repair_resolve_txn(const RepairVerdictMsg& v,
+                                        Outputs& out) {
+  if (v.verdict == RepairVerdict::InFlight) return;
+  RoutingTables& rt = broker_->tables();
+  std::vector<SubscriptionId> subs;
+  std::vector<AdvertisementId> advs;
+  for (const auto& [id, e] : rt.prt()) {
+    if (e.shadow_txn == v.txn) subs.push_back(id);
+  }
+  for (const auto& [id, e] : rt.srt()) {
+    if (e.shadow_txn == v.txn) advs.push_back(id);
+  }
+
+  if (v.verdict == RepairVerdict::Committed) {
+    // Re-run the hop-local commit hand-off over whatever shadows remain.
+    MoveStateMsg m;
+    m.txn = v.txn;
+    m.client = v.client;
+    m.source = v.source;
+    m.target = v.target;
+    m.sub_ids = std::move(subs);
+    m.adv_ids = std::move(advs);
+    commit_shadows_here(m, out);
+    // A target parked in precommit with a Committed verdict is the
+    // traditional protocol's lost buffered-state hand-off: the source
+    // already dismantled its copy, so activate the target copy without the
+    // buffered notifications (bounded loss; the routing state is whole).
+    auto it = target_moves_.find(v.txn);
+    if (it != target_moves_.end() &&
+        it->second.state == TargetCoordState::Prepare) {
+      TargetMove& tm = it->second;
+      ++tm.timer_gen;
+      tm.state = TargetCoordState::Commit;
+      TMPS_SPAN_END(tracer_, tm.span, {{"outcome", "repair-commit"}});
+      tm.span = obs::kNoSpan;
+      ClientStub* stub = find_client(tm.client);
+      if (stub && stub->state() == ClientState::Created) {
+        stub->start();
+        drain_commands(*stub, out);
+      }
+    }
+    return;
+  }
+
+  // Aborted: unwind residual shadows, then dismantle a parked target-side
+  // precommit (reconfig: drop the inactive client copy; traditional: also
+  // retract the re-issued profile, which lives as primary entries).
+  MoveAbortMsg ab;
+  ab.txn = v.txn;
+  ab.client = v.client;
+  ab.source = v.source;
+  ab.target = v.target;
+  ab.sub_ids = std::move(subs);
+  ab.adv_ids = std::move(advs);
+  abort_shadows_here(ab);
+  auto it = target_moves_.find(v.txn);
+  if (it != target_moves_.end() &&
+      it->second.state == TargetCoordState::Prepare) {
+    TargetMove& tm = it->second;
+    ++tm.timer_gen;
+    tm.state = TargetCoordState::Abort;
+    TMPS_SPAN_END(tracer_, tm.span, {{"outcome", "repair-abort"}});
+    tm.span = obs::kNoSpan;
+    ClientStub* stub = find_client(tm.client);
+    if (stub && stub->state() == ClientState::Created) {
+      const Hop ch = client_hop(tm.client);
+      std::vector<RoutingMutation> muts;
+      for (const auto& s : stub->subscriptions()) {
+        muts.push_back(RoutingMutation::remove_sub(s.id, ch));
+      }
+      for (const auto& a : stub->advertisements()) {
+        muts.push_back(RoutingMutation::remove_adv(a.id, ch));
+      }
+      if (!muts.empty()) broker_->inject_batch(std::move(muts), v.txn, out);
+      stub->clean();
+      clients_.erase(tm.client);
+    }
+  }
+}
+
+void MobilityEngine::abort_parked_source(SourceMove& sm, Outputs& out) {
+  TMPS_EVENT(tracer_, sm.txn, "repair:parked-abort",
+             {{"broker", std::to_string(broker_->id())},
+              {"state", to_string(sm.state)}});
+  ClientStub* stub = find_client(sm.client);
+  if (stub) {
+    if (sm.protocol == MobilityProtocol::Traditional) {
+      // The profile was retracted when the movement started; the end-to-end
+      // protocol must re-issue everything to undo (on_trad_reject's path).
+      const Hop ch = client_hop(sm.client);
+      std::vector<RoutingMutation> muts;
+      muts.reserve(stub->advertisements().size() +
+                   stub->subscriptions().size());
+      for (const auto& a : stub->advertisements()) {
+        muts.push_back(RoutingMutation::add_adv(a, ch));
+      }
+      for (const auto& s : stub->subscriptions()) {
+        muts.push_back(RoutingMutation::add_sub(s, ch));
+      }
+      broker_->inject_batch(std::move(muts), sm.txn, out);
+    } else {
+      // Unwind whatever part of the approve leg did land: the abort is
+      // hop-processed towards the target and a no-op where nothing is
+      // installed. Brokers the abort cannot reach heal via their own
+      // probes (this coordinator now answers Aborted).
+      MoveAbortMsg ab;
+      ab.txn = sm.txn;
+      ab.client = sm.client;
+      ab.source = broker_->id();
+      ab.target = sm.target;
+      for (const auto& s : stub->subscriptions()) ab.sub_ids.push_back(s.id);
+      for (const auto& a : stub->advertisements()) {
+        ab.adv_ids.push_back(a.id);
+      }
+      broker_->send_unicast(sm.target, std::move(ab), sm.txn, out);
+    }
+    stub->resume_from_abort();
+    drain_commands(*stub, out);
+  }
+  finish_source_move(sm, /*committed=*/false, out);
+}
+
+std::size_t MobilityEngine::repair_sweep_parked(double stale_after,
+                                                Outputs& out) {
+  const SimTime now = env_->now();
+  std::size_t ops = 0;
+  for (auto& [txn, sm] : source_moves_) {
+    if (now - sm.start < stale_after) continue;
+    if (sm.state == SourceCoordState::Wait) {
+      // Negotiate / approve / ready lost while this coordinator blocks
+      // (timeouts disabled): nothing downstream can have committed, so
+      // abort and resume the client at the source.
+      abort_parked_source(sm, out);
+      ++ops;
+    } else if (sm.state == SourceCoordState::Prepare && sm.pending_state) {
+      // Past the commit point with the ack missing: retransmit the
+      // idempotent state message — never abort.
+      TMPS_EVENT(tracer_, txn, "repair:retransmit-state",
+                 {{"broker", std::to_string(broker_->id())}});
+      retransmit_pending_state(sm, out);
+      ++ops;
+    }
+  }
+  for (auto& [txn, tm] : target_moves_) {
+    if (tm.state != TargetCoordState::Prepare) continue;
+    if (now - tm.start < stale_after) continue;
+    // Parked precommit: ask the source coordinator how the transaction
+    // resolved. Never abort unilaterally — the source may be past its
+    // commit point with the state message lost in flight.
+    TMPS_EVENT(tracer_, txn, "repair:probe-parked",
+               {{"broker", std::to_string(broker_->id())},
+                {"source", std::to_string(tm.source)}});
+    RepairProbeMsg p;
+    p.txn = txn;
+    p.asker = broker_->id();
+    broker_->send_unicast(tm.source, p, txn, out);
+    ++ops;
+  }
+  return ops;
 }
 
 // --- introspection ---------------------------------------------------------------

@@ -82,6 +82,17 @@ struct MobilityConfig {
   double prepare_timeout = 0;
 };
 
+/// Attachment point for the anti-entropy repair subsystem (src/repair).
+/// The engine answers transaction-resolution probes itself (it owns the
+/// coordinator records); digests, re-forward requests and verdicts arriving
+/// at this broker are handed to the attached handler.
+class RepairHandler {
+ public:
+  virtual ~RepairHandler() = default;
+  virtual void on_repair(BrokerId from, const Message& msg,
+                         std::vector<std::pair<BrokerId, Message>>& out) = 0;
+};
+
 class MobilityEngine final : public ControlHandler {
  public:
   using Outputs = Broker::Outputs;
@@ -170,6 +181,33 @@ class MobilityEngine final : public ControlHandler {
     return !source_moves_.empty() || !target_moves_.empty();
   }
 
+  // --- anti-entropy repair support (src/repair) ------------------------------
+
+  /// Repair messages other than probes (digest / request / verdict) arriving
+  /// at this broker are dispatched to `handler` (not owned; may be null).
+  void set_repair_handler(RepairHandler* handler) { repair_ = handler; }
+
+  /// Coordinator-side verdict for `txn` from this broker's transaction
+  /// records. A transaction this coordinator has no record of can never
+  /// commit, so it resolves to Aborted — safe for the asker to unwind.
+  RepairVerdictMsg resolve_txn(TxnId txn) const;
+
+  /// Applies a terminal repair verdict to this broker's state for `txn`:
+  /// Committed re-runs the hop-local commit hand-off over whatever shadow
+  /// entries remain; Aborted unwinds them and dismantles a parked target-
+  /// coordinator precommit (including a traditional target's re-issued
+  /// profile). InFlight is a no-op.
+  void repair_resolve_txn(const RepairVerdictMsg& v, Outputs& out);
+
+  /// Sweeps this coordinator's parked transactions older than `stale_after`:
+  /// a source stuck awaiting approve aborts (nothing downstream can have
+  /// committed); a source past its commit point retransmits the idempotent
+  /// state message (never aborts); a target stuck in precommit probes the
+  /// source coordinator for the outcome (never aborts unilaterally — the
+  /// source may have passed its commit point with the state message lost).
+  /// Returns the number of corrective actions taken.
+  std::size_t repair_sweep_parked(double stale_after, Outputs& out);
+
  private:
   struct SourceMove {
     TxnId txn = kNoTxn;
@@ -190,6 +228,7 @@ class MobilityEngine final : public ControlHandler {
     TxnId txn = kNoTxn;
     ClientId client = kNoClient;
     BrokerId source = kNoBroker;
+    SimTime start = 0;
     TargetCoordState state = TargetCoordState::Init;
     std::vector<SubscriptionId> sub_ids;
     std::vector<AdvertisementId> adv_ids;
@@ -211,6 +250,13 @@ class MobilityEngine final : public ControlHandler {
   void on_trad_ready(const TradReadyMsg& m, Outputs& out);
   void on_trad_reject(const TradRejectMsg& m, Outputs& out);
   void on_buffered_state(const BufferedStateMsg& m, Outputs& out);
+
+  // Anti-entropy repair.
+  void on_repair_probe(const RepairProbeMsg& p, TxnId cause, Outputs& out);
+  void retransmit_pending_state(const SourceMove& m, Outputs& out);
+  /// Aborts a source coordinator stuck in Wait (re-issuing a traditional
+  /// mover's retracted profile first) and resumes the client at the source.
+  void abort_parked_source(SourceMove& m, Outputs& out);
 
   // Hop-by-hop routing reconfiguration (Sec. 4.4).
   void install_shadows(const MoveApproveMsg& m);
@@ -241,6 +287,7 @@ class MobilityEngine final : public ControlHandler {
   std::function<void(Outputs)> transmit_;
   DeliverySink delivery_;
   MoveCallback move_cb_;
+  RepairHandler* repair_ = nullptr;
   std::map<ClientId, std::unique_ptr<ClientStub>> clients_;
   std::map<TxnId, SourceMove> source_moves_;
   std::map<TxnId, TargetMove> target_moves_;

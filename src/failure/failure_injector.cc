@@ -1,6 +1,21 @@
 #include "failure/failure_injector.h"
 
+#include <algorithm>
+
+#include "obs/trace.h"
+
 namespace tmps {
+
+namespace {
+const char* action_name(MessageFault::Action a) {
+  switch (a) {
+    case MessageFault::Action::Drop: return "drop";
+    case MessageFault::Action::Duplicate: return "duplicate";
+    case MessageFault::Action::Delay: return "delay";
+  }
+  return "?";
+}
+}  // namespace
 
 std::string FailureInjector::Event::to_string() const {
   std::string s = is_link ? "link " + std::to_string(broker) + "-" +
@@ -11,7 +26,12 @@ std::string FailureInjector::Event::to_string() const {
 }
 
 FailureInjector::FailureInjector(SimNetwork& net, FailurePlan plan)
-    : net_(&net), plan_(plan), rng_(plan.seed) {}
+    : net_(&net), plan_(plan), rng_(plan.seed) {
+  TMPS_EVENT(net_->tracer(), kNoTxn, "fault:plan",
+             {{"seed", std::to_string(plan_.seed)},
+              {"broker_crash_rate", std::to_string(plan_.broker_crash_rate)},
+              {"link_failure_rate", std::to_string(plan_.link_failure_rate)}});
+}
 
 void FailureInjector::schedule_until(SimTime horizon) {
   const auto& overlay = net_->overlay();
@@ -43,6 +63,9 @@ void FailureInjector::crash_broker_at(BrokerId b, SimTime at,
                                       double duration) {
   log_.push_back(Event{at, duration, false, b, kNoBroker});
   net_->events().schedule_at(at, [this, b, duration] {
+    TMPS_EVENT(net_->tracer(), kNoTxn, "fault:crash",
+               {{"broker", std::to_string(b)},
+                {"duration", std::to_string(duration)}});
     net_->pause_broker(b, duration);
   });
 }
@@ -51,12 +74,25 @@ void FailureInjector::fail_link_at(BrokerId a, BrokerId b, SimTime at,
                                    double duration) {
   log_.push_back(Event{at, duration, true, a, b});
   net_->events().schedule_at(at, [this, a, b, duration] {
+    TMPS_EVENT(net_->tracer(), kNoTxn, "fault:link",
+               {{"a", std::to_string(a)},
+                {"b", std::to_string(b)},
+                {"duration", std::to_string(duration)}});
     net_->pause_link(a, b, duration);
   });
 }
 
 void FailureInjector::arm(MessageFault fault) {
   faults_.push_back(std::move(fault));
+  ensure_hook();
+}
+
+void FailureInjector::crash_at_phase(PhaseCrash crash) {
+  phase_crashes_.push_back(std::move(crash));
+  ensure_hook();
+}
+
+void FailureInjector::ensure_hook() {
   if (!hook_installed_) {
     hook_installed_ = true;
     net_->set_fault_hook(
@@ -68,6 +104,48 @@ void FailureInjector::arm(MessageFault fault) {
 
 FaultAction FailureInjector::on_message(BrokerId from, BrokerId to,
                                         const Message& msg) {
+  if (msg.is_control() && !blackout_until_.empty()) {
+    // Active control blackout: the victim's volatile 3PC conversation is
+    // gone, so control traffic to or from it vanishes.
+    for (BrokerId end : {from, to}) {
+      auto it = blackout_until_.find(end);
+      if (it == blackout_until_.end()) continue;
+      if (net_->now() >= it->second) {
+        blackout_until_.erase(it);
+        continue;
+      }
+      hits_.push_back(FaultHit{net_->now(), std::string(msg.type_name()),
+                               from, to, msg.cause,
+                               MessageFault::Action::Drop});
+      FaultAction drop;
+      drop.drop = true;
+      return drop;
+    }
+  }
+  if (msg.is_control()) {
+    for (PhaseCrash& pc : phase_crashes_) {
+      if (pc.count == 0) continue;
+      if (from != pc.victim && to != pc.victim) continue;
+      if (msg.type_name() != pc.phase) continue;
+      if (net_->now() < pc.after) continue;
+      if (pc.count > 0) --pc.count;
+      const double now = net_->now();
+      blackout_until_[pc.victim] =
+          std::max(blackout_until_[pc.victim], now + pc.outage);
+      log_.push_back(Event{now, pc.outage, false, pc.victim, kNoBroker});
+      TMPS_EVENT(net_->tracer(), msg.cause, "fault:phase-crash",
+                 {{"victim", std::to_string(pc.victim)},
+                  {"phase", pc.phase},
+                  {"outage", std::to_string(pc.outage)}});
+      net_->pause_broker(pc.victim, pc.outage);
+      // The triggering message itself is part of the lost conversation.
+      hits_.push_back(FaultHit{now, std::string(msg.type_name()), from, to,
+                               msg.cause, MessageFault::Action::Drop});
+      FaultAction drop;
+      drop.drop = true;
+      return drop;
+    }
+  }
   for (MessageFault& f : faults_) {
     if (f.count == 0) continue;
     if (!f.type.empty() && msg.type_name() != f.type) continue;
@@ -78,6 +156,11 @@ FaultAction FailureInjector::on_message(BrokerId from, BrokerId to,
     if (f.count > 0) --f.count;
     hits_.push_back(FaultHit{net_->now(), std::string(msg.type_name()), from,
                              to, msg.cause, f.action});
+    TMPS_EVENT(net_->tracer(), msg.cause, "fault:hit",
+               {{"action", action_name(f.action)},
+                {"type", std::string(msg.type_name())},
+                {"from", std::to_string(from)},
+                {"to", std::to_string(to)}});
     FaultAction action;
     switch (f.action) {
       case MessageFault::Action::Drop: action.drop = true; break;

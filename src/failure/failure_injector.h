@@ -8,6 +8,7 @@
 // hold regardless.
 #pragma once
 
+#include <map>
 #include <random>
 #include <string>
 #include <vector>
@@ -37,6 +38,24 @@ struct MessageFault {
   double delay = 0;
 };
 
+/// Deterministic phase-targeted crash. The victim "crashes" the instant a
+/// movement-protocol control message of the named phase
+/// (Message::type_name(), e.g. "move-approve") transits a link to or from
+/// it: for `outage` seconds every control message to or from the victim is
+/// dropped (the triggering message included — the volatile 3PC conversation
+/// is lost), while its data-plane traffic only sees the masked
+/// `pause_broker` delay. This models the paper's durable-broker fault
+/// model: routing tables and store-and-forward queues survive a
+/// crash-restart, the in-memory movement conversation does not. The repair
+/// loop (src/repair) is what heals the aftermath.
+struct PhaseCrash {
+  BrokerId victim = kNoBroker;
+  std::string phase;    // triggering control Message::type_name()
+  double outage = 1.0;  // control blackout + masked data delay
+  double after = 0;     // armed only from this simulation time on
+  int count = 1;        // trigger this many times; -1 = every occurrence
+};
+
 struct FailurePlan {
   /// Expected broker crashes per second, network-wide (Poisson).
   double broker_crash_rate = 0.0;
@@ -46,6 +65,10 @@ struct FailurePlan {
   double link_failure_rate = 0.0;
   /// Mean link repair time (exponential).
   double link_downtime_mean = 1.0;
+  /// Randomized schedules are a pure function of the seed. Scenario-driven
+  /// call sites should plumb `ScenarioConfig::seed` in here so one seed
+  /// reproduces workload *and* faults; the injector logs the seed (and every
+  /// drawn event) as `fault:*` trace events for post-hoc reconstruction.
   std::uint64_t seed = 1;
 };
 
@@ -77,6 +100,10 @@ class FailureInjector {
   /// consulted in arming order and the first match applies.
   void arm(MessageFault fault);
 
+  /// Arms a deterministic phase-targeted crash (see PhaseCrash). Active
+  /// control blackouts take precedence over armed message faults.
+  void crash_at_phase(PhaseCrash crash);
+
   /// One record per message a fault actually hit.
   struct FaultHit {
     double at = 0;
@@ -92,12 +119,16 @@ class FailureInjector {
 
  private:
   FaultAction on_message(BrokerId from, BrokerId to, const Message& msg);
+  void ensure_hook();
 
   SimNetwork* net_;
   FailurePlan plan_;
   std::mt19937_64 rng_;
   std::vector<Event> log_;
   std::vector<MessageFault> faults_;
+  std::vector<PhaseCrash> phase_crashes_;
+  /// victim -> end of the control blackout window (absolute sim time).
+  std::map<BrokerId, double> blackout_until_;
   std::vector<FaultHit> hits_;
   bool hook_installed_ = false;
 };

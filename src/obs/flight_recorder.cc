@@ -23,6 +23,10 @@ std::string_view flight_kind_name(FlightKind k) {
     case FlightKind::kTradMoveRequest: return "trad-move-request";
     case FlightKind::kTradReady: return "trad-ready";
     case FlightKind::kTradReject: return "trad-reject";
+    case FlightKind::kRepairDigest: return "repair-digest";
+    case FlightKind::kRepairRequest: return "repair-request";
+    case FlightKind::kRepairProbe: return "repair-probe";
+    case FlightKind::kRepairVerdict: return "repair-verdict";
     case FlightKind::kDeliver: return "deliver";
     case FlightKind::kClientOp: return "client-op";
   }

@@ -24,7 +24,7 @@
 
 namespace tmps::obs {
 
-/// What happened. Values 0..14 mirror the Message payload variant order
+/// What happened. Values 0..18 mirror the Message payload variant order
 /// (pubsub/messages.h) so recording from on_message is a single index copy.
 enum class FlightKind : std::uint8_t {
   kAdvertise = 0,
@@ -42,8 +42,12 @@ enum class FlightKind : std::uint8_t {
   kTradMoveRequest = 12,
   kTradReady = 13,
   kTradReject = 14,
-  kDeliver = 15,    ///< local delivery to a client (detail = client id)
-  kClientOp = 16,   ///< local client operation (detail = client id)
+  kRepairDigest = 15,
+  kRepairRequest = 16,
+  kRepairProbe = 17,
+  kRepairVerdict = 18,
+  kDeliver = 19,    ///< local delivery to a client (detail = client id)
+  kClientOp = 20,   ///< local client operation (detail = client id)
 };
 
 std::string_view flight_kind_name(FlightKind k);

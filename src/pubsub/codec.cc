@@ -26,6 +26,10 @@ enum class PayloadTag : std::uint8_t {
   TradMoveRequest = 13,
   TradReady = 14,
   TradReject = 15,
+  RepairDigest = 16,
+  RepairRequest = 17,
+  RepairProbe = 18,
+  RepairVerdict = 19,
 };
 
 }  // namespace
@@ -357,6 +361,35 @@ struct PayloadEncoder {
     w.u64(m.client);
     w.str(m.reason);
   }
+  void operator()(const RepairDigestMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::RepairDigest));
+    w.u64(m.round);
+    w.u32(m.origin);
+    encode_vec(w, m.sub_ids);
+    encode_vec(w, m.adv_ids);
+    encode_vec(w, m.in_flight_subs);
+    encode_vec(w, m.in_flight_advs);
+  }
+  void operator()(const RepairRequestMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::RepairRequest));
+    w.u64(m.round);
+    w.u32(m.origin);
+    encode_vec(w, m.sub_ids);
+    encode_vec(w, m.adv_ids);
+  }
+  void operator()(const RepairProbeMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::RepairProbe));
+    w.u64(m.txn);
+    w.u32(m.asker);
+  }
+  void operator()(const RepairVerdictMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::RepairVerdict));
+    w.u64(m.txn);
+    w.u8(static_cast<std::uint8_t>(m.verdict));
+    w.u32(m.source);
+    w.u32(m.target);
+    w.u64(m.client);
+  }
 };
 
 bool decode_payload(Reader& r, Payload& payload) {
@@ -476,6 +509,43 @@ bool decode_payload(Reader& r, Payload& payload) {
       TradRejectMsg m;
       if (!r.u64(m.txn) || !r.u64(m.client) || !r.str(m.reason)) return false;
       payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::RepairDigest: {
+      RepairDigestMsg m;
+      if (!r.u64(m.round) || !r.u32(m.origin) || !decode_vec(r, m.sub_ids) ||
+          !decode_vec(r, m.adv_ids) || !decode_vec(r, m.in_flight_subs) ||
+          !decode_vec(r, m.in_flight_advs)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::RepairRequest: {
+      RepairRequestMsg m;
+      if (!r.u64(m.round) || !r.u32(m.origin) || !decode_vec(r, m.sub_ids) ||
+          !decode_vec(r, m.adv_ids)) {
+        return false;
+      }
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::RepairProbe: {
+      RepairProbeMsg m;
+      if (!r.u64(m.txn) || !r.u32(m.asker)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::RepairVerdict: {
+      RepairVerdictMsg m;
+      std::uint8_t verdict;
+      if (!r.u64(m.txn) || !r.u8(verdict) ||
+          verdict > static_cast<std::uint8_t>(RepairVerdict::Aborted) ||
+          !r.u32(m.source) || !r.u32(m.target) || !r.u64(m.client)) {
+        return false;
+      }
+      m.verdict = static_cast<RepairVerdict>(verdict);
+      payload = m;
       return true;
     }
   }

@@ -37,9 +37,33 @@ struct TypeNameVisitor {
   std::string_view operator()(const TradRejectMsg&) const {
     return "trad-reject";
   }
+  std::string_view operator()(const RepairDigestMsg&) const {
+    return "repair-digest";
+  }
+  std::string_view operator()(const RepairRequestMsg&) const {
+    return "repair-request";
+  }
+  std::string_view operator()(const RepairProbeMsg&) const {
+    return "repair-probe";
+  }
+  std::string_view operator()(const RepairVerdictMsg&) const {
+    return "repair-verdict";
+  }
 };
 
 }  // namespace
+
+const char* to_string(RepairVerdict v) {
+  switch (v) {
+    case RepairVerdict::InFlight:
+      return "in-flight";
+    case RepairVerdict::Committed:
+      return "committed";
+    case RepairVerdict::Aborted:
+      return "aborted";
+  }
+  return "?";
+}
 
 std::string_view Message::type_name() const {
   return std::visit(TypeNameVisitor{}, payload);

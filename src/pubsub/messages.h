@@ -167,11 +167,80 @@ struct TradRejectMsg {
   std::string reason;
 };
 
+// ---------------------------------------------------------------------------
+// Anti-entropy repair payloads (src/repair): the self-healing loop that
+// reconciles routing state drifted by crash-interrupted movements. Digests
+// and requests are link-local (sent one hop to a neighbour); probes and
+// verdicts are pure unicasts between a broker holding suspicious state and
+// the transaction's coordinator (recoverable from the TxnId encoding).
+// ---------------------------------------------------------------------------
+
+/// How a transaction's coordinator resolved it, as answered to a repair
+/// probe. InFlight means "leave the state alone and ask again later".
+enum class RepairVerdict : std::uint8_t {
+  InFlight = 0,
+  Committed = 1,
+  Aborted = 2,
+};
+
+const char* to_string(RepairVerdict v);
+
+/// Periodic neighbour digest: `origin` lists every subscription/
+/// advertisement it believes it has forwarded to the receiving neighbour.
+/// The receiver diffs the claim against its own lasthop state — entries it
+/// holds but the sender no longer claims are orphans to retract; claimed
+/// entries it lacks are missing forwards to request back.
+///
+/// `in_flight_*` list entries the origin holds only as uncommitted shadow
+/// state of a movement transaction. They are not claims (the receiver must
+/// not request a re-forward — the movement will install them on commit), but
+/// they veto orphan aging: a neighbour whose committed entry already points
+/// at the origin mid-movement must not retract it while the origin's own
+/// copy is still a shadow.
+struct RepairDigestMsg {
+  std::uint64_t round = 0;
+  BrokerId origin = kNoBroker;
+  std::vector<SubscriptionId> sub_ids;
+  std::vector<AdvertisementId> adv_ids;
+  std::vector<SubscriptionId> in_flight_subs;
+  std::vector<AdvertisementId> in_flight_advs;
+};
+
+/// Receiver -> digest sender: re-forward these entries (the sender answers
+/// with ordinary SubscribeMsg/AdvertiseMsg re-sends, which are idempotent
+/// upserts at the receiver).
+struct RepairRequestMsg {
+  std::uint64_t round = 0;
+  BrokerId origin = kNoBroker;
+  std::vector<SubscriptionId> sub_ids;
+  std::vector<AdvertisementId> adv_ids;
+};
+
+/// A broker holding stale shadow or parked state for `txn` asks the
+/// transaction's coordinator how it resolved. Pure unicast.
+struct RepairProbeMsg {
+  TxnId txn = kNoTxn;
+  BrokerId asker = kNoBroker;
+};
+
+/// The coordinator's answer to a probe. `source`/`target`/`client` carry the
+/// movement's endpoints so the asker can commit shadows locally (the commit
+/// hand-off needs the direction of the source). Pure unicast.
+struct RepairVerdictMsg {
+  TxnId txn = kNoTxn;
+  RepairVerdict verdict = RepairVerdict::InFlight;
+  BrokerId source = kNoBroker;
+  BrokerId target = kNoBroker;
+  ClientId client = kNoClient;
+};
+
 using Payload =
     std::variant<AdvertiseMsg, UnadvertiseMsg, SubscribeMsg, UnsubscribeMsg,
                  PublishMsg, MoveNegotiateMsg, MoveApproveMsg, MoveRejectMsg,
                  MoveStateMsg, MoveAckMsg, MoveAbortMsg, BufferedStateMsg,
-                 TradMoveRequestMsg, TradReadyMsg, TradRejectMsg>;
+                 TradMoveRequestMsg, TradReadyMsg, TradRejectMsg,
+                 RepairDigestMsg, RepairRequestMsg, RepairProbeMsg,
+                 RepairVerdictMsg>;
 
 struct Message {
   MessageId id = 0;

@@ -1,0 +1,41 @@
+#include "repair/repair_admin.h"
+
+#include <sstream>
+
+namespace tmps::repair {
+
+std::string repair_json(const RepairEngine& engine) {
+  const RepairStats& s = engine.stats();
+  const RepairConfig& c = engine.config();
+  std::ostringstream os;
+  os << "{\"broker\":" << engine.broker_id()
+     << ",\"sweep_interval\":" << c.sweep_interval
+     << ",\"stale_after\":" << c.stale_after
+     << ",\"confirm_rounds\":" << c.confirm_rounds
+     << ",\"rounds\":" << s.rounds
+     << ",\"ops_total\":" << s.ops_total
+     << ",\"parked_ops\":" << s.parked_ops
+     << ",\"probes_sent\":" << s.probes_sent
+     << ",\"verdicts_applied\":" << s.verdicts_applied
+     << ",\"orphans_retracted\":" << s.orphans_retracted
+     << ",\"digest_retracts\":" << s.digest_retracts
+     << ",\"reissues_requested\":" << s.reissues_requested
+     << ",\"reissues_served\":" << s.reissues_served
+     << ",\"unquenches\":" << s.unquenches
+     << ",\"last_op_round\":" << s.last_op_round
+     << ",\"last_op_time\":" << s.last_op_time
+     << ",\"suspect_shadows\":" << s.suspect_shadows << "}";
+  return os.str();
+}
+
+void install_admin_routes(HttpAdminServer& server,
+                          const RepairEngine& engine) {
+  server.add_route("/repair", [&engine] {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = repair_json(engine);
+    return resp;
+  });
+}
+
+}  // namespace tmps::repair

@@ -1,0 +1,27 @@
+// HTTP admin surface of the repair loop: a `/repair` route for the per-host
+// HttpAdminServer (transport/http_admin.h) returning one JSON object with
+// this broker's repair activity — rounds, corrective-op counts by kind, the
+// convergence watermark (round/time of the last op) and the currently
+// suspect shadow-transaction count.
+//
+// The numeric series (tmps_repair_rounds, tmps_repair_ops_total) already
+// land in the host's MetricsRegistry, so /metrics and /timeseries expose
+// them without extra wiring; this route adds the structured at-a-glance
+// view probes and tests want.
+#pragma once
+
+#include <string>
+
+#include "repair/repair_engine.h"
+#include "transport/http_admin.h"
+
+namespace tmps::repair {
+
+/// Registers GET /repair on `server`. Call before server.start(); the
+/// engine must outlive the server.
+void install_admin_routes(HttpAdminServer& server, const RepairEngine& engine);
+
+/// The /repair response body (exposed for tests).
+std::string repair_json(const RepairEngine& engine);
+
+}  // namespace tmps::repair

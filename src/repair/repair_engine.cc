@@ -1,0 +1,424 @@
+#include "repair/repair_engine.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "routing/routing_tables.h"
+
+namespace tmps::repair {
+
+namespace {
+
+std::string entity_str(const EntityId& id) {
+  return std::to_string(id.client) + ":" + std::to_string(id.seq);
+}
+
+}  // namespace
+
+RepairEngine::RepairEngine(MobilityEngine& engine, RuntimeEnv& env,
+                           RepairConfig cfg)
+    : engine_(&engine),
+      broker_(&engine.broker()),
+      env_(&env),
+      tracer_(env.tracer()),
+      cfg_(cfg) {
+  if (obs::MetricsRegistry* mr = env_->metrics()) {
+    const obs::Labels labels = {{"broker", std::to_string(broker_->id())}};
+    rounds_ctr_ = &mr->counter("tmps_repair_rounds", labels);
+    ops_ctr_ = &mr->counter("tmps_repair_ops_total", labels);
+  }
+}
+
+BrokerId RepairEngine::broker_id() const { return broker_->id(); }
+
+void RepairEngine::start(double until) {
+  until_ = until;
+  schedule_next(cfg_.start_delay > 0 ? cfg_.start_delay : cfg_.sweep_interval);
+}
+
+void RepairEngine::schedule_next(double delay) {
+  env_->schedule(delay, [this] {
+    if (env_->now() > until_) return;
+    sweep();
+    schedule_next(cfg_.sweep_interval);
+  });
+}
+
+void RepairEngine::note_ops(std::uint64_t n) {
+  if (n == 0) return;
+  stats_.ops_total += n;
+  stats_.last_op_time = env_->now();
+  stats_.last_op_round = stats_.rounds;
+  if (ops_ctr_) ops_ctr_->inc(n);
+}
+
+void RepairEngine::sweep() {
+  ++stats_.rounds;
+  if (rounds_ctr_) rounds_ctr_->inc();
+  const double now = env_->now();
+  Outputs out;
+  std::size_t ops = 0;
+  const std::size_t parked =
+      engine_->repair_sweep_parked(cfg_.stale_after, out);
+  stats_.parked_ops += parked;
+  ops += parked;
+  ops += sweep_shadows(now, out);
+  ops += sweep_orphans(out);
+  if (cfg_.reconcile_quench) ops += sweep_quench(out);
+  if (cfg_.digest_every > 0 && stats_.rounds % cfg_.digest_every == 0) {
+    send_digests(out);
+  }
+  note_ops(ops);
+  TMPS_EVENT(tracer_, kNoTxn, "repair:round",
+             {{"broker", std::to_string(broker_->id())},
+              {"round", std::to_string(stats_.rounds)},
+              {"ops", std::to_string(ops)}});
+  engine_->emit(std::move(out));
+}
+
+void RepairEngine::on_repair(BrokerId from, const Message& msg, Outputs& out) {
+  if (const auto* d = std::get_if<RepairDigestMsg>(&msg.payload)) {
+    on_digest(from, *d, out);
+  } else if (const auto* r = std::get_if<RepairRequestMsg>(&msg.payload)) {
+    on_request(from, *r, out);
+  } else if (const auto* v = std::get_if<RepairVerdictMsg>(&msg.payload)) {
+    on_verdict(*v, out);
+  }
+}
+
+// --- stale shadow state ----------------------------------------------------------
+
+std::size_t RepairEngine::sweep_shadows(double now, Outputs& out) {
+  RoutingTables& rt = broker_->tables();
+  std::set<TxnId> live;
+  for (const auto& [id, e] : rt.prt()) {
+    if (e.shadow_txn != kNoTxn) live.insert(e.shadow_txn);
+  }
+  for (const auto& [id, e] : rt.srt()) {
+    if (e.shadow_txn != kNoTxn) live.insert(e.shadow_txn);
+  }
+  std::erase_if(shadow_seen_,
+                [&live](const auto& kv) { return !live.contains(kv.first); });
+  stats_.suspect_shadows = live.size();
+
+  std::size_t ops = 0;
+  for (const TxnId txn : live) {
+    const auto [it, fresh] = shadow_seen_.emplace(txn, now);
+    if (fresh) continue;  // first sighting: start aging
+    if (now - it->second < cfg_.stale_after) continue;
+
+    const auto coord = static_cast<BrokerId>(txn >> 40);
+    if (coord == broker_->id()) {
+      // This broker coordinates the transaction: resolve from the local
+      // record. InFlight means it is parked here and repair_sweep_parked is
+      // already driving it.
+      RepairVerdictMsg v = engine_->resolve_txn(txn);
+      if (v.verdict == RepairVerdict::InFlight) continue;
+      TMPS_EVENT(tracer_, txn, "repair:verdict",
+                 {{"broker", std::to_string(broker_->id())},
+                  {"verdict", to_string(v.verdict)},
+                  {"origin", "local"}});
+      engine_->repair_resolve_txn(v, out);
+      ++stats_.verdicts_applied;
+      ++ops;
+      continue;
+    }
+    // Probe the coordinator; the sweep period is the retry backoff.
+    TMPS_EVENT(tracer_, txn, "repair:probe-shadow",
+               {{"broker", std::to_string(broker_->id())},
+                {"coordinator", std::to_string(coord)}});
+    RepairProbeMsg p;
+    p.txn = txn;
+    p.asker = broker_->id();
+    broker_->send_unicast(coord, p, txn, out);
+    ++stats_.probes_sent;
+    ++ops;
+  }
+  return ops;
+}
+
+// --- orphaned client state -------------------------------------------------------
+
+std::size_t RepairEngine::sweep_orphans(Outputs& out) {
+  RoutingTables& rt = broker_->tables();
+  std::vector<std::pair<SubscriptionId, Hop>> dead_subs;
+  std::vector<std::pair<AdvertisementId, Hop>> dead_advs;
+  std::set<SubscriptionId> suspect_subs;
+  std::set<AdvertisementId> suspect_advs;
+
+  for (const auto& [id, e] : rt.prt()) {
+    if (!e.lasthop.is_client()) continue;
+    if (e.shadow_txn != kNoTxn || e.shadow_only) continue;
+    if (engine_->find_client(e.lasthop.client) != nullptr) continue;
+    suspect_subs.insert(id);
+    if (++orphan_sub_rounds_[id] < cfg_.confirm_rounds) continue;
+    dead_subs.emplace_back(id, e.lasthop);
+  }
+  for (const auto& [id, e] : rt.srt()) {
+    if (!e.lasthop.is_client()) continue;
+    if (e.shadow_txn != kNoTxn || e.shadow_only) continue;
+    if (engine_->find_client(e.lasthop.client) != nullptr) continue;
+    suspect_advs.insert(id);
+    if (++orphan_adv_rounds_[id] < cfg_.confirm_rounds) continue;
+    dead_advs.emplace_back(id, e.lasthop);
+  }
+  // Entries that stopped being suspicious (client reappeared mid-movement,
+  // entry removed) lose their age.
+  std::erase_if(orphan_sub_rounds_, [&suspect_subs](const auto& kv) {
+    return !suspect_subs.contains(kv.first);
+  });
+  std::erase_if(orphan_adv_rounds_, [&suspect_advs](const auto& kv) {
+    return !suspect_advs.contains(kv.first);
+  });
+
+  for (const auto& [id, hop] : dead_subs) {
+    orphan_sub_rounds_.erase(id);
+    TMPS_EVENT(tracer_, kNoTxn, "repair:orphan-retract",
+               {{"broker", std::to_string(broker_->id())},
+                {"sub", entity_str(id)}});
+    broker_->inject_unsubscribe(hop, id, kNoTxn, out);
+    ++stats_.orphans_retracted;
+  }
+  for (const auto& [id, hop] : dead_advs) {
+    orphan_adv_rounds_.erase(id);
+    TMPS_EVENT(tracer_, kNoTxn, "repair:orphan-retract",
+               {{"broker", std::to_string(broker_->id())},
+                {"adv", entity_str(id)}});
+    broker_->inject_unadvertise(hop, id, kNoTxn, out);
+    ++stats_.orphans_retracted;
+  }
+  return dead_subs.size() + dead_advs.size();
+}
+
+// --- quench / un-quench reconciliation -------------------------------------------
+
+std::size_t RepairEngine::sweep_quench(Outputs& out) {
+  RoutingTables& rt = broker_->tables();
+  const BrokerConfig& bc = broker_->config();
+  std::size_t ops = 0;
+  for (const BrokerId n : broker_->overlay().neighbors(broker_->id())) {
+    const Hop link = Hop::of_broker(n);
+
+    // Subscriptions the SRT says must flow over `link` (an advertisement
+    // from that direction intersects) but that were never forwarded and are
+    // not covered there: quench drift left by a reconfiguration hand-off.
+    std::vector<SubscriptionId> missing_subs;
+    for (const auto& [id, e] : rt.prt()) {
+      if (e.shadow_only || e.shadow_txn != kNoTxn) continue;
+      if (e.lasthop == link) continue;
+      if (e.forwarded_to.contains(link)) continue;
+      if (!rt.link_needed_for(e.sub.filter, link)) continue;
+      if (bc.subscription_covering &&
+          rt.sub_covered_on_link(id, e.sub.filter, link)) {
+        continue;
+      }
+      missing_subs.push_back(id);
+    }
+    // Advertisement analogue: advs flood every link except their lasthop
+    // unless covered there.
+    std::vector<AdvertisementId> missing_advs;
+    for (const auto& [id, e] : rt.srt()) {
+      if (e.shadow_only || e.shadow_txn != kNoTxn) continue;
+      if (e.lasthop == link) continue;
+      if (e.forwarded_to.contains(link)) continue;
+      if (bc.advertisement_covering &&
+          rt.adv_covered_on_link(id, e.adv.filter, link)) {
+        continue;
+      }
+      missing_advs.push_back(id);
+    }
+
+    for (const auto& id : missing_subs) {
+      SubEntry* e = rt.find_sub(id);
+      if (!e) continue;
+      e->forwarded_to.insert(link);
+      Message wire;
+      wire.id = broker_->next_message_id();
+      wire.payload = SubscribeMsg{e->sub};
+      out.emplace_back(n, std::move(wire));
+      TMPS_EVENT(tracer_, kNoTxn, "repair:unquench",
+                 {{"broker", std::to_string(broker_->id())},
+                  {"sub", entity_str(id)},
+                  {"link", std::to_string(n)}});
+      ++stats_.unquenches;
+      ++ops;
+    }
+    for (const auto& id : missing_advs) {
+      AdvEntry* e = rt.find_adv(id);
+      if (!e) continue;
+      e->forwarded_to.insert(link);
+      Message wire;
+      wire.id = broker_->next_message_id();
+      wire.payload = AdvertiseMsg{e->adv};
+      out.emplace_back(n, std::move(wire));
+      TMPS_EVENT(tracer_, kNoTxn, "repair:unquench",
+                 {{"broker", std::to_string(broker_->id())},
+                  {"adv", entity_str(id)},
+                  {"link", std::to_string(n)}});
+      ++stats_.unquenches;
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+// --- neighbour digests -----------------------------------------------------------
+
+void RepairEngine::send_digests(Outputs& out) {
+  RoutingTables& rt = broker_->tables();
+  for (const BrokerId n : broker_->overlay().neighbors(broker_->id())) {
+    const Hop link = Hop::of_broker(n);
+    RepairDigestMsg d;
+    d.round = stats_.rounds;
+    d.origin = broker_->id();
+    for (const auto& [id, e] : rt.prt()) {
+      if (e.shadow_txn != kNoTxn || e.shadow_only) {
+        // Mid-movement the neighbour's committed copy may already point
+        // here while ours is still a shadow; the in-flight list vetoes its
+        // orphan aging without claiming a forward we never made.
+        d.in_flight_subs.push_back(id);
+        if (e.shadow_only) continue;
+      }
+      if (e.forwarded_to.contains(link)) d.sub_ids.push_back(id);
+    }
+    for (const auto& [id, e] : rt.srt()) {
+      if (e.shadow_txn != kNoTxn || e.shadow_only) {
+        d.in_flight_advs.push_back(id);
+        if (e.shadow_only) continue;
+      }
+      if (e.forwarded_to.contains(link)) d.adv_ids.push_back(id);
+    }
+    // Empty digests still go out: "I forward nothing to you" is exactly the
+    // claim that lets the neighbour age its orphans.
+    broker_->send_unicast(n, std::move(d), kNoTxn, out);
+  }
+}
+
+void RepairEngine::on_digest(BrokerId from, const RepairDigestMsg& m,
+                             Outputs& out) {
+  RoutingTables& rt = broker_->tables();
+  const Hop link = Hop::of_broker(from);
+
+  // Claimed entries this broker lacks: the forward was lost. Additive and
+  // idempotent, so request a re-send immediately.
+  RepairRequestMsg req;
+  req.round = m.round;
+  req.origin = broker_->id();
+  for (const auto& id : m.sub_ids) {
+    if (rt.find_sub(id) == nullptr) req.sub_ids.push_back(id);
+  }
+  for (const auto& id : m.adv_ids) {
+    if (rt.find_adv(id) == nullptr) req.adv_ids.push_back(id);
+  }
+  if (!req.sub_ids.empty() || !req.adv_ids.empty()) {
+    const std::uint64_t n = req.sub_ids.size() + req.adv_ids.size();
+    stats_.reissues_requested += n;
+    TMPS_EVENT(tracer_, kNoTxn, "repair:request",
+               {{"broker", std::to_string(broker_->id())},
+                {"from", std::to_string(from)},
+                {"entries", std::to_string(n)}});
+    broker_->send_unicast(from, std::move(req), kNoTxn, out);
+    note_ops(n);
+  }
+
+  // Entries whose lasthop is the sender but which the sender no longer
+  // claims: orphans of an interrupted movement. Destructive, so aged across
+  // confirm_rounds digests.
+  const std::set<SubscriptionId> claimed_subs(m.sub_ids.begin(),
+                                              m.sub_ids.end());
+  const std::set<AdvertisementId> claimed_advs(m.adv_ids.begin(),
+                                               m.adv_ids.end());
+  const std::set<SubscriptionId> in_flight_subs(m.in_flight_subs.begin(),
+                                                m.in_flight_subs.end());
+  const std::set<AdvertisementId> in_flight_advs(m.in_flight_advs.begin(),
+                                                 m.in_flight_advs.end());
+  std::vector<SubscriptionId> dead_subs;
+  std::vector<AdvertisementId> dead_advs;
+  for (const auto& [id, e] : rt.prt()) {
+    if (e.lasthop != link) continue;
+    if (e.shadow_txn != kNoTxn || e.shadow_only) continue;
+    if (claimed_subs.contains(id) || in_flight_subs.contains(id)) {
+      digest_sub_rounds_.erase(id);
+      continue;
+    }
+    if (++digest_sub_rounds_[id] < cfg_.confirm_rounds) continue;
+    dead_subs.push_back(id);
+  }
+  for (const auto& [id, e] : rt.srt()) {
+    if (e.lasthop != link) continue;
+    if (e.shadow_txn != kNoTxn || e.shadow_only) continue;
+    if (claimed_advs.contains(id) || in_flight_advs.contains(id)) {
+      digest_adv_rounds_.erase(id);
+      continue;
+    }
+    if (++digest_adv_rounds_[id] < cfg_.confirm_rounds) continue;
+    dead_advs.push_back(id);
+  }
+  for (const auto& id : dead_subs) {
+    digest_sub_rounds_.erase(id);
+    TMPS_EVENT(tracer_, kNoTxn, "repair:digest-retract",
+               {{"broker", std::to_string(broker_->id())},
+                {"sub", entity_str(id)},
+                {"from", std::to_string(from)}});
+    broker_->inject_unsubscribe(link, id, kNoTxn, out);
+    ++stats_.digest_retracts;
+  }
+  for (const auto& id : dead_advs) {
+    digest_adv_rounds_.erase(id);
+    TMPS_EVENT(tracer_, kNoTxn, "repair:digest-retract",
+               {{"broker", std::to_string(broker_->id())},
+                {"adv", entity_str(id)},
+                {"from", std::to_string(from)}});
+    broker_->inject_unadvertise(link, id, kNoTxn, out);
+    ++stats_.digest_retracts;
+  }
+  note_ops(dead_subs.size() + dead_advs.size());
+}
+
+void RepairEngine::on_request(BrokerId from, const RepairRequestMsg& m,
+                              Outputs& out) {
+  RoutingTables& rt = broker_->tables();
+  const Hop link = Hop::of_broker(from);
+  std::uint64_t served = 0;
+  for (const auto& id : m.sub_ids) {
+    SubEntry* e = rt.find_sub(id);
+    if (!e || e->shadow_only || !e->forwarded_to.contains(link)) continue;
+    Message wire;
+    wire.id = broker_->next_message_id();
+    wire.payload = SubscribeMsg{e->sub};
+    out.emplace_back(from, std::move(wire));
+    ++served;
+  }
+  for (const auto& id : m.adv_ids) {
+    AdvEntry* e = rt.find_adv(id);
+    if (!e || e->shadow_only || !e->forwarded_to.contains(link)) continue;
+    Message wire;
+    wire.id = broker_->next_message_id();
+    wire.payload = AdvertiseMsg{e->adv};
+    out.emplace_back(from, std::move(wire));
+    ++served;
+  }
+  if (served > 0) {
+    stats_.reissues_served += served;
+    TMPS_EVENT(tracer_, kNoTxn, "repair:reissue",
+               {{"broker", std::to_string(broker_->id())},
+                {"to", std::to_string(from)},
+                {"entries", std::to_string(served)}});
+    note_ops(served);
+  }
+}
+
+void RepairEngine::on_verdict(const RepairVerdictMsg& v, Outputs& out) {
+  if (v.verdict == RepairVerdict::InFlight) return;
+  TMPS_EVENT(tracer_, v.txn, "repair:verdict",
+             {{"broker", std::to_string(broker_->id())},
+              {"verdict", to_string(v.verdict)},
+              {"origin", "probe"}});
+  ++stats_.verdicts_applied;
+  note_ops(1);
+  engine_->repair_resolve_txn(v, out);
+}
+
+}  // namespace tmps::repair

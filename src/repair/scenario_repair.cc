@@ -1,0 +1,30 @@
+#include "repair/scenario_repair.h"
+
+namespace tmps::repair {
+
+std::shared_ptr<RepairHandle> install_repair(ScenarioConfig& cfg) {
+  auto handle = std::make_shared<RepairHandle>();
+  auto prev_engines = std::move(cfg.post_engines);
+  cfg.post_engines = [handle, prev_engines](Scenario& s) {
+    if (prev_engines) prev_engines(s);
+    const RepairConfig& rc = s.config().broker.repair;
+    if (!rc.enabled) return;
+    std::size_t idx = 0;
+    for (const auto& [b, engine] : s.engines()) {
+      RepairConfig per = rc;
+      // Stagger the first sweep per broker so the fleet does not sweep (and
+      // digest) in lockstep.
+      per.start_delay = (rc.start_delay > 0 ? rc.start_delay
+                                            : rc.sweep_interval) +
+                        0.05 * static_cast<double>(idx);
+      auto re = std::make_unique<RepairEngine>(*engine, s.net(), per);
+      engine->set_repair_handler(re.get());
+      re->start(s.config().duration);
+      handle->engines.push_back(std::move(re));
+      ++idx;
+    }
+  };
+  return handle;
+}
+
+}  // namespace tmps::repair

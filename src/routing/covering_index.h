@@ -1,6 +1,6 @@
-// Covering/subsumption pre-filter index over routing-table filters: the
-// second application of the two-stage candidate/verify design already used
-// for publication matching (match_index.h), here answering the covering
+// Covering/subsumption pre-filter index over routing-table filters: one of
+// the two applications of the two-stage candidate/verify design (the other
+// is the publication-matching forwarding_index.h), answering the covering
 // optimization's questions — "which existing entries could cover this
 // filter?", "which could it cover?", "which could intersect it?" — without
 // scanning the whole table (cf. Siena's covering poset and the per-attribute

@@ -1,6 +1,7 @@
-// Counting-algorithm publication matcher over the PRT: the third application
-// of the two-stage candidate/verify design (match_index.h was the first,
-// covering_index.h the second), now implementing the full per-attribute
+// Counting-algorithm publication matcher over the PRT: the second surviving
+// application of the two-stage candidate/verify design (covering_index.h is
+// the other; it superseded the earlier single-equality SubMatchIndex
+// pre-filter), implementing the full per-attribute
 // predicate-index scheme of Fabret et al. / Siena that the PADRES forwarding
 // layer builds on. This is the data structure behind
 // RoutingTables::match() — candidate discovery is O(postings touched by the
@@ -16,7 +17,7 @@
 //     slot in a single (attribute, value) equality bucket — adaptively the
 //     attribute whose bucket is currently smallest (low-selectivity
 //     attributes such as a constant "class" stop attracting entries once
-//     they grow), exactly the SubMatchIndex/CoveringIndex filing rule;
+//     they grow), exactly the CoveringIndex filing rule;
 //   * otherwise the filter takes COUNTING slots, one per interval bound of
 //     each constrained attribute: the lower bound files into an ordered
 //     lower-bound posting list, the upper bound into an upper-bound list,

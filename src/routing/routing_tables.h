@@ -168,13 +168,6 @@ class RoutingTables {
   /// specification, used by tests, benchmarks and the A/B switch.
   MatchResult match_scan(const Publication& pub) const;
 
-  /// Deprecated pre-MatchResult entry point; links only, in match()'s
-  /// canonical sorted order.
-  [[deprecated("use match(): links + matched count + PRT version")]]
-  std::vector<Hop> hops_for_publication(const Publication& pub) const {
-    return match(pub).links;
-  }
-
   /// Entries whose filter matches the publication (primary view only).
   /// Accelerated by the counting forwarding index.
   std::vector<const SubEntry*> matching_subs(const Publication& pub) const;

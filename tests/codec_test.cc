@@ -137,6 +137,10 @@ TEST(Codec, EveryPayloadAlternativeRoundTrips) {
       TradMoveRequestMsg{11, 3, 1, 5, {sub}, {adv}, 9},
       TradReadyMsg{11, 3},
       TradRejectMsg{11, 3, "nope"},
+      RepairDigestMsg{4, 2, {sub.id}, {adv.id}, {sub.id}, {adv.id}},
+      RepairRequestMsg{4, 2, {sub.id}, {adv.id}},
+      RepairProbeMsg{11, 2},
+      RepairVerdictMsg{11, RepairVerdict::Committed, 1, 5, 3},
   };
   for (auto& p : payloads) {
     Message m;

@@ -21,7 +21,9 @@ TEST(Messages, TypeNamesAreDistinct) {
       MoveStateMsg{},            MoveAckMsg{},
       MoveAbortMsg{},            BufferedStateMsg{},
       TradMoveRequestMsg{},      TradReadyMsg{},
-      TradRejectMsg{},
+      TradRejectMsg{},           RepairDigestMsg{},
+      RepairRequestMsg{},        RepairProbeMsg{},
+      RepairVerdictMsg{},
   };
   std::set<std::string> names;
   for (auto& p : payloads) {
@@ -46,7 +48,9 @@ TEST(Messages, MovementPayloadsAreControl) {
   for (Payload p : std::initializer_list<Payload>{
            MoveNegotiateMsg{}, MoveApproveMsg{}, MoveRejectMsg{},
            MoveStateMsg{}, MoveAckMsg{}, MoveAbortMsg{}, BufferedStateMsg{},
-           TradMoveRequestMsg{}, TradReadyMsg{}, TradRejectMsg{}}) {
+           TradMoveRequestMsg{}, TradReadyMsg{}, TradRejectMsg{},
+           RepairDigestMsg{}, RepairRequestMsg{}, RepairProbeMsg{},
+           RepairVerdictMsg{}}) {
     Message m;
     m.payload = p;
     EXPECT_TRUE(m.is_control()) << m.type_name();

@@ -7,11 +7,20 @@
 // "run" label and TxnIds repeat across runs), so lines are grouped by run
 // and each run gets its own Auditor.
 //
-// Usage:  tmps_audit <trace.jsonl> [--snapshots snaps.jsonl] [--quiet]
+// Usage:  tmps_audit <trace.jsonl> [--snapshots snaps.jsonl]
+//                    [--repair-rounds] [--quiet]
+//
+// --repair-rounds additionally aggregates the anti-entropy repair loop's
+// `repair:round` trace events into a per-broker activity table (sweep
+// rounds run, corrective ops applied) per run — the offline counterpart of
+// the live `GET /repair` admin endpoint.
 //
 // Exit status: 0 when every run is clean, 1 when any invariant was violated,
 // 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -42,16 +51,49 @@ bool bucket_by_run(const std::string& path,
   return true;
 }
 
+// Per-broker repair-loop activity, aggregated from `repair:round` events.
+struct RepairActivity {
+  std::uint64_t rounds = 0;  // highest sweep round seen
+  std::uint64_t ops = 0;     // corrective ops summed across rounds
+};
+
+// Folds one run's trace lines into broker -> activity; empty when the run
+// had no repair loop (or tracing compiled out).
+std::map<std::uint64_t, RepairActivity> repair_rounds_of(
+    const std::string& lines) {
+  std::map<std::uint64_t, RepairActivity> out;
+  std::istringstream in(lines);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto obj = tmps::obs::parse_json_line(line);
+    if (!obj || obj->str("name") != "repair:round") continue;
+    auto attrs = obj->objects.find("attrs");
+    if (attrs == obj->objects.end()) continue;
+    const auto& a = attrs->second;
+    auto field = [&a](const char* k) -> std::uint64_t {
+      auto it = a.find(k);
+      return it == a.end() ? 0 : std::strtoull(it->second.c_str(), nullptr, 10);
+    };
+    RepairActivity& act = out[field("broker")];
+    act.rounds = std::max(act.rounds, field("round") + 1);
+    act.ops += field("ops");
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string snapshot_path;
   bool quiet = false;
+  bool repair_rounds = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--snapshots" && i + 1 < argc) {
       snapshot_path = argv[++i];
+    } else if (arg == "--repair-rounds") {
+      repair_rounds = true;
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
     } else if (trace_path.empty()) {
@@ -64,7 +106,7 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) {
     std::fprintf(stderr,
                  "usage: tmps_audit <trace.jsonl> [--snapshots snaps.jsonl] "
-                 "[--quiet]\n");
+                 "[--repair-rounds] [--quiet]\n");
     return 2;
   }
 
@@ -92,6 +134,24 @@ int main(int argc, char** argv) {
     if (!quiet || !report.clean()) {
       std::printf("== run %s ==\n", run.empty() ? "(unlabeled)" : run.c_str());
       std::fputs(report.summary().c_str(), stdout);
+    }
+    if (repair_rounds) {
+      const auto activity = repair_rounds_of(lines);
+      if (quiet && report.clean()) continue;
+      if (activity.empty()) {
+        std::printf("repair: no repair:round events in run %s\n",
+                    run.empty() ? "(unlabeled)" : run.c_str());
+        continue;
+      }
+      std::printf("repair rounds (run %s):\n",
+                  run.empty() ? "(unlabeled)" : run.c_str());
+      std::printf("  %6s %8s %8s\n", "BROKER", "ROUNDS", "OPS");
+      for (const auto& [broker, act] : activity) {
+        std::printf("  %6llu %8llu %8llu\n",
+                    static_cast<unsigned long long>(broker),
+                    static_cast<unsigned long long>(act.rounds),
+                    static_cast<unsigned long long>(act.ops));
+      }
     }
   }
 

@@ -4,7 +4,9 @@
 // in-flight movement transactions) and GET /timeseries (the host's windowed
 // metrics ring) and renders one line per broker: publication and delivery
 // rates plus windowed delivery-latency percentiles from the per-broker
-// provenance histograms.
+// provenance histograms, and the anti-entropy repair loop's latest-window
+// activity (tmps_repair_rounds / tmps_repair_ops_total — a nonzero REPOPS
+// column is a broker actively healing routing-state damage).
 //
 // With --stages it also polls GET /profile (the stage profiler's NDJSON
 // dump) and renders a per-broker pane of the hottest publish-path stages by
@@ -90,6 +92,12 @@ struct BrokerRow {
   double pub_rate = 0, dlv_rate = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
   bool have_rates = false;
+  // Anti-entropy repair activity in the latest window (src/repair counters
+  // tmps_repair_rounds / tmps_repair_ops_total). A healthy steady state is
+  // sweeps ticking with zero corrective ops; a nonzero REPOPS column is a
+  // broker actively healing routing-state damage.
+  long repair_rounds = 0, repair_ops = 0;
+  bool have_repair = false;
 };
 
 /// Series objects of the latest /timeseries window, split at `{"name":`.
@@ -179,6 +187,12 @@ BrokerRow poll(const Endpoint& ep) {
       row.p95_ms = json_num(s, "p95") * 1e3;
       row.p99_ms = json_num(s, "p99") * 1e3;
       row.have_rates = true;
+    } else if (series_is(s, "tmps_repair_rounds", row.broker)) {
+      row.repair_rounds = static_cast<long>(json_num(s, "delta"));
+      row.have_repair = true;
+    } else if (series_is(s, "tmps_repair_ops_total", row.broker)) {
+      row.repair_ops = static_cast<long>(json_num(s, "delta"));
+      row.have_repair = true;
     }
   }
   return row;
@@ -188,8 +202,9 @@ void render(const std::vector<Endpoint>& eps,
             const std::vector<BrokerRow>& rows, bool once) {
   if (!once) std::printf("\033[2J\033[H");
   std::printf("tmps_top — %zu endpoint(s)\n", eps.size());
-  std::printf("%-21s %6s %7s %5s %8s %8s %7s %7s %7s\n", "ENDPOINT", "BROKER",
-              "CLIENTS", "TXNS", "PUB/S", "DLV/S", "P50ms", "P95ms", "P99ms");
+  std::printf("%-21s %6s %7s %5s %8s %8s %7s %7s %7s %6s %6s\n", "ENDPOINT",
+              "BROKER", "CLIENTS", "TXNS", "PUB/S", "DLV/S", "P50ms", "P95ms",
+              "P99ms", "REPRND", "REPOPS");
   for (std::size_t i = 0; i < eps.size(); ++i) {
     const BrokerRow& r = rows[i];
     if (!r.alive) {
@@ -197,14 +212,21 @@ void render(const std::vector<Endpoint>& eps,
       continue;
     }
     if (r.have_rates) {
-      std::printf("%-21s %6ld %7ld %5ld %8.1f %8.1f %7.2f %7.2f %7.2f\n",
+      std::printf("%-21s %6ld %7ld %5ld %8.1f %8.1f %7.2f %7.2f %7.2f",
                   eps[i].spec.c_str(), r.broker, r.clients, r.txns, r.pub_rate,
                   r.dlv_rate, r.p50_ms, r.p95_ms, r.p99_ms);
     } else {
       // Timeseries ring disabled (or no window yet): liveness columns only.
-      std::printf("%-21s %6ld %7ld %5ld %8s %8s %7s %7s %7s\n",
+      std::printf("%-21s %6ld %7ld %5ld %8s %8s %7s %7s %7s",
                   eps[i].spec.c_str(), r.broker, r.clients, r.txns, "-", "-",
                   "-", "-", "-");
+    }
+    if (r.have_repair) {
+      // Latest-window deltas: sweeps run and corrective ops applied.
+      std::printf(" %6ld %6ld\n", r.repair_rounds, r.repair_ops);
+    } else {
+      // Repair loop disabled on this broker (or no window yet).
+      std::printf(" %6s %6s\n", "-", "-");
     }
   }
   std::fflush(stdout);
