@@ -28,13 +28,18 @@
 #      converging auditor-clean — run under the ASan build so the
 #      crash/repair paths also get lifetime checking, with a repair-off
 #      negative control that must show damage.
-#   8. an observability-overhead gate: obs_overhead_gate times the broker
+#   8. a flaky-fleet leg: ext_flaky_fleet churns an edge fleet through
+#      Zipf-distributed connect/disconnect cycles against the session layer
+#      (ASan build) and gates on zero duplicates, exact drop-ledger loss
+#      attribution, zero residual session state after the quiet tail, and a
+#      delivery-locality win over its cold re-subscribe negative control.
+#   9. an observability-overhead gate: obs_overhead_gate times the broker
 #      publish path at provenance sample rate 0 vs 1/64 and fails if 1/64
 #      sampling costs more than 2% (override via TMPS_GATE_PCT); the same
 #      binary gates the stage profiler at <1% compiled-in-but-disabled and
 #      <3% enabled at 1/16 sampling (TMPS_GATE_PROF_OFF_PCT /
 #      TMPS_GATE_PROF_PCT).
-#   9. a perf-regression leg: tools/tmps_benchdiff compares the bench JSON
+#  10. a perf-regression leg: tools/tmps_benchdiff compares the bench JSON
 #      from legs 4 (fig09) plus a fresh fig11 run against the committed
 #      baselines in results/baselines/. The simulation metrics are
 #      deterministic per seed, so any drift is a real behavior change;
@@ -160,6 +165,21 @@ if ./build/tools/tmps_audit "${HEAL_OBS}/trace.jsonl" --repair-rounds; then
   exit 1
 fi
 
+echo "=== flaky-fleet leg: edge-session churn soak (ext_flaky_fleet, ASan) ==="
+# Zipf connect/disconnect churn against the session layer: the binary exits
+# nonzero on duplicate deliveries, losses missing from the drop ledgers,
+# residual session state after the quiet tail, or a delivery-locality loss
+# against the cold re-subscribe control. ASan doubles as a lifetime check on
+# the buffering/adoption paths.
+TMPS_AUDIT=1 TMPS_BENCH_OUT="${RESULTS}" ./build-asan/bench/ext_flaky_fleet
+FLEET_JSON="${RESULTS}/BENCH_ext_flaky_fleet.json"
+[[ -s "${FLEET_JSON}" ]] || {
+  echo "missing ${FLEET_JSON}"; exit 1; }
+grep -q '"dropped_ledger":' "${FLEET_JSON}" || {
+  echo "no drop-ledger figures in ${FLEET_JSON}"; exit 1; }
+grep -q '"locality":' "${FLEET_JSON}" || {
+  echo "no locality figures in ${FLEET_JSON}"; exit 1; }
+
 echo "=== overhead gate: provenance sampling cost (obs_overhead_gate) ==="
 # Exits nonzero when 1/64 sampling slows the publish path by more than the
 # threshold (default 2%); the JSON artifact records the measured delta.
@@ -178,6 +198,7 @@ TMPS_BENCH_OUT="${RESULTS}" ./build/bench/fig11_single_client
 ./build/tools/tmps_benchdiff --baselines "${RESULTS}/baselines" \
   "${RESULTS}/BENCH_fig09_workload_sweep.json" \
   "${RESULTS}/BENCH_fig11_single_client.json" \
-  "${RESULTS}/BENCH_micro_forwarding.json"
+  "${RESULTS}/BENCH_micro_forwarding.json" \
+  "${RESULTS}/BENCH_ext_flaky_fleet.json"
 
 echo "=== ci.sh: all legs passed ==="

@@ -29,7 +29,17 @@ static_assert(std::is_same_v<std::variant_alternative_t<
                                      obs::FlightKind::kRepairVerdict),
                                  Payload>,
               RepairVerdictMsg>);
-static_assert(static_cast<std::size_t>(obs::FlightKind::kRepairVerdict) + 1 ==
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     obs::FlightKind::kSessionOpen),
+                                 Payload>,
+              SessionOpenMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     obs::FlightKind::kSessionForward),
+                                 Payload>,
+              SessionForwardMsg>);
+static_assert(static_cast<std::size_t>(obs::FlightKind::kSessionForward) + 1 ==
               std::variant_size_v<Payload>);
 
 namespace {

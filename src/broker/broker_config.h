@@ -107,6 +107,39 @@ struct BrokerConfig {
   };
   Repair repair;
 
+  /// Edge-client session layer (src/session): durable sessions with
+  /// resumption tokens, disconnected-operation buffering and connectivity-
+  /// triggered mobility. Host-level section like Repair: the host builds one
+  /// SessionManager per broker when `enabled`. Times are in host seconds.
+  struct Session {
+    bool enabled = false;
+    /// Expected client heartbeat cadence; a session missing
+    /// `miss_factor` consecutive beats is treated as disconnected.
+    /// 0 disables implicit disconnect detection.
+    double heartbeat_interval = 5.0;
+    double miss_factor = 3.0;
+    /// Grace window after a disconnect before the session expires, fires its
+    /// last-will and is garbage-collected.
+    double grace = 30.0;
+    /// Caps on the per-session disconnected-operation buffer. Zero means
+    /// unlimited; bytes are encoded wire size, age is in host seconds.
+    std::size_t buffer_max_count = 1024;
+    std::size_t buffer_max_bytes = 256 * 1024;
+    double buffer_max_age = 0.0;
+    /// Resume at a broker other than the session's home initiates a movement
+    /// transaction toward the new broker (connectivity-triggered mobility).
+    bool move_on_resume = true;
+    /// When the movement is refused, the home broker resumes the stub and
+    /// forwards deliveries to the broker the client reattached to. Off means
+    /// the resume is answered Resumed and deliveries wait at the home.
+    bool forward_on_refusal = true;
+    /// Cadence of the session timer sweep (liveness, grace, buffer age).
+    double tick_interval = 1.0;
+    /// First tick fires this long after start().
+    double start_delay = 0.0;
+  };
+  Session session;
+
   /// Observability sinks and checks, settable programmatically or from the
   /// environment via from_env().
   struct Obs {
@@ -149,7 +182,8 @@ struct BrokerConfig {
   /// directory, any other non-empty value is used as the output directory;
   /// TMPS_AUDIT enables the auditor; TMPS_PUB_TRACE_RATE=N samples 1-in-N
   /// publications for per-hop provenance events; TMPS_REPAIR enables the
-  /// anti-entropy repair loop.
+  /// anti-entropy repair loop; TMPS_SESSION enables the edge-client session
+  /// layer.
   static BrokerConfig from_env(BrokerConfig base);
   static BrokerConfig from_env() { return from_env(BrokerConfig{}); }
 };
@@ -162,6 +196,7 @@ inline BrokerConfig BrokerConfig::from_env(BrokerConfig base) {
   if (set("TMPS_AUDIT")) base.obs.audit = true;
   if (set("TMPS_BALANCE")) base.control.enabled = true;
   if (set("TMPS_REPAIR")) base.repair.enabled = true;
+  if (set("TMPS_SESSION")) base.session.enabled = true;
   if (const char* trace = std::getenv("TMPS_TRACE");
       trace && *trace && std::string(trace) != "0") {
     base.obs.tracing = true;
@@ -190,5 +225,9 @@ using ControlConfig = BrokerConfig::Control;
 /// The repair-loop options travel the same way; src/repair consumes this
 /// section.
 using RepairConfig = BrokerConfig::Repair;
+
+/// The session-layer options travel the same way; src/session consumes this
+/// section.
+using SessionConfig = BrokerConfig::Session;
 
 }  // namespace tmps

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "pubsub/codec.h"
+
 namespace tmps {
+
+namespace {
+
+std::size_t wire_size(const Publication& pub) {
+  Writer w;
+  encode(w, pub);
+  return w.bytes().size();
+}
+
+}  // namespace
 
 const char* to_string(ClientState s) {
   switch (s) {
@@ -110,6 +122,7 @@ void ClientStub::clean() {
   }
   state_ = ClientState::Clean;
   buffer_.clear();
+  buffered_bytes_ = 0;
 }
 
 void ClientStub::on_notification(const Publication& pub) {
@@ -118,26 +131,69 @@ void ClientStub::on_notification(const Publication& pub) {
   if (state_ == ClientState::Started) {
     deliver(pub);
   } else {
-    buffer_.push_back(pub);
+    buffer_push(pub);
   }
 }
 
 std::vector<Publication> ClientStub::take_buffer() {
-  std::vector<Publication> out(buffer_.begin(), buffer_.end());
+  std::vector<Publication> out;
+  out.reserve(buffer_.size());
+  for (auto& b : buffer_) out.push_back(std::move(b.pub));
   buffer_.clear();
+  buffered_bytes_ = 0;
   return out;
 }
 
 void ClientStub::merge_notifications(const std::vector<Publication>& shipped) {
   // Shipped notifications precede locally buffered ones: they were matched
   // at the source strictly before the hand-off point.
-  std::deque<Publication> local;
+  std::deque<Buffered> local;
   local.swap(buffer_);
+  buffered_bytes_ = 0;
   for (const auto& pub : shipped) {
-    if (seen_.insert(pub.id()).second) buffer_.push_back(pub);
+    if (seen_.count(pub.id()) == 0) buffer_push(pub);
+    seen_.insert(pub.id());
   }
-  for (auto& pub : local) buffer_.push_back(std::move(pub));
+  for (auto& b : local) buffer_push(std::move(b.pub));
   if (state_ == ClientState::Started) flush_buffer();
+}
+
+void ClientStub::buffer_push(Publication pub) {
+  Buffered b;
+  b.at = clock_now();
+  b.bytes = limits_.max_bytes ? wire_size(pub) : 0;
+  b.pub = std::move(pub);
+  buffered_bytes_ += b.bytes;
+  buffer_.push_back(std::move(b));
+  enforce_limits();
+}
+
+void ClientStub::enforce_limits() {
+  while (limits_.max_count && buffer_.size() > limits_.max_count) {
+    drop_front("overflow");
+  }
+  while (limits_.max_bytes && buffered_bytes_ > limits_.max_bytes &&
+         !buffer_.empty()) {
+    drop_front("overflow");
+  }
+}
+
+std::size_t ClientStub::expire_buffer() {
+  if (limits_.max_age <= 0) return 0;
+  const double cutoff = clock_now() - limits_.max_age;
+  std::size_t dropped = 0;
+  while (!buffer_.empty() && buffer_.front().at < cutoff) {
+    drop_front("expiry");
+    ++dropped;
+  }
+  return dropped;
+}
+
+void ClientStub::drop_front(const char* reason) {
+  Buffered b = std::move(buffer_.front());
+  buffer_.pop_front();
+  buffered_bytes_ -= b.bytes;
+  if (drop_) drop_(b.pub, reason);
 }
 
 std::vector<Publication> ClientStub::take_commands() {
@@ -153,7 +209,8 @@ void ClientStub::deliver(const Publication& pub) {
 
 void ClientStub::flush_buffer() {
   while (!buffer_.empty()) {
-    Publication pub = std::move(buffer_.front());
+    Publication pub = std::move(buffer_.front().pub);
+    buffered_bytes_ -= buffer_.front().bytes;
     buffer_.pop_front();
     deliver(pub);
   }

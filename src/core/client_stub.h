@@ -44,10 +44,24 @@ class IllegalTransition : public std::logic_error {
   IllegalTransition(ClientState from, const char* op);
 };
 
+/// Caps on the disconnected-operation buffer (session layer). Zero means
+/// unlimited — the default, preserving plain movement-buffering semantics.
+/// Byte accounting uses the publication's encoded wire size.
+struct BufferLimits {
+  std::size_t max_count = 0;
+  std::size_t max_bytes = 0;
+  double max_age = 0;  ///< seconds a notification may sit buffered
+};
+
 class ClientStub {
  public:
   /// Application-level delivery callback.
   using DeliveryFn = std::function<void(const Publication&)>;
+  /// Invoked for every buffered notification discarded to honour the caps;
+  /// `reason` is "overflow" (count/byte cap) or "expiry" (age cap). Each
+  /// dropped publication is reported exactly once.
+  using DropFn = std::function<void(const Publication&, const char* reason)>;
+  using ClockFn = std::function<double()>;
 
   explicit ClientStub(ClientId id);
 
@@ -55,6 +69,18 @@ class ClientStub {
   ClientState state() const { return state_; }
 
   void set_delivery_fn(DeliveryFn fn) { deliver_ = std::move(fn); }
+
+  /// Bounds the notification buffer; entries beyond the caps are dropped
+  /// oldest-first and reported through the drop callback. The clock stamps
+  /// buffered entries for the age cap (defaults to 0 when unset).
+  void set_buffer_limits(BufferLimits limits) { limits_ = limits; }
+  void set_buffer_clock(ClockFn clock) { clock_ = std::move(clock); }
+  void set_drop_fn(DropFn fn) { drop_ = std::move(fn); }
+  const BufferLimits& buffer_limits() const { return limits_; }
+
+  /// Drops buffered notifications older than the age cap. Called
+  /// periodically by the session layer; returns how many were dropped.
+  std::size_t expire_buffer();
 
   // --- profile -------------------------------------------------------------
 
@@ -109,11 +135,22 @@ class ClientStub {
 
   const std::vector<Publication>& delivered_log() const { return delivered_; }
   std::size_t buffered_count() const { return buffer_.size(); }
+  std::size_t buffered_bytes() const { return buffered_bytes_; }
   std::size_t queued_commands() const { return pending_pubs_.size(); }
 
  private:
+  struct Buffered {
+    Publication pub;
+    double at = 0;          ///< buffering time (clock), for the age cap
+    std::size_t bytes = 0;  ///< encoded wire size (0 unless byte-capped)
+  };
+
   void deliver(const Publication& pub);
   void flush_buffer();
+  void buffer_push(Publication pub);
+  void enforce_limits();
+  void drop_front(const char* reason);
+  double clock_now() const { return clock_ ? clock_() : 0.0; }
 
   ClientId id_;
   ClientState state_ = ClientState::Init;
@@ -121,7 +158,11 @@ class ClientStub {
   std::vector<Subscription> subs_;
   std::vector<Advertisement> advs_;
   DeliveryFn deliver_;
-  std::deque<Publication> buffer_;
+  DropFn drop_;
+  ClockFn clock_;
+  BufferLimits limits_;
+  std::deque<Buffered> buffer_;
+  std::size_t buffered_bytes_ = 0;
   std::unordered_set<PublicationId> seen_;
   std::vector<Publication> delivered_;
   std::deque<Publication> pending_pubs_;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/mobility_engine.h"
@@ -13,13 +14,27 @@ namespace tmps {
 
 /// Directory of the mobility engines in one deployment; resolves which one
 /// currently hosts a client.
+///
+/// find_host memoizes ClientId -> engine: the full engines x clients scan
+/// only runs on a cache miss (first sight of a client, or its cached host no
+/// longer holding it after a movement/expiry). Callers that observe
+/// movements (Scenario's movement_observer, session adoption) can keep the
+/// cache warm with note_moved, but correctness never depends on it — a stale
+/// entry is re-validated against the engine before being trusted.
 class EngineDirectory {
  public:
   void add(MobilityEngine& engine) { engines_.push_back(&engine); }
 
   MobilityEngine* find_host(ClientId id) const {
+    if (auto it = host_cache_.find(id); it != host_cache_.end()) {
+      if (it->second->find_client(id)) return it->second;
+      host_cache_.erase(it);
+    }
     for (auto* e : engines_) {
-      if (e->find_client(id)) return e;
+      if (e->find_client(id)) {
+        host_cache_.emplace(id, e);
+        return e;
+      }
     }
     return nullptr;
   }
@@ -31,8 +46,18 @@ class EngineDirectory {
     return nullptr;
   }
 
+  /// Points the cache at the client's new host (no-op for unknown brokers).
+  void note_moved(ClientId id, BrokerId now_at) {
+    if (MobilityEngine* e = at_broker(now_at)) {
+      host_cache_[id] = e;
+    } else {
+      host_cache_.erase(id);
+    }
+  }
+
  private:
   std::vector<MobilityEngine*> engines_;
+  mutable std::unordered_map<ClientId, MobilityEngine*> host_cache_;
 };
 
 class MobileClient {

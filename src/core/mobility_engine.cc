@@ -79,6 +79,10 @@ ClientStub* MobilityEngine::find_client(ClientId id) {
   return it == clients_.end() ? nullptr : it->second.get();
 }
 
+bool MobilityEngine::remove_client(ClientId id) {
+  return clients_.erase(id) > 0;
+}
+
 const ClientStub* MobilityEngine::find_client(ClientId id) const {
   auto it = clients_.find(id);
   return it == clients_.end() ? nullptr : it->second.get();
@@ -285,6 +289,13 @@ void MobilityEngine::on_control(BrokerId from, const Message& msg,
              std::holds_alternative<RepairRequestMsg>(msg.payload) ||
              std::holds_alternative<RepairVerdictMsg>(msg.payload)) {
     if (repair_) repair_->on_repair(from, msg, out);
+  } else if (std::holds_alternative<SessionOpenMsg>(msg.payload) ||
+             std::holds_alternative<SessionResumeMsg>(msg.payload) ||
+             std::holds_alternative<SessionAckMsg>(msg.payload) ||
+             std::holds_alternative<SessionHeartbeatMsg>(msg.payload) ||
+             std::holds_alternative<SessionCloseMsg>(msg.payload) ||
+             std::holds_alternative<SessionForwardMsg>(msg.payload)) {
+    if (session_) session_->on_session(from, msg, out);
   }
 }
 

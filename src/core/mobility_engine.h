@@ -93,6 +93,16 @@ class RepairHandler {
                          std::vector<std::pair<BrokerId, Message>>& out) = 0;
 };
 
+/// Attachment point for the edge-client session layer (src/session).
+/// Session wire messages (open / resume / ack / heartbeat / close /
+/// forward) arriving at this broker are handed to the attached handler.
+class SessionHandler {
+ public:
+  virtual ~SessionHandler() = default;
+  virtual void on_session(BrokerId from, const Message& msg,
+                          std::vector<std::pair<BrokerId, Message>>& out) = 0;
+};
+
 class MobilityEngine final : public ControlHandler {
  public:
   using Outputs = Broker::Outputs;
@@ -133,6 +143,18 @@ class MobilityEngine final : public ControlHandler {
   ClientStub* find_client(ClientId id);
   const ClientStub* find_client(ClientId id) const;
   std::size_t hosted_clients() const { return clients_.size(); }
+
+  /// Dismantles a hosted stub outside the movement protocol (session expiry
+  /// GC). The client's routing entries are left behind as orphans for the
+  /// repair sweeps to retract. Returns false when the client is not hosted.
+  bool remove_client(ClientId id);
+
+  /// Feeds a publication straight to the delivery sink, bypassing stub
+  /// routing — the reattachment broker's half of session forwarding, where
+  /// exactly-once is already enforced by the forwarding stub's guard.
+  void deliver_direct(ClientId client, const Publication& pub) {
+    if (delivery_) delivery_(client, pub, env_->now());
+  }
 
   /// Issues a subscription/advertisement for a hosted client. Returns the
   /// assigned id; messages to transmit are appended to `out`.
@@ -186,6 +208,10 @@ class MobilityEngine final : public ControlHandler {
   /// Repair messages other than probes (digest / request / verdict) arriving
   /// at this broker are dispatched to `handler` (not owned; may be null).
   void set_repair_handler(RepairHandler* handler) { repair_ = handler; }
+
+  /// Session wire messages arriving at this broker are dispatched to
+  /// `handler` (not owned; may be null).
+  void set_session_handler(SessionHandler* handler) { session_ = handler; }
 
   /// Coordinator-side verdict for `txn` from this broker's transaction
   /// records. A transaction this coordinator has no record of can never
@@ -288,6 +314,7 @@ class MobilityEngine final : public ControlHandler {
   DeliverySink delivery_;
   MoveCallback move_cb_;
   RepairHandler* repair_ = nullptr;
+  SessionHandler* session_ = nullptr;
   std::map<ClientId, std::unique_ptr<ClientStub>> clients_;
   std::map<TxnId, SourceMove> source_moves_;
   std::map<TxnId, TargetMove> target_moves_;

@@ -27,6 +27,12 @@ std::string_view flight_kind_name(FlightKind k) {
     case FlightKind::kRepairRequest: return "repair-request";
     case FlightKind::kRepairProbe: return "repair-probe";
     case FlightKind::kRepairVerdict: return "repair-verdict";
+    case FlightKind::kSessionOpen: return "session-open";
+    case FlightKind::kSessionResume: return "session-resume";
+    case FlightKind::kSessionAck: return "session-ack";
+    case FlightKind::kSessionHeartbeat: return "session-heartbeat";
+    case FlightKind::kSessionClose: return "session-close";
+    case FlightKind::kSessionForward: return "session-forward";
     case FlightKind::kDeliver: return "deliver";
     case FlightKind::kClientOp: return "client-op";
   }

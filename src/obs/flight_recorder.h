@@ -46,8 +46,14 @@ enum class FlightKind : std::uint8_t {
   kRepairRequest = 16,
   kRepairProbe = 17,
   kRepairVerdict = 18,
-  kDeliver = 19,    ///< local delivery to a client (detail = client id)
-  kClientOp = 20,   ///< local client operation (detail = client id)
+  kSessionOpen = 19,
+  kSessionResume = 20,
+  kSessionAck = 21,
+  kSessionHeartbeat = 22,
+  kSessionClose = 23,
+  kSessionForward = 24,
+  kDeliver = 25,    ///< local delivery to a client (detail = client id)
+  kClientOp = 26,   ///< local client operation (detail = client id)
 };
 
 std::string_view flight_kind_name(FlightKind k);

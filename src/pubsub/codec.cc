@@ -30,6 +30,12 @@ enum class PayloadTag : std::uint8_t {
   RepairRequest = 17,
   RepairProbe = 18,
   RepairVerdict = 19,
+  SessionOpen = 20,
+  SessionResume = 21,
+  SessionAck = 22,
+  SessionHeartbeat = 23,
+  SessionClose = 24,
+  SessionForward = 25,
 };
 
 }  // namespace
@@ -390,6 +396,47 @@ struct PayloadEncoder {
     w.u32(m.target);
     w.u64(m.client);
   }
+  void operator()(const SessionOpenMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::SessionOpen));
+    w.u64(m.client);
+    w.u32(m.at);
+    w.u8(m.has_will ? 1 : 0);
+    if (m.has_will) encode(w, m.will);
+  }
+  void operator()(const SessionResumeMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::SessionResume));
+    w.u64(m.token);
+    w.u64(m.client);
+    w.u32(m.at);
+  }
+  void operator()(const SessionAckMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::SessionAck));
+    w.u64(m.token);
+    w.u64(m.client);
+    w.u8(static_cast<std::uint8_t>(m.verdict));
+    w.u64(m.txn);
+    w.u32(m.home);
+    w.u8(m.has_will ? 1 : 0);
+    if (m.has_will) encode(w, m.will);
+  }
+  void operator()(const SessionHeartbeatMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::SessionHeartbeat));
+    w.u64(m.token);
+    w.u64(m.client);
+  }
+  void operator()(const SessionCloseMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::SessionClose));
+    w.u64(m.token);
+    w.u64(m.client);
+    w.u8(m.fire_will ? 1 : 0);
+  }
+  void operator()(const SessionForwardMsg& m) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::SessionForward));
+    w.u64(m.token);
+    w.u64(m.client);
+    w.u32(m.origin);
+    encode_vec(w, m.pubs);
+  }
 };
 
 bool decode_payload(Reader& r, Payload& payload) {
@@ -546,6 +593,63 @@ bool decode_payload(Reader& r, Payload& payload) {
       }
       m.verdict = static_cast<RepairVerdict>(verdict);
       payload = m;
+      return true;
+    }
+    case PayloadTag::SessionOpen: {
+      SessionOpenMsg m;
+      std::uint8_t has_will;
+      if (!r.u64(m.client) || !r.u32(m.at) || !r.u8(has_will) || has_will > 1) {
+        return false;
+      }
+      m.has_will = has_will != 0;
+      if (m.has_will && !decode(r, m.will)) return false;
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::SessionResume: {
+      SessionResumeMsg m;
+      if (!r.u64(m.token) || !r.u64(m.client) || !r.u32(m.at)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::SessionAck: {
+      SessionAckMsg m;
+      std::uint8_t verdict;
+      std::uint8_t has_will;
+      if (!r.u64(m.token) || !r.u64(m.client) || !r.u8(verdict) ||
+          verdict > static_cast<std::uint8_t>(SessionVerdict::Unknown) ||
+          !r.u64(m.txn) || !r.u32(m.home) || !r.u8(has_will) || has_will > 1) {
+        return false;
+      }
+      m.verdict = static_cast<SessionVerdict>(verdict);
+      m.has_will = has_will != 0;
+      if (m.has_will && !decode(r, m.will)) return false;
+      payload = std::move(m);
+      return true;
+    }
+    case PayloadTag::SessionHeartbeat: {
+      SessionHeartbeatMsg m;
+      if (!r.u64(m.token) || !r.u64(m.client)) return false;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::SessionClose: {
+      SessionCloseMsg m;
+      std::uint8_t fire;
+      if (!r.u64(m.token) || !r.u64(m.client) || !r.u8(fire) || fire > 1) {
+        return false;
+      }
+      m.fire_will = fire != 0;
+      payload = m;
+      return true;
+    }
+    case PayloadTag::SessionForward: {
+      SessionForwardMsg m;
+      if (!r.u64(m.token) || !r.u64(m.client) || !r.u32(m.origin) ||
+          !decode_vec(r, m.pubs)) {
+        return false;
+      }
+      payload = std::move(m);
       return true;
     }
   }

@@ -49,6 +49,24 @@ struct TypeNameVisitor {
   std::string_view operator()(const RepairVerdictMsg&) const {
     return "repair-verdict";
   }
+  std::string_view operator()(const SessionOpenMsg&) const {
+    return "session-open";
+  }
+  std::string_view operator()(const SessionResumeMsg&) const {
+    return "session-resume";
+  }
+  std::string_view operator()(const SessionAckMsg&) const {
+    return "session-ack";
+  }
+  std::string_view operator()(const SessionHeartbeatMsg&) const {
+    return "session-heartbeat";
+  }
+  std::string_view operator()(const SessionCloseMsg&) const {
+    return "session-close";
+  }
+  std::string_view operator()(const SessionForwardMsg&) const {
+    return "session-forward";
+  }
 };
 
 }  // namespace
@@ -61,6 +79,22 @@ const char* to_string(RepairVerdict v) {
       return "committed";
     case RepairVerdict::Aborted:
       return "aborted";
+  }
+  return "?";
+}
+
+const char* to_string(SessionVerdict v) {
+  switch (v) {
+    case SessionVerdict::Resumed:
+      return "resumed";
+    case SessionVerdict::Moving:
+      return "moving";
+    case SessionVerdict::Forwarding:
+      return "forwarding";
+    case SessionVerdict::Expired:
+      return "expired";
+    case SessionVerdict::Unknown:
+      return "unknown";
   }
   return "?";
 }

@@ -234,13 +234,88 @@ struct RepairVerdictMsg {
   ClientId client = kNoClient;
 };
 
+// ---------------------------------------------------------------------------
+// Edge-session payloads (src/session): durable client sessions with
+// resumption tokens, disconnected-operation buffering and connectivity-
+// triggered mobility. Over the overlay these are pure unicasts between the
+// broker a client reappears at and the session's home broker (recoverable
+// from the token encoding); over `tcp_transport` the same frames double as
+// the client↔broker handshake vocabulary.
+// ---------------------------------------------------------------------------
+
+/// A session's home broker answers a resume request with one of these.
+enum class SessionVerdict : std::uint8_t {
+  Resumed = 0,     ///< session live; stub resumed at the home broker
+  Moving = 1,      ///< home initiated a movement transaction toward `at`
+  Forwarding = 2,  ///< movement refused; home resumes and forwards deliveries
+  Expired = 3,     ///< grace elapsed; last-will fired; reattach cold
+  Unknown = 4,     ///< no such session at the home broker
+};
+
+const char* to_string(SessionVerdict v);
+
+/// Client -> hosting broker: open a durable session, optionally registering
+/// a last-will publication fired if the session expires ungracefully.
+struct SessionOpenMsg {
+  ClientId client = kNoClient;
+  BrokerId at = kNoBroker;  ///< broker hosting the client
+  bool has_will = false;
+  Publication will;  ///< valid iff has_will
+};
+
+/// Reappeared client (relayed by the broker it reached) -> home broker:
+/// resume session `token`; `at` is where the client is now. Pure unicast.
+struct SessionResumeMsg {
+  std::uint64_t token = 0;
+  ClientId client = kNoClient;
+  BrokerId at = kNoBroker;
+};
+
+/// Home broker's answer to open/resume. `txn` carries the movement
+/// transaction id when `verdict == Moving`, and the registered last-will
+/// travels along so the session can re-home with the client. Pure unicast.
+struct SessionAckMsg {
+  std::uint64_t token = 0;
+  ClientId client = kNoClient;
+  SessionVerdict verdict = SessionVerdict::Unknown;
+  TxnId txn = kNoTxn;
+  BrokerId home = kNoBroker;
+  bool has_will = false;
+  Publication will;  ///< valid iff has_will
+};
+
+/// Client -> hosting broker: liveness beacon refreshing the session timer.
+struct SessionHeartbeatMsg {
+  std::uint64_t token = 0;
+  ClientId client = kNoClient;
+};
+
+/// Client -> hosting broker: graceful close. `fire_will` requests the
+/// last-will publication anyway (MQTT DISCONNECT-with-will semantics).
+struct SessionCloseMsg {
+  std::uint64_t token = 0;
+  ClientId client = kNoClient;
+  bool fire_will = false;
+};
+
+/// Old host -> broker the client reattached to: deliveries forwarded while
+/// the routing state stays behind (movement refusal fallback). Pure unicast.
+struct SessionForwardMsg {
+  std::uint64_t token = 0;
+  ClientId client = kNoClient;
+  BrokerId origin = kNoBroker;
+  std::vector<Publication> pubs;
+};
+
 using Payload =
     std::variant<AdvertiseMsg, UnadvertiseMsg, SubscribeMsg, UnsubscribeMsg,
                  PublishMsg, MoveNegotiateMsg, MoveApproveMsg, MoveRejectMsg,
                  MoveStateMsg, MoveAckMsg, MoveAbortMsg, BufferedStateMsg,
                  TradMoveRequestMsg, TradReadyMsg, TradRejectMsg,
                  RepairDigestMsg, RepairRequestMsg, RepairProbeMsg,
-                 RepairVerdictMsg>;
+                 RepairVerdictMsg, SessionOpenMsg, SessionResumeMsg,
+                 SessionAckMsg, SessionHeartbeatMsg, SessionCloseMsg,
+                 SessionForwardMsg>;
 
 struct Message {
   MessageId id = 0;

@@ -152,16 +152,23 @@ std::size_t RepairEngine::sweep_orphans(Outputs& out) {
     if (!e.lasthop.is_client()) continue;
     if (e.shadow_txn != kNoTxn || e.shadow_only) continue;
     if (engine_->find_client(e.lasthop.client) != nullptr) continue;
+    // The session layer knows more than hosting alone: a detached session
+    // inside its grace window vetoes retraction, an expired one skips the
+    // confirm_rounds aging.
+    const int hint = session_probe_ ? session_probe_(e.lasthop.client) : 0;
+    if (hint == 1) continue;
     suspect_subs.insert(id);
-    if (++orphan_sub_rounds_[id] < cfg_.confirm_rounds) continue;
+    if (hint != 2 && ++orphan_sub_rounds_[id] < cfg_.confirm_rounds) continue;
     dead_subs.emplace_back(id, e.lasthop);
   }
   for (const auto& [id, e] : rt.srt()) {
     if (!e.lasthop.is_client()) continue;
     if (e.shadow_txn != kNoTxn || e.shadow_only) continue;
     if (engine_->find_client(e.lasthop.client) != nullptr) continue;
+    const int hint = session_probe_ ? session_probe_(e.lasthop.client) : 0;
+    if (hint == 1) continue;
     suspect_advs.insert(id);
-    if (++orphan_adv_rounds_[id] < cfg_.confirm_rounds) continue;
+    if (hint != 2 && ++orphan_adv_rounds_[id] < cfg_.confirm_rounds) continue;
     dead_advs.emplace_back(id, e.lasthop);
   }
   // Entries that stopped being suspicious (client reappeared mid-movement,

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -83,6 +84,13 @@ class RepairEngine final : public RepairHandler {
   const RepairConfig& config() const { return cfg_; }
   BrokerId broker_id() const;
 
+  /// Session-layer knowledge about a client-hop routing entry, consulted by
+  /// the orphan sweep: 0 = none (default confirm_rounds aging), 1 = live
+  /// session (veto retraction while its grace window runs), 2 = expired
+  /// session (retract immediately, skipping the aging).
+  using SessionProbe = std::function<int(ClientId)>;
+  void set_session_probe(SessionProbe probe) { session_probe_ = std::move(probe); }
+
  private:
   std::size_t sweep_shadows(double now, Outputs& out);
   std::size_t sweep_orphans(Outputs& out);
@@ -102,6 +110,7 @@ class RepairEngine final : public RepairHandler {
   RepairConfig cfg_;
   double until_ = 0;
   RepairStats stats_;
+  SessionProbe session_probe_;
   obs::Counter* rounds_ctr_ = nullptr;
   obs::Counter* ops_ctr_ = nullptr;
   /// First time each transaction's shadow state was seen locally; entries

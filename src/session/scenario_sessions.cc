@@ -1,0 +1,38 @@
+#include "session/scenario_sessions.h"
+
+namespace tmps::session {
+
+std::shared_ptr<SessionHandle> install_sessions(
+    ScenarioConfig& cfg, std::shared_ptr<repair::RepairHandle> repair) {
+  auto handle = std::make_shared<SessionHandle>();
+  auto prev_engines = std::move(cfg.post_engines);
+  cfg.post_engines = [handle, prev_engines, repair](Scenario& s) {
+    if (prev_engines) prev_engines(s);
+    const SessionConfig& sc = s.config().broker.session;
+    if (!sc.enabled) return;
+    std::size_t idx = 0;
+    for (const auto& [b, engine] : s.engines()) {
+      SessionConfig per = sc;
+      // Stagger the first tick per broker so the fleet does not sweep in
+      // lockstep.
+      per.start_delay =
+          (sc.start_delay > 0 ? sc.start_delay : sc.tick_interval) +
+          0.03 * static_cast<double>(idx);
+      auto mgr = std::make_unique<SessionManager>(*engine, s.net(), per);
+      engine->set_session_handler(mgr.get());
+      mgr->start(s.config().duration);
+      if (repair) {
+        if (repair::RepairEngine* re = repair->engine_of(b)) {
+          SessionManager* raw = mgr.get();
+          re->set_session_probe(
+              [raw](ClientId client) { return raw->repair_hint(client); });
+        }
+      }
+      handle->managers.push_back(std::move(mgr));
+      ++idx;
+    }
+  };
+  return handle;
+}
+
+}  // namespace tmps::session

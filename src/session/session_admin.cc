@@ -1,0 +1,51 @@
+#include "session/session_admin.h"
+
+#include <sstream>
+
+namespace tmps::session {
+
+std::string sessions_json(const SessionManager& manager) {
+  const SessionStats& s = manager.stats();
+  const SessionConfig& c = manager.config();
+  std::ostringstream os;
+  os << "{\"broker\":" << manager.broker_id()
+     << ",\"heartbeat_interval\":" << c.heartbeat_interval
+     << ",\"grace\":" << c.grace << ",\"live\":" << manager.live_sessions()
+     << ",\"expired_tombstones\":" << manager.expired_sessions()
+     << ",\"buffered_bytes\":" << manager.buffered_bytes()
+     << ",\"opened\":" << s.opened
+     << ",\"resumed_local\":" << s.resumed_local
+     << ",\"resumed_move\":" << s.resumed_move
+     << ",\"resumed_forward\":" << s.resumed_forward
+     << ",\"adopted\":" << s.adopted << ",\"expired\":" << s.expired
+     << ",\"closed\":" << s.closed << ",\"wills_fired\":" << s.wills_fired
+     << ",\"dropped_overflow\":" << s.dropped_overflow
+     << ",\"dropped_expiry\":" << s.dropped_expiry
+     << ",\"forwarded_pubs\":" << s.forwarded_pubs << ",\"sessions\":[";
+  bool first = true;
+  for (const SessionInfo& i : manager.snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"client\":" << i.client << ",\"token\":" << i.token
+       << ",\"state\":\"" << to_string(i.state) << "\""
+       << ",\"peer\":" << i.peer << ",\"move_txn\":" << i.move_txn
+       << ",\"buffered\":" << i.buffered
+       << ",\"buffered_bytes\":" << i.buffered_bytes
+       << ",\"last_heartbeat\":" << i.last_heartbeat
+       << ",\"has_will\":" << (i.has_will ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void install_admin_routes(HttpAdminServer& server,
+                          const SessionManager& manager) {
+  server.add_route("/sessions", [&manager] {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = sessions_json(manager);
+    return resp;
+  });
+}
+
+}  // namespace tmps::session

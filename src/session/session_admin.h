@@ -1,0 +1,28 @@
+// HTTP admin surface of the session layer: a `/sessions` route for the
+// per-host HttpAdminServer (transport/http_admin.h) returning one JSON
+// object with this broker's session activity — lifecycle counters, the
+// per-session table (state, buffered backlog, peers, wills) and the drop
+// accounting split by reason.
+//
+// The numeric series (tmps_sessions_active, tmps_session_dropped_total,
+// tmps_session_buffered_bytes) already land in the host's MetricsRegistry,
+// so /metrics and /timeseries expose them without extra wiring; this route
+// adds the structured at-a-glance view probes and tests want.
+#pragma once
+
+#include <string>
+
+#include "session/session_manager.h"
+#include "transport/http_admin.h"
+
+namespace tmps::session {
+
+/// Registers GET /sessions on `server`. Call before server.start(); the
+/// manager must outlive the server.
+void install_admin_routes(HttpAdminServer& server,
+                          const SessionManager& manager);
+
+/// The /sessions response body (exposed for tests).
+std::string sessions_json(const SessionManager& manager);
+
+}  // namespace tmps::session

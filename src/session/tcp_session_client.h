@@ -1,0 +1,92 @@
+// Edge-client side of the session layer over TCP: a small client that dials
+// a broker's listener (transport/tcp_transport.h), identifies itself with
+// the kClientHello sentinel, and speaks session frames — open / resume /
+// heartbeat / close upstream, acks and publications downstream.
+//
+// Reconnection is built in: connect() retries with exponential backoff plus
+// deterministic per-client jitter (derived from the client id, so fleets of
+// clients desynchronize without a randomness source), and resume() replays
+// the stored resumption token at whichever broker the client reaches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "pubsub/messages.h"
+
+namespace tmps::session {
+
+/// Reconnect policy of a TcpSessionClient.
+struct ClientOptions {
+  double backoff_base = 0.05;  ///< first retry delay, seconds
+  double backoff_max = 2.0;    ///< backoff ceiling
+  std::uint32_t max_attempts = 8;
+};
+
+class TcpSessionClient {
+ public:
+  using Options = ClientOptions;
+
+  explicit TcpSessionClient(ClientId id, Options opt = {});
+  ~TcpSessionClient();
+
+  TcpSessionClient(const TcpSessionClient&) = delete;
+  TcpSessionClient& operator=(const TcpSessionClient&) = delete;
+
+  /// Dials 127.0.0.1:port, retrying with exponential backoff + jitter.
+  /// Returns false when max_attempts are exhausted.
+  bool connect(std::uint16_t port);
+  /// Drops the socket without closing the session (a flaky link, not a
+  /// goodbye). The broker sees EOF and starts the grace timer.
+  void disconnect();
+  bool connected() const { return fd_.load() >= 0; }
+
+  bool open_session(const std::optional<Publication>& will = {});
+  bool resume_session(std::uint64_t token);
+  /// Re-sends the stored token (set by the last ack) — the reconnect path.
+  bool resume_session() { return resume_session(token()); }
+  bool heartbeat();
+  bool close_session(bool fire_will);
+  bool publish(const Publication& pub);
+  bool subscribe(const Subscription& sub);
+  bool advertise(const Advertisement& adv);
+
+  /// Resumption token from the most recent ack (0 before the first ack).
+  std::uint64_t token() const;
+  /// Most recent session ack, if any.
+  std::optional<SessionAckMsg> last_ack() const;
+  /// Blocks until an ack newer than `than_acks` arrives or `timeout_s`
+  /// elapses; returns the total acks seen.
+  std::size_t wait_for_ack(std::size_t than_acks, double timeout_s) const;
+  std::size_t acks_seen() const;
+  /// Publications pushed down the connection so far.
+  std::vector<Publication> deliveries() const;
+  /// Connect attempts made over this client's lifetime (backoff telemetry).
+  std::uint32_t attempts_made() const { return attempts_.load(); }
+  /// The deterministic jitter fraction in [0,1) this client applies.
+  double jitter() const { return jitter_; }
+
+ private:
+  bool send_frame(const Payload& payload);
+  void reader_loop(int fd);
+  void join_reader();
+
+  ClientId id_;
+  Options opt_;
+  double jitter_;
+  std::atomic<int> fd_{-1};
+  std::thread reader_;
+  std::atomic<std::uint32_t> attempts_{0};
+  mutable std::mutex mu_;
+  std::uint64_t token_ = 0;
+  std::optional<SessionAckMsg> last_ack_;
+  std::size_t acks_ = 0;
+  std::vector<Publication> deliveries_;
+  std::uint32_t next_msg_ = 1;
+};
+
+}  // namespace tmps::session

@@ -246,6 +246,9 @@ bool TcpTransport::start_admin() {
       timeseries_.write_ndjson(os);
       return {200, "application/x-ndjson", os.str()};
     });
+    for (const auto& [rb, path, handler] : extra_admin_routes_) {
+      if (rb == b) node.admin->add_route(path, handler);
+    }
     const std::uint16_t port =
         admin_cfg_.base_port == 0
             ? 0
@@ -297,8 +300,30 @@ void TcpTransport::accept_loop(BrokerId b) {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::uint32_t hello = 0;
-    if (!read_full(fd, &hello, sizeof(hello)) || hello == 0 ||
-        hello >= nodes_.size() || !overlay_->are_neighbors(b, hello)) {
+    if (!read_full(fd, &hello, sizeof(hello))) {
+      ::close(fd);
+      continue;
+    }
+    if (hello == kClientHello) {
+      // Edge client: the hello continues with its u64 client id.
+      std::uint64_t client = 0;
+      if (!read_full(fd, &client, sizeof(client)) || client == 0) {
+        ::close(fd);
+        continue;
+      }
+      std::lock_guard lock(node.clients_mu);
+      if (auto it = node.client_fd.find(client); it != node.client_fd.end()) {
+        // Reconnect before the old socket died: the new connection wins.
+        ::shutdown(it->second, SHUT_RDWR);
+      }
+      node.client_fd[client] = fd;
+      node.client_readers.emplace_back([this, b, client, fd] {
+        client_reader_loop(b, ClientId{client}, fd);
+      });
+      continue;
+    }
+    if (hello == 0 || hello >= nodes_.size() ||
+        !overlay_->are_neighbors(b, hello)) {
       ::close(fd);
       continue;
     }
@@ -307,6 +332,87 @@ void TcpTransport::accept_loop(BrokerId b) {
     node.readers.emplace_back(
         [this, b, peer = BrokerId{hello}, fd] { reader_loop(b, peer, fd); });
   }
+}
+
+void TcpTransport::client_reader_loop(BrokerId self, ClientId client, int fd) {
+  while (running_.load()) {
+    std::uint32_t len = 0;
+    if (!read_full(fd, &len, sizeof(len))) break;
+    if (len < 4 || len > kMaxFrame) break;
+    std::string frame(len, '\0');
+    if (!read_full(fd, frame.data(), len)) break;
+    const std::optional<Message> msg =
+        decode_message(std::string_view(frame).substr(4));
+    if (!msg) {
+      ++decode_failures_;
+      decode_failures_metric_->inc();
+      continue;
+    }
+    frames_received_->inc();
+    if (session_frames_) {
+      session_frames_(self, client, *msg);
+    } else {
+      // No session layer attached: feed it to the broker like a local frame.
+      Node& node = *nodes_[self];
+      Broker::Outputs outputs;
+      {
+        std::lock_guard lock(node.state_mu);
+        outputs = node.broker->on_message(self, *msg);
+      }
+      dispatch_outputs(self, std::move(outputs));
+    }
+  }
+  // Connection gone: deregister (unless a reconnect already replaced the fd)
+  // and tell the session layer the client vanished.
+  Node& node = *nodes_[self];
+  bool was_current = false;
+  {
+    std::lock_guard lock(node.clients_mu);
+    auto it = node.client_fd.find(client);
+    if (it != node.client_fd.end() && it->second == fd) {
+      node.client_fd.erase(it);
+      was_current = true;
+    }
+  }
+  ::close(fd);
+  if (was_current && running_.load() && client_gone_) {
+    client_gone_(self, client);
+  }
+}
+
+bool TcpTransport::send_to_client(BrokerId b, ClientId client,
+                                  const Message& msg) {
+  const std::string body = encode_message(msg);
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size()) + 4;
+  std::string frame;
+  frame.reserve(4 + len);
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  const std::uint32_t from32 = b;
+  frame.append(reinterpret_cast<const char*>(&from32), 4);
+  frame.append(body);
+
+  Node& node = *nodes_[b];
+  std::lock_guard lock(node.clients_mu);
+  auto it = node.client_fd.find(client);
+  if (it == node.client_fd.end() ||
+      !write_full(it->second, frame.data(), frame.size())) {
+    send_failures_->inc();
+    return false;
+  }
+  frames_sent_->inc();
+  bytes_sent_->inc(frame.size());
+  return true;
+}
+
+std::size_t TcpTransport::client_connections(BrokerId b) {
+  Node& node = *nodes_[b];
+  std::lock_guard lock(node.clients_mu);
+  return node.client_fd.size();
+}
+
+void TcpTransport::add_admin_route(BrokerId b, std::string path,
+                                   std::function<HttpResponse()> handler) {
+  extra_admin_routes_.emplace_back(b, std::move(path), std::move(handler));
 }
 
 void TcpTransport::reader_loop(BrokerId self, BrokerId peer, int fd) {
@@ -511,8 +617,14 @@ void TcpTransport::stop() {
       ::close(node.listen_fd);
       node.listen_fd = -1;
     }
-    std::lock_guard lock(node.peers_mu);
-    for (auto& [peer, fd] : node.peer_fd) {
+    {
+      std::lock_guard lock(node.peers_mu);
+      for (auto& [peer, fd] : node.peer_fd) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    std::lock_guard lock(node.clients_mu);
+    for (auto& [client, fd] : node.client_fd) {
       ::shutdown(fd, SHUT_RDWR);
     }
   }
@@ -522,9 +634,14 @@ void TcpTransport::stop() {
     for (auto& t : node.readers) {
       if (t.joinable()) t.join();
     }
+    for (auto& t : node.client_readers) {
+      if (t.joinable()) t.join();
+    }
     std::lock_guard lock(node.peers_mu);
     for (auto& [peer, fd] : node.peer_fd) ::close(fd);
     node.peer_fd.clear();
+    // Client fds are closed by their reader loops on exit.
+    node.client_fd.clear();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
 }

@@ -10,6 +10,11 @@
 //
 // Frame format on the wire:  [u32 length][u32 sender broker id][message
 // bytes]  (little-endian), where `message bytes` is encode_message().
+//
+// Edge clients (session/tcp_session_client.h) dial the same listener and
+// identify themselves with the kClientHello sentinel followed by their u64
+// client id; their frames use sender id 0 and are routed to the session
+// frame handler instead of the broker overlay input.
 #pragma once
 
 #include <atomic>
@@ -18,7 +23,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/mobility_engine.h"
@@ -30,6 +37,9 @@ namespace tmps {
 
 class TcpTransport final : public RuntimeEnv {
  public:
+  /// Hello sentinel an edge client sends instead of a broker id (broker ids
+  /// are small; this can never collide).
+  static constexpr std::uint32_t kClientHello = 0xFFFFFFFFu;
   /// Brokers listen on 127.0.0.1:base_port+broker_id. Pass base_port = 0 to
   /// let the OS pick ephemeral ports (recommended for tests). The admin
   /// plane is configured via broker_cfg.admin (BrokerConfig consolidates
@@ -65,6 +75,32 @@ class TcpTransport final : public RuntimeEnv {
   /// Frames that arrived but failed to decode (corruption canary).
   std::uint64_t decode_failures() const { return decode_failures_.load(); }
 
+  // --- edge-client connections ----------------------------------------------
+
+  /// Frames arriving over an edge-client connection at broker `b` are handed
+  /// here (off the client reader thread). Without a handler they are fed to
+  /// the broker like an overlay frame from itself.
+  using SessionFrameHandler =
+      std::function<void(BrokerId, ClientId, const Message&)>;
+  void set_session_frame_handler(SessionFrameHandler fn) {
+    session_frames_ = std::move(fn);
+  }
+  /// Fires when an edge-client connection drops (EOF/error on its socket).
+  using ClientGoneHandler = std::function<void(BrokerId, ClientId)>;
+  void set_client_gone_handler(ClientGoneHandler fn) {
+    client_gone_ = std::move(fn);
+  }
+  /// Sends a message down the edge-client connection `client` holds to
+  /// broker `b`; false when no such connection is live.
+  bool send_to_client(BrokerId b, ClientId client, const Message& msg);
+  /// Live edge-client connections at broker `b`.
+  std::size_t client_connections(BrokerId b);
+
+  /// Registers an extra admin route served by broker `b`'s admin endpoint
+  /// (e.g. GET /sessions). Call before start().
+  void add_admin_route(BrokerId b, std::string path,
+                       std::function<HttpResponse()> handler);
+
   /// Windowed time-series over the shared metrics registry. Ticked on the
   /// timer thread every broker_cfg.obs.timeseries_interval seconds (when
   /// positive) and served as NDJSON at GET /timeseries.
@@ -99,6 +135,10 @@ class TcpTransport final : public RuntimeEnv {
     std::mutex peers_mu;
     std::map<BrokerId, int> peer_fd;
     std::vector<std::thread> readers;
+    // Edge-client connections (kClientHello): fd per client id.
+    std::mutex clients_mu;
+    std::map<ClientId, int> client_fd;
+    std::vector<std::thread> client_readers;
     std::unique_ptr<HttpAdminServer> admin;
   };
 
@@ -112,6 +152,7 @@ class TcpTransport final : public RuntimeEnv {
   bool connect_links();
   void accept_loop(BrokerId b);
   void reader_loop(BrokerId self, BrokerId peer, int fd);
+  void client_reader_loop(BrokerId self, ClientId client, int fd);
   void send_frame(BrokerId from, BrokerId to, const Message& msg);
   void dispatch_outputs(BrokerId from, Broker::Outputs outputs);
   void process_frame(BrokerId self, BrokerId from, const Message& msg);
@@ -132,6 +173,10 @@ class TcpTransport final : public RuntimeEnv {
   obs::Counter* decode_failures_metric_ = nullptr;
   obs::Counter* send_failures_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
+  SessionFrameHandler session_frames_;
+  ClientGoneHandler client_gone_;
+  std::vector<std::tuple<BrokerId, std::string, std::function<HttpResponse()>>>
+      extra_admin_routes_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> decode_failures_{0};

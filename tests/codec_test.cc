@@ -141,6 +141,13 @@ TEST(Codec, EveryPayloadAlternativeRoundTrips) {
       RepairRequestMsg{4, 2, {sub.id}, {adv.id}},
       RepairProbeMsg{11, 2},
       RepairVerdictMsg{11, RepairVerdict::Committed, 1, 5, 3},
+      SessionOpenMsg{9, 2, true, pub},
+      SessionResumeMsg{0x0200000000000007ull, 9, 3},
+      SessionAckMsg{0x0200000000000007ull, 9, SessionVerdict::Moving, 11, 2,
+                    true, pub},
+      SessionHeartbeatMsg{0x0200000000000007ull, 9},
+      SessionCloseMsg{0x0200000000000007ull, 9, true},
+      SessionForwardMsg{0x0200000000000007ull, 9, 2, {pub, pub}},
   };
   for (auto& p : payloads) {
     Message m;
@@ -152,6 +159,160 @@ TEST(Codec, EveryPayloadAlternativeRoundTrips) {
     ASSERT_TRUE(back.has_value()) << m.type_name();
     EXPECT_EQ(back->type_name(), m.type_name());
     EXPECT_EQ(back->unicast_dest, m.unicast_dest);
+  }
+}
+
+TEST(Codec, SessionMessagesRoundTripFieldForField) {
+  const Publication will = make_publication({0, 0}, 250, 3);
+  const std::uint64_t tok = (std::uint64_t{3} << 40) | 17;
+
+  {
+    Message m;
+    m.id = 2;
+    m.payload = SessionOpenMsg{42, 3, true, will};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionOpenMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->client, 42u);
+    EXPECT_EQ(b->at, 3u);
+    ASSERT_TRUE(b->has_will);
+    EXPECT_TRUE(b->will == will);
+  }
+  {
+    // Absent will stays absent — no phantom publication on decode.
+    Message m;
+    m.id = 2;
+    m.payload = SessionOpenMsg{42, 3};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionOpenMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->has_will);
+  }
+  {
+    Message m;
+    m.id = 3;
+    m.unicast_dest = 3;
+    m.payload = SessionResumeMsg{tok, 42, 5};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionResumeMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->token, tok);
+    EXPECT_EQ(b->client, 42u);
+    EXPECT_EQ(b->at, 5u);
+  }
+  {
+    // The Moving ack carries the movement txn and the travelling will.
+    Message m;
+    m.id = 4;
+    m.payload = SessionAckMsg{tok, 42, SessionVerdict::Moving, 77, 3, true,
+                              will};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionAckMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->token, tok);
+    EXPECT_EQ(b->client, 42u);
+    EXPECT_EQ(b->verdict, SessionVerdict::Moving);
+    EXPECT_EQ(b->txn, 77u);
+    EXPECT_EQ(b->home, 3u);
+    ASSERT_TRUE(b->has_will);
+    EXPECT_TRUE(b->will == will);
+  }
+  {
+    Message m;
+    m.id = 5;
+    m.payload = SessionHeartbeatMsg{tok, 42};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionHeartbeatMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->token, tok);
+    EXPECT_EQ(b->client, 42u);
+  }
+  {
+    Message m;
+    m.id = 6;
+    m.payload = SessionCloseMsg{tok, 42, true};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionCloseMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->token, tok);
+    EXPECT_TRUE(b->fire_will);
+  }
+  {
+    const Publication p1 = make_publication({9, 1}, 100, 0);
+    const Publication p2 = make_publication({9, 2}, 200, 1);
+    Message m;
+    m.id = 7;
+    m.unicast_dest = 5;
+    m.payload = SessionForwardMsg{tok, 42, 3, {p1, p2}};
+    const Message back = round_trip(m);
+    const auto* b = std::get_if<SessionForwardMsg>(&back.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->token, tok);
+    EXPECT_EQ(b->client, 42u);
+    EXPECT_EQ(b->origin, 3u);
+    ASSERT_EQ(b->pubs.size(), 2u);
+    EXPECT_TRUE(b->pubs[0] == p1);
+    EXPECT_TRUE(b->pubs[1] == p2);
+  }
+}
+
+TEST(Codec, TruncatedSessionForwardRejected) {
+  Message m;
+  m.id = 1;
+  m.unicast_dest = 2;
+  m.payload = SessionForwardMsg{(std::uint64_t{1} << 40) | 5,
+                                42,
+                                1,
+                                {make_publication({9, 1}, 100, 0),
+                                 make_publication({9, 2}, 200, 1)}};
+  const std::string bytes = encode_message(m);
+  ASSERT_TRUE(decode_message(bytes).has_value());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_EQ(decode_message(std::string_view(bytes).substr(0, cut)),
+              std::nullopt)
+        << "prefix of length " << cut << " must not decode";
+  }
+}
+
+TEST(Codec, SessionAckBadVerdictRejected) {
+  // Hand-rolled frame: header (id, cause, no-dest flag), SessionAck tag,
+  // then a verdict byte past the last enumerator. Must reject, not alias.
+  Writer w;
+  w.u64(1);   // id
+  w.u64(0);   // cause
+  w.u8(0);    // flags: no dest, no provenance
+  w.u8(22);   // SessionAck tag
+  w.u64(7);   // token
+  w.u64(42);  // client
+  w.u8(5);    // verdict: out of range (Unknown == 4)
+  w.u64(0);   // txn
+  w.u32(1);   // home
+  w.u8(0);    // has_will
+  EXPECT_EQ(decode_message(w.bytes()), std::nullopt);
+}
+
+TEST(Codec, SessionBoolBytesMustBeZeroOrOne) {
+  {
+    Writer w;  // SessionOpen with has_will = 2
+    w.u64(1);
+    w.u64(0);
+    w.u8(0);
+    w.u8(20);  // SessionOpen tag
+    w.u64(42);
+    w.u32(1);
+    w.u8(2);
+    EXPECT_EQ(decode_message(w.bytes()), std::nullopt);
+  }
+  {
+    Writer w;  // SessionClose with fire_will = 0xFF
+    w.u64(1);
+    w.u64(0);
+    w.u8(0);
+    w.u8(24);  // SessionClose tag
+    w.u64(7);
+    w.u64(42);
+    w.u8(0xFF);
+    EXPECT_EQ(decode_message(w.bytes()), std::nullopt);
   }
 }
 

@@ -23,7 +23,10 @@ TEST(Messages, TypeNamesAreDistinct) {
       TradMoveRequestMsg{},      TradReadyMsg{},
       TradRejectMsg{},           RepairDigestMsg{},
       RepairRequestMsg{},        RepairProbeMsg{},
-      RepairVerdictMsg{},
+      RepairVerdictMsg{},        SessionOpenMsg{},
+      SessionResumeMsg{},        SessionAckMsg{},
+      SessionHeartbeatMsg{},     SessionCloseMsg{},
+      SessionForwardMsg{},
   };
   std::set<std::string> names;
   for (auto& p : payloads) {
@@ -50,11 +53,24 @@ TEST(Messages, MovementPayloadsAreControl) {
            MoveStateMsg{}, MoveAckMsg{}, MoveAbortMsg{}, BufferedStateMsg{},
            TradMoveRequestMsg{}, TradReadyMsg{}, TradRejectMsg{},
            RepairDigestMsg{}, RepairRequestMsg{}, RepairProbeMsg{},
-           RepairVerdictMsg{}}) {
+           RepairVerdictMsg{}, SessionOpenMsg{}, SessionResumeMsg{},
+           SessionAckMsg{}, SessionHeartbeatMsg{}, SessionCloseMsg{},
+           SessionForwardMsg{}}) {
     Message m;
     m.payload = p;
     EXPECT_TRUE(m.is_control()) << m.type_name();
   }
+}
+
+TEST(Messages, SessionVerdictNamesAreDistinct) {
+  std::set<std::string> names;
+  for (SessionVerdict v :
+       {SessionVerdict::Resumed, SessionVerdict::Moving,
+        SessionVerdict::Forwarding, SessionVerdict::Expired,
+        SessionVerdict::Unknown}) {
+    names.insert(to_string(v));
+  }
+  EXPECT_EQ(names.size(), 5u);
 }
 
 TEST(Messages, ToStringIncludesDestination) {

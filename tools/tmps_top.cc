@@ -98,6 +98,12 @@ struct BrokerRow {
   // broker actively healing routing-state damage.
   long repair_rounds = 0, repair_ops = 0;
   bool have_repair = false;
+  // Session-layer gauges (src/session): live edge sessions hosted here and
+  // bytes parked in detached-client buffers. A growing SBUF with flat SESS
+  // is a fleet that disconnected and never came back.
+  long sessions = 0;
+  double session_buf_kib = 0;
+  bool have_sessions = false;
 };
 
 /// Series objects of the latest /timeseries window, split at `{"name":`.
@@ -193,6 +199,12 @@ BrokerRow poll(const Endpoint& ep) {
     } else if (series_is(s, "tmps_repair_ops_total", row.broker)) {
       row.repair_ops = static_cast<long>(json_num(s, "delta"));
       row.have_repair = true;
+    } else if (series_is(s, "tmps_sessions_active", row.broker)) {
+      row.sessions = static_cast<long>(json_num(s, "value"));
+      row.have_sessions = true;
+    } else if (series_is(s, "tmps_session_buffered_bytes", row.broker)) {
+      row.session_buf_kib = json_num(s, "value") / 1024.0;
+      row.have_sessions = true;
     }
   }
   return row;
@@ -202,9 +214,10 @@ void render(const std::vector<Endpoint>& eps,
             const std::vector<BrokerRow>& rows, bool once) {
   if (!once) std::printf("\033[2J\033[H");
   std::printf("tmps_top — %zu endpoint(s)\n", eps.size());
-  std::printf("%-21s %6s %7s %5s %8s %8s %7s %7s %7s %6s %6s\n", "ENDPOINT",
-              "BROKER", "CLIENTS", "TXNS", "PUB/S", "DLV/S", "P50ms", "P95ms",
-              "P99ms", "REPRND", "REPOPS");
+  std::printf("%-21s %6s %7s %5s %8s %8s %7s %7s %7s %6s %6s %5s %8s\n",
+              "ENDPOINT", "BROKER", "CLIENTS", "TXNS", "PUB/S", "DLV/S",
+              "P50ms", "P95ms", "P99ms", "REPRND", "REPOPS", "SESS",
+              "SBUFkib");
   for (std::size_t i = 0; i < eps.size(); ++i) {
     const BrokerRow& r = rows[i];
     if (!r.alive) {
@@ -223,10 +236,16 @@ void render(const std::vector<Endpoint>& eps,
     }
     if (r.have_repair) {
       // Latest-window deltas: sweeps run and corrective ops applied.
-      std::printf(" %6ld %6ld\n", r.repair_rounds, r.repair_ops);
+      std::printf(" %6ld %6ld", r.repair_rounds, r.repair_ops);
     } else {
       // Repair loop disabled on this broker (or no window yet).
-      std::printf(" %6s %6s\n", "-", "-");
+      std::printf(" %6s %6s", "-", "-");
+    }
+    if (r.have_sessions) {
+      std::printf(" %5ld %8.1f\n", r.sessions, r.session_buf_kib);
+    } else {
+      // Session layer disabled on this broker (or no window yet).
+      std::printf(" %5s %8s\n", "-", "-");
     }
   }
   std::fflush(stdout);
